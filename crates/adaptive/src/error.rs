@@ -1,0 +1,47 @@
+//! Error type of the run-time mode manager.
+
+use flexplore_hgraph::Selection;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`AdaptiveSystem`](crate::AdaptiveSystem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdaptiveError {
+    /// The requested behavior has no feasible mode on this platform — the
+    /// system was not dimensioned for it (its cluster was not paid for, or
+    /// binding/timing ruled it out during exploration).
+    Unimplementable {
+        /// The rejected behavior request.
+        requested: Selection,
+    },
+}
+
+impl fmt::Display for AdaptiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptiveError::Unimplementable { requested } => write!(
+                f,
+                "no feasible mode implements the requested behavior ({} selections)",
+                requested.len()
+            ),
+        }
+    }
+}
+
+impl Error for AdaptiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        let e = AdaptiveError::Unimplementable {
+            requested: Selection::new(),
+        };
+        assert!(e.to_string().contains("no feasible mode"));
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<AdaptiveError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Run-time mode management for flexible systems.
+//!
+//! The paper motivates flexibility with *adaptive systems* that switch
+//! behavior during operation — zapping TV channels with different
+//! decryption algorithms, launching a game, opening a browser — where each
+//! switch may reconfigure the platform's reconfigurable devices. This
+//! crate provides the run-time side of that story on top of an explored
+//! [`Implementation`](flexplore_bind::Implementation):
+//!
+//! * behavior requests are resolved to the feasible mode that implements
+//!   them (or rejected if the platform was not dimensioned for them),
+//! * device reconfigurations are derived from the mode's architecture
+//!   selection and accounted with a configurable per-swap latency,
+//! * the full switch timeline and aggregate statistics are recorded.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexplore_adaptive::{AdaptiveSystem, ReconfigCost};
+//! use flexplore_bind::implement_default;
+//! use flexplore_hgraph::Selection;
+//! use flexplore_models::set_top_box;
+//! use flexplore_spec::ResourceAllocation;
+//!
+//! let stb = set_top_box();
+//! let allocation = ResourceAllocation::new()
+//!     .with_vertex(stb.resource("uP2"))
+//!     .with_vertex(stb.resource("C1"))
+//!     .with_cluster(stb.design("D3"))
+//!     .with_cluster(stb.design("U2"))
+//!     .with_cluster(stb.design("G1"));
+//! let implementation = implement_default(&stb.spec, &allocation).expect("feasible");
+//!
+//! let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+//! let watch_tv = Selection::new()
+//!     .with(stb.interfaces["I_app"], stb.cluster("gamma_D"))
+//!     .with(stb.interfaces["I_D"], stb.cluster("gamma_D3"))
+//!     .with(stb.interfaces["I_U"], stb.cluster("gamma_U1"));
+//! system.switch_to(&watch_tv).unwrap();
+//! assert_eq!(system.stats().switches, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod manager;
+mod trace;
+
+pub use error::AdaptiveError;
+pub use manager::{AdaptiveStats, AdaptiveSystem, ReconfigCost, SwitchEvent};
+pub use trace::{evaluate_platform, generate_trace, PlatformEvaluation, TraceConfig};

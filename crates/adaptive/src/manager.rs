@@ -1,0 +1,326 @@
+//! Run-time mode management of a flexible implementation.
+//!
+//! The paper's systems *"may adopt their behavior during operation"* by
+//! time-dependent cluster selection. [`AdaptiveSystem`] wraps one explored
+//! [`Implementation`] and plays that role at run time: behavior requests
+//! are resolved to feasible modes, reconfigurations of the platform's
+//! devices are tracked (with a configurable per-swap latency), and a
+//! timeline of events is recorded for analysis.
+
+use crate::error::AdaptiveError;
+use flexplore_bind::{Implementation, ModeImplementation};
+use flexplore_hgraph::{ClusterId, InterfaceId, Selection};
+use flexplore_sched::Time;
+use flexplore_spec::SpecificationGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cost model for swapping a reconfigurable device's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReconfigCost {
+    /// Reconfiguration is instantaneous (the paper's abstraction).
+    #[default]
+    Free,
+    /// Every configuration swap of any device costs a fixed latency.
+    Uniform(Time),
+}
+
+impl ReconfigCost {
+    fn per_swap(self) -> Time {
+        match self {
+            ReconfigCost::Free => Time::ZERO,
+            ReconfigCost::Uniform(t) => t,
+        }
+    }
+}
+
+/// One recorded behavior switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchEvent {
+    /// The requested behavior (problem-graph selection).
+    pub requested: Selection,
+    /// Devices whose configuration changed, with `(from, to)` clusters
+    /// (`from` is `None` on first use).
+    pub reconfigured: Vec<(InterfaceId, Option<ClusterId>, ClusterId)>,
+    /// Reconfiguration latency paid for this switch.
+    pub reconfig_time: Time,
+}
+
+/// Aggregate statistics of an operation timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveStats {
+    /// Behavior switches served.
+    pub switches: u64,
+    /// Requests rejected as unimplementable on this platform.
+    pub rejected: u64,
+    /// Individual device-configuration swaps performed.
+    pub reconfigurations: u64,
+    /// Total time spent reconfiguring.
+    pub total_reconfig_time: Time,
+}
+
+/// A run-time mode manager over one explored implementation.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSystem<'a> {
+    spec: &'a SpecificationGraph,
+    implementation: &'a Implementation,
+    reconfig: ReconfigCost,
+    device_state: BTreeMap<InterfaceId, ClusterId>,
+    current: Option<usize>,
+    stats: AdaptiveStats,
+    timeline: Vec<SwitchEvent>,
+}
+
+impl<'a> AdaptiveSystem<'a> {
+    /// Creates a manager over `implementation`, with all devices
+    /// unconfigured.
+    #[must_use]
+    pub fn new(
+        spec: &'a SpecificationGraph,
+        implementation: &'a Implementation,
+        reconfig: ReconfigCost,
+    ) -> Self {
+        AdaptiveSystem {
+            spec,
+            implementation,
+            reconfig,
+            device_state: BTreeMap::new(),
+            current: None,
+            stats: AdaptiveStats::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The mode currently executing, if any.
+    #[must_use]
+    pub fn current_mode(&self) -> Option<&ModeImplementation> {
+        self.current.map(|k| &self.implementation.modes[k])
+    }
+
+    /// The configuration currently loaded on `device`, if any.
+    #[must_use]
+    pub fn device_configuration(&self, device: InterfaceId) -> Option<ClusterId> {
+        self.device_state.get(&device).copied()
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// The recorded switch events.
+    #[must_use]
+    pub fn timeline(&self) -> &[SwitchEvent] {
+        &self.timeline
+    }
+
+
+    /// The behaviors this platform can serve: the problem selections of
+    /// all feasible modes, deduplicated and sorted.
+    #[must_use]
+    pub fn available_behaviors(&self) -> Vec<Selection> {
+        let mut behaviors: Vec<Selection> = self
+            .implementation
+            .modes
+            .iter()
+            .map(|m| m.mode.problem.clone())
+            .collect();
+        behaviors.sort();
+        behaviors.dedup();
+        behaviors
+    }
+
+    /// Switches the system to the behavior described by `requested` (a
+    /// complete problem-graph selection), reconfiguring devices as needed.
+    ///
+    /// Requests are matched against the implementation's feasible modes by
+    /// comparing the selections on the interfaces the request decides
+    /// (entries for inactive interfaces in either selection are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptiveError::Unimplementable`] if no feasible mode of
+    /// the implementation realizes the requested behavior — the platform
+    /// was not dimensioned for it.
+    pub fn switch_to(&mut self, requested: &Selection) -> Result<&SwitchEvent, AdaptiveError> {
+        let Some(index) = self.find_mode(requested) else {
+            self.stats.rejected += 1;
+            return Err(AdaptiveError::Unimplementable {
+                requested: requested.clone(),
+            });
+        };
+        let mode = &self.implementation.modes[index];
+        let mut reconfigured = Vec::new();
+        for (device, cluster) in mode.mode.architecture.iter() {
+            let previous = self.device_state.insert(device, cluster);
+            if previous != Some(cluster) {
+                reconfigured.push((device, previous, cluster));
+            }
+        }
+        let reconfig_time = self.reconfig.per_swap() * reconfigured.len() as u64;
+        self.stats.switches += 1;
+        self.stats.reconfigurations += reconfigured.len() as u64;
+        self.stats.total_reconfig_time += reconfig_time;
+        self.current = Some(index);
+        self.timeline.push(SwitchEvent {
+            requested: requested.clone(),
+            reconfigured,
+            reconfig_time,
+        });
+        Ok(self.timeline.last().expect("just pushed"))
+    }
+
+    /// Runs a whole request trace, stopping at the first unimplementable
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// See [`switch_to`](Self::switch_to).
+    pub fn run_trace(&mut self, trace: &[Selection]) -> Result<AdaptiveStats, AdaptiveError> {
+        for request in trace {
+            self.switch_to(request)?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Finds a feasible mode whose problem selection agrees with the
+    /// request on the *active* interfaces of the request.
+    fn find_mode(&self, requested: &Selection) -> Option<usize> {
+        let active = self
+            .spec
+            .problem()
+            .graph()
+            .active_under(requested)
+            .ok()?;
+        self.implementation.modes.iter().position(|m| {
+            active
+                .interfaces
+                .iter()
+                .all(|&i| m.mode.problem.get(i) == requested.get(i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_bind::implement_default;
+    use flexplore_models::set_top_box;
+    use flexplore_spec::ResourceAllocation;
+
+    /// The $290 platform: µP2 + C1 + all three FPGA designs.
+    fn platform() -> (flexplore_models::SetTopBox, Implementation) {
+        let stb = set_top_box();
+        let allocation = ResourceAllocation::new()
+            .with_vertex(stb.resource("uP2"))
+            .with_vertex(stb.resource("C1"))
+            .with_cluster(stb.design("D3"))
+            .with_cluster(stb.design("U2"))
+            .with_cluster(stb.design("G1"));
+        let implementation = implement_default(&stb.spec, &allocation).expect("feasible");
+        (stb, implementation)
+    }
+
+    fn tv(stb: &flexplore_models::SetTopBox, d: &str, u: &str) -> Selection {
+        Selection::new()
+            .with(stb.interfaces["I_app"], stb.cluster("gamma_D"))
+            .with(stb.interfaces["I_D"], stb.cluster(d))
+            .with(stb.interfaces["I_U"], stb.cluster(u))
+    }
+
+    #[test]
+    fn zap_timeline_counts_reconfigurations() {
+        let (stb, implementation) = platform();
+        let mut system = AdaptiveSystem::new(
+            &stb.spec,
+            &implementation,
+            ReconfigCost::Uniform(Time::from_ns(1000)),
+        );
+        // D1xU1 runs on the processor: no reconfiguration.
+        system.switch_to(&tv(&stb, "gamma_D1", "gamma_U1")).unwrap();
+        assert_eq!(system.stats().reconfigurations, 0);
+        // D3 needs the FPGA: one swap.
+        system.switch_to(&tv(&stb, "gamma_D3", "gamma_U1")).unwrap();
+        assert_eq!(system.stats().reconfigurations, 1);
+        // U2 needs the FPGA reconfigured again.
+        system.switch_to(&tv(&stb, "gamma_D1", "gamma_U2")).unwrap();
+        assert_eq!(system.stats().reconfigurations, 2);
+        // Back to D3: third swap.
+        system.switch_to(&tv(&stb, "gamma_D3", "gamma_U1")).unwrap();
+        let stats = system.stats();
+        assert_eq!(stats.switches, 4);
+        assert_eq!(stats.reconfigurations, 3);
+        assert_eq!(stats.total_reconfig_time, Time::from_ns(3000));
+        assert_eq!(system.timeline().len(), 4);
+    }
+
+    #[test]
+    fn repeated_mode_does_not_reconfigure() {
+        let (stb, implementation) = platform();
+        let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        let request = tv(&stb, "gamma_D3", "gamma_U1");
+        system.switch_to(&request).unwrap();
+        let first = system.stats().reconfigurations;
+        system.switch_to(&request).unwrap();
+        assert_eq!(system.stats().reconfigurations, first);
+    }
+
+    #[test]
+    fn unimplementable_request_is_rejected() {
+        let (stb, implementation) = platform();
+        let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        // Game class 2 needs an ASIC this platform lacks.
+        let request = Selection::new()
+            .with(stb.interfaces["I_app"], stb.cluster("gamma_G"))
+            .with(stb.interfaces["I_G"], stb.cluster("gamma_G2"));
+        let err = system.switch_to(&request).unwrap_err();
+        assert!(matches!(err, AdaptiveError::Unimplementable { .. }));
+        assert_eq!(system.stats().rejected, 1);
+        assert!(system.current_mode().is_none());
+    }
+
+    #[test]
+    fn run_trace_aggregates() {
+        let (stb, implementation) = platform();
+        let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        let browser = Selection::new().with(stb.interfaces["I_app"], stb.cluster("gamma_I"));
+        let game = Selection::new()
+            .with(stb.interfaces["I_app"], stb.cluster("gamma_G"))
+            .with(stb.interfaces["I_G"], stb.cluster("gamma_G1"));
+        let stats = system
+            .run_trace(&[browser, game, tv(&stb, "gamma_D1", "gamma_U1")])
+            .unwrap();
+        assert_eq!(stats.switches, 3);
+        assert!(system.current_mode().is_some());
+    }
+
+    #[test]
+    fn device_state_is_queryable() {
+        let (stb, implementation) = platform();
+        let fpga = stb
+            .spec
+            .architecture()
+            .graph()
+            .interface_by_name(flexplore_hgraph::Scope::Top, "FPGA")
+            .unwrap();
+        let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        assert_eq!(system.device_configuration(fpga), None);
+        system.switch_to(&tv(&stb, "gamma_D3", "gamma_U1")).unwrap();
+        assert_eq!(system.device_configuration(fpga), Some(stb.design("D3")));
+    }
+    #[test]
+    fn available_behaviors_match_coverage() {
+        let (stb, implementation) = platform();
+        let system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        let behaviors = system.available_behaviors();
+        // The $290 platform covers: browser, game G1, and 4 TV variants
+        // minus the FPGA-conflicting D3xU2 -> 1 + 1 + 3 = 5 behaviors.
+        assert_eq!(behaviors.len(), 5);
+        // Every listed behavior is servable.
+        let mut replay = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+        for behavior in &behaviors {
+            assert!(replay.switch_to(behavior).is_ok());
+        }
+    }
+}

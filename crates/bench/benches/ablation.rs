@@ -1,0 +1,132 @@
+//! Ablation experiment (E9 of DESIGN.md): how much work does each of the
+//! paper's two search-space reductions save?
+//!
+//! Section 4 proposes (1) the possible-resource-allocation construction
+//! with structural pruning and (2) the flexibility-estimation skip. This
+//! bench toggles them independently on the Set-Top box case study and a
+//! medium synthetic model, printing the binding-solver invocations of each
+//! configuration and measuring wall-clock. It also compares the paper's
+//! 69 % timing test against the sharper schedulability policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexplore::bind::{BindOptions, ImplementOptions};
+use flexplore::{
+    explore, set_top_box, synthetic_spec, AllocationOptions, ExploreOptions, SchedPolicy,
+    SpecificationGraph, SyntheticConfig,
+};
+use std::hint::black_box;
+
+fn configurations() -> Vec<(&'static str, ExploreOptions)> {
+    let paper = ExploreOptions::paper();
+    let no_flex = ExploreOptions {
+        flexibility_pruning: false,
+        ..paper
+    };
+    let no_structural = ExploreOptions {
+        allocation: AllocationOptions {
+            prune_useless_buses: false,
+            prune_unusable: false,
+            ..AllocationOptions::default()
+        },
+        ..paper
+    };
+    let neither = ExploreOptions {
+        flexibility_pruning: false,
+        ..no_structural
+    };
+    vec![
+        ("paper(all-prunings)", paper),
+        ("no-flex-estimation", no_flex),
+        ("no-structural", no_structural),
+        ("exhaustive", neither),
+    ]
+}
+
+fn models() -> Vec<(&'static str, SpecificationGraph)> {
+    vec![
+        ("set-top-box", set_top_box().spec),
+        ("synthetic-medium", synthetic_spec(&SyntheticConfig::medium(11))),
+    ]
+}
+
+fn print_ablation_table(c: &mut Criterion) {
+    println!("== E9: pruning ablation (binding-solver invocations) ==");
+    println!(
+        "{:<18} {:<22} {:>9} {:>9} {:>8} {:>7}",
+        "model", "configuration", "possible", "skipped", "solved", "pareto"
+    );
+    for (model_name, spec) in models() {
+        let mut reference = None;
+        for (config_name, options) in configurations() {
+            let result = explore(&spec, &options).unwrap();
+            // All configurations must find the same front.
+            match &reference {
+                None => reference = Some(result.front.objectives()),
+                Some(expected) => assert_eq!(
+                    &result.front.objectives(),
+                    expected,
+                    "{model_name}/{config_name} changed the front"
+                ),
+            }
+            println!(
+                "{:<18} {:<22} {:>9} {:>9} {:>8} {:>7}",
+                model_name,
+                config_name,
+                result.stats.allocations.kept,
+                result.stats.estimate_skipped,
+                result.stats.implement_attempts,
+                result.stats.pareto_points
+            );
+        }
+    }
+    c.bench_function("e9_report_printed", |b| b.iter(|| black_box(0)));
+}
+
+fn bench_configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_pruning");
+    group.sample_size(10);
+    let stb = set_top_box();
+    for (config_name, options) in configurations() {
+        group.bench_with_input(
+            BenchmarkId::new("set-top-box", config_name),
+            &options,
+            |b, opts| b.iter(|| black_box(explore(&stb.spec, opts).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn print_policy_ablation(c: &mut Criterion) {
+    println!("\n== E9: schedulability-policy ablation on the case study ==");
+    println!("  (fronts per timing test; the paper uses the fixed 69 % limit)");
+    let stb = set_top_box();
+    for policy in SchedPolicy::all() {
+        let options = ExploreOptions {
+            implement: ImplementOptions {
+                bind: BindOptions {
+                    policy,
+                    ..BindOptions::default()
+                },
+                ..ImplementOptions::default()
+            },
+            ..ExploreOptions::paper()
+        };
+        let result = explore(&stb.spec, &options).unwrap();
+        let objectives: Vec<String> = result
+            .front
+            .objectives()
+            .into_iter()
+            .map(|(cost, flex)| format!("({},{flex})", cost.dollars()))
+            .collect();
+        println!("  {:<12} -> {}", policy.to_string(), objectives.join(" "));
+    }
+    c.bench_function("e9_policy_printed", |b| b.iter(|| black_box(0)));
+}
+
+criterion_group!(
+    benches,
+    print_ablation_table,
+    bench_configurations,
+    print_policy_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Scalability experiment (E8 of DESIGN.md): EXPLORE vs. exhaustive vs.
+//! MOEA on synthetic specifications of growing size — the quantitative
+//! backing of the paper's "industrial size applications can be efficiently
+//! explored within minutes" claim.
+//!
+//! The printed table shows the search-space reduction per size; the
+//! Criterion groups measure wall-clock per engine and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexplore::{
+    exhaustive_explore, explore, moea_explore, synthetic_spec, Cost, ExploreOptions, MoeaOptions,
+    SyntheticConfig,
+};
+use std::hint::black_box;
+
+fn sizes() -> Vec<(&'static str, SyntheticConfig)> {
+    vec![
+        ("small", SyntheticConfig::small(11)),
+        (
+            "default",
+            SyntheticConfig {
+                seed: 11,
+                ..SyntheticConfig::default()
+            },
+        ),
+        ("medium", SyntheticConfig::medium(11)),
+        ("large", SyntheticConfig::large(11)),
+    ]
+}
+
+fn print_reduction_table(c: &mut Criterion) {
+    println!("== E8: search-space reduction vs. specification size ==");
+    println!(
+        "{:<8} {:>6} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "size", "|V_S|", "subsets", "possible", "skipped", "solved", "pareto"
+    );
+    for (label, config) in sizes() {
+        let spec = synthetic_spec(&config);
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        println!(
+            "{:<8} {:>6} {:>9} {:>9} {:>9} {:>7} {:>8}",
+            label,
+            result.stats.vertex_set_size,
+            result.stats.allocations.subsets,
+            result.stats.allocations.kept,
+            result.stats.estimate_skipped,
+            result.stats.implement_attempts,
+            result.stats.pareto_points
+        );
+    }
+    c.bench_function("e8_report_printed", |b| b.iter(|| black_box(0)));
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_engines");
+    group.sample_size(10);
+    for (label, config) in sizes() {
+        let spec = synthetic_spec(&config);
+        group.bench_with_input(BenchmarkId::new("explore", label), &spec, |b, s| {
+            b.iter(|| black_box(explore(s, &ExploreOptions::paper()).unwrap()))
+        });
+        // Exhaustive on the largest size is slow; keep it to the smaller
+        // three so a full bench run stays interactive.
+        if label != "large" {
+            group.bench_with_input(BenchmarkId::new("exhaustive", label), &spec, |b, s| {
+                b.iter(|| black_box(exhaustive_explore(s).unwrap()))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("moea", label), &spec, |b, s| {
+            let options = MoeaOptions {
+                population: 16,
+                generations: 8,
+                ..MoeaOptions::default()
+            };
+            b.iter(|| black_box(moea_explore(s, &options).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn print_moea_quality(c: &mut Criterion) {
+    println!("\n== E8: MOEA front quality (hypervolume ratio vs. exact front) ==");
+    for (label, config) in sizes() {
+        let spec = synthetic_spec(&config);
+        let exact = explore(&spec, &ExploreOptions::paper()).unwrap();
+        let moea = moea_explore(
+            &spec,
+            &MoeaOptions {
+                population: 24,
+                generations: 12,
+                ..MoeaOptions::default()
+            },
+        )
+        .unwrap();
+        let reference = Cost::new(2000);
+        let exact_hv = exact.front.hypervolume(reference);
+        let ratio = if exact_hv > 0.0 {
+            moea.front.hypervolume(reference) / exact_hv
+        } else {
+            1.0
+        };
+        println!(
+            "  {:<8} exact {} points, moea {} points, hv ratio {:.3}, {} solver calls",
+            label,
+            exact.front.len(),
+            moea.front.len(),
+            ratio,
+            moea.implement_attempts
+        );
+    }
+    c.bench_function("e8_quality_printed", |b| b.iter(|| black_box(0)));
+}
+
+criterion_group!(benches, print_reduction_table, bench_engines, print_moea_quality);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Value-of-flexibility experiment (E12 of DESIGN.md, an extension):
+//! replay random behavior traces against every platform on the explored
+//! Pareto front and report the served fraction and reconfiguration
+//! overhead — the operational payoff of the flexibility each extra dollar
+//! buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexplore::adaptive::{evaluate_platform, generate_trace, ReconfigCost, TraceConfig};
+use flexplore::{explore, set_top_box, ExploreOptions, Time};
+use std::hint::black_box;
+
+fn print_value_table(c: &mut Criterion) {
+    let stb = set_top_box();
+    let result = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    let trace = generate_trace(
+        &stb.spec,
+        &TraceConfig {
+            seed: 7,
+            length: 1000,
+            skewed: false,
+        },
+    );
+    println!("== E12: value of flexibility (1000-request uniform trace) ==");
+    println!(
+        "{:<26} {:>6} {:>3} {:>8} {:>9} {:>9} {:>12}",
+        "platform", "cost", "f", "served", "rejected", "reconfigs", "reconf-time"
+    );
+    let mut last_served = 0.0;
+    for point in &result.front {
+        let implementation = point.implementation.as_ref().unwrap();
+        let eval = evaluate_platform(
+            &stb.spec,
+            implementation,
+            &trace,
+            ReconfigCost::Uniform(Time::from_ns(1_000)),
+        );
+        println!(
+            "{:<26} {:>6} {:>3} {:>7.1}% {:>9} {:>9} {:>12}",
+            implementation
+                .allocation
+                .display_names(stb.spec.architecture()),
+            point.cost.to_string(),
+            point.flexibility,
+            eval.served_fraction() * 100.0,
+            eval.rejected,
+            eval.reconfigurations,
+            eval.reconfig_time.to_string()
+        );
+        assert!(
+            eval.served_fraction() + 1e-9 >= last_served,
+            "served fraction must be monotone along the front"
+        );
+        last_served = eval.served_fraction();
+    }
+    c.bench_function("e12_report_printed", |b| b.iter(|| black_box(0)));
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let stb = set_top_box();
+    let result = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    let flagship = result
+        .front
+        .points()
+        .last()
+        .and_then(|p| p.implementation.as_ref())
+        .unwrap();
+    let trace = generate_trace(
+        &stb.spec,
+        &TraceConfig {
+            seed: 7,
+            length: 1000,
+            skewed: true,
+        },
+    );
+    c.bench_function("e12_replay_1000_requests", |b| {
+        b.iter(|| {
+            black_box(evaluate_platform(
+                &stb.spec,
+                flagship,
+                &trace,
+                ReconfigCost::Free,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, print_value_table, bench_trace_replay);
+criterion_main!(benches);

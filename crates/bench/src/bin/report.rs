@@ -1,0 +1,267 @@
+//! Regenerates the complete paper-vs-measured report as Markdown.
+//!
+//! ```text
+//! cargo run --release -p flexplore-bench --bin report > REPORT.md
+//! ```
+//!
+//! Unlike the Criterion benches (which measure), this binary *documents*:
+//! it runs every experiment deterministically and renders one Markdown
+//! document mirroring EXPERIMENTS.md, so the record can be refreshed after
+//! any change with a single command.
+
+use flexplore::adaptive::{evaluate_platform, generate_trace, ReconfigCost, TraceConfig};
+use flexplore::bind::{BindOptions, ImplementOptions};
+use flexplore::flex::{flexibility, max_flexibility};
+use flexplore::{
+    exhaustive_explore, explore, moea_explore, paper_pareto_table,
+    possible_resource_allocations, set_top_box, synthetic_spec, tv_decoder, AllocationOptions,
+    Cost, ExploreOptions, MoeaOptions, SchedPolicy, SyntheticConfig, Time,
+};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# flexplore — regenerated experiment report\n");
+    println!("Produced by `cargo run --release -p flexplore-bench --bin report`.\n");
+
+    e1_e2()?;
+    e3();
+    e4_e6_e7()?;
+    e8()?;
+    e9()?;
+    e12()?;
+    Ok(())
+}
+
+fn e1_e2() -> Result<(), Box<dyn std::error::Error>> {
+    let tv = tv_decoder();
+    println!("## E1 — Equation (1) leaves of the TV decoder\n");
+    let g = tv.spec.problem().graph();
+    let mut leaves: Vec<&str> = g.leaves().map(|v| g.vertex_name(v)).collect();
+    leaves.sort_unstable();
+    println!("`V_l(G)` = {{{}}} (paper: P_A, P_C, P_D1–3, P_U1–2)\n", leaves.join(", "));
+
+    println!("## E2 — Fig. 2 possible resource allocations\n");
+    let (cands, stats) = possible_resource_allocations(&tv.spec, &AllocationOptions::default())?;
+    println!(
+        "{} subsets scanned, {} possible allocations; the set starts with:\n",
+        stats.subsets, stats.kept
+    );
+    for c in cands.iter().take(5) {
+        println!(
+            "* `{{{}}}` cost {} estimated f {}",
+            c.allocation.display_names(tv.spec.architecture()),
+            c.cost,
+            c.estimate.value
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn e3() {
+    let stb = set_top_box();
+    let g = stb.spec.problem().graph();
+    println!("## E3 — Fig. 3 flexibility\n");
+    println!("| activation | paper | measured |");
+    println!("|---|---|---|");
+    println!("| all clusters | 8 | {} |", max_flexibility(g));
+    let game = stb.cluster("gamma_G");
+    println!("| without γ_G | 5 | {} |", flexibility(g, |c| c != game));
+    println!();
+}
+
+fn e4_e6_e7() -> Result<(), Box<dyn std::error::Error>> {
+    let stb = set_top_box();
+    let started = Instant::now();
+    let result = explore(&stb.spec, &ExploreOptions::paper())?;
+    let elapsed = started.elapsed();
+
+    println!("## E6 — Section 5 Pareto table\n");
+    println!("| measured resources | c | f | paper |");
+    println!("|---|---|---|---|");
+    for (point, (names, cost, flex)) in result.front.iter().zip(paper_pareto_table()) {
+        println!(
+            "| {} | {} | {} | {{{}}} ${cost} f={flex} |",
+            point
+                .implementation
+                .as_ref()
+                .map(|i| i.allocation.display_names(stb.spec.architecture()))
+                .unwrap_or_default(),
+            point.cost,
+            point.flexibility,
+            names.join(", ")
+        );
+        assert_eq!(point.cost.dollars(), cost);
+        assert_eq!(point.flexibility, flex);
+    }
+
+    println!("\n## E4 — Fig. 4 trade-off curve\n");
+    println!("```text");
+    print!("{}", result.front.to_csv());
+    println!("```");
+
+    let s = &result.stats;
+    println!("\n## E7 — search-space reduction\n");
+    println!("| stage | measured |");
+    println!("|---|---|");
+    println!("| raw design points | 2^{} |", s.vertex_set_size);
+    println!("| subsets scanned | {} |", s.allocations.subsets);
+    println!("| structurally pruned | {} |", s.allocations.pruned_structurally);
+    println!("| estimate-infeasible | {} |", s.allocations.infeasible);
+    println!("| possible allocations | {} |", s.allocations.kept);
+    println!("| estimate-skipped | {} |", s.estimate_skipped);
+    println!("| binding attempts | {} |", s.implement_attempts);
+    println!("| Pareto points | {} |", s.pareto_points);
+    println!("| wall-clock | {elapsed:.2?} |");
+    println!();
+    Ok(())
+}
+
+fn e8() -> Result<(), Box<dyn std::error::Error>> {
+    println!("## E8 — scalability\n");
+    println!("| size | V_S | subsets | possible | solver calls | Pareto | explore | exhaustive | moea hv |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for (label, config) in [
+        ("small", SyntheticConfig::small(11)),
+        ("default", SyntheticConfig { seed: 11, ..SyntheticConfig::default() }),
+        ("medium", SyntheticConfig::medium(11)),
+        ("large", SyntheticConfig::large(11)),
+    ] {
+        let spec = synthetic_spec(&config);
+        let started = Instant::now();
+        let fast = explore(&spec, &ExploreOptions::paper())?;
+        let t_explore = started.elapsed();
+        let started = Instant::now();
+        let slow = exhaustive_explore(&spec)?;
+        let t_exhaustive = started.elapsed();
+        assert!(fast.front.same_objectives(&slow.front));
+        let moea = moea_explore(
+            &spec,
+            &MoeaOptions {
+                population: 24,
+                generations: 12,
+                ..MoeaOptions::default()
+            },
+        )?;
+        let reference = Cost::new(2000);
+        let hv = if fast.front.hypervolume(reference) > 0.0 {
+            moea.front.hypervolume(reference) / fast.front.hypervolume(reference)
+        } else {
+            1.0
+        };
+        println!(
+            "| {label} | {} | {} | {} | {} | {} | {t_explore:.1?} | {t_exhaustive:.1?} | {hv:.3} |",
+            fast.stats.vertex_set_size,
+            fast.stats.allocations.subsets,
+            fast.stats.allocations.kept,
+            fast.stats.implement_attempts,
+            fast.stats.pareto_points,
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn e9() -> Result<(), Box<dyn std::error::Error>> {
+    let stb = set_top_box();
+    println!("## E9 — pruning & policy ablation\n");
+    println!("| configuration | possible | solver calls | Pareto |");
+    println!("|---|---|---|---|");
+    let paper = ExploreOptions::paper();
+    let configurations = [
+        ("all prunings", paper),
+        (
+            "no flexibility estimation",
+            ExploreOptions {
+                flexibility_pruning: false,
+                ..paper
+            },
+        ),
+        (
+            "no structural pruning",
+            ExploreOptions {
+                allocation: AllocationOptions {
+                    prune_useless_buses: false,
+                    prune_unusable: false,
+                    ..AllocationOptions::default()
+                },
+                ..paper
+            },
+        ),
+        ("exhaustive", ExploreOptions::exhaustive()),
+    ];
+    let mut reference = None;
+    for (label, options) in configurations {
+        let result = explore(&stb.spec, &options)?;
+        match &reference {
+            None => reference = Some(result.front.objectives()),
+            Some(expected) => assert_eq!(&result.front.objectives(), expected),
+        }
+        println!(
+            "| {label} | {} | {} | {} |",
+            result.stats.allocations.kept,
+            result.stats.implement_attempts,
+            result.stats.pareto_points
+        );
+    }
+
+    println!("\n| timing policy | front |");
+    println!("|---|---|");
+    for policy in SchedPolicy::all() {
+        let options = ExploreOptions {
+            implement: ImplementOptions {
+                bind: BindOptions {
+                    policy,
+                    ..BindOptions::default()
+                },
+                ..ImplementOptions::default()
+            },
+            ..ExploreOptions::paper()
+        };
+        let result = explore(&stb.spec, &options)?;
+        let front: Vec<String> = result
+            .front
+            .objectives()
+            .into_iter()
+            .map(|(c, f)| format!("({},{f})", c.dollars()))
+            .collect();
+        println!("| {policy} | {} |", front.join(" "));
+    }
+    println!();
+    Ok(())
+}
+
+fn e12() -> Result<(), Box<dyn std::error::Error>> {
+    let stb = set_top_box();
+    let result = explore(&stb.spec, &ExploreOptions::paper())?;
+    let trace = generate_trace(
+        &stb.spec,
+        &TraceConfig {
+            seed: 7,
+            length: 1000,
+            skewed: false,
+        },
+    );
+    println!("## E12 — value of flexibility (1000-request uniform trace)\n");
+    println!("| platform | cost | f | served | reconfigs |");
+    println!("|---|---|---|---|---|");
+    for point in &result.front {
+        let implementation = point.implementation.as_ref().unwrap();
+        let eval = evaluate_platform(
+            &stb.spec,
+            implementation,
+            &trace,
+            ReconfigCost::Uniform(Time::from_ns(1000)),
+        );
+        println!(
+            "| {} | {} | {} | {:.1}% | {} |",
+            implementation.allocation.display_names(stb.spec.architecture()),
+            point.cost,
+            point.flexibility,
+            eval.served_fraction() * 100.0,
+            eval.reconfigurations
+        );
+    }
+    println!();
+    Ok(())
+}

@@ -1,0 +1,501 @@
+//! The binding solver: constructing a feasible allocation and binding for
+//! one elementary cluster-activation.
+//!
+//! Binding is NP-complete (the paper cites Blickle et al. for the
+//! reduction), so the solver is a backtracking search with
+//! most-constrained-variable ordering and three pruning rules applied at
+//! every partial assignment:
+//!
+//! * **resource availability** — only mapping edges into the candidate
+//!   allocation are considered;
+//! * **configuration consistency** — a reconfigurable device holds at most
+//!   one design per mode (hierarchical activation rule 1 on the
+//!   architecture side);
+//! * **communication feasibility** — every dependence between two already
+//!   bound processes must be routable ([`CommGraph`]);
+//! * **utilization** — the per-resource task sets of the partial binding
+//!   must already pass the schedulability policy (all provided policies are
+//!   monotone: adding a task never helps).
+
+use crate::comm::CommGraph;
+use crate::timing::{inherited_periods, mode_meets_timing};
+use flexplore_hgraph::{ClusterId, InterfaceId, Selection, VertexId};
+use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
+use flexplore_spec::{Binding, MappingId, Mode, ResourceAllocation, SpecificationGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options controlling the binding search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BindOptions {
+    /// Schedulability test applied per resource (default: the paper's 69 %
+    /// limit).
+    pub policy: SchedPolicy,
+    /// Upper bound on backtracking steps before the search gives up and
+    /// reports the activation infeasible. Guards against pathological
+    /// instances; the paper-scale models stay far below it.
+    pub max_steps: u64,
+    /// Re-verify every solution against the declarative checker
+    /// (`SpecificationGraph::check_binding`) before returning it. Cheap at
+    /// paper scale and a strong safety net; disable for large sweeps.
+    pub verify: bool,
+}
+
+impl Default for BindOptions {
+    fn default() -> Self {
+        BindOptions {
+            policy: SchedPolicy::PaperLimit69,
+            max_steps: 1_000_000,
+            verify: true,
+        }
+    }
+}
+
+/// Counters describing one binding search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Candidate assignments tried.
+    pub assignments: u64,
+    /// Assignments undone after a dead end.
+    pub backtracks: u64,
+}
+
+/// A feasible implementation of one mode: the selections of both graphs
+/// plus the binding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeImplementation {
+    /// The problem- and architecture-graph selections of this mode.
+    pub mode: Mode,
+    /// The binding of every activated process.
+    pub binding: Binding,
+}
+
+/// Searches for a feasible binding of the elementary cluster-activation
+/// `eca` on `allocation`.
+///
+/// Returns `None` when no feasible binding exists (or the step budget is
+/// exhausted). On success, the returned mode satisfies the binding
+/// feasibility rules *and* the timing policy.
+///
+/// # Panics
+///
+/// Panics if `eca` references interfaces or clusters that are not part of
+/// the specification's problem graph.
+pub fn solve_mode(
+    spec: &SpecificationGraph,
+    allocation: &ResourceAllocation,
+    comm: &CommGraph,
+    eca: &Selection,
+    options: &BindOptions,
+) -> (Option<ModeImplementation>, SolveStats) {
+    let mut stats = SolveStats::default();
+    let Ok(flat) = spec.problem().flatten(eca) else {
+        return (None, stats);
+    };
+    let available = comm.available();
+
+    // Device bookkeeping: design vertex -> (device, cluster).
+    let device_of: BTreeMap<VertexId, (InterfaceId, ClusterId)> = design_index(spec, allocation);
+
+    // Candidate mappings per process, fastest first.
+    let mut domains: Vec<(VertexId, Vec<MappingId>)> = flat
+        .vertices
+        .iter()
+        .map(|&v| {
+            let mut cands: Vec<MappingId> = spec
+                .mappings_of(v)
+                .filter(|&m| available.contains(&spec.mapping(m).resource))
+                .collect();
+            cands.sort_by_key(|&m| spec.mapping(m).latency);
+            (v, cands)
+        })
+        .collect();
+    // Most constrained first.
+    domains.sort_by_key(|(_, cands)| cands.len());
+    if domains.iter().any(|(_, cands)| cands.is_empty()) {
+        return (None, stats);
+    }
+
+    // Dependences indexed by process for incremental communication checks.
+    let mut edges_of: BTreeMap<VertexId, Vec<(VertexId, VertexId)>> = BTreeMap::new();
+    for e in &flat.edges {
+        edges_of.entry(e.from).or_default().push((e.from, e.to));
+        edges_of.entry(e.to).or_default().push((e.from, e.to));
+    }
+
+    let periods = inherited_periods(spec, &flat);
+
+    let mut binding = Binding::new();
+    let mut configs: BTreeMap<InterfaceId, ClusterId> = BTreeMap::new();
+    let found = backtrack(
+        spec,
+        comm,
+        options,
+        &domains,
+        &edges_of,
+        &periods,
+        &device_of,
+        0,
+        &mut binding,
+        &mut configs,
+        &mut stats,
+    );
+    if !found {
+        return (None, stats);
+    }
+    let arch_selection: Selection = configs.iter().map(|(&i, &c)| (i, c)).collect();
+    let mode = Mode::new(eca.clone(), arch_selection);
+    let implementation = ModeImplementation {
+        mode,
+        binding,
+    };
+    if options.verify {
+        let allocated = allocation.available_vertices(spec.architecture());
+        if spec
+            .check_binding(
+                &implementation.mode,
+                &allocated,
+                &implementation.binding,
+            )
+            .is_err()
+            || !mode_meets_timing(spec, &flat, &implementation.binding, options.policy)
+        {
+            // The constructive search and the declarative checker disagree;
+            // treat as infeasible rather than return an unverified mode.
+            return (None, stats);
+        }
+    }
+    (Some(implementation), stats)
+}
+
+/// Maps every available design vertex to its reconfigurable device and
+/// design cluster.
+fn design_index(
+    spec: &SpecificationGraph,
+    allocation: &ResourceAllocation,
+) -> BTreeMap<VertexId, (InterfaceId, ClusterId)> {
+    let graph = spec.architecture().graph();
+    let mut out = BTreeMap::new();
+    for &c in &allocation.clusters {
+        let device = graph.interface_of(c);
+        for v in graph.leaves_of_cluster(c) {
+            out.insert(v, (device, c));
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries the full search state
+fn backtrack(
+    spec: &SpecificationGraph,
+    comm: &CommGraph,
+    options: &BindOptions,
+    domains: &[(VertexId, Vec<MappingId>)],
+    edges_of: &BTreeMap<VertexId, Vec<(VertexId, VertexId)>>,
+    periods: &BTreeMap<VertexId, Option<Time>>,
+    device_of: &BTreeMap<VertexId, (InterfaceId, ClusterId)>,
+    depth: usize,
+    binding: &mut Binding,
+    configs: &mut BTreeMap<InterfaceId, ClusterId>,
+    stats: &mut SolveStats,
+) -> bool {
+    if depth == domains.len() {
+        return true;
+    }
+    if stats.assignments >= options.max_steps {
+        return false;
+    }
+    let (process, candidates) = &domains[depth];
+    'candidates: for &m in candidates {
+        stats.assignments += 1;
+        if stats.assignments > options.max_steps {
+            return false;
+        }
+        let resource = spec.mapping(m).resource;
+
+        // Configuration consistency for reconfigurable designs.
+        let mut inserted_config = None;
+        if let Some(&(device, cluster)) = device_of.get(&resource) {
+            match configs.get(&device) {
+                Some(&held) if held != cluster => continue 'candidates,
+                Some(_) => {}
+                None => {
+                    configs.insert(device, cluster);
+                    inserted_config = Some(device);
+                }
+            }
+        }
+
+        binding.bind(*process, m);
+
+        // Communication feasibility against already-bound neighbors.
+        let mut ok = true;
+        if let Some(edges) = edges_of.get(process) {
+            for &(from, to) in edges {
+                let (Some(rf), Some(rt)) = (
+                    binding.resource_for(spec, from),
+                    binding.resource_for(spec, to),
+                ) else {
+                    continue;
+                };
+                if !comm.comm_ok(rf, rt) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+
+        // Utilization pruning on the partial binding.
+        if ok && !partial_timing_ok(spec, binding, periods, options.policy) {
+            ok = false;
+        }
+
+        if ok
+            && backtrack(
+                spec, comm, options, domains, edges_of, periods, device_of,
+                depth + 1, binding, configs, stats,
+            )
+        {
+            return true;
+        }
+
+        // Undo.
+        stats.backtracks += 1;
+        remove_binding(binding, *process);
+        if let Some(device) = inserted_config {
+            configs.remove(&device);
+        }
+    }
+    false
+}
+
+/// Rebuilds the per-resource task sets of the partial binding and applies
+/// the policy. Partial bindings only ever shrink the final task sets, and
+/// all policies are monotone, so a failing partial set can never be
+/// completed into a passing one.
+fn partial_timing_ok(
+    spec: &SpecificationGraph,
+    binding: &Binding,
+    periods: &BTreeMap<VertexId, Option<Time>>,
+    policy: SchedPolicy,
+) -> bool {
+    let mut sets: BTreeMap<VertexId, TaskSet> = BTreeMap::new();
+    for (process, m) in binding.iter() {
+        if spec.problem().is_negligible(process) {
+            continue;
+        }
+        let Some(Some(period)) = periods.get(&process) else {
+            continue;
+        };
+        let mapping = spec.mapping(m);
+        sets.entry(mapping.resource).or_default().push(Task::new(
+            spec.problem().process_name(process),
+            mapping.latency,
+            *period,
+        ));
+    }
+    sets.values().all(|s| policy.accepts(s))
+}
+
+fn remove_binding(binding: &mut Binding, process: VertexId) {
+    // Binding has no remove; rebuild without the entry. Bindings are tiny
+    // (≤ #processes of one mode), so this stays cheap.
+    let entries: Vec<(VertexId, MappingId)> =
+        binding.iter().filter(|(p, _)| *p != process).collect();
+    *binding = entries.into_iter().collect();
+}
+
+/// Convenience wrapper: flattens the problem graph of `eca`, solves, and
+/// reports whether a feasible mode exists.
+pub fn mode_is_feasible(
+    spec: &SpecificationGraph,
+    allocation: &ResourceAllocation,
+    eca: &Selection,
+    options: &BindOptions,
+) -> bool {
+    let available = allocation.available_vertices(spec.architecture());
+    let comm = CommGraph::new(spec.architecture(), &available);
+    solve_mode(spec, allocation, &comm, eca, options).0.is_some()
+}
+
+/// Exposes flattened-graph timing acceptance for callers that already
+/// hold a solved mode (used by benches to re-score modes under different
+/// policies).
+pub fn mode_timing_accepts(
+    spec: &SpecificationGraph,
+    eca: &Selection,
+    binding: &Binding,
+    policy: SchedPolicy,
+) -> bool {
+    match spec.problem().flatten(eca) {
+        Ok(flat) => mode_meets_timing(spec, &flat, binding, policy),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_hgraph::Scope;
+    use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs};
+
+    /// core -> accel, accel period 240. Mappings: core on uP (95) and on
+    /// FPGA design G1 (20); accel on uP (90). uP2-style: 95+90 fails, the
+    /// FPGA offload passes.
+    fn offload_spec() -> (SpecificationGraph, ResourceAllocation, ResourceAllocation) {
+        let mut p = ProblemGraph::new("game");
+        let core = p.add_process(Scope::Top, "P_G1");
+        let accel = p.add_process_with(
+            Scope::Top,
+            "P_D",
+            ProcessAttrs::new().with_period(Time::from_ns(240)),
+        );
+        p.add_dependence(core, accel).unwrap();
+        let mut a = ArchitectureGraph::new("a");
+        let up = a.add_resource(Scope::Top, "uP2", Cost::new(100));
+        let c1 = a.add_bus(Scope::Top, "C1", Cost::new(10));
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        a.connect(up, c1).unwrap();
+        a.connect_through(c1, fpga).unwrap();
+        let g1 = a.add_design(fpga, "cfg_G1", "G1", Cost::new(60)).unwrap();
+        let mut spec = SpecificationGraph::new("s", p, a);
+        spec.add_mapping(core, up, Time::from_ns(95)).unwrap();
+        spec.add_mapping(core, g1.design, Time::from_ns(20)).unwrap();
+        spec.add_mapping(accel, up, Time::from_ns(90)).unwrap();
+        let up_only = ResourceAllocation::new().with_vertex(up);
+        let with_fpga = ResourceAllocation::new()
+            .with_vertex(up)
+            .with_vertex(c1)
+            .with_cluster(g1.cluster);
+        (spec, up_only, with_fpga)
+    }
+
+    #[test]
+    fn up_only_fails_utilization() {
+        let (spec, up_only, _) = offload_spec();
+        assert!(!mode_is_feasible(
+            &spec,
+            &up_only,
+            &Selection::new(),
+            &BindOptions::default()
+        ));
+    }
+
+    #[test]
+    fn fpga_offload_makes_mode_feasible() {
+        let (spec, _, with_fpga) = offload_spec();
+        let available = with_fpga.available_vertices(spec.architecture());
+        let comm = CommGraph::new(spec.architecture(), &available);
+        let (solved, stats) = solve_mode(
+            &spec,
+            &with_fpga,
+            &comm,
+            &Selection::new(),
+            &BindOptions::default(),
+        );
+        let solved = solved.expect("offloaded mode must be feasible");
+        assert!(stats.assignments >= 2);
+        // core must have been offloaded to G1.
+        let core = spec
+            .problem()
+            .graph()
+            .vertex_by_name(Scope::Top, "P_G1")
+            .unwrap();
+        let r = solved.binding.resource_for(&spec, core).unwrap();
+        assert_eq!(spec.architecture().resource_name(r), "G1");
+        // Architecture selection holds the G1 configuration.
+        let fpga = spec
+            .architecture()
+            .graph()
+            .interface_by_name(Scope::Top, "FPGA")
+            .unwrap();
+        assert!(solved.mode.architecture.get(fpga).is_some());
+    }
+
+    #[test]
+    fn device_holds_one_design_per_mode() {
+        // Two processes each requiring a *different* FPGA design, with no
+        // alternative: infeasible in a single mode.
+        let mut p = ProblemGraph::new("p");
+        let t1 = p.add_process(Scope::Top, "t1");
+        let t2 = p.add_process(Scope::Top, "t2");
+        let mut a = ArchitectureGraph::new("a");
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        let d1 = a.add_design(fpga, "cfg1", "D1", Cost::new(1)).unwrap();
+        let d2 = a.add_design(fpga, "cfg2", "D2", Cost::new(1)).unwrap();
+        let mut spec = SpecificationGraph::new("s", p, a);
+        spec.add_mapping(t1, d1.design, Time::from_ns(1)).unwrap();
+        spec.add_mapping(t2, d2.design, Time::from_ns(1)).unwrap();
+        let alloc = ResourceAllocation::new()
+            .with_cluster(d1.cluster)
+            .with_cluster(d2.cluster);
+        assert!(!mode_is_feasible(
+            &spec,
+            &alloc,
+            &Selection::new(),
+            &BindOptions::default()
+        ));
+    }
+
+    #[test]
+    fn communication_constraint_forces_colocation() {
+        // t1 -> t2; r1 and r2 unconnected; t1 maps to both, t2 only to r2.
+        // Solver must place t1 on r2.
+        let mut p = ProblemGraph::new("p");
+        let t1 = p.add_process(Scope::Top, "t1");
+        let t2 = p.add_process(Scope::Top, "t2");
+        p.add_dependence(t1, t2).unwrap();
+        let mut a = ArchitectureGraph::new("a");
+        let r1 = a.add_resource(Scope::Top, "r1", Cost::new(1));
+        let r2 = a.add_resource(Scope::Top, "r2", Cost::new(1));
+        let mut spec = SpecificationGraph::new("s", p, a);
+        // r1 is faster for t1, tempting the latency-first heuristic.
+        spec.add_mapping(t1, r1, Time::from_ns(1)).unwrap();
+        let m12 = spec.add_mapping(t1, r2, Time::from_ns(50)).unwrap();
+        let m22 = spec.add_mapping(t2, r2, Time::from_ns(1)).unwrap();
+        let alloc = ResourceAllocation::new().with_vertex(r1).with_vertex(r2);
+        let available = alloc.available_vertices(spec.architecture());
+        let comm = CommGraph::new(spec.architecture(), &available);
+        let (solved, stats) = solve_mode(
+            &spec,
+            &alloc,
+            &comm,
+            &Selection::new(),
+            &BindOptions::default(),
+        );
+        let solved = solved.expect("colocation on r2 is feasible");
+        assert_eq!(solved.binding.mapping_for(t1), Some(m12));
+        assert_eq!(solved.binding.mapping_for(t2), Some(m22));
+        assert!(stats.backtracks >= 1, "must have retracted the r1 attempt");
+    }
+
+    #[test]
+    fn unbindable_process_fails_fast() {
+        let mut p = ProblemGraph::new("p");
+        let _t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        let _r = a.add_resource(Scope::Top, "r", Cost::new(1));
+        let spec = SpecificationGraph::new("s", p, a);
+        // No mapping at all.
+        let alloc = ResourceAllocation::new();
+        assert!(!mode_is_feasible(
+            &spec,
+            &alloc,
+            &Selection::new(),
+            &BindOptions::default()
+        ));
+    }
+
+    #[test]
+    fn step_budget_is_respected() {
+        let (spec, _, with_fpga) = offload_spec();
+        let options = BindOptions {
+            max_steps: 1,
+            ..BindOptions::default()
+        };
+        let available = with_fpga.available_vertices(spec.architecture());
+        let comm = CommGraph::new(spec.architecture(), &available);
+        let (_, stats) = solve_mode(&spec, &with_fpga, &comm, &Selection::new(), &options);
+        assert!(stats.assignments <= 2);
+    }
+}

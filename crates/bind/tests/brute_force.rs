@@ -1,0 +1,176 @@
+//! Brute-force cross-validation of the backtracking binding solver.
+//!
+//! For randomly generated *flat* specifications small enough to enumerate
+//! every possible binding (the full product of mapping choices), the
+//! solver must return a feasible mode **iff** the enumeration finds at
+//! least one binding satisfying the declarative rules plus the timing
+//! policy. This pins the solver's completeness (it never misses a feasible
+//! binding) and soundness (it never invents one).
+
+use flexplore_bind::{mode_is_feasible, BindOptions};
+use flexplore_hgraph::{Scope, Selection, VertexId};
+use flexplore_sched::{SchedPolicy, Time};
+use flexplore_spec::{
+    ArchitectureGraph, Binding, Cost, MappingId, Mode, ProblemGraph, ProcessAttrs,
+    ResourceAllocation, SpecificationGraph,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small random instance description.
+#[derive(Debug, Clone)]
+struct Instance {
+    processes: usize,
+    resources: usize,
+    // (process, resource) -> latency (None = no mapping edge)
+    latencies: Vec<Option<u64>>,
+    // chain edges between consecutive processes, by flag
+    edges: Vec<bool>,
+    // which resources are joined to the shared bus
+    on_bus: Vec<bool>,
+    period: Option<u64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..=4, 1usize..=3)
+        .prop_flat_map(|(processes, resources)| {
+            let cells = processes * resources;
+            (
+                Just(processes),
+                Just(resources),
+                prop::collection::vec(prop::option::weighted(0.7, 20u64..200), cells),
+                prop::collection::vec(any::<bool>(), processes.saturating_sub(1)),
+                prop::collection::vec(any::<bool>(), resources),
+                prop::option::weighted(0.5, 150u64..400),
+            )
+        })
+        .prop_map(
+            |(processes, resources, latencies, edges, on_bus, period)| Instance {
+                processes,
+                resources,
+                latencies,
+                edges,
+                on_bus,
+                period,
+            },
+        )
+}
+
+/// Builds the specification; returns the spec, process ids and the full
+/// allocation.
+fn build(instance: &Instance) -> (SpecificationGraph, Vec<VertexId>, ResourceAllocation) {
+    let mut p = ProblemGraph::new("bf");
+    let mut processes = Vec::new();
+    for k in 0..instance.processes {
+        let attrs = if k == instance.processes - 1 {
+            match instance.period {
+                Some(ns) => ProcessAttrs::new().with_period(Time::from_ns(ns)),
+                None => ProcessAttrs::new(),
+            }
+        } else {
+            ProcessAttrs::new()
+        };
+        processes.push(p.add_process_with(Scope::Top, format!("p{k}"), attrs));
+    }
+    for (k, &edge) in instance.edges.iter().enumerate() {
+        if edge {
+            p.add_dependence(processes[k], processes[k + 1]).unwrap();
+        }
+    }
+    let mut a = ArchitectureGraph::new("bf-arch");
+    let bus = a.add_bus(Scope::Top, "bus", Cost::new(1));
+    let mut resources = Vec::new();
+    for k in 0..instance.resources {
+        let r = a.add_resource(Scope::Top, format!("r{k}"), Cost::new(10));
+        if instance.on_bus[k] {
+            a.connect(r, bus).unwrap();
+        }
+        resources.push(r);
+    }
+    let mut spec = SpecificationGraph::new("bf", p, a);
+    for (pi, &process) in processes.iter().enumerate() {
+        for (ri, &resource) in resources.iter().enumerate() {
+            if let Some(ns) = instance.latencies[pi * instance.resources + ri] {
+                spec.add_mapping(process, resource, Time::from_ns(ns)).unwrap();
+            }
+        }
+    }
+    let mut allocation = ResourceAllocation::new().with_vertex(bus);
+    for &r in &resources {
+        allocation.vertices.insert(r);
+    }
+    (spec, processes, allocation)
+}
+
+/// Enumerates every total binding and reports whether any passes the
+/// declarative check plus the paper timing test.
+fn brute_force_feasible(
+    spec: &SpecificationGraph,
+    processes: &[VertexId],
+    allocation: &ResourceAllocation,
+) -> bool {
+    let domains: Vec<Vec<MappingId>> = processes
+        .iter()
+        .map(|&v| spec.mappings_of(v).collect())
+        .collect();
+    if domains.iter().any(Vec::is_empty) {
+        return false;
+    }
+    let allocated: BTreeSet<VertexId> = allocation.available_vertices(spec.architecture());
+    let mode = Mode::default();
+    let flat = spec.problem().flatten(&Selection::new()).unwrap();
+    let mut indices = vec![0usize; domains.len()];
+    loop {
+        let binding: Binding = processes
+            .iter()
+            .zip(&indices)
+            .map(|(&v, &i)| (v, domains[processes.iter().position(|&x| x == v).unwrap()][i]))
+            .collect();
+        let ok = spec.check_binding(&mode, &allocated, &binding).is_ok()
+            && flexplore_bind::mode_meets_timing(
+                spec,
+                &flat,
+                &binding,
+                SchedPolicy::PaperLimit69,
+            );
+        if ok {
+            return true;
+        }
+        // Advance the odometer.
+        let mut k = 0;
+        loop {
+            if k == indices.len() {
+                return false;
+            }
+            indices[k] += 1;
+            if indices[k] < domains[k].len() {
+                break;
+            }
+            indices[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver verdict == brute-force verdict on every generated instance.
+    #[test]
+    fn solver_matches_brute_force(instance in instance_strategy()) {
+        let (spec, processes, allocation) = build(&instance);
+        let expected = brute_force_feasible(&spec, &processes, &allocation);
+        let actual = mode_is_feasible(
+            &spec,
+            &allocation,
+            &Selection::new(),
+            &BindOptions::default(),
+        );
+        prop_assert_eq!(
+            actual,
+            expected,
+            "solver disagreed with enumeration on {:?}",
+            instance
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Consistency of the two communication-reachability implementations:
+//! the per-mode flattening-based `ArchitectureGraph::comm_reachable`
+//! (exact, used by the declarative checker) and the allocation-level
+//! `CommGraph` (precomputed, used inside the solver's hot loop) must give
+//! identical answers for functional-resource pairs under any architecture
+//! this crate can express.
+
+use flexplore_bind::CommGraph;
+use flexplore_hgraph::{Scope, Selection, VertexId};
+use flexplore_spec::{ArchitectureGraph, Cost, ResourceKind};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random architecture: a few processors, buses, one device with designs,
+/// and random bus wiring.
+#[derive(Debug, Clone)]
+struct ArchShape {
+    processors: usize,
+    buses: usize,
+    designs: usize,
+    // (bus index, endpoint index) pairs; endpoint indexes processors then
+    // the device.
+    wires: Vec<(usize, usize)>,
+    // subset mask over all vertices for the allocation
+    allocation_bits: u64,
+}
+
+fn shape_strategy() -> impl Strategy<Value = ArchShape> {
+    (1usize..4, 1usize..4, 0usize..3)
+        .prop_flat_map(|(processors, buses, designs)| {
+            let endpoints = processors + usize::from(designs > 0);
+            (
+                Just(processors),
+                Just(buses),
+                Just(designs),
+                prop::collection::vec((0..buses, 0..endpoints), 0..8),
+                any::<u64>(),
+            )
+        })
+        .prop_map(|(processors, buses, designs, wires, allocation_bits)| ArchShape {
+            processors,
+            buses,
+            designs,
+            wires,
+            allocation_bits,
+        })
+}
+
+fn build(shape: &ArchShape) -> (ArchitectureGraph, Vec<VertexId>, Selection) {
+    let mut a = ArchitectureGraph::new("prop-arch");
+    let mut processors = Vec::new();
+    for k in 0..shape.processors {
+        processors.push(a.add_resource(Scope::Top, format!("P{k}"), Cost::new(1)));
+    }
+    let mut buses = Vec::new();
+    for k in 0..shape.buses {
+        buses.push(a.add_bus(Scope::Top, format!("B{k}"), Cost::new(1)));
+    }
+    let mut selection = Selection::new();
+    let device = if shape.designs > 0 {
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        Some(fpga)
+    } else {
+        None
+    };
+    for &(bus, endpoint) in &shape.wires {
+        if endpoint < shape.processors {
+            a.connect(buses[bus], processors[endpoint]).unwrap();
+        } else if let Some(fpga) = device {
+            a.connect_through(buses[bus], fpga).unwrap();
+        }
+    }
+    // Designs added after wiring inherit the port mappings.
+    if let Some(fpga) = device {
+        let mut first = None;
+        for k in 0..shape.designs {
+            let d = a
+                .add_design(fpga, format!("cfg{k}"), format!("D{k}"), Cost::new(1))
+                .unwrap();
+            first.get_or_insert(d.cluster);
+        }
+        selection.select(fpga, first.unwrap());
+    }
+    (a, processors, selection)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CommGraph and the flattening-based reachability agree on every
+    /// pair of allocated vertices that are available under the selection.
+    #[test]
+    fn comm_graph_matches_flattened_reachability(shape in shape_strategy()) {
+        let (arch, _, selection) = build(&shape);
+        let all: Vec<VertexId> = arch.graph().vertex_ids().collect();
+        let allocated: BTreeSet<VertexId> = all
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| shape.allocation_bits & (1 << (k % 64)) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        let comm = CommGraph::new(&arch, &allocated);
+        // The flattening-based check only sees vertices active under the
+        // selection; restrict the comparison to those.
+        let flat = arch.graph().flatten(&selection).unwrap();
+        let visible: BTreeSet<VertexId> = flat
+            .vertices
+            .iter()
+            .copied()
+            .filter(|v| allocated.contains(v))
+            .collect();
+        for &from in &visible {
+            if arch.kind(from) != ResourceKind::Functional {
+                continue;
+            }
+            for &to in &visible {
+                if arch.kind(to) != ResourceKind::Functional {
+                    continue;
+                }
+                let exact = arch
+                    .comm_reachable(&selection, &visible, from, to)
+                    .unwrap();
+                let fast = comm.comm_ok(from, to);
+                prop_assert_eq!(
+                    exact,
+                    fast,
+                    "disagreement for {} -> {} on {:?}",
+                    from,
+                    to,
+                    shape
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Command implementations of the `flexplore` CLI.
+//!
+//! Everything is a pure function from parsed arguments to an output
+//! string, so the whole surface is unit-testable without spawning
+//! processes; `main.rs` is a thin shell around [`run`].
+//!
+//! ```text
+//! flexplore explore <spec.json> [--csv] [--threads N]   Pareto front of a specification
+//! flexplore flexibility <spec.json>                     flexibility metric + per-cluster profile
+//! flexplore query <spec.json> (--min-flex K | --budget D)
+//! flexplore dot <spec.json>                             Graphviz export (Fig. 2 view)
+//! flexplore info <spec.json>                            size statistics
+//! flexplore demo [--json]                               built-in Set-Top box case study
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flexplore::models::spec_from_json;
+use flexplore::{
+    explore, flexibility_profile, max_flexibility_under_budget, min_cost_for_flexibility,
+    set_top_box, AllocationOptions, Cost, ExploreOptions, SpecificationGraph,
+};
+use std::fmt::Write as _;
+
+/// Error type of the CLI: a user-facing message plus the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// The message printed to stderr.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+/// The usage text printed for `--help` and argument errors.
+pub const USAGE: &str = "\
+flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 2002)
+
+USAGE:
+    flexplore explore <spec.json> [--csv] [--threads N]
+    flexplore flexibility <spec.json>
+    flexplore query <spec.json> --min-flex <K>
+    flexplore query <spec.json> --budget <DOLLARS>
+    flexplore dot <spec.json>
+    flexplore info <spec.json>
+    flexplore demo [--json]
+
+COMMANDS:
+    explore       print the Pareto-optimal flexibility/cost front
+    flexibility   print the flexibility metric and the per-cluster profile
+    query         answer a single design question (cheapest-for-target or
+                  best-under-budget)
+    dot           print the specification graph in Graphviz format
+    info          print size statistics of a specification
+    demo          run the paper's Set-Top box case study (--json dumps the
+                  model instead)
+";
+
+/// Runs one CLI invocation; `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad arguments,
+/// unreadable files, malformed models, or infeasible queries.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("explore") => cmd_explore(&args.collect::<Vec<_>>()),
+        Some("flexibility") => cmd_flexibility(&args.collect::<Vec<_>>()),
+        Some("query") => cmd_query(&args.collect::<Vec<_>>()),
+        Some("dot") => cmd_dot(&args.collect::<Vec<_>>()),
+        Some("info") => cmd_info(&args.collect::<Vec<_>>()),
+        Some("demo") => cmd_demo(&args.collect::<Vec<_>>()),
+        Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn load_spec(path: &str) -> Result<SpecificationGraph, CliError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    spec_from_json(&json).map_err(|e| err(format!("invalid specification {path}: {e}")))
+}
+
+fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    let mut csv = false;
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--csv" => csv = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+    let spec = load_spec(path)?;
+    let options = ExploreOptions {
+        allocation: AllocationOptions {
+            threads,
+            ..AllocationOptions::default()
+        },
+        ..ExploreOptions::paper()
+    };
+    let result = explore(&spec, &options).map_err(|e| err(e.to_string()))?;
+    if csv {
+        return Ok(result.front.to_csv());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "Pareto front of {} ({} points):", spec.name(), result.front.len());
+    for point in &result.front {
+        let resources = point
+            .implementation
+            .as_ref()
+            .map(|i| i.allocation.display_names(spec.architecture()))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {:>8}  f={:<3} [{resources}]",
+            point.cost.to_string(),
+            point.flexibility
+        );
+    }
+    let s = &result.stats;
+    let _ = writeln!(
+        out,
+        "search: 2^{} raw, {} subsets, {} possible, {} solver calls",
+        s.vertex_set_size, s.allocations.subsets, s.allocations.kept, s.implement_attempts
+    );
+    Ok(out)
+}
+
+fn cmd_flexibility(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    if !rest.is_empty() {
+        return Err(err(format!("unexpected arguments: {rest:?}")));
+    }
+    let spec = load_spec(path)?;
+    let graph = spec.problem().graph();
+    let (total, profile) = flexibility_profile(graph);
+    let mut out = String::new();
+    let _ = writeln!(out, "maximal flexibility of {}: {total}", spec.name());
+    let _ = writeln!(out, "per-cluster marginal losses:");
+    for entry in &profile {
+        let _ = writeln!(
+            out,
+            "  -{:<3} {}",
+            entry.loss,
+            graph.cluster_name(entry.cluster)
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_query(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    let spec = load_spec(path)?;
+    let options = ExploreOptions::paper();
+    let point = match rest {
+        ["--min-flex", k] => {
+            let target = k
+                .parse()
+                .map_err(|_| err("--min-flex needs a non-negative integer"))?;
+            min_cost_for_flexibility(&spec, target, &options)
+        }
+        ["--budget", d] => {
+            let budget: u64 = d
+                .parse()
+                .map_err(|_| err("--budget needs a dollar amount"))?;
+            max_flexibility_under_budget(&spec, Cost::new(budget), &options)
+        }
+        _ => return Err(err(format!("query needs --min-flex <K> or --budget <D>\n\n{USAGE}"))),
+    }
+    .map_err(|e| err(e.to_string()))?;
+    match point {
+        None => Ok("no feasible platform satisfies the query\n".to_owned()),
+        Some(point) => {
+            let resources = point
+                .implementation
+                .as_ref()
+                .map(|i| i.allocation.display_names(spec.architecture()))
+                .unwrap_or_default();
+            Ok(format!(
+                "{} with flexibility {} [{resources}]\n",
+                point.cost, point.flexibility
+            ))
+        }
+    }
+}
+
+fn cmd_dot(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    if !rest.is_empty() {
+        return Err(err(format!("unexpected arguments: {rest:?}")));
+    }
+    Ok(load_spec(path)?.to_dot())
+}
+
+fn cmd_info(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    if !rest.is_empty() {
+        return Err(err(format!("unexpected arguments: {rest:?}")));
+    }
+    let spec = load_spec(path)?;
+    let stats = spec.statistics();
+    let mut out = String::new();
+    let _ = writeln!(out, "specification {}:", spec.name());
+    let _ = writeln!(out, "  processes           : {}", stats.processes);
+    let _ = writeln!(out, "  problem interfaces  : {}", stats.problem_interfaces);
+    let _ = writeln!(out, "  problem clusters    : {}", stats.problem_clusters);
+    let _ = writeln!(out, "  dependences         : {}", stats.dependences);
+    let _ = writeln!(out, "  resources           : {}", stats.resources);
+    let _ = writeln!(out, "  reconfig devices    : {}", stats.devices);
+    let _ = writeln!(out, "  loadable designs    : {}", stats.designs);
+    let _ = writeln!(out, "  links               : {}", stats.links);
+    let _ = writeln!(out, "  mapping edges       : {}", stats.mappings);
+    let _ = writeln!(out, "  raw design points   : 2^{}", stats.vertex_set_size);
+    let _ = writeln!(
+        out,
+        "  behaviors (ECAs)    : {}",
+        spec.problem().graph().count_selections()
+    );
+    Ok(out)
+}
+
+fn cmd_demo(args: &[&str]) -> Result<String, CliError> {
+    let stb = set_top_box();
+    match args {
+        [] => {
+            let result =
+                explore(&stb.spec, &ExploreOptions::paper()).map_err(|e| err(e.to_string()))?;
+            let mut out = String::from("Set-Top box case study (DATE 2002, Section 5):\n");
+            for point in &result.front {
+                let resources = point
+                    .implementation
+                    .as_ref()
+                    .map(|i| i.allocation.display_names(stb.spec.architecture()))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  {:>8}  f={:<3} [{resources}]",
+                    point.cost.to_string(),
+                    point.flexibility
+                );
+            }
+            Ok(out)
+        }
+        ["--json"] => flexplore::models::spec_to_json(&stb.spec)
+            .map_err(|e| err(e.to_string())),
+        other => Err(err(format!("unexpected arguments: {other:?}"))),
+    }
+}
+
+fn split_path<'a>(args: &'a [&'a str]) -> Result<(&'a str, &'a [&'a str]), CliError> {
+    match args.split_first() {
+        Some((path, rest)) if !path.starts_with('-') => Ok((path, rest)),
+        _ => Err(err(format!("expected a <spec.json> path\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_strs(&["--help"]).unwrap().contains("USAGE"));
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        let e = run_strs(&["frobnicate"]).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn demo_prints_the_paper_front() {
+        let out = run_strs(&["demo"]).unwrap();
+        for needle in ["$100", "$120", "$230", "$290", "$360", "$430", "f=8"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+
+    #[test]
+    fn demo_json_round_trips_through_explore() {
+        let json = run_strs(&["demo", "--json"]).unwrap();
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stb.json");
+        std::fs::write(&path, &json).unwrap();
+        let path = path.to_str().unwrap();
+
+        let out = run_strs(&["explore", path]).unwrap();
+        assert!(out.contains("$430"));
+        assert!(out.contains("solver calls"));
+
+        let csv = run_strs(&["explore", path, "--csv"]).unwrap();
+        assert!(csv.starts_with("cost,flexibility"));
+        assert_eq!(csv.lines().count(), 7); // header + 6 points
+
+        let threaded = run_strs(&["explore", path, "--threads", "4"]).unwrap();
+        assert_eq!(threaded, out, "threaded scan must be deterministic");
+
+        let flex = run_strs(&["flexibility", path]).unwrap();
+        assert!(flex.contains("maximal flexibility"));
+        assert!(flex.contains("gamma_D"));
+
+        let q = run_strs(&["query", path, "--min-flex", "5"]).unwrap();
+        assert!(q.contains("$290"));
+        let q = run_strs(&["query", path, "--budget", "250"]).unwrap();
+        assert!(q.contains("flexibility 4"));
+        let q = run_strs(&["query", path, "--min-flex", "99"]).unwrap();
+        assert!(q.contains("no feasible platform"));
+
+        let dot = run_strs(&["dot", path]).unwrap();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("cluster_problem"));
+
+        let info = run_strs(&["info", path]).unwrap();
+        assert!(info.contains("processes           : 15"));
+        assert!(info.contains("mapping edges       : 47"));
+        assert!(info.contains("behaviors (ECAs)    : 10"));
+        assert!(info.contains("2^47"));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(run_strs(&["explore"]).unwrap_err().message.contains("spec.json"));
+        assert!(run_strs(&["explore", "/nonexistent.json"])
+            .unwrap_err()
+            .message
+            .contains("cannot read"));
+        assert!(run_strs(&["query", "x.json"]).is_err());
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{").unwrap();
+        let e = run_strs(&["explore", bad.to_str().unwrap()]).unwrap_err();
+        assert!(e.message.contains("invalid specification"));
+    }
+}

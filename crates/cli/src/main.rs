@@ -1,0 +1,13 @@
+//! The `flexplore` command-line tool; all logic lives in the library so it
+//! stays unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flexplore_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    }
+}

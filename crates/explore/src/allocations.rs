@@ -1,0 +1,447 @@
+//! Enumeration of *possible resource allocations*.
+//!
+//! Section 4 of the paper: a possible resource allocation is a partial
+//! allocation of architecture resources that allows at least one feasible
+//! problem-graph activation when the feasibility of binding is neglected.
+//! Only top-level architecture leaves and whole design clusters are
+//! considered as allocatable units; of the `2^{|V_S|}` raw design points,
+//! only the elements covering a possible resource allocation are kept, and
+//! *"elements that are obviously not Pareto-optimal […] are left out, e.g.,
+//! all combinations of a single functional component and an arbitrary
+//! number of communication resources."*
+
+use crate::error::ExploreError;
+use flexplore_flex::{estimate_with_available, FlexibilityEstimate};
+use flexplore_hgraph::{ClusterId, NodeRef, Scope, VertexId};
+use flexplore_spec::{Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One allocatable unit: a top-level architecture resource or a whole
+/// design cluster of a reconfigurable device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Unit {
+    /// A top-level resource (functional or communication).
+    Vertex(VertexId),
+    /// A design cluster of a reconfigurable device.
+    Cluster(ClusterId),
+}
+
+/// Options controlling allocation enumeration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AllocationOptions {
+    /// Hard limit on the number of allocatable units (the enumeration is
+    /// `2^units`).
+    pub max_units: usize,
+    /// Drop allocations containing a communication resource with fewer than
+    /// two allocated neighbors — the paper's "single functional component
+    /// plus arbitrary buses" pruning, generalized.
+    pub prune_useless_buses: bool,
+    /// Drop allocations containing a functional unit that is the target of
+    /// no mapping edge (it can only add cost, so any allocation containing
+    /// it is dominated).
+    pub prune_unusable: bool,
+    /// Worker threads for the subset scan. The scan is embarrassingly
+    /// parallel (each subset is judged independently); results are merged
+    /// deterministically, so any thread count produces identical output.
+    pub threads: usize,
+}
+
+impl Default for AllocationOptions {
+    fn default() -> Self {
+        AllocationOptions {
+            max_units: 26,
+            prune_useless_buses: true,
+            prune_unusable: true,
+            threads: 1,
+        }
+    }
+}
+
+/// A possible resource allocation with its cost and flexibility estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationCandidate {
+    /// The allocated units.
+    pub allocation: ResourceAllocation,
+    /// Allocation cost (the first objective).
+    pub cost: Cost,
+    /// Optimistic flexibility estimate (upper bound on `f_impl`).
+    pub estimate: FlexibilityEstimate,
+}
+
+/// Counters from one enumeration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationStats {
+    /// Number of allocatable units (`2^units` raw subsets).
+    pub units: usize,
+    /// Subsets scanned (equals `2^units`).
+    pub subsets: u64,
+    /// Subsets dropped by the useless-bus / unusable-unit prunings.
+    pub pruned_structurally: u64,
+    /// Subsets dropped because the flexibility estimate found them
+    /// infeasible (some behavior unbindable).
+    pub infeasible: u64,
+    /// Possible resource allocations kept.
+    pub kept: u64,
+}
+
+/// Returns the allocatable units of a specification: top-level architecture
+/// vertices plus all design clusters.
+#[must_use]
+pub fn allocatable_units(spec: &SpecificationGraph) -> Vec<Unit> {
+    let graph = spec.architecture().graph();
+    let mut units: Vec<Unit> = graph
+        .vertices_in(Scope::Top)
+        .map(Unit::Vertex)
+        .collect();
+    units.extend(graph.cluster_ids().map(Unit::Cluster));
+    units
+}
+
+/// Enumerates the possible resource allocations of `spec`, sorted by
+/// increasing cost (ties broken towards higher estimated flexibility, so
+/// cost-ordered exploration visits the most promising equal-cost candidate
+/// first).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::TooManyUnits`] when the unit count exceeds
+/// `options.max_units`.
+pub fn possible_resource_allocations(
+    spec: &SpecificationGraph,
+    options: &AllocationOptions,
+) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
+    let units = allocatable_units(spec);
+    if units.len() > options.max_units {
+        return Err(ExploreError::TooManyUnits {
+            units: units.len(),
+            max: options.max_units,
+        });
+    }
+    let mut stats = AllocationStats {
+        units: units.len(),
+        ..AllocationStats::default()
+    };
+
+    // Mapping-target set for the unusable-unit pruning.
+    let mapping_targets: BTreeSet<VertexId> = spec
+        .mapping_ids()
+        .map(|m| spec.mapping(m).resource)
+        .collect();
+
+    // Potential neighbor lists for the useless-bus pruning, at unit
+    // granularity (device clusters collapse onto their device's neighbors).
+    let neighbor_units: BTreeMap<VertexId, Vec<Unit>> =
+        bus_neighbors(spec, &units);
+
+    let n = units.len();
+    let total: u64 = 1u64 << n;
+    let context = ScanContext {
+        spec,
+        units: &units,
+        options,
+        mapping_targets: &mapping_targets,
+        neighbor_units: &neighbor_units,
+    };
+
+    let threads = options.threads.max(1).min(total as usize);
+    let mut kept;
+    if threads <= 1 {
+        let (k, partial) = scan_range(&context, 0..total);
+        kept = k;
+        stats.merge(partial);
+    } else {
+        let chunk = total.div_ceil(threads as u64);
+        let results: Vec<(Vec<AllocationCandidate>, AllocationStats)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads as u64)
+                    .map(|t| {
+                        let context = &context;
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(total);
+                        scope.spawn(move || scan_range(context, lo..hi))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+            });
+        kept = Vec::new();
+        for (k, partial) in results {
+            kept.extend(k);
+            stats.merge(partial);
+        }
+    }
+    kept.sort_by_key(|c| (c.cost, std::cmp::Reverse(c.estimate.value)));
+    Ok((kept, stats))
+}
+
+impl AllocationStats {
+    fn merge(&mut self, other: AllocationStats) {
+        self.subsets += other.subsets;
+        self.pruned_structurally += other.pruned_structurally;
+        self.infeasible += other.infeasible;
+        self.kept += other.kept;
+    }
+}
+
+/// Shared, read-only inputs of the subset scan.
+struct ScanContext<'a> {
+    spec: &'a SpecificationGraph,
+    units: &'a [Unit],
+    options: &'a AllocationOptions,
+    mapping_targets: &'a BTreeSet<VertexId>,
+    neighbor_units: &'a BTreeMap<VertexId, Vec<Unit>>,
+}
+
+/// Scans one contiguous mask range; the per-mask work is independent, so
+/// ranges can run on separate threads and merge afterwards.
+fn scan_range(
+    context: &ScanContext<'_>,
+    range: std::ops::Range<u64>,
+) -> (Vec<AllocationCandidate>, AllocationStats) {
+    let arch = context.spec.architecture();
+    let graph = arch.graph();
+    let options = context.options;
+    let mut stats = AllocationStats::default();
+    let mut kept = Vec::new();
+    for mask in range {
+        stats.subsets += 1;
+        let mut allocation = ResourceAllocation::new();
+        for (k, unit) in context.units.iter().enumerate() {
+            if mask & (1 << k) != 0 {
+                match unit {
+                    Unit::Vertex(v) => {
+                        allocation.vertices.insert(*v);
+                    }
+                    Unit::Cluster(c) => {
+                        allocation.clusters.insert(*c);
+                    }
+                }
+            }
+        }
+
+        if options.prune_unusable {
+            let unusable = allocation
+                .vertices
+                .iter()
+                .any(|&v| {
+                    arch.kind(v) == ResourceKind::Functional
+                        && !context.mapping_targets.contains(&v)
+                })
+                || allocation.clusters.iter().any(|&c| {
+                    graph
+                        .leaves_of_cluster(c)
+                        .iter()
+                        .all(|v| !context.mapping_targets.contains(v))
+                });
+            if unusable {
+                stats.pruned_structurally += 1;
+                continue;
+            }
+        }
+
+        if options.prune_useless_buses {
+            let allocated_unit = |u: &Unit| match u {
+                Unit::Vertex(v) => allocation.vertices.contains(v),
+                Unit::Cluster(c) => allocation.clusters.contains(c),
+            };
+            let useless = allocation
+                .vertices
+                .iter()
+                .filter(|&&v| arch.kind(v) == ResourceKind::Communication)
+                .any(|v| {
+                    context
+                        .neighbor_units
+                        .get(v)
+                        .is_none_or(|ns| ns.iter().filter(|u| allocated_unit(u)).count() < 2)
+                });
+            if useless {
+                stats.pruned_structurally += 1;
+                continue;
+            }
+        }
+
+        let available = allocation.available_vertices(arch);
+        let estimate = estimate_with_available(context.spec, &available);
+        if !estimate.feasible {
+            stats.infeasible += 1;
+            continue;
+        }
+        let cost = allocation.cost(arch);
+        stats.kept += 1;
+        kept.push(AllocationCandidate {
+            allocation,
+            cost,
+            estimate,
+        });
+    }
+    (kept, stats)
+}
+
+/// For every communication vertex, the units it can link: plain endpoint
+/// vertices and, for links into a reconfigurable device, the device's
+/// design clusters.
+fn bus_neighbors(spec: &SpecificationGraph, units: &[Unit]) -> BTreeMap<VertexId, Vec<Unit>> {
+    let arch = spec.architecture();
+    let graph = arch.graph();
+    let unit_set: BTreeSet<Unit> = units.iter().copied().collect();
+    let mut out: BTreeMap<VertexId, Vec<Unit>> = BTreeMap::new();
+    let mut push = |bus: VertexId, unit: Unit| {
+        if unit_set.contains(&unit) {
+            out.entry(bus).or_default().push(unit);
+        }
+    };
+    for e in graph.edge_ids() {
+        let (from, to) = graph.edge_endpoints(e);
+        let ends = [from.node, to.node];
+        for (idx, end) in ends.iter().enumerate() {
+            let NodeRef::Vertex(v) = end else { continue };
+            if arch.kind(*v) != ResourceKind::Communication {
+                continue;
+            }
+            let other = ends[1 - idx];
+            match other {
+                NodeRef::Vertex(o) => push(*v, Unit::Vertex(o)),
+                NodeRef::Interface(i) => {
+                    for &c in graph.clusters_of(i) {
+                        push(*v, Unit::Cluster(c));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_sched::Time;
+    use flexplore_spec::{ArchitectureGraph, ProblemGraph};
+
+    /// One process mappable to either of two CPUs; a bus between them; a
+    /// third CPU no process maps to.
+    fn spec() -> (SpecificationGraph, VertexId, VertexId, VertexId, VertexId) {
+        let mut p = ProblemGraph::new("p");
+        let t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        let r1 = a.add_resource(Scope::Top, "r1", Cost::new(100));
+        let r2 = a.add_resource(Scope::Top, "r2", Cost::new(150));
+        let dead = a.add_resource(Scope::Top, "dead", Cost::new(50));
+        let bus = a.add_bus(Scope::Top, "bus", Cost::new(10));
+        a.connect(r1, bus).unwrap();
+        a.connect(bus, r2).unwrap();
+        let mut s = SpecificationGraph::new("s", p, a);
+        s.add_mapping(t, r1, Time::from_ns(5)).unwrap();
+        s.add_mapping(t, r2, Time::from_ns(5)).unwrap();
+        (s, r1, r2, dead, bus)
+    }
+
+    #[test]
+    fn enumeration_keeps_feasible_and_sorted() {
+        let (s, r1, r2, _, bus) = spec();
+        let (cands, stats) =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        assert_eq!(stats.units, 4);
+        assert_eq!(stats.subsets, 16);
+        // Feasible candidates with prunings: {r1}, {r2}, {r1,r2},
+        // {r1,bus,r2}, {r1,r2,... dead pruned ...}.
+        let sets: Vec<BTreeSet<VertexId>> =
+            cands.iter().map(|c| c.allocation.vertices.clone()).collect();
+        assert!(sets.contains(&BTreeSet::from([r1])));
+        assert!(sets.contains(&BTreeSet::from([r2])));
+        assert!(sets.contains(&BTreeSet::from([r1, r2])));
+        assert!(sets.contains(&BTreeSet::from([r1, r2, bus])));
+        assert_eq!(cands.len(), 4);
+        // Sorted by cost.
+        for w in cands.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn unusable_resources_are_pruned() {
+        let (s, _, _, dead, _) = spec();
+        let (cands, _) =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        assert!(cands
+            .iter()
+            .all(|c| !c.allocation.vertices.contains(&dead)));
+        // Disabling the pruning brings `dead` supersets back.
+        let options = AllocationOptions {
+            prune_unusable: false,
+            ..AllocationOptions::default()
+        };
+        let (cands, _) = possible_resource_allocations(&s, &options).unwrap();
+        assert!(cands.iter().any(|c| c.allocation.vertices.contains(&dead)));
+    }
+
+    #[test]
+    fn dangling_buses_are_pruned() {
+        let (s, r1, _, _, bus) = spec();
+        let (cands, _) =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        // {r1, bus} has the bus with a single allocated neighbor: pruned.
+        assert!(!cands
+            .iter()
+            .any(|c| c.allocation.vertices == BTreeSet::from([r1, bus])));
+    }
+
+    #[test]
+    fn unit_limit_is_enforced() {
+        let (s, _, _, _, _) = spec();
+        let options = AllocationOptions {
+            max_units: 2,
+            ..AllocationOptions::default()
+        };
+        let err = possible_resource_allocations(&s, &options).unwrap_err();
+        assert!(matches!(err, ExploreError::TooManyUnits { units: 4, max: 2 }));
+    }
+
+    #[test]
+    fn design_clusters_are_units() {
+        let mut p = ProblemGraph::new("p");
+        let t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        let d1 = a.add_design(fpga, "cfg1", "D1", Cost::new(60)).unwrap();
+        let _d2 = a.add_design(fpga, "cfg2", "D2", Cost::new(60)).unwrap();
+        let mut s = SpecificationGraph::new("s", p, a);
+        s.add_mapping(t, d1.design, Time::from_ns(1)).unwrap();
+        let (cands, stats) =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        assert_eq!(stats.units, 2);
+        // Only {D1-cluster} is feasible and useful.
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].allocation.clusters.contains(&d1.cluster));
+        assert_eq!(cands[0].cost, Cost::new(60));
+    }
+
+    #[test]
+    fn estimates_are_attached() {
+        let (s, _, _, _, _) = spec();
+        let (cands, _) =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        for c in &cands {
+            assert!(c.estimate.feasible);
+            assert_eq!(c.estimate.value, 1); // flat problem graph
+        }
+    }
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let (s, _, _, _, _) = spec();
+        let sequential =
+            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        let parallel = possible_resource_allocations(
+            &s,
+            &AllocationOptions {
+                threads: 4,
+                ..AllocationOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.1, parallel.1, "stats must merge exactly");
+        let seq_sets: Vec<_> = sequential.0.iter().map(|c| c.allocation.clone()).collect();
+        let par_sets: Vec<_> = parallel.0.iter().map(|c| c.allocation.clone()).collect();
+        assert_eq!(seq_sets, par_sets, "order and contents must be identical");
+    }
+}

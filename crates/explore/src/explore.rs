@@ -1,0 +1,286 @@
+//! The EXPLORE branch-and-bound algorithm (Section 4 of the paper) and the
+//! exhaustive baseline.
+//!
+//! EXPLORE finds all Pareto-optimal flexibility/cost design points:
+//!
+//! 1. enumerate the *possible resource allocations* and sort them by
+//!    increasing cost;
+//! 2. visit them in that order, skipping every candidate whose estimated
+//!    (upper-bound) flexibility does not exceed the best implemented
+//!    flexibility so far — such a candidate is dominated by an already
+//!    accepted, cheaper point;
+//! 3. only for survivors, invoke the NP-complete binding construction and
+//!    the timing validation; accept the point if its *implemented*
+//!    flexibility is a strict improvement.
+//!
+//! Because candidates arrive in cost order, every accepted point is
+//! Pareto-optimal, and the algorithm finds **all** Pareto-optimal points
+//! (the correctness property the `explore-vs-exhaustive` property tests
+//! assert).
+
+use crate::allocations::{
+    possible_resource_allocations, AllocationOptions, AllocationStats,
+};
+use crate::error::ExploreError;
+use crate::pareto::{DesignPoint, ParetoFront};
+use flexplore_bind::{implement_allocation, ImplementOptions};
+use flexplore_spec::SpecificationGraph;
+use serde::{Deserialize, Serialize};
+
+/// Options for [`explore`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExploreOptions {
+    /// Allocation-enumeration options (structural prunings live here).
+    pub allocation: AllocationOptions,
+    /// Per-allocation implementation options (binding search, timing
+    /// policy).
+    pub implement: ImplementOptions,
+    /// Apply the flexibility-estimation pruning (step 2 above). Disabling
+    /// it turns EXPLORE into "implement every possible allocation" — the
+    /// ablation baseline.
+    pub flexibility_pruning: bool,
+}
+
+impl Default for ExploreOptions {
+    /// Defaults to the paper's configuration ([`ExploreOptions::paper`]).
+    fn default() -> Self {
+        ExploreOptions::paper()
+    }
+}
+
+impl ExploreOptions {
+    /// The paper's configuration: all prunings on.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExploreOptions {
+            allocation: AllocationOptions::default(),
+            implement: ImplementOptions::default(),
+            flexibility_pruning: true,
+        }
+    }
+
+    /// Exhaustive baseline: no structural pruning, no flexibility pruning —
+    /// every subset that supports a complete activation is implemented.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        ExploreOptions {
+            allocation: AllocationOptions {
+                prune_useless_buses: false,
+                prune_unusable: false,
+                ..AllocationOptions::default()
+            },
+            implement: ImplementOptions::default(),
+            flexibility_pruning: false,
+        }
+    }
+}
+
+/// Counters describing one exploration run — the numbers Section 5 of the
+/// paper reports for the case study (raw search-space size, possible
+/// allocations, binding attempts, Pareto points).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// `|V_S|`: the raw search space is `2^{vertex_set_size}` design
+    /// points.
+    pub vertex_set_size: usize,
+    /// Allocation-enumeration counters.
+    pub allocations: AllocationStats,
+    /// Candidates skipped by the flexibility-estimation pruning.
+    pub estimate_skipped: u64,
+    /// Candidates for which the binding solver was invoked.
+    pub implement_attempts: u64,
+    /// Attempts that produced a feasible implementation.
+    pub feasible: u64,
+    /// Pareto-optimal design points found.
+    pub pareto_points: u64,
+}
+
+/// Result of an exploration run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreResult {
+    /// The Pareto-optimal flexibility/cost trade-off curve.
+    pub front: ParetoFront,
+    /// Run statistics.
+    pub stats: ExploreStats,
+}
+
+/// Runs the EXPLORE algorithm on `spec`.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::TooManyUnits`] when the architecture exceeds the
+/// enumeration bound and [`ExploreError::Bind`] when a candidate exceeds
+/// the per-allocation activation bound.
+pub fn explore(
+    spec: &SpecificationGraph,
+    options: &ExploreOptions,
+) -> Result<ExploreResult, ExploreError> {
+    let (candidates, alloc_stats) = possible_resource_allocations(spec, &options.allocation)?;
+    let mut stats = ExploreStats {
+        vertex_set_size: spec.vertex_set_size(),
+        allocations: alloc_stats,
+        ..ExploreStats::default()
+    };
+    let mut front = ParetoFront::new();
+    let mut f_cur = 0;
+    for candidate in &candidates {
+        if options.flexibility_pruning && candidate.estimate.value <= f_cur {
+            stats.estimate_skipped += 1;
+            continue;
+        }
+        stats.implement_attempts += 1;
+        let (implemented, _) =
+            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+        let Some(implementation) = implemented else {
+            continue;
+        };
+        stats.feasible += 1;
+        let flexibility = implementation.flexibility;
+        if front.insert(DesignPoint::from_implementation(implementation)) {
+            f_cur = f_cur.max(flexibility);
+        }
+    }
+    stats.pareto_points = front.len() as u64;
+    Ok(ExploreResult { front, stats })
+}
+
+/// Runs the exhaustive baseline: implement every allocation that supports a
+/// complete activation, archive the non-dominated points.
+///
+/// Identical output to [`explore`] (that is the paper's correctness claim);
+/// exponentially more binding-solver invocations.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn exhaustive_explore(spec: &SpecificationGraph) -> Result<ExploreResult, ExploreError> {
+    explore(spec, &ExploreOptions::exhaustive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_hgraph::{PortDirection, PortTarget, Scope};
+    use flexplore_sched::Time;
+    use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs};
+
+    /// Small two-alternative spec: I{c1: fast-needs-asic, c2: cpu-ok}
+    /// with an output period. CPU implements c2 only; CPU+ASIC implements
+    /// both.
+    fn spec() -> SpecificationGraph {
+        let mut p = ProblemGraph::new("p");
+        let i = p.add_interface(Scope::Top, "I");
+        let port = p.add_port(i, "out", PortDirection::Out);
+        let sink = p.add_process_with(
+            Scope::Top,
+            "sink",
+            ProcessAttrs::new().with_period(Time::from_ns(100)),
+        );
+        let c1 = p.add_cluster(i, "c1");
+        let v1 = p.add_process(c1.into(), "v1");
+        p.map_port(c1, port, PortTarget::vertex(v1)).unwrap();
+        let c2 = p.add_cluster(i, "c2");
+        let v2 = p.add_process(c2.into(), "v2");
+        p.map_port(c2, port, PortTarget::vertex(v2)).unwrap();
+        p.add_dependence((i, port), sink).unwrap();
+
+        let mut a = ArchitectureGraph::new("a");
+        let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(100));
+        let asic = a.add_resource(Scope::Top, "asic", Cost::new(80));
+        let bus = a.add_bus(Scope::Top, "bus", Cost::new(10));
+        a.connect(cpu, bus).unwrap();
+        a.connect(bus, asic).unwrap();
+
+        let mut s = SpecificationGraph::new("s", p, a);
+        s.add_mapping(sink, cpu, Time::from_ns(10)).unwrap();
+        // v1 only fits on the asic (cpu too slow for the period).
+        s.add_mapping(v1, cpu, Time::from_ns(95)).unwrap();
+        s.add_mapping(v1, asic, Time::from_ns(5)).unwrap();
+        s.add_mapping(v2, cpu, Time::from_ns(20)).unwrap();
+        s
+    }
+
+    #[test]
+    fn explore_finds_the_two_point_front() {
+        let result = explore(&spec(), &ExploreOptions::paper()).unwrap();
+        let objectives = result.front.objectives();
+        assert_eq!(
+            objectives,
+            vec![(Cost::new(100), 1), (Cost::new(190), 2)],
+            "cpu-only implements c2 (f=1); cpu+bus+asic implements both (f=2)"
+        );
+        assert_eq!(result.stats.pareto_points, 2);
+        assert!(result.stats.implement_attempts >= 2);
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_explore() {
+        let s = spec();
+        let fast = explore(&s, &ExploreOptions::paper()).unwrap();
+        let slow = exhaustive_explore(&s).unwrap();
+        assert!(fast.front.same_objectives(&slow.front));
+        // And the pruned run does no more work than the exhaustive one.
+        assert!(fast.stats.implement_attempts <= slow.stats.implement_attempts);
+    }
+
+    #[test]
+    fn pruning_skips_candidates() {
+        // Extend the spec with a second, pricier CPU that adds no
+        // flexibility: all its candidates are estimate-skipped after the
+        // first CPU's point is implemented.
+        let mut s = spec();
+        let cpu2 = s
+            .architecture_mut()
+            .add_resource(Scope::Top, "cpu2", Cost::new(120));
+        let sink = s
+            .problem()
+            .graph()
+            .vertex_by_name(Scope::Top, "sink")
+            .unwrap();
+        let i = s
+            .problem()
+            .graph()
+            .interface_by_name(Scope::Top, "I")
+            .unwrap();
+        let c2 = s.problem().graph().cluster_by_name(i, "c2").unwrap();
+        let v2 = s
+            .problem()
+            .graph()
+            .vertex_by_name(c2.into(), "v2")
+            .unwrap();
+        s.add_mapping(sink, cpu2, Time::from_ns(10)).unwrap();
+        s.add_mapping(v2, cpu2, Time::from_ns(20)).unwrap();
+
+        let with = explore(&s, &ExploreOptions::paper()).unwrap();
+        let without = explore(
+            &s,
+            &ExploreOptions {
+                flexibility_pruning: false,
+                ..ExploreOptions::paper()
+            },
+        )
+        .unwrap();
+        assert!(with.front.same_objectives(&without.front));
+        assert!(with.stats.estimate_skipped > 0);
+        assert_eq!(without.stats.estimate_skipped, 0);
+        assert!(with.stats.implement_attempts < without.stats.implement_attempts);
+    }
+
+    #[test]
+    fn stats_report_search_space() {
+        let s = spec();
+        let result = explore(&s, &ExploreOptions::paper()).unwrap();
+        assert_eq!(result.stats.vertex_set_size, s.vertex_set_size());
+        assert!(result.stats.allocations.subsets > 0);
+    }
+
+    #[test]
+    fn empty_architecture_yields_empty_front() {
+        let mut p = ProblemGraph::new("p");
+        p.add_process(Scope::Top, "t");
+        let a = ArchitectureGraph::new("a");
+        let s = SpecificationGraph::new("s", p, a);
+        let result = explore(&s, &ExploreOptions::paper()).unwrap();
+        assert!(result.front.is_empty());
+    }
+}

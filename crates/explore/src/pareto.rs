@@ -1,0 +1,332 @@
+//! Pareto dominance and front archives for the two-objective
+//! flexibility/cost MOP.
+//!
+//! The paper's optimization problem (Section 4) minimizes
+//! `c_impl(α)` and `1/f_impl(α)` simultaneously — i.e. minimize cost,
+//! maximize flexibility. A design point is Pareto-optimal iff no other
+//! point is at least as good in both objectives and strictly better in one
+//! (Fig. 4).
+
+use flexplore_bind::Implementation;
+use flexplore_flex::Flexibility;
+use flexplore_spec::Cost;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A point in the flexibility/cost objective space, optionally carrying the
+/// implementation that realizes it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Allocation cost (to be minimized).
+    pub cost: Cost,
+    /// Implemented flexibility (to be maximized).
+    pub flexibility: Flexibility,
+    /// The realizing implementation, if retained.
+    pub implementation: Option<Implementation>,
+}
+
+impl DesignPoint {
+    /// Creates a bare objective-space point.
+    #[must_use]
+    pub fn new(cost: Cost, flexibility: Flexibility) -> Self {
+        DesignPoint {
+            cost,
+            flexibility,
+            implementation: None,
+        }
+    }
+
+    /// Creates a point from a constructed implementation.
+    #[must_use]
+    pub fn from_implementation(implementation: Implementation) -> Self {
+        DesignPoint {
+            cost: implementation.cost,
+            flexibility: implementation.flexibility,
+            implementation: Some(implementation),
+        }
+    }
+
+    /// Returns `true` if `self` dominates `other`: at least as cheap, at
+    /// least as flexible, strictly better in one objective.
+    #[must_use]
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        (self.cost <= other.cost && self.flexibility >= other.flexibility)
+            && (self.cost < other.cost || self.flexibility > other.flexibility)
+    }
+
+    /// The reciprocal-flexibility coordinate used on the y-axis of the
+    /// paper's Fig. 4 (`∞` is reported for flexibility 0).
+    #[must_use]
+    pub fn reciprocal_flexibility(&self) -> f64 {
+        if self.flexibility == 0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.flexibility as f64
+        }
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, f={})", self.cost, self.flexibility)
+    }
+}
+
+/// An archive of mutually non-dominated design points, kept sorted by
+/// increasing cost (and therefore strictly increasing flexibility).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParetoFront {
+    points: Vec<DesignPoint>,
+}
+
+impl ParetoFront {
+    /// Creates an empty front.
+    #[must_use]
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// Inserts a point, dropping it if dominated and evicting points it
+    /// dominates. Returns `true` if the point was added.
+    ///
+    /// Points with identical objectives as an archived point are not added
+    /// (the first realization is kept).
+    pub fn insert(&mut self, point: DesignPoint) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|p| p.dominates(&point) || (p.cost == point.cost && p.flexibility == point.flexibility))
+        {
+            return false;
+        }
+        self.points.retain(|p| !point.dominates(p));
+        let pos = self
+            .points
+            .partition_point(|p| (p.cost, p.flexibility) < (point.cost, point.flexibility));
+        self.points.insert(pos, point);
+        true
+    }
+
+    /// Returns the archived points, sorted by increasing cost.
+    #[must_use]
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Returns the number of archived points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the archive is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the archived points in cost order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DesignPoint> {
+        self.points.iter()
+    }
+
+    /// The highest flexibility on the front (0 if empty).
+    #[must_use]
+    pub fn best_flexibility(&self) -> Flexibility {
+        self.points.iter().map(|p| p.flexibility).max().unwrap_or(0)
+    }
+
+    /// Compares two fronts as objective-vector sets (ignoring the attached
+    /// implementations). Useful for asserting EXPLORE ≡ exhaustive search.
+    #[must_use]
+    pub fn same_objectives(&self, other: &ParetoFront) -> bool {
+        self.objectives() == other.objectives()
+    }
+
+    /// The objective vectors of the front in cost order.
+    #[must_use]
+    pub fn objectives(&self) -> Vec<(Cost, Flexibility)> {
+        self.points.iter().map(|p| (p.cost, p.flexibility)).collect()
+    }
+
+    /// A simple quality indicator: the area dominated by the front in the
+    /// `(cost, 1/f)` plane, bounded by `(ref_cost, 1.0)` — a hypervolume
+    /// with reference point `(ref_cost, f=1)`.
+    ///
+    /// Larger is better; used to compare the MOEA baseline against the
+    /// exact front.
+    #[must_use]
+    pub fn hypervolume(&self, ref_cost: Cost) -> f64 {
+        // Points sorted by cost; each contributes a rectangle from its cost
+        // to the next point's cost (or ref_cost), spanning 1.0 - 1/f.
+        let mut volume = 0.0;
+        for (k, p) in self.points.iter().enumerate() {
+            if p.cost > ref_cost {
+                break;
+            }
+            let next_cost = self
+                .points
+                .get(k + 1)
+                .map_or(ref_cost, |n| n.cost.min(ref_cost));
+            let width = (next_cost.dollars() - p.cost.dollars()) as f64;
+            let height = (1.0 - p.reciprocal_flexibility()).max(0.0);
+            volume += width * height;
+        }
+        volume
+    }
+
+    /// Renders the front as CSV (`cost,flexibility,reciprocal_flexibility`
+    /// header plus one row per point) for plotting Fig. 4-style trade-off
+    /// curves with external tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cost,flexibility,reciprocal_flexibility\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                p.cost.dollars(),
+                p.flexibility,
+                p.reciprocal_flexibility()
+            ));
+        }
+        out
+    }
+}
+
+impl FromIterator<DesignPoint> for ParetoFront {
+    fn from_iter<T: IntoIterator<Item = DesignPoint>>(iter: T) -> Self {
+        let mut front = ParetoFront::new();
+        for p in iter {
+            front.insert(p);
+        }
+        front
+    }
+}
+
+impl<'a> IntoIterator for &'a ParetoFront {
+    type Item = &'a DesignPoint;
+    type IntoIter = std::slice::Iter<'a, DesignPoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// Total order used by cost-driven exploration: by cost, then by falling
+/// flexibility (so the more flexible of two equal-cost candidates is
+/// visited first).
+#[must_use]
+pub fn exploration_order(a: &DesignPoint, b: &DesignPoint) -> Ordering {
+    (a.cost, std::cmp::Reverse(a.flexibility)).cmp(&(b.cost, std::cmp::Reverse(b.flexibility)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cost: u64, flex: u64) -> DesignPoint {
+        DesignPoint::new(Cost::new(cost), flex)
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(p(100, 3).dominates(&p(120, 3)));
+        assert!(p(100, 3).dominates(&p(100, 2)));
+        assert!(p(100, 3).dominates(&p(150, 1)));
+        assert!(!p(100, 3).dominates(&p(100, 3)));
+        assert!(!p(100, 2).dominates(&p(120, 3)));
+        assert!(!p(120, 3).dominates(&p(100, 2)));
+    }
+
+    #[test]
+    fn front_keeps_non_dominated_sorted() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(p(230, 4)));
+        assert!(front.insert(p(100, 2)));
+        assert!(front.insert(p(120, 3)));
+        assert!(!front.insert(p(150, 2)), "dominated by (100,2)");
+        assert!(!front.insert(p(100, 2)), "duplicate");
+        assert_eq!(
+            front.objectives(),
+            vec![
+                (Cost::new(100), 2),
+                (Cost::new(120), 3),
+                (Cost::new(230), 4)
+            ]
+        );
+        assert_eq!(front.best_flexibility(), 4);
+        assert_eq!(front.len(), 3);
+        assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn insert_evicts_dominated_members() {
+        let mut front = ParetoFront::new();
+        front.insert(p(200, 2));
+        front.insert(p(300, 3));
+        assert!(front.insert(p(150, 3)), "dominates both");
+        assert_eq!(front.objectives(), vec![(Cost::new(150), 3)]);
+    }
+
+    #[test]
+    fn paper_pareto_table_is_mutually_non_dominated() {
+        let table = [
+            (100, 2),
+            (120, 3),
+            (230, 4),
+            (290, 5),
+            (360, 7),
+            (430, 8),
+        ];
+        let front: ParetoFront = table.iter().map(|&(c, f)| p(c, f)).collect();
+        assert_eq!(front.len(), 6);
+    }
+
+    #[test]
+    fn reciprocal_flexibility() {
+        assert_eq!(p(1, 0).reciprocal_flexibility(), f64::INFINITY);
+        assert!((p(1, 4).reciprocal_flexibility() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let small: ParetoFront = [p(100, 2)].into_iter().collect();
+        let big: ParetoFront = [p(100, 2), p(200, 8)].into_iter().collect();
+        let reference = Cost::new(500);
+        assert!(big.hypervolume(reference) > small.hypervolume(reference));
+        // Front entirely beyond the reference point contributes nothing.
+        let beyond: ParetoFront = [p(600, 8)].into_iter().collect();
+        assert_eq!(beyond.hypervolume(reference), 0.0);
+    }
+
+    #[test]
+    fn exploration_order_prefers_cheap_then_flexible() {
+        let mut points = [p(120, 3), p(100, 1), p(100, 5)];
+        points.sort_by(exploration_order);
+        assert_eq!(
+            points
+                .iter()
+                .map(|d| (d.cost.dollars(), d.flexibility))
+                .collect::<Vec<_>>(),
+            vec![(100, 5), (100, 1), (120, 3)]
+        );
+    }
+
+    #[test]
+    fn display_and_same_objectives() {
+        assert_eq!(p(100, 2).to_string(), "($100, f=2)");
+        let a: ParetoFront = [p(100, 2), p(200, 4)].into_iter().collect();
+        let b: ParetoFront = [p(200, 4), p(100, 2)].into_iter().collect();
+        assert!(a.same_objectives(&b));
+    }
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let front: ParetoFront = [p(100, 2), p(230, 4)].into_iter().collect();
+        let csv = front.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cost,flexibility,reciprocal_flexibility");
+        assert_eq!(lines[1], "100,2,0.5");
+        assert_eq!(lines[2], "230,4,0.25");
+        assert_eq!(lines.len(), 3);
+    }
+}

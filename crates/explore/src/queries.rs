@@ -1,0 +1,165 @@
+//! Single-point design queries on top of the cost-ordered exploration.
+//!
+//! Platform architects rarely need the whole front at once; the two
+//! everyday questions are *"what is the cheapest platform that implements
+//! at least this much flexibility?"* and *"how much flexibility fits into
+//! this budget?"*. Both run the same cost-ordered candidate sweep as
+//! [`explore`](crate::explore) but terminate early, so they are cheaper
+//! than computing the full front and reading it off.
+
+use crate::allocations::possible_resource_allocations;
+use crate::error::ExploreError;
+use crate::explore::ExploreOptions;
+use crate::pareto::DesignPoint;
+use flexplore_bind::implement_allocation;
+use flexplore_flex::Flexibility;
+use flexplore_spec::{Cost, SpecificationGraph};
+
+/// Finds the cheapest implementation with flexibility at least `target`.
+///
+/// Candidates are visited in cost order; the first implementation reaching
+/// the target is optimal in cost, so the search stops there.
+///
+/// Returns `None` when no allocation implements the target (e.g. `target`
+/// exceeds the problem graph's maximal flexibility).
+///
+/// # Errors
+///
+/// See [`explore`](crate::explore).
+pub fn min_cost_for_flexibility(
+    spec: &SpecificationGraph,
+    target: Flexibility,
+    options: &ExploreOptions,
+) -> Result<Option<DesignPoint>, ExploreError> {
+    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    for candidate in &candidates {
+        // The estimate is an upper bound: candidates that cannot reach the
+        // target are skipped without invoking the solver.
+        if options.flexibility_pruning && candidate.estimate.value < target {
+            continue;
+        }
+        let (implemented, _) =
+            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+        if let Some(implementation) = implemented {
+            if implementation.flexibility >= target {
+                return Ok(Some(DesignPoint::from_implementation(implementation)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Finds the most flexible implementation costing at most `budget`.
+///
+/// Visits the affordable candidates in cost order with the usual
+/// incumbent pruning; returns the best point found, `None` when nothing
+/// affordable is feasible.
+///
+/// # Errors
+///
+/// See [`explore`](crate::explore).
+pub fn max_flexibility_under_budget(
+    spec: &SpecificationGraph,
+    budget: Cost,
+    options: &ExploreOptions,
+) -> Result<Option<DesignPoint>, ExploreError> {
+    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let mut best: Option<DesignPoint> = None;
+    for candidate in &candidates {
+        if candidate.cost > budget {
+            break; // cost-ordered: nothing affordable follows
+        }
+        let incumbent = best.as_ref().map_or(0, |b| b.flexibility);
+        if options.flexibility_pruning && candidate.estimate.value <= incumbent {
+            continue;
+        }
+        let (implemented, _) =
+            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+        if let Some(implementation) = implemented {
+            if implementation.flexibility > incumbent {
+                best = Some(DesignPoint::from_implementation(implementation));
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use flexplore_hgraph::Scope;
+    use flexplore_sched::Time;
+    use flexplore_spec::{ArchitectureGraph, ProblemGraph};
+
+    /// Two alternatives; c2 needs the ASIC. Front: (100,1), (250,2).
+    fn spec() -> SpecificationGraph {
+        let mut p = ProblemGraph::new("p");
+        let i = p.add_interface(Scope::Top, "I");
+        let c1 = p.add_cluster(i, "c1");
+        let v1 = p.add_process(c1.into(), "v1");
+        let c2 = p.add_cluster(i, "c2");
+        let v2 = p.add_process(c2.into(), "v2");
+        let mut a = ArchitectureGraph::new("a");
+        let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(100));
+        let asic = a.add_resource(Scope::Top, "asic", Cost::new(150));
+        let mut s = SpecificationGraph::new("s", p, a);
+        s.add_mapping(v1, cpu, Time::from_ns(10)).unwrap();
+        s.add_mapping(v2, asic, Time::from_ns(10)).unwrap();
+        s
+    }
+
+    #[test]
+    fn min_cost_queries_read_off_the_front() {
+        let s = spec();
+        let options = ExploreOptions::paper();
+        let p1 = min_cost_for_flexibility(&s, 1, &options).unwrap().unwrap();
+        assert_eq!((p1.cost, p1.flexibility), (Cost::new(100), 1));
+        let p2 = min_cost_for_flexibility(&s, 2, &options).unwrap().unwrap();
+        assert_eq!((p2.cost, p2.flexibility), (Cost::new(250), 2));
+        assert!(min_cost_for_flexibility(&s, 3, &options).unwrap().is_none());
+    }
+
+    #[test]
+    fn budget_queries_respect_the_budget() {
+        let s = spec();
+        let options = ExploreOptions::paper();
+        let cheap = max_flexibility_under_budget(&s, Cost::new(120), &options)
+            .unwrap()
+            .unwrap();
+        assert_eq!((cheap.cost, cheap.flexibility), (Cost::new(100), 1));
+        let rich = max_flexibility_under_budget(&s, Cost::new(1000), &options)
+            .unwrap()
+            .unwrap();
+        assert_eq!(rich.flexibility, 2);
+        assert!(max_flexibility_under_budget(&s, Cost::new(50), &options)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn queries_agree_with_the_full_front() {
+        let s = spec();
+        let options = ExploreOptions::paper();
+        let front = explore(&s, &options).unwrap().front;
+        for point in &front {
+            let q = min_cost_for_flexibility(&s, point.flexibility, &options)
+                .unwrap()
+                .unwrap();
+            assert_eq!(q.cost, point.cost);
+            let b = max_flexibility_under_budget(&s, point.cost, &options)
+                .unwrap()
+                .unwrap();
+            assert_eq!(b.flexibility, point.flexibility);
+        }
+    }
+
+    #[test]
+    fn target_zero_returns_the_cheapest_feasible_point() {
+        let s = spec();
+        let p = min_cost_for_flexibility(&s, 0, &ExploreOptions::paper())
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.cost, Cost::new(100));
+    }
+}

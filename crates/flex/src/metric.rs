@@ -1,0 +1,464 @@
+//! The flexibility metric (Definition 4 of the paper).
+//!
+//! For a cluster `γ` with future-activation indicator `a⁺(γ) ∈ {0,1}`:
+//!
+//! ```text
+//! f(γ) = a⁺(γ) · ( Σ_{ψ ∈ γ.Ψ} Σ_{γ̂ ∈ ψ.Γ} f(γ̂) − (|γ.Ψ| − 1) )   if γ.Ψ ≠ ∅
+//! f(γ) = a⁺(γ) · 1                                                  otherwise
+//! ```
+//!
+//! The whole problem graph is treated as an (always-activated) outermost
+//! cluster. Two evaluation variants are provided:
+//!
+//! * [`flexibility`] — the *normalized* semantics used by the exploration:
+//!   a cluster contributes 0 if it is not activatable **or** if one of its
+//!   interfaces has no activatable cluster (such a cluster can never
+//!   execute, matching the paper's remark that *"a cluster only contributes
+//!   to the total flexibility if it is bindable"*). On consistent
+//!   activation sets this coincides with Definition 4.
+//! * [`flexibility_def4_raw`] — the literal formula, evaluated in signed
+//!   arithmetic, for cross-checking.
+
+use flexplore_hgraph::{ClusterId, HierarchicalGraph, InterfaceId, Scope};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A flexibility value (a count of implementable behavioral alternatives).
+pub type Flexibility = u64;
+
+/// Computes the flexibility of the whole graph under the activation
+/// indicator `active` (the `a⁺` of Definition 4), with the normalized
+/// zero-propagation semantics described in the module docs.
+///
+/// # Examples
+///
+/// A single interface with three activatable clusters has flexibility 3:
+///
+/// ```
+/// use flexplore_flex::flexibility;
+/// use flexplore_hgraph::{HierarchicalGraph, Scope};
+///
+/// let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+/// let i = g.add_interface(Scope::Top, "I");
+/// for k in 0..3 {
+///     let c = g.add_cluster(i, format!("c{k}"));
+///     g.add_vertex(c.into(), format!("v{k}"), ());
+/// }
+/// assert_eq!(flexibility(&g, |_| true), 3);
+/// assert_eq!(flexibility(&g, |_| false), 0);
+/// ```
+pub fn flexibility<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    active: impl Fn(ClusterId) -> bool,
+) -> Flexibility {
+    scope_flexibility(graph, Scope::Top, &active).unwrap_or(0)
+}
+
+/// Computes the flexibility of one cluster under the activation indicator,
+/// normalized semantics.
+pub fn cluster_flexibility<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    cluster: ClusterId,
+    active: impl Fn(ClusterId) -> bool,
+) -> Flexibility {
+    cluster_flex_impl(graph, cluster, &active).unwrap_or(0)
+}
+
+/// The maximal flexibility of the graph: Definition 4 with `a⁺ ≡ 1`
+/// (*"If all clusters can be activated in future implementations"*).
+pub fn max_flexibility<N, E>(graph: &HierarchicalGraph<N, E>) -> Flexibility {
+    flexibility(graph, |_| true)
+}
+
+/// `None` means "cannot execute" (contributes 0 and poisons the enclosing
+/// cluster's interface sum if it was the only alternative).
+fn cluster_flex_impl<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    cluster: ClusterId,
+    active: &impl Fn(ClusterId) -> bool,
+) -> Option<Flexibility> {
+    if !active(cluster) {
+        return None;
+    }
+    scope_flexibility(graph, Scope::Cluster(cluster), active)
+}
+
+/// Flexibility of a scope's interface structure (the body of Definition 4).
+fn scope_flexibility<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    scope: Scope,
+    active: &impl Fn(ClusterId) -> bool,
+) -> Option<Flexibility> {
+    let interfaces: Vec<InterfaceId> = graph.interfaces_in(scope).collect();
+    if interfaces.is_empty() {
+        return Some(1);
+    }
+    let mut total: Flexibility = 0;
+    for i in &interfaces {
+        let sum: Flexibility = graph
+            .clusters_of(*i)
+            .iter()
+            .filter_map(|&c| cluster_flex_impl(graph, c, active))
+            .sum();
+        if sum == 0 {
+            // An interface with no executable alternative makes the whole
+            // scope unexecutable.
+            return None;
+        }
+        total += sum;
+    }
+    Some(total - (interfaces.len() as Flexibility - 1))
+}
+
+/// The literal Definition 4 in signed arithmetic, without
+/// zero-propagation: interfaces whose alternatives are all inactive
+/// contribute 0 to the sum while still counting towards `|γ.Ψ| − 1`.
+///
+/// Provided for cross-checking against [`flexibility`]; on *consistent*
+/// activation sets (every activatable cluster's interfaces each retain at
+/// least one activatable cluster, recursively) the two agree.
+pub fn flexibility_def4_raw<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    active: impl Fn(ClusterId) -> bool,
+) -> i64 {
+    raw_scope_flex(graph, Scope::Top, &active)
+}
+
+fn raw_scope_flex<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    scope: Scope,
+    active: &impl Fn(ClusterId) -> bool,
+) -> i64 {
+    let interfaces: Vec<InterfaceId> = graph.interfaces_in(scope).collect();
+    if interfaces.is_empty() {
+        return 1;
+    }
+    let sum: i64 = interfaces
+        .iter()
+        .map(|&i| {
+            graph
+                .clusters_of(i)
+                .iter()
+                .map(|&c| {
+                    if active(c) {
+                        raw_scope_flex(graph, Scope::Cluster(c), active)
+                    } else {
+                        0
+                    }
+                })
+                .sum::<i64>()
+        })
+        .sum();
+    sum - (interfaces.len() as i64 - 1)
+}
+
+/// Per-cluster weights for the weighted flexibility variant mentioned in
+/// footnote 2 of the paper (*"more sophisticated flexibility calculations
+/// are possible, e.g., by using weighted sums"*).
+///
+/// Leaf clusters contribute their weight instead of 1; the interface
+/// deduction `|γ.Ψ| − 1` is scaled by the default weight so that uniform
+/// weights `w` scale the unweighted flexibility by `w`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlexibilityWeights {
+    default: f64,
+    overrides: BTreeMap<ClusterId, f64>,
+}
+
+impl Default for FlexibilityWeights {
+    fn default() -> Self {
+        FlexibilityWeights {
+            default: 1.0,
+            overrides: BTreeMap::new(),
+        }
+    }
+}
+
+impl FlexibilityWeights {
+    /// Uniform weights of 1.0 (equals the unweighted metric).
+    #[must_use]
+    pub fn new() -> Self {
+        FlexibilityWeights::default()
+    }
+
+    /// Uniform weights of `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is negative or not finite.
+    #[must_use]
+    pub fn uniform(default: f64) -> Self {
+        assert!(
+            default.is_finite() && default >= 0.0,
+            "weights must be finite and non-negative"
+        );
+        FlexibilityWeights {
+            default,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: overrides the weight of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    #[must_use]
+    pub fn with(mut self, cluster: ClusterId, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative"
+        );
+        self.overrides.insert(cluster, weight);
+        self
+    }
+
+    /// Returns the weight of `cluster`.
+    #[must_use]
+    pub fn weight(&self, cluster: ClusterId) -> f64 {
+        self.overrides.get(&cluster).copied().unwrap_or(self.default)
+    }
+
+    /// Returns the default weight.
+    #[must_use]
+    pub fn default_weight(&self) -> f64 {
+        self.default
+    }
+}
+
+/// Weighted flexibility of the whole graph (footnote 2 variant), normalized
+/// semantics.
+///
+/// Activatable leaf clusters contribute `w(γ)`; branch clusters contribute
+/// `w(γ)/w_default · (Σ − w_default · (|Ψ|−1))`… — concretely, the
+/// recursion mirrors [`flexibility`] with `1 → w(γ)` at leaves and the
+/// interface deduction scaled by the default weight.
+pub fn weighted_flexibility<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    weights: &FlexibilityWeights,
+    active: impl Fn(ClusterId) -> bool,
+) -> f64 {
+    weighted_scope_flex(graph, Scope::Top, weights, 1.0, &active).unwrap_or(0.0)
+}
+
+fn weighted_scope_flex<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+    scope: Scope,
+    weights: &FlexibilityWeights,
+    own_weight: f64,
+    active: &impl Fn(ClusterId) -> bool,
+) -> Option<f64> {
+    let interfaces: Vec<InterfaceId> = graph.interfaces_in(scope).collect();
+    if interfaces.is_empty() {
+        return Some(own_weight);
+    }
+    let mut total = 0.0;
+    for i in &interfaces {
+        let mut sum = 0.0;
+        for &c in graph.clusters_of(*i) {
+            if !active(c) {
+                continue;
+            }
+            if let Some(v) =
+                weighted_scope_flex(graph, Scope::Cluster(c), weights, weights.weight(c), active)
+            {
+                sum += v;
+            }
+        }
+        if sum == 0.0 {
+            return None;
+        }
+        total += sum;
+    }
+    Some(total - weights.default_weight() * (interfaces.len() as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_hgraph::HierarchicalGraph;
+    use std::collections::BTreeSet;
+
+    /// Builds the Fig. 3 problem graph skeleton: one application interface
+    /// with clusters γ_I (leaf), γ_G (interface I_G with 3 clusters) and
+    /// γ_D (interfaces I_D with 3 and I_U with 2 clusters).
+    fn fig3() -> (
+        HierarchicalGraph<(), ()>,
+        BTreeMap<&'static str, ClusterId>,
+    ) {
+        let mut g = HierarchicalGraph::new("fig3");
+        let mut names = BTreeMap::new();
+        let app = g.add_interface(Scope::Top, "I_app");
+        // Internet browser: leaf cluster.
+        let gi = g.add_cluster(app, "gamma_I");
+        g.add_vertex(gi.into(), "P_P", ());
+        names.insert("I", gi);
+        // Game console: interface with three game classes.
+        let gg = g.add_cluster(app, "gamma_G");
+        let ig = g.add_interface(gg.into(), "I_G");
+        for k in 1..=3 {
+            let c = g.add_cluster(ig, format!("gamma_G{k}"));
+            g.add_vertex(c.into(), format!("P_G{k}"), ());
+            names.insert(["G1", "G2", "G3"][k - 1], c);
+        }
+        names.insert("G", gg);
+        // Digital TV: two interfaces (decrypt x3, uncompress x2).
+        let gd = g.add_cluster(app, "gamma_D");
+        let id = g.add_interface(gd.into(), "I_D");
+        for k in 1..=3 {
+            let c = g.add_cluster(id, format!("gamma_D{k}"));
+            g.add_vertex(c.into(), format!("P_D{k}"), ());
+            names.insert(["D1", "D2", "D3"][k - 1], c);
+        }
+        let iu = g.add_interface(gd.into(), "I_U");
+        for k in 1..=2 {
+            let c = g.add_cluster(iu, format!("gamma_U{k}"));
+            g.add_vertex(c.into(), format!("P_U{k}"), ());
+            names.insert(["U1", "U2"][k - 1], c);
+        }
+        names.insert("D", gd);
+        (g, names)
+    }
+
+    #[test]
+    fn fig3_max_flexibility_is_8() {
+        let (g, _) = fig3();
+        assert_eq!(max_flexibility(&g), 8);
+    }
+
+    #[test]
+    fn fig3_without_game_cluster_is_5() {
+        let (g, names) = fig3();
+        let gg = names["G"];
+        assert_eq!(flexibility(&g, |c| c != gg), 5);
+    }
+
+    #[test]
+    fn fig3_subset_activations() {
+        let (g, names) = fig3();
+        // Only Internet browser: f = 1 (γ_G, γ_D contribute 0 since all
+        // their clusters are off... they themselves are off).
+        let on = BTreeSet::from([names["I"]]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 1);
+        // γ_I + γ_D with D1, U1 only: 1 + (1 + 1 - 1) = 2 (the paper's
+        // first Pareto point).
+        let on = BTreeSet::from([names["I"], names["D"], names["D1"], names["U1"]]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 2);
+        // Add γ_G with G1: f = 3 (second Pareto point).
+        let on = BTreeSet::from([
+            names["I"],
+            names["D"],
+            names["D1"],
+            names["U1"],
+            names["G"],
+            names["G1"],
+        ]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 3);
+        // Add U2: f = 4 (third Pareto point).
+        let on = BTreeSet::from([
+            names["I"],
+            names["D"],
+            names["D1"],
+            names["U1"],
+            names["U2"],
+            names["G"],
+            names["G1"],
+        ]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 4);
+    }
+
+    #[test]
+    fn inconsistent_activation_poisons_cluster() {
+        let (g, names) = fig3();
+        // γ_D active but no decryption cluster active: γ_D cannot execute,
+        // so only γ_I counts.
+        let on = BTreeSet::from([names["I"], names["D"], names["U1"], names["U2"]]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 1);
+    }
+
+    #[test]
+    fn raw_def4_matches_on_consistent_sets() {
+        let (g, names) = fig3();
+        let on = BTreeSet::from([
+            names["I"],
+            names["D"],
+            names["D1"],
+            names["D3"],
+            names["U1"],
+            names["G"],
+            names["G2"],
+        ]);
+        let norm = flexibility(&g, |c| on.contains(&c));
+        let raw = flexibility_def4_raw(&g, |c| on.contains(&c));
+        assert_eq!(norm as i64, raw);
+        assert_eq!(norm, 1 + 1 + (2 + 1 - 1)); // γI=1, γG{G2}=1, γD{D1,D3,U1}=2
+    }
+
+    #[test]
+    fn raw_def4_can_disagree_on_inconsistent_sets() {
+        let (g, names) = fig3();
+        // γ_D active, decryption empty: raw gives 0+2-1 = 1 for γ_D, so
+        // raw total = 1 + 1 = 2 while normalized gives 1.
+        let on = BTreeSet::from([names["I"], names["D"], names["U1"], names["U2"]]);
+        assert_eq!(flexibility(&g, |c| on.contains(&c)), 1);
+        assert_eq!(flexibility_def4_raw(&g, |c| on.contains(&c)), 2);
+    }
+
+    #[test]
+    fn flat_graph_has_flexibility_1() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("flat");
+        g.add_vertex(Scope::Top, "a", ());
+        g.add_vertex(Scope::Top, "b", ());
+        assert_eq!(max_flexibility(&g), 1);
+    }
+
+    #[test]
+    fn cluster_flexibility_of_subtrees() {
+        let (g, names) = fig3();
+        assert_eq!(cluster_flexibility(&g, names["D"], |_| true), 4);
+        assert_eq!(cluster_flexibility(&g, names["G"], |_| true), 3);
+        assert_eq!(cluster_flexibility(&g, names["I"], |_| true), 1);
+        assert_eq!(cluster_flexibility(&g, names["D"], |c| c != names["D"]), 0);
+    }
+
+    #[test]
+    fn uniform_weights_scale_flexibility() {
+        let (g, _) = fig3();
+        let w = FlexibilityWeights::uniform(2.0);
+        let weighted = weighted_flexibility(&g, &w, |_| true);
+        assert!((weighted - 16.0).abs() < 1e-9);
+        let unit = weighted_flexibility(&g, &FlexibilityWeights::new(), |_| true);
+        assert!((unit - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_override_biases_one_alternative() {
+        let (g, names) = fig3();
+        // Valuing the third decryption algorithm at 3 adds 2 over uniform.
+        let w = FlexibilityWeights::new().with(names["D3"], 3.0);
+        assert_eq!(w.weight(names["D3"]), 3.0);
+        assert_eq!(w.weight(names["D1"]), 1.0);
+        let weighted = weighted_flexibility(&g, &w, |_| true);
+        assert!((weighted - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let _ = FlexibilityWeights::uniform(-1.0);
+    }
+
+    #[test]
+    fn adding_alternatives_is_monotone() {
+        let (g, names) = fig3();
+        let mut on = BTreeSet::from([names["I"]]);
+        let mut last = flexibility(&g, |c| on.contains(&c));
+        for key in ["D", "D1", "U1", "U2", "D2", "D3", "G", "G1", "G2", "G3"] {
+            on.insert(names[key]);
+            let now = flexibility(&g, |c| on.contains(&c));
+            assert!(now >= last, "adding {key} decreased flexibility");
+            last = now;
+        }
+        assert_eq!(last, 8);
+    }
+}

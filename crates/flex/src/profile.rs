@@ -1,0 +1,144 @@
+//! Marginal flexibility analysis: what each cluster contributes.
+//!
+//! Definition 4 aggregates the whole hierarchy into one number; designers
+//! also want the breakdown — *"how much flexibility do we lose if we stop
+//! supporting decryption 3?"*. [`flexibility_profile`] answers that by
+//! recomputing the metric with each cluster individually deactivated.
+
+use crate::metric::{flexibility, Flexibility};
+use flexplore_hgraph::{ClusterId, HierarchicalGraph};
+use serde::{Deserialize, Serialize};
+
+/// Marginal contribution of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterContribution {
+    /// The cluster being dropped.
+    pub cluster: ClusterId,
+    /// Flexibility with the cluster deactivated (everything else active).
+    pub without: Flexibility,
+    /// Marginal loss: `f_total − without`.
+    pub loss: Flexibility,
+}
+
+/// Computes the total flexibility plus the marginal loss of dropping each
+/// cluster individually, sorted by decreasing loss (most critical first,
+/// ties by cluster id).
+///
+/// Leaf alternatives typically cost 1; clusters that are the *last*
+/// alternative of an interface cost their whole enclosing application
+/// (dropping them makes the parent unexecutable).
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_flex::{flexibility_profile, max_flexibility};
+/// use flexplore_hgraph::{HierarchicalGraph, Scope};
+///
+/// let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+/// let i = g.add_interface(Scope::Top, "I");
+/// let only = g.add_cluster(i, "only");        // sole alternative
+/// let j = g.add_interface(Scope::Top, "J");
+/// let j1 = g.add_cluster(j, "j1");
+/// let j2 = g.add_cluster(j, "j2");            // redundant alternatives
+///
+/// let (total, profile) = flexibility_profile(&g);
+/// assert_eq!(total, max_flexibility(&g));
+/// // Dropping the sole alternative of I kills the system: loss = total.
+/// let only_entry = profile.iter().find(|c| c.cluster == only).unwrap();
+/// assert_eq!(only_entry.loss, total);
+/// // Dropping one of two J alternatives costs exactly 1.
+/// let j1_entry = profile.iter().find(|c| c.cluster == j1).unwrap();
+/// assert_eq!(j1_entry.loss, 1);
+/// # let _ = (j2,);
+/// ```
+pub fn flexibility_profile<N, E>(
+    graph: &HierarchicalGraph<N, E>,
+) -> (Flexibility, Vec<ClusterContribution>) {
+    let total = flexibility(graph, |_| true);
+    let mut profile: Vec<ClusterContribution> = graph
+        .cluster_ids()
+        .map(|dropped| {
+            let without = flexibility(graph, |c| c != dropped);
+            ClusterContribution {
+                cluster: dropped,
+                without,
+                loss: total.saturating_sub(without),
+            }
+        })
+        .collect();
+    profile.sort_by_key(|c| (std::cmp::Reverse(c.loss), c.cluster));
+    (total, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_hgraph::Scope;
+
+    /// The Fig. 3 structure: γ_I (leaf), γ_G (3 games), γ_D (3 × 2).
+    fn fig3() -> HierarchicalGraph<(), ()> {
+        let mut g = HierarchicalGraph::new("fig3");
+        let app = g.add_interface(Scope::Top, "I_app");
+        let _gi = g.add_cluster(app, "gamma_I");
+        let gg = g.add_cluster(app, "gamma_G");
+        let ig = g.add_interface(gg.into(), "I_G");
+        for k in 1..=3 {
+            g.add_cluster(ig, format!("gamma_G{k}"));
+        }
+        let gd = g.add_cluster(app, "gamma_D");
+        let id = g.add_interface(gd.into(), "I_D");
+        for k in 1..=3 {
+            g.add_cluster(id, format!("gamma_D{k}"));
+        }
+        let iu = g.add_interface(gd.into(), "I_U");
+        for k in 1..=2 {
+            g.add_cluster(iu, format!("gamma_U{k}"));
+        }
+        g
+    }
+
+    #[test]
+    fn fig3_profile_losses() {
+        let g = fig3();
+        let (total, profile) = flexibility_profile(&g);
+        assert_eq!(total, 8);
+        assert_eq!(profile.len(), g.cluster_count());
+        let loss_of = |name: &str| {
+            profile
+                .iter()
+                .find(|c| g.cluster_name(c.cluster) == name)
+                .unwrap()
+                .loss
+        };
+        // Redundant leaf alternatives cost 1.
+        for name in ["gamma_G1", "gamma_D2", "gamma_U2"] {
+            assert_eq!(loss_of(name), 1, "{name}");
+        }
+        // Whole applications cost their subtree flexibility.
+        assert_eq!(loss_of("gamma_G"), 3);
+        assert_eq!(loss_of("gamma_D"), 4);
+        assert_eq!(loss_of("gamma_I"), 1);
+        // The profile is sorted by decreasing loss.
+        for w in profile.windows(2) {
+            assert!(w[0].loss >= w[1].loss);
+        }
+    }
+
+    #[test]
+    fn losses_are_consistent_with_without() {
+        let g = fig3();
+        let (total, profile) = flexibility_profile(&g);
+        for c in &profile {
+            assert_eq!(c.without + c.loss, total);
+        }
+    }
+
+    #[test]
+    fn flat_graph_profile_is_empty() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("flat");
+        g.add_vertex(Scope::Top, "v", ());
+        let (total, profile) = flexibility_profile(&g);
+        assert_eq!(total, 1);
+        assert!(profile.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Graphviz DOT export for hierarchical graphs.
+//!
+//! The export renders the hierarchy the way the paper draws it: clusters as
+//! nested `subgraph cluster_*` boxes grouped under their interface, plain
+//! vertices as ellipses, interfaces as double octagons, and edges attached
+//! to the interface node (ports appear as edge labels).
+
+use crate::graph::HierarchicalGraph;
+use crate::ids::{NodeRef, Scope};
+use std::fmt::Write as _;
+
+/// Options controlling [`HierarchicalGraph::to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Render edge weights using the supplied formatter (index = edge id
+    /// index). When `false`, edges are unlabeled.
+    pub edge_labels: bool,
+    /// Left-to-right layout (`rankdir=LR`) instead of top-down.
+    pub left_to_right: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            edge_labels: true,
+            left_to_right: false,
+        }
+    }
+}
+
+impl<N, E> HierarchicalGraph<N, E>
+where
+    E: std::fmt::Display,
+{
+    /// Renders the hierarchical graph as a Graphviz DOT document.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexplore_hgraph::{DotOptions, HierarchicalGraph, Scope};
+    ///
+    /// let mut g: HierarchicalGraph<(), u32> = HierarchicalGraph::new("g");
+    /// let a = g.add_vertex(Scope::Top, "a", ());
+    /// let b = g.add_vertex(Scope::Top, "b", ());
+    /// g.add_edge(a, b, 7).unwrap();
+    /// let dot = g.to_dot(&DotOptions::default());
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("\"a\" -> \"b\""));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self, options: &DotOptions) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.name()));
+        if options.left_to_right {
+            let _ = writeln!(out, "  rankdir=LR;");
+        }
+        let _ = writeln!(out, "  compound=true;");
+        self.write_scope(&mut out, Scope::Top, 1);
+        for e in self.edge_ids() {
+            let (from, to) = self.edge_endpoints(e);
+            let from_name = self.node_dot_id(from.node);
+            let to_name = self.node_dot_id(to.node);
+            let mut attrs = Vec::new();
+            if options.edge_labels {
+                let label = self.edge_weight(e).to_string();
+                if !label.is_empty() {
+                    attrs.push(format!("label=\"{}\"", escape(&label)));
+                }
+            }
+            let mut ports = Vec::new();
+            if let Some(p) = from.port {
+                ports.push(format!("out:{}", self.port_name(p)));
+            }
+            if let Some(p) = to.port {
+                ports.push(format!("in:{}", self.port_name(p)));
+            }
+            if !ports.is_empty() {
+                attrs.push(format!("taillabel=\"{}\"", escape(&ports.join(" "))));
+            }
+            let attr_str = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", attrs.join(", "))
+            };
+            let _ = writeln!(out, "  {from_name} -> {to_name}{attr_str};");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    fn node_dot_id(&self, node: NodeRef) -> String {
+        match node {
+            NodeRef::Vertex(v) => format!("\"{}\"", escape(self.qualified_vertex_name(v))),
+            NodeRef::Interface(i) => format!("\"{}\"", escape(self.interface_name(i))),
+        }
+    }
+
+    fn qualified_vertex_name(&self, v: crate::ids::VertexId) -> &str {
+        self.vertex_name(v)
+    }
+
+    fn write_scope(&self, out: &mut String, scope: Scope, depth: usize) {
+        let indent = "  ".repeat(depth);
+        for v in self.vertices_in(scope) {
+            let _ = writeln!(
+                out,
+                "{indent}\"{}\" [shape=ellipse];",
+                escape(self.vertex_name(v))
+            );
+        }
+        for i in self.interfaces_in(scope) {
+            let _ = writeln!(
+                out,
+                "{indent}\"{}\" [shape=doubleoctagon];",
+                escape(self.interface_name(i))
+            );
+            for &c in self.clusters_of(i) {
+                let _ = writeln!(
+                    out,
+                    "{indent}subgraph \"cluster_{}\" {{",
+                    escape(self.cluster_name(c))
+                );
+                let _ = writeln!(
+                    out,
+                    "{indent}  label=\"{} : {}\";",
+                    escape(self.cluster_name(c)),
+                    escape(self.interface_name(i))
+                );
+                self.write_scope(out, Scope::Cluster(c), depth + 1);
+                let _ = writeln!(out, "{indent}}}");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PortDirection, Scope};
+    use crate::PortTarget;
+
+    fn sample() -> HierarchicalGraph<(), u32> {
+        let mut g = HierarchicalGraph::new("sample");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let i = g.add_interface(Scope::Top, "I");
+        let p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "alt0");
+        let v = g.add_vertex(c.into(), "inner", ());
+        g.map_port(c, p, PortTarget::vertex(v)).unwrap();
+        g.add_edge(a, (i, p), 42).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let g = sample();
+        let dot = g.to_dot(&DotOptions::default());
+        assert!(dot.starts_with("digraph \"sample\""));
+        assert!(dot.contains("subgraph \"cluster_alt0\""));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("\"a\" -> \"I\""));
+        assert!(dot.contains("label=\"42\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_labels_can_be_disabled() {
+        let g = sample();
+        let dot = g.to_dot(&DotOptions {
+            edge_labels: false,
+            left_to_right: true,
+        });
+        assert!(!dot.contains("label=\"42\""));
+        assert!(dot.contains("rankdir=LR"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut g: HierarchicalGraph<(), u32> = HierarchicalGraph::new("quo\"te");
+        g.add_vertex(Scope::Top, "we\"ird", ());
+        let dot = g.to_dot(&DotOptions::default());
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("quo\\\"te"));
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let g = sample();
+        let dot = g.to_dot(&DotOptions::default());
+        let open = dot.matches('{').count();
+        let close = dot.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,198 @@
+//! Error type returned by fallible hierarchical-graph operations.
+
+use crate::ids::{ClusterId, InterfaceId, NodeRef, PortDirection, PortId, Scope};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by construction and validation methods of
+/// [`HierarchicalGraph`](crate::HierarchicalGraph).
+///
+/// Every variant names the offending entities so callers can report precise
+/// diagnostics; the `Display` form is a lowercase sentence fragment following
+/// the standard-library error-message style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HgraphError {
+    /// An edge was created between nodes living in different scopes.
+    ///
+    /// Edges of a hierarchical graph always connect siblings; communication
+    /// across hierarchy levels goes through interface ports instead.
+    ScopeMismatch {
+        /// Source node of the offending edge.
+        from: NodeRef,
+        /// Scope of the source node.
+        from_scope: Scope,
+        /// Target node of the offending edge.
+        to: NodeRef,
+        /// Scope of the target node.
+        to_scope: Scope,
+    },
+    /// An edge endpoint names an interface but no port of that interface,
+    /// or names a port while the endpoint is a plain vertex.
+    PortRequired {
+        /// The endpoint that needs (or must not have) a port.
+        node: NodeRef,
+    },
+    /// A port id was used with an interface that does not own it.
+    ForeignPort {
+        /// The interface the port was used with.
+        interface: InterfaceId,
+        /// The offending port.
+        port: PortId,
+    },
+    /// A port was used in a direction that contradicts its declaration,
+    /// e.g. an edge *into* an `Out` port.
+    PortDirectionMismatch {
+        /// The interface owning the port.
+        interface: InterfaceId,
+        /// The offending port.
+        port: PortId,
+        /// The declared direction of the port.
+        declared: PortDirection,
+        /// The direction implied by the edge.
+        used: PortDirection,
+    },
+    /// A cluster's port mapping targets a node that is not a member of that
+    /// cluster.
+    PortTargetOutsideCluster {
+        /// The cluster whose mapping is invalid.
+        cluster: ClusterId,
+        /// The offending target node.
+        target: NodeRef,
+    },
+    /// A cluster left one of its interface's ports unmapped.
+    UnmappedPort {
+        /// The cluster with the incomplete port mapping.
+        cluster: ClusterId,
+        /// The port that is not mapped.
+        port: PortId,
+    },
+    /// An interface has no clusters, so it can never be refined (rule 1 of
+    /// hierarchical activation would be unsatisfiable).
+    InterfaceWithoutClusters {
+        /// The unrefinable interface.
+        interface: InterfaceId,
+    },
+    /// A cluster selection is missing an entry for an interface that is
+    /// active under the selection.
+    SelectionMissing {
+        /// The interface without a selected cluster.
+        interface: InterfaceId,
+    },
+    /// A cluster selection maps an interface to a cluster that does not
+    /// refine it.
+    SelectionForeignCluster {
+        /// The interface being refined.
+        interface: InterfaceId,
+        /// The cluster that does not belong to the interface.
+        cluster: ClusterId,
+    },
+    /// A port-mapping chain did not terminate in a plain vertex within the
+    /// graph's hierarchy depth, which indicates a cyclic port mapping.
+    PortResolutionCycle {
+        /// The interface where resolution started.
+        interface: InterfaceId,
+        /// The port being resolved.
+        port: PortId,
+    },
+    /// Two entities in the same scope share a name, which `validate`
+    /// rejects to keep diagnostics and DOT output unambiguous.
+    DuplicateName {
+        /// The scope containing the clash.
+        scope: Scope,
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for HgraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HgraphError::ScopeMismatch {
+                from,
+                from_scope,
+                to,
+                to_scope,
+            } => write!(
+                f,
+                "edge from {from} (scope {from_scope}) to {to} (scope {to_scope}) crosses scopes"
+            ),
+            HgraphError::PortRequired { node } => {
+                write!(f, "endpoint {node} requires a port if and only if it is an interface")
+            }
+            HgraphError::ForeignPort { interface, port } => {
+                write!(f, "port {port} does not belong to interface {interface}")
+            }
+            HgraphError::PortDirectionMismatch {
+                interface,
+                port,
+                declared,
+                used,
+            } => write!(
+                f,
+                "port {port} of {interface} is declared {declared} but used as {used}"
+            ),
+            HgraphError::PortTargetOutsideCluster { cluster, target } => {
+                write!(f, "port mapping of {cluster} targets {target} outside the cluster")
+            }
+            HgraphError::UnmappedPort { cluster, port } => {
+                write!(f, "cluster {cluster} does not map port {port} of its interface")
+            }
+            HgraphError::InterfaceWithoutClusters { interface } => {
+                write!(f, "interface {interface} has no alternative clusters")
+            }
+            HgraphError::SelectionMissing { interface } => {
+                write!(f, "selection has no cluster for active interface {interface}")
+            }
+            HgraphError::SelectionForeignCluster { interface, cluster } => {
+                write!(f, "selected cluster {cluster} does not refine interface {interface}")
+            }
+            HgraphError::PortResolutionCycle { interface, port } => {
+                write!(f, "resolving port {port} of {interface} did not reach a vertex")
+            }
+            HgraphError::DuplicateName { scope, name } => {
+                write!(f, "duplicate name {name:?} in scope {scope}")
+            }
+        }
+    }
+}
+
+impl Error for HgraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{InterfaceId, PortId, VertexId};
+
+    #[test]
+    fn display_is_lowercase_and_names_entities() {
+        let err = HgraphError::ForeignPort {
+            interface: InterfaceId(1),
+            port: PortId(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("psi1"));
+        assert!(msg.contains("p2"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<HgraphError>();
+    }
+
+    #[test]
+    fn scope_mismatch_mentions_both_scopes() {
+        let err = HgraphError::ScopeMismatch {
+            from: VertexId(0).into(),
+            from_scope: Scope::Top,
+            to: VertexId(1).into(),
+            to_scope: Scope::Cluster(ClusterId(3)),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("top"));
+        assert!(msg.contains("gamma3"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Flattening: turning a hierarchical graph plus a cluster selection into a
+//! concrete, non-hierarchical graph.
+//!
+//! The paper (Section 2): *"For a given selection of clusters, the
+//! hierarchical model can be flattened. […] The result is a non-hierarchical
+//! specification."* Flattening resolves every edge endpoint that attaches to
+//! an interface port down to the plain vertex that realizes the port inside
+//! the selected cluster (following the port mappings recursively).
+
+use crate::error::HgraphError;
+use crate::graph::HierarchicalGraph;
+use crate::ids::{EdgeId, InterfaceId, NodeRef, PortId, VertexId};
+use crate::selection::Selection;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A concrete edge of a flattened graph, with both endpoints resolved to
+/// plain vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlatEdge {
+    /// The hierarchical edge this flat edge was resolved from.
+    pub id: EdgeId,
+    /// Resolved source vertex.
+    pub from: VertexId,
+    /// Resolved target vertex.
+    pub to: VertexId,
+}
+
+/// A non-hierarchical view of a [`HierarchicalGraph`] under one cluster
+/// selection.
+///
+/// Vertex and edge ids refer back to the originating hierarchical graph, so
+/// weights and names stay accessible there.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatGraph {
+    /// Active plain vertices, sorted.
+    pub vertices: Vec<VertexId>,
+    /// Resolved edges, in id order.
+    pub edges: Vec<FlatEdge>,
+}
+
+impl FlatGraph {
+    /// Returns `true` if `v` is part of the flattened graph.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the direct successors of `v`.
+    pub fn successors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.from == v)
+            .map(|e| e.to)
+    }
+
+    /// Iterates over the direct predecessors of `v`.
+    pub fn predecessors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.to == v)
+            .map(|e| e.from)
+    }
+
+    /// Computes a topological order of the flattened graph, or `None` if it
+    /// contains a cycle.
+    ///
+    /// Useful for dependence-respecting traversals of problem graphs (which
+    /// the paper requires to be partial orders).
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<VertexId>> {
+        let mut indeg: BTreeMap<VertexId, usize> =
+            self.vertices.iter().map(|&v| (v, 0)).collect();
+        for e in &self.edges {
+            if let Some(d) = indeg.get_mut(&e.to) {
+                *d += 1;
+            }
+        }
+        let mut queue: VecDeque<VertexId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&v, _)| v)
+            .collect();
+        let mut order = Vec::with_capacity(self.vertices.len());
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for s in self.successors(v) {
+                let d = indeg.get_mut(&s).expect("edge targets are vertices");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        (order.len() == self.vertices.len()).then_some(order)
+    }
+
+    /// Returns `true` if the flattened graph is acyclic.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+}
+
+impl<N, E> HierarchicalGraph<N, E> {
+    /// Resolves an interface port down to the plain vertex realizing it
+    /// under `selection`, following port mappings through nested interfaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::SelectionMissing`] /
+    /// [`HgraphError::SelectionForeignCluster`] for selection defects,
+    /// [`HgraphError::UnmappedPort`] if a selected cluster lacks a mapping
+    /// for the port, and [`HgraphError::PortResolutionCycle`] if resolution
+    /// does not terminate.
+    pub fn resolve_port(
+        &self,
+        interface: InterfaceId,
+        port: PortId,
+        selection: &Selection,
+    ) -> Result<VertexId, HgraphError> {
+        let (start_iface, start_port) = (interface, port);
+        let mut iface = interface;
+        let mut port = port;
+        // Any terminating chain visits each cluster at most once.
+        let mut budget = self.cluster_count() + 1;
+        loop {
+            if budget == 0 {
+                return Err(HgraphError::PortResolutionCycle {
+                    interface: start_iface,
+                    port: start_port,
+                });
+            }
+            budget -= 1;
+            let cluster = selection
+                .get(iface)
+                .ok_or(HgraphError::SelectionMissing { interface: iface })?;
+            if self.interface_of(cluster) != iface {
+                return Err(HgraphError::SelectionForeignCluster {
+                    interface: iface,
+                    cluster,
+                });
+            }
+            let target = self
+                .port_target(cluster, port)
+                .ok_or(HgraphError::UnmappedPort { cluster, port })?;
+            match target.node {
+                NodeRef::Vertex(v) => return Ok(v),
+                NodeRef::Interface(inner) => {
+                    iface = inner;
+                    port = target.port.ok_or(HgraphError::PortRequired {
+                        node: target.node,
+                    })?;
+                }
+            }
+        }
+    }
+
+    /// Flattens the graph under `selection`: collects the active vertices
+    /// and resolves every edge of an active scope to plain-vertex endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`active_under`](Self::active_under) and
+    /// [`resolve_port`](Self::resolve_port).
+    pub fn flatten(&self, selection: &Selection) -> Result<FlatGraph, HgraphError> {
+        let active = self.active_under(selection)?;
+        let mut edges = Vec::new();
+        for e in self.edge_ids() {
+            if !active.contains_scope(self.edge_scope(e)) {
+                continue;
+            }
+            let (from_ep, to_ep) = self.edge_endpoints(e);
+            let from = match from_ep.node {
+                NodeRef::Vertex(v) => v,
+                NodeRef::Interface(i) => self.resolve_port(
+                    i,
+                    from_ep.port.ok_or(HgraphError::PortRequired {
+                        node: from_ep.node,
+                    })?,
+                    selection,
+                )?,
+            };
+            let to = match to_ep.node {
+                NodeRef::Vertex(v) => v,
+                NodeRef::Interface(i) => self.resolve_port(
+                    i,
+                    to_ep.port.ok_or(HgraphError::PortRequired { node: to_ep.node })?,
+                    selection,
+                )?,
+            };
+            edges.push(FlatEdge { id: e, from, to });
+        }
+        Ok(FlatGraph {
+            vertices: active.vertices,
+            edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PortDirection, Scope};
+    use crate::{PortTarget, Selection};
+
+    /// a -> I_D -> I_U -> z with alternatives, mirroring Fig. 1's pipeline.
+    fn pipeline() -> (
+        HierarchicalGraph<(), ()>,
+        VertexId,
+        InterfaceId,
+        InterfaceId,
+        VertexId,
+    ) {
+        let mut g = HierarchicalGraph::new("pipeline");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let z = g.add_vertex(Scope::Top, "z", ());
+        let i_d = g.add_interface(Scope::Top, "I_D");
+        let d_in = g.add_port(i_d, "in", PortDirection::In);
+        let d_out = g.add_port(i_d, "out", PortDirection::Out);
+        let i_u = g.add_interface(Scope::Top, "I_U");
+        let u_in = g.add_port(i_u, "in", PortDirection::In);
+        let u_out = g.add_port(i_u, "out", PortDirection::Out);
+        for k in 0..2 {
+            let c = g.add_cluster(i_d, format!("d{k}"));
+            let v = g.add_vertex(c.into(), format!("P_D{k}"), ());
+            g.map_port(c, d_in, PortTarget::vertex(v)).unwrap();
+            g.map_port(c, d_out, PortTarget::vertex(v)).unwrap();
+        }
+        for k in 0..2 {
+            let c = g.add_cluster(i_u, format!("u{k}"));
+            let v = g.add_vertex(c.into(), format!("P_U{k}"), ());
+            g.map_port(c, u_in, PortTarget::vertex(v)).unwrap();
+            g.map_port(c, u_out, PortTarget::vertex(v)).unwrap();
+        }
+        g.add_edge(a, (i_d, d_in), ()).unwrap();
+        g.add_edge((i_d, d_out), (i_u, u_in), ()).unwrap();
+        g.add_edge((i_u, u_out), z, ()).unwrap();
+        (g, a, i_d, i_u, z)
+    }
+
+    fn select(g: &HierarchicalGraph<(), ()>, i_d: InterfaceId, i_u: InterfaceId, d: &str, u: &str) -> Selection {
+        Selection::new()
+            .with(i_d, g.cluster_by_name(i_d, d).unwrap())
+            .with(i_u, g.cluster_by_name(i_u, u).unwrap())
+    }
+
+    #[test]
+    fn flatten_resolves_ports_to_selected_vertices() {
+        let (g, a, i_d, i_u, z) = pipeline();
+        let sel = select(&g, i_d, i_u, "d1", "u0");
+        let flat = g.flatten(&sel).unwrap();
+        let d1 = g
+            .vertex_by_name(g.cluster_by_name(i_d, "d1").unwrap().into(), "P_D1")
+            .unwrap();
+        let u0 = g
+            .vertex_by_name(g.cluster_by_name(i_u, "u0").unwrap().into(), "P_U0")
+            .unwrap();
+        assert_eq!(flat.vertices, {
+            let mut v = vec![a, z, d1, u0];
+            v.sort_unstable();
+            v
+        });
+        let pairs: Vec<_> = flat.edges.iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(pairs, vec![(a, d1), (d1, u0), (u0, z)]);
+    }
+
+    #[test]
+    fn different_selection_gives_different_flat_graph() {
+        let (g, _, i_d, i_u, _) = pipeline();
+        let f1 = g.flatten(&select(&g, i_d, i_u, "d0", "u0")).unwrap();
+        let f2 = g.flatten(&select(&g, i_d, i_u, "d1", "u1")).unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(f1.vertices.len(), f2.vertices.len());
+    }
+
+    #[test]
+    fn flat_graph_is_acyclic_and_topo_sortable() {
+        let (g, a, i_d, i_u, z) = pipeline();
+        let flat = g.flatten(&select(&g, i_d, i_u, "d0", "u1")).unwrap();
+        assert!(flat.is_acyclic());
+        let order = flat.topological_order().unwrap();
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(a) < pos(z));
+        for e in &flat.edges {
+            assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, a, i_d, i_u, _) = pipeline();
+        let flat = g.flatten(&select(&g, i_d, i_u, "d0", "u0")).unwrap();
+        let d0 = g
+            .vertex_by_name(g.cluster_by_name(i_d, "d0").unwrap().into(), "P_D0")
+            .unwrap();
+        assert_eq!(flat.successors(a).collect::<Vec<_>>(), vec![d0]);
+        assert_eq!(flat.predecessors(d0).collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn unmapped_port_is_reported() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let i = g.add_interface(Scope::Top, "I");
+        let p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "c");
+        g.add_vertex(c.into(), "v", ());
+        g.add_edge(a, (i, p), ()).unwrap();
+        let sel = Selection::new().with(i, c);
+        let err = g.flatten(&sel).unwrap_err();
+        assert!(matches!(err, HgraphError::UnmappedPort { .. }));
+    }
+
+    #[test]
+    fn nested_interface_ports_resolve_recursively() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let i = g.add_interface(Scope::Top, "I");
+        let p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "c");
+        let j = g.add_interface(c.into(), "J");
+        let jp = g.add_port(j, "in", PortDirection::In);
+        let jc = g.add_cluster(j, "jc");
+        let w = g.add_vertex(jc.into(), "w", ());
+        g.map_port(jc, jp, PortTarget::vertex(w)).unwrap();
+        g.map_port(c, p, PortTarget::interface(j, jp)).unwrap();
+        g.add_edge(a, (i, p), ()).unwrap();
+        let sel = Selection::new().with(i, c).with(j, jc);
+        let flat = g.flatten(&sel).unwrap();
+        assert_eq!(flat.edges[0].from, a);
+        assert_eq!(flat.edges[0].to, w);
+    }
+
+    #[test]
+    fn cycle_detection_reports_cyclic_flat_graph() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let b = g.add_vertex(Scope::Top, "b", ());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        let flat = g.flatten(&Selection::new()).unwrap();
+        assert!(!flat.is_acyclic());
+        assert_eq!(flat.topological_order(), None);
+    }
+
+    #[test]
+    fn inactive_cluster_edges_are_excluded() {
+        let (g, _, i_d, i_u, _) = pipeline();
+        // Add an edge inside cluster d0 between two fresh vertices.
+        let mut g = g;
+        let c_d0 = g.cluster_by_name(i_d, "d0").unwrap();
+        let x = g.add_vertex(c_d0.into(), "x", ());
+        let y = g.add_vertex(c_d0.into(), "y", ());
+        g.add_edge(x, y, ()).unwrap();
+        // Selecting d1 must exclude the x->y edge.
+        let flat = g.flatten(&select(&g, i_d, i_u, "d1", "u0")).unwrap();
+        assert!(flat.edges.iter().all(|e| e.from != x && e.to != y));
+        // Selecting d0 must include it.
+        let flat = g.flatten(&select(&g, i_d, i_u, "d0", "u0")).unwrap();
+        assert!(flat.edges.iter().any(|e| e.from == x && e.to == y));
+    }
+}

@@ -1,0 +1,919 @@
+//! The hierarchical graph container ([`HierarchicalGraph`]).
+//!
+//! A hierarchical graph `G = (V, E, Ψ, Γ)` (Definition 1 of the paper)
+//! consists of plain vertices `V`, edges `E`, *interfaces* `Ψ` (hierarchical
+//! vertices) and *clusters* `Γ` (subgraphs). Every interface is refined by
+//! one or more **alternative** clusters; selecting one cluster per active
+//! interface yields a concrete, non-hierarchical graph (see
+//! [`flatten`](HierarchicalGraph::flatten)).
+//!
+//! All entities live in arenas owned by the graph and are addressed by the
+//! id newtypes from [`crate::ids`]. Every vertex, interface and edge belongs
+//! to exactly one [`Scope`]: the top level or the inside of one cluster.
+
+use crate::error::HgraphError;
+use crate::ids::{
+    ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One endpoint of an edge: a node plus, when the node is an interface, the
+/// port through which the edge attaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The node this endpoint attaches to.
+    pub node: NodeRef,
+    /// The port used when `node` is an interface; must be `None` for plain
+    /// vertices.
+    pub port: Option<PortId>,
+}
+
+impl Endpoint {
+    /// Creates an endpoint attaching to a plain vertex.
+    #[must_use]
+    pub fn vertex(v: VertexId) -> Self {
+        Endpoint {
+            node: NodeRef::Vertex(v),
+            port: None,
+        }
+    }
+
+    /// Creates an endpoint attaching to `interface` through `port`.
+    #[must_use]
+    pub fn interface(interface: InterfaceId, port: PortId) -> Self {
+        Endpoint {
+            node: NodeRef::Interface(interface),
+            port: Some(port),
+        }
+    }
+}
+
+impl From<VertexId> for Endpoint {
+    fn from(v: VertexId) -> Self {
+        Endpoint::vertex(v)
+    }
+}
+
+impl From<(InterfaceId, PortId)> for Endpoint {
+    fn from((i, p): (InterfaceId, PortId)) -> Self {
+        Endpoint::interface(i, p)
+    }
+}
+
+/// Target of a cluster's port mapping: the member node (and inner port, when
+/// the member is itself an interface) that realizes one port of the
+/// enclosing interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortTarget {
+    /// The member node realizing the port.
+    pub node: NodeRef,
+    /// The inner port used when `node` is an interface.
+    pub port: Option<PortId>,
+}
+
+impl PortTarget {
+    /// Creates a port target naming a plain member vertex.
+    #[must_use]
+    pub fn vertex(v: VertexId) -> Self {
+        PortTarget {
+            node: NodeRef::Vertex(v),
+            port: None,
+        }
+    }
+
+    /// Creates a port target delegating to a port of a member interface.
+    #[must_use]
+    pub fn interface(interface: InterfaceId, port: PortId) -> Self {
+        PortTarget {
+            node: NodeRef::Interface(interface),
+            port: Some(port),
+        }
+    }
+}
+
+impl From<VertexId> for PortTarget {
+    fn from(v: VertexId) -> Self {
+        PortTarget::vertex(v)
+    }
+}
+
+impl From<(InterfaceId, PortId)> for PortTarget {
+    fn from((i, p): (InterfaceId, PortId)) -> Self {
+        PortTarget::interface(i, p)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VertexData<N> {
+    pub(crate) name: String,
+    pub(crate) scope: Scope,
+    pub(crate) weight: N,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct EdgeData<E> {
+    pub(crate) scope: Scope,
+    pub(crate) from: Endpoint,
+    pub(crate) to: Endpoint,
+    pub(crate) weight: E,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct InterfaceData {
+    pub(crate) name: String,
+    pub(crate) scope: Scope,
+    pub(crate) ports: Vec<PortId>,
+    pub(crate) clusters: Vec<ClusterId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ClusterData {
+    pub(crate) name: String,
+    pub(crate) interface: InterfaceId,
+    pub(crate) vertices: Vec<VertexId>,
+    pub(crate) interfaces: Vec<InterfaceId>,
+    pub(crate) edges: Vec<EdgeId>,
+    pub(crate) port_map: BTreeMap<PortId, PortTarget>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PortData {
+    pub(crate) name: String,
+    pub(crate) interface: InterfaceId,
+    pub(crate) direction: PortDirection,
+}
+
+/// A directed hierarchical graph with vertex weights `N` and edge weights
+/// `E`.
+///
+/// # Examples
+///
+/// Modeling the decryption stage of the paper's digital TV decoder: an
+/// interface with three alternative clusters.
+///
+/// ```
+/// use flexplore_hgraph::{HierarchicalGraph, PortDirection, PortTarget, Scope};
+///
+/// # fn main() -> Result<(), flexplore_hgraph::HgraphError> {
+/// let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("decoder");
+/// let i_d = g.add_interface(Scope::Top, "I_D");
+/// let p_in = g.add_port(i_d, "in", PortDirection::In);
+/// for k in 1..=3 {
+///     let gamma = g.add_cluster(i_d, format!("gamma_D{k}"));
+///     let p = g.add_vertex(gamma.into(), format!("P_D{k}"), ());
+///     g.map_port(gamma, p_in, PortTarget::vertex(p))?;
+/// }
+/// assert_eq!(g.clusters_of(i_d).len(), 3);
+/// assert_eq!(g.leaves().count(), 3);
+/// g.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalGraph<N, E> {
+    name: String,
+    pub(crate) vertices: Vec<VertexData<N>>,
+    pub(crate) edges: Vec<EdgeData<E>>,
+    pub(crate) interfaces: Vec<InterfaceData>,
+    pub(crate) clusters: Vec<ClusterData>,
+    pub(crate) ports: Vec<PortData>,
+}
+
+impl<N, E> HierarchicalGraph<N, E> {
+    /// Creates an empty hierarchical graph with the given display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        HierarchicalGraph {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            interfaces: Vec::new(),
+            clusters: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// Returns the display name of the graph.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a plain vertex with the given weight to `scope`.
+    pub fn add_vertex(&mut self, scope: Scope, name: impl Into<String>, weight: N) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(VertexData {
+            name: name.into(),
+            scope,
+            weight,
+        });
+        if let Scope::Cluster(c) = scope {
+            self.clusters[c.index()].vertices.push(id);
+        }
+        id
+    }
+
+    /// Adds an interface (hierarchical vertex) to `scope`.
+    ///
+    /// The interface starts with no ports and no clusters; it becomes
+    /// meaningful once [`add_cluster`](Self::add_cluster) gives it at least
+    /// one alternative refinement.
+    pub fn add_interface(&mut self, scope: Scope, name: impl Into<String>) -> InterfaceId {
+        let id = InterfaceId(self.interfaces.len() as u32);
+        self.interfaces.push(InterfaceData {
+            name: name.into(),
+            scope,
+            ports: Vec::new(),
+            clusters: Vec::new(),
+        });
+        if let Scope::Cluster(c) = scope {
+            self.clusters[c.index()].interfaces.push(id);
+        }
+        id
+    }
+
+    /// Declares a port on `interface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not an id of this graph.
+    pub fn add_port(
+        &mut self,
+        interface: InterfaceId,
+        name: impl Into<String>,
+        direction: PortDirection,
+    ) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(PortData {
+            name: name.into(),
+            interface,
+            direction,
+        });
+        self.interfaces[interface.index()].ports.push(id);
+        id
+    }
+
+    /// Adds an alternative cluster refining `interface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not an id of this graph.
+    pub fn add_cluster(&mut self, interface: InterfaceId, name: impl Into<String>) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u32);
+        self.clusters.push(ClusterData {
+            name: name.into(),
+            interface,
+            vertices: Vec::new(),
+            interfaces: Vec::new(),
+            edges: Vec::new(),
+            port_map: BTreeMap::new(),
+        });
+        self.interfaces[interface.index()].clusters.push(id);
+        id
+    }
+
+    /// Records that `cluster` realizes `port` of its interface by `target`.
+    ///
+    /// This is the *port mapping* of the paper: it embeds the cluster into
+    /// its interface by telling flattening where edges attached to the port
+    /// continue inside the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::ForeignPort`] if `port` does not belong to the
+    /// cluster's interface, and [`HgraphError::PortTargetOutsideCluster`] if
+    /// `target` is not a member of `cluster`.
+    pub fn map_port(
+        &mut self,
+        cluster: ClusterId,
+        port: PortId,
+        target: PortTarget,
+    ) -> Result<(), HgraphError> {
+        let interface = self.clusters[cluster.index()].interface;
+        if self.ports[port.index()].interface != interface {
+            return Err(HgraphError::ForeignPort { interface, port });
+        }
+        let member_scope = self.scope_of(target.node);
+        if member_scope != Scope::Cluster(cluster) {
+            return Err(HgraphError::PortTargetOutsideCluster {
+                cluster,
+                target: target.node,
+            });
+        }
+        if let NodeRef::Interface(inner) = target.node {
+            match target.port {
+                None => return Err(HgraphError::PortRequired { node: target.node }),
+                Some(p) if self.ports[p.index()].interface != inner => {
+                    return Err(HgraphError::ForeignPort {
+                        interface: inner,
+                        port: p,
+                    })
+                }
+                Some(_) => {}
+            }
+        } else if target.port.is_some() {
+            return Err(HgraphError::PortRequired { node: target.node });
+        }
+        self.clusters[cluster.index()].port_map.insert(port, target);
+        Ok(())
+    }
+
+    /// Adds a directed edge between two endpoints of the same scope.
+    ///
+    /// Edges model dependence relations (problem graph) or physical
+    /// interconnections (architecture graph). Both endpoints must live in
+    /// the same scope; endpoints that are interfaces must name one of the
+    /// interface's ports with a direction matching the edge (an edge leaves
+    /// through an `Out` port and arrives through an `In` port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::ScopeMismatch`], [`HgraphError::PortRequired`],
+    /// [`HgraphError::ForeignPort`] or
+    /// [`HgraphError::PortDirectionMismatch`] when the endpoints violate the
+    /// rules above.
+    pub fn add_edge(
+        &mut self,
+        from: impl Into<Endpoint>,
+        to: impl Into<Endpoint>,
+        weight: E,
+    ) -> Result<EdgeId, HgraphError> {
+        let from = from.into();
+        let to = to.into();
+        let from_scope = self.scope_of(from.node);
+        let to_scope = self.scope_of(to.node);
+        if from_scope != to_scope {
+            return Err(HgraphError::ScopeMismatch {
+                from: from.node,
+                from_scope,
+                to: to.node,
+                to_scope,
+            });
+        }
+        self.check_endpoint(from, PortDirection::Out)?;
+        self.check_endpoint(to, PortDirection::In)?;
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            scope: from_scope,
+            from,
+            to,
+            weight,
+        });
+        if let Scope::Cluster(c) = from_scope {
+            self.clusters[c.index()].edges.push(id);
+        }
+        Ok(id)
+    }
+
+    fn check_endpoint(&self, ep: Endpoint, used: PortDirection) -> Result<(), HgraphError> {
+        match (ep.node, ep.port) {
+            (NodeRef::Vertex(_), None) => Ok(()),
+            (NodeRef::Vertex(_), Some(_)) => Err(HgraphError::PortRequired { node: ep.node }),
+            (NodeRef::Interface(_), None) => Err(HgraphError::PortRequired { node: ep.node }),
+            (NodeRef::Interface(i), Some(p)) => {
+                let data = &self.ports[p.index()];
+                if data.interface != i {
+                    return Err(HgraphError::ForeignPort {
+                        interface: i,
+                        port: p,
+                    });
+                }
+                if data.direction != used {
+                    return Err(HgraphError::PortDirectionMismatch {
+                        interface: i,
+                        port: p,
+                        declared: data.direction,
+                        used,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Returns the scope containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an id of this graph.
+    #[must_use]
+    pub fn scope_of(&self, node: NodeRef) -> Scope {
+        match node {
+            NodeRef::Vertex(v) => self.vertices[v.index()].scope,
+            NodeRef::Interface(i) => self.interfaces[i.index()].scope,
+        }
+    }
+
+    /// Returns the name of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an id of this graph.
+    #[must_use]
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertices[v.index()].name
+    }
+
+    /// Returns the weight of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an id of this graph.
+    #[must_use]
+    pub fn vertex_weight(&self, v: VertexId) -> &N {
+        &self.vertices[v.index()].weight
+    }
+
+    /// Returns a mutable reference to the weight of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an id of this graph.
+    pub fn vertex_weight_mut(&mut self, v: VertexId) -> &mut N {
+        &mut self.vertices[v.index()].weight
+    }
+
+    /// Returns the name of an interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an id of this graph.
+    #[must_use]
+    pub fn interface_name(&self, i: InterfaceId) -> &str {
+        &self.interfaces[i.index()].name
+    }
+
+    /// Returns the name of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not an id of this graph.
+    #[must_use]
+    pub fn cluster_name(&self, c: ClusterId) -> &str {
+        &self.clusters[c.index()].name
+    }
+
+    /// Returns the name of a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not an id of this graph.
+    #[must_use]
+    pub fn port_name(&self, p: PortId) -> &str {
+        &self.ports[p.index()].name
+    }
+
+    /// Returns the direction of a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not an id of this graph.
+    #[must_use]
+    pub fn port_direction(&self, p: PortId) -> PortDirection {
+        self.ports[p.index()].direction
+    }
+
+    /// Returns the interface owning a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not an id of this graph.
+    #[must_use]
+    pub fn port_interface(&self, p: PortId) -> InterfaceId {
+        self.ports[p.index()].interface
+    }
+
+    /// Returns the weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an id of this graph.
+    #[must_use]
+    pub fn edge_weight(&self, e: EdgeId) -> &E {
+        &self.edges[e.index()].weight
+    }
+
+    /// Returns the `(from, to)` endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an id of this graph.
+    #[must_use]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (Endpoint, Endpoint) {
+        let data = &self.edges[e.index()];
+        (data.from, data.to)
+    }
+
+    /// Returns the scope an edge lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an id of this graph.
+    #[must_use]
+    pub fn edge_scope(&self, e: EdgeId) -> Scope {
+        self.edges[e.index()].scope
+    }
+
+    /// Returns the interface refined by `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn interface_of(&self, cluster: ClusterId) -> InterfaceId {
+        self.clusters[cluster.index()].interface
+    }
+
+    /// Returns the alternative clusters refining `interface`, in creation
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not an id of this graph.
+    #[must_use]
+    pub fn clusters_of(&self, interface: InterfaceId) -> &[ClusterId] {
+        &self.interfaces[interface.index()].clusters
+    }
+
+    /// Returns the ports declared on `interface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not an id of this graph.
+    #[must_use]
+    pub fn ports_of(&self, interface: InterfaceId) -> &[PortId] {
+        &self.interfaces[interface.index()].ports
+    }
+
+    /// Returns the port mapping of `cluster` for `port`, if recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn port_target(&self, cluster: ClusterId, port: PortId) -> Option<PortTarget> {
+        self.clusters[cluster.index()].port_map.get(&port).copied()
+    }
+
+    /// Returns the plain vertices directly contained in `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn cluster_vertices(&self, cluster: ClusterId) -> &[VertexId] {
+        &self.clusters[cluster.index()].vertices
+    }
+
+    /// Returns the interfaces directly contained in `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn cluster_interfaces(&self, cluster: ClusterId) -> &[InterfaceId] {
+        &self.clusters[cluster.index()].interfaces
+    }
+
+    /// Returns the edges directly contained in `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn cluster_edges(&self, cluster: ClusterId) -> &[EdgeId] {
+        &self.clusters[cluster.index()].edges
+    }
+
+    // ------------------------------------------------------------------
+    // Counts & iteration
+    // ------------------------------------------------------------------
+
+    /// Returns the number of plain vertices (at all hierarchy levels).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns the number of edges (at all hierarchy levels).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the number of interfaces (at all hierarchy levels).
+    #[must_use]
+    pub fn interface_count(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Returns the number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Iterates over all vertex ids (at all hierarchy levels).
+    pub fn vertex_ids(&self) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all edge ids (at all hierarchy levels).
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all interface ids (at all hierarchy levels).
+    pub fn interface_ids(&self) -> impl ExactSizeIterator<Item = InterfaceId> + '_ {
+        (0..self.interfaces.len() as u32).map(InterfaceId)
+    }
+
+    /// Iterates over all cluster ids.
+    pub fn cluster_ids(&self) -> impl ExactSizeIterator<Item = ClusterId> + '_ {
+        (0..self.clusters.len() as u32).map(ClusterId)
+    }
+
+    /// Iterates over the plain vertices contained in `scope`.
+    pub fn vertices_in(&self, scope: Scope) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertex_ids()
+            .filter(move |v| self.vertices[v.index()].scope == scope)
+    }
+
+    /// Iterates over the interfaces contained in `scope`.
+    pub fn interfaces_in(&self, scope: Scope) -> impl Iterator<Item = InterfaceId> + '_ {
+        self.interface_ids()
+            .filter(move |i| self.interfaces[i.index()].scope == scope)
+    }
+
+    /// Iterates over the edges contained in `scope`.
+    pub fn edges_in(&self, scope: Scope) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids()
+            .filter(move |e| self.edges[e.index()].scope == scope)
+    }
+
+    /// Iterates over the top-level nodes (`G.V ∪ G.Ψ`).
+    pub fn top_nodes(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.vertices_in(Scope::Top)
+            .map(NodeRef::Vertex)
+            .chain(self.interfaces_in(Scope::Top).map(NodeRef::Interface))
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy queries
+    // ------------------------------------------------------------------
+
+    /// The set of leaves `V_l(G)` of the whole graph, per Equation (1) of
+    /// the paper: all plain vertices at every hierarchy level.
+    pub fn leaves(&self) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        self.vertex_ids()
+    }
+
+    /// The set of leaves `V_l(γ)` of one cluster, per Equation (1): the
+    /// cluster's own vertices plus, recursively, the leaves of every cluster
+    /// of every interface inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not an id of this graph.
+    #[must_use]
+    pub fn leaves_of_cluster(&self, cluster: ClusterId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![cluster];
+        while let Some(c) = stack.pop() {
+            let data = &self.clusters[c.index()];
+            out.extend_from_slice(&data.vertices);
+            for &i in &data.interfaces {
+                stack.extend_from_slice(&self.interfaces[i.index()].clusters);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns the chain of clusters enclosing `scope`, innermost first,
+    /// ending just below the top level.
+    #[must_use]
+    pub fn enclosing_clusters(&self, scope: Scope) -> Vec<ClusterId> {
+        let mut out = Vec::new();
+        let mut cur = scope;
+        while let Scope::Cluster(c) = cur {
+            out.push(c);
+            let iface = self.clusters[c.index()].interface;
+            cur = self.interfaces[iface.index()].scope;
+        }
+        out
+    }
+
+    /// Returns the nesting depth of `scope`: 0 for the top level, 1 for a
+    /// cluster of a top-level interface, and so on.
+    #[must_use]
+    pub fn depth_of(&self, scope: Scope) -> usize {
+        self.enclosing_clusters(scope).len()
+    }
+
+    /// Looks up a vertex by name within `scope`.
+    #[must_use]
+    pub fn vertex_by_name(&self, scope: Scope, name: &str) -> Option<VertexId> {
+        self.vertices_in(scope)
+            .find(|v| self.vertices[v.index()].name == name)
+    }
+
+    /// Looks up an interface by name within `scope`.
+    #[must_use]
+    pub fn interface_by_name(&self, scope: Scope, name: &str) -> Option<InterfaceId> {
+        self.interfaces_in(scope)
+            .find(|i| self.interfaces[i.index()].name == name)
+    }
+
+    /// Looks up a cluster by name among the clusters of `interface`.
+    #[must_use]
+    pub fn cluster_by_name(&self, interface: InterfaceId, name: &str) -> Option<ClusterId> {
+        self.clusters_of(interface)
+            .iter()
+            .copied()
+            .find(|c| self.clusters[c.index()].name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (
+        HierarchicalGraph<u32, &'static str>,
+        VertexId,
+        InterfaceId,
+        ClusterId,
+        ClusterId,
+    ) {
+        // a -> I(p_in), I refined by two single-vertex clusters.
+        let mut g = HierarchicalGraph::new("diamond");
+        let a = g.add_vertex(Scope::Top, "a", 1);
+        let i = g.add_interface(Scope::Top, "I");
+        let p_in = g.add_port(i, "in", PortDirection::In);
+        let c1 = g.add_cluster(i, "c1");
+        let x1 = g.add_vertex(c1.into(), "x1", 10);
+        g.map_port(c1, p_in, PortTarget::vertex(x1)).unwrap();
+        let c2 = g.add_cluster(i, "c2");
+        let x2 = g.add_vertex(c2.into(), "x2", 20);
+        g.map_port(c2, p_in, PortTarget::vertex(x2)).unwrap();
+        g.add_edge(a, (i, p_in), "dep").unwrap();
+        (g, a, i, c1, c2)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let (g, _, i, c1, _) = diamond();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.interface_count(), 1);
+        assert_eq!(g.cluster_count(), 2);
+        assert_eq!(g.clusters_of(i).len(), 2);
+        assert_eq!(g.cluster_vertices(c1).len(), 1);
+        assert_eq!(g.name(), "diamond");
+    }
+
+    #[test]
+    fn scopes_are_tracked() {
+        let (g, a, i, c1, _) = diamond();
+        assert_eq!(g.scope_of(a.into()), Scope::Top);
+        assert_eq!(g.scope_of(i.into()), Scope::Top);
+        let x1 = g.vertex_by_name(c1.into(), "x1").unwrap();
+        assert_eq!(g.scope_of(x1.into()), Scope::Cluster(c1));
+    }
+
+    #[test]
+    fn cross_scope_edge_is_rejected() {
+        let (mut g, a, _, c1, _) = diamond();
+        let x1 = g.vertex_by_name(c1.into(), "x1").unwrap();
+        let err = g.add_edge(a, x1, "bad").unwrap_err();
+        assert!(matches!(err, HgraphError::ScopeMismatch { .. }));
+    }
+
+    #[test]
+    fn interface_endpoint_requires_port() {
+        let (mut g, a, i, _, _) = diamond();
+        let err = g
+            .add_edge(
+                a,
+                Endpoint {
+                    node: i.into(),
+                    port: None,
+                },
+                "bad",
+            )
+            .unwrap_err();
+        assert!(matches!(err, HgraphError::PortRequired { .. }));
+    }
+
+    #[test]
+    fn vertex_endpoint_must_not_carry_port() {
+        let (mut g, a, i, _, _) = diamond();
+        let p = g.ports_of(i)[0];
+        let err = g
+            .add_edge(
+                Endpoint {
+                    node: a.into(),
+                    port: Some(p),
+                },
+                a,
+                "bad",
+            )
+            .unwrap_err();
+        assert!(matches!(err, HgraphError::PortRequired { .. }));
+    }
+
+    #[test]
+    fn out_port_cannot_receive_edge() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let i = g.add_interface(Scope::Top, "I");
+        let p_out = g.add_port(i, "out", PortDirection::Out);
+        let err = g.add_edge(a, (i, p_out), ()).unwrap_err();
+        assert!(matches!(err, HgraphError::PortDirectionMismatch { .. }));
+    }
+
+    #[test]
+    fn foreign_port_is_rejected() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let i1 = g.add_interface(Scope::Top, "I1");
+        let i2 = g.add_interface(Scope::Top, "I2");
+        let p2 = g.add_port(i2, "in", PortDirection::In);
+        let err = g.add_edge(a, (i1, p2), ()).unwrap_err();
+        assert!(matches!(err, HgraphError::ForeignPort { .. }));
+    }
+
+    #[test]
+    fn port_map_rejects_outside_target() {
+        let (mut g, a, i, c1, _) = diamond();
+        let p = g.ports_of(i)[0];
+        let err = g.map_port(c1, p, PortTarget::vertex(a)).unwrap_err();
+        assert!(matches!(err, HgraphError::PortTargetOutsideCluster { .. }));
+    }
+
+    #[test]
+    fn leaves_follow_equation_1() {
+        let (g, a, _, c1, c2) = diamond();
+        let x1 = g.vertex_by_name(c1.into(), "x1").unwrap();
+        let x2 = g.vertex_by_name(c2.into(), "x2").unwrap();
+        let mut leaves: Vec<_> = g.leaves().collect();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![a, x1, x2]);
+        assert_eq!(g.leaves_of_cluster(c1), vec![x1]);
+    }
+
+    #[test]
+    fn nested_leaves_recurse() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let c = g.add_cluster(i, "c");
+        let v = g.add_vertex(c.into(), "v", ());
+        let inner_i = g.add_interface(c.into(), "J");
+        let inner_c = g.add_cluster(inner_i, "jc");
+        let w = g.add_vertex(inner_c.into(), "w", ());
+        assert_eq!(g.leaves_of_cluster(c), vec![v, w]);
+        assert_eq!(g.depth_of(Scope::Cluster(inner_c)), 2);
+        assert_eq!(g.enclosing_clusters(Scope::Cluster(inner_c)), vec![inner_c, c]);
+    }
+
+    #[test]
+    fn name_lookups() {
+        let (g, a, i, c1, _) = diamond();
+        assert_eq!(g.vertex_by_name(Scope::Top, "a"), Some(a));
+        assert_eq!(g.interface_by_name(Scope::Top, "I"), Some(i));
+        assert_eq!(g.cluster_by_name(i, "c1"), Some(c1));
+        assert_eq!(g.cluster_by_name(i, "nope"), None);
+    }
+
+    #[test]
+    fn weights_are_readable_and_mutable() {
+        let (mut g, a, _, _, _) = diamond();
+        assert_eq!(*g.vertex_weight(a), 1);
+        *g.vertex_weight_mut(a) = 99;
+        assert_eq!(*g.vertex_weight(a), 99);
+        let e = g.edge_ids().next().unwrap();
+        assert_eq!(*g.edge_weight(e), "dep");
+        let (from, to) = g.edge_endpoints(e);
+        assert_eq!(from.node, NodeRef::Vertex(a));
+        assert!(to.node.is_interface());
+    }
+
+    #[test]
+    fn graph_serializes_round_trip() {
+        let (g, _, _, _, _) = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: HierarchicalGraph<u32, String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.cluster_count(), g.cluster_count());
+    }
+}

@@ -1,0 +1,281 @@
+//! Index newtypes used by [`HierarchicalGraph`](crate::HierarchicalGraph).
+//!
+//! All entities of a hierarchical graph (vertices, edges, interfaces,
+//! clusters, ports) live in arenas owned by the graph and are addressed by
+//! small copyable ids. Using distinct newtypes (rather than bare `usize`)
+//! makes it impossible to, say, index the cluster arena with a vertex id
+//! (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw arena index of this id.
+            ///
+            /// Indices are dense: the `n`-th created entity has index `n`.
+            /// This is useful for building side tables
+            /// (e.g. `Vec<T>` keyed by id) without hashing.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// Intended for deserialization and for side tables produced by
+            /// [`index`](Self::index); passing an index that was never handed
+            /// out by the owning graph results in panics or wrong answers on
+            /// later lookups (never memory unsafety).
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a non-hierarchical vertex (`v ∈ V`).
+    VertexId,
+    "v"
+);
+define_id!(
+    /// Identifier of an edge (`e ∈ E`).
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Identifier of an interface (`ψ ∈ Ψ`), i.e. a hierarchical vertex that
+    /// is refined by one or more alternative clusters.
+    InterfaceId,
+    "psi"
+);
+define_id!(
+    /// Identifier of a cluster (`γ ∈ Γ`), i.e. a subgraph that is one
+    /// alternative refinement of an interface.
+    ClusterId,
+    "gamma"
+);
+define_id!(
+    /// Identifier of a port of an interface.
+    ///
+    /// Edges attach to interfaces *through* ports, and each cluster of the
+    /// interface maps every port onto one of its member nodes
+    /// ("port mapping" in the paper).
+    PortId,
+    "p"
+);
+
+/// A reference to a node of a hierarchical graph: either a plain vertex or an
+/// interface.
+///
+/// Edges connect `NodeRef`s; both kinds of nodes may appear at the top level
+/// of the graph or inside clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A non-hierarchical vertex.
+    Vertex(VertexId),
+    /// A hierarchical vertex (interface).
+    Interface(InterfaceId),
+}
+
+impl NodeRef {
+    /// Returns the vertex id if this reference names a plain vertex.
+    #[must_use]
+    pub fn as_vertex(self) -> Option<VertexId> {
+        match self {
+            NodeRef::Vertex(v) => Some(v),
+            NodeRef::Interface(_) => None,
+        }
+    }
+
+    /// Returns the interface id if this reference names an interface.
+    #[must_use]
+    pub fn as_interface(self) -> Option<InterfaceId> {
+        match self {
+            NodeRef::Vertex(_) => None,
+            NodeRef::Interface(i) => Some(i),
+        }
+    }
+
+    /// Returns `true` if this reference names a plain (non-hierarchical)
+    /// vertex.
+    #[must_use]
+    pub fn is_vertex(self) -> bool {
+        matches!(self, NodeRef::Vertex(_))
+    }
+
+    /// Returns `true` if this reference names an interface.
+    #[must_use]
+    pub fn is_interface(self) -> bool {
+        matches!(self, NodeRef::Interface(_))
+    }
+}
+
+impl From<VertexId> for NodeRef {
+    fn from(v: VertexId) -> Self {
+        NodeRef::Vertex(v)
+    }
+}
+
+impl From<InterfaceId> for NodeRef {
+    fn from(i: InterfaceId) -> Self {
+        NodeRef::Interface(i)
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Vertex(v) => write!(f, "{v}"),
+            NodeRef::Interface(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// The containment scope of a node or edge: either the top level of the
+/// graph, or the inside of one cluster.
+///
+/// Scopes are what makes the graph *hierarchical*: every vertex, interface
+/// and edge belongs to exactly one scope, and clusters (which belong to an
+/// interface) open a fresh scope for their members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum Scope {
+    /// The top level of the hierarchical graph.
+    #[default]
+    Top,
+    /// The inside of the given cluster.
+    Cluster(ClusterId),
+}
+
+impl Scope {
+    /// Returns the cluster id if this scope is the inside of a cluster.
+    #[must_use]
+    pub fn cluster(self) -> Option<ClusterId> {
+        match self {
+            Scope::Top => None,
+            Scope::Cluster(c) => Some(c),
+        }
+    }
+
+    /// Returns `true` for the top-level scope.
+    #[must_use]
+    pub fn is_top(self) -> bool {
+        matches!(self, Scope::Top)
+    }
+}
+
+impl From<ClusterId> for Scope {
+    fn from(c: ClusterId) -> Self {
+        Scope::Cluster(c)
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Top => write!(f, "top"),
+            Scope::Cluster(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Direction of a port: whether data flows into or out of the interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Data flows from the surrounding scope into the interface.
+    In,
+    /// Data flows from the interface out into the surrounding scope.
+    Out,
+}
+
+impl PortDirection {
+    /// Returns the opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            PortDirection::In => PortDirection::Out,
+            PortDirection::Out => PortDirection::In,
+        }
+    }
+}
+
+impl fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDirection::In => write!(f, "in"),
+            PortDirection::Out => write!(f, "out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(EdgeId(0).to_string(), "e0");
+        assert_eq!(InterfaceId(7).to_string(), "psi7");
+        assert_eq!(ClusterId(2).to_string(), "gamma2");
+        assert_eq!(PortId(1).to_string(), "p1");
+    }
+
+    #[test]
+    fn id_index_round_trips() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        let c = ClusterId::from_index(0);
+        assert_eq!(c.index(), 0);
+    }
+
+    #[test]
+    fn node_ref_accessors() {
+        let v: NodeRef = VertexId(1).into();
+        let i: NodeRef = InterfaceId(2).into();
+        assert_eq!(v.as_vertex(), Some(VertexId(1)));
+        assert_eq!(v.as_interface(), None);
+        assert!(v.is_vertex() && !v.is_interface());
+        assert_eq!(i.as_interface(), Some(InterfaceId(2)));
+        assert_eq!(i.as_vertex(), None);
+        assert!(i.is_interface() && !i.is_vertex());
+    }
+
+    #[test]
+    fn scope_accessors() {
+        assert!(Scope::Top.is_top());
+        assert_eq!(Scope::Top.cluster(), None);
+        let s: Scope = ClusterId(5).into();
+        assert_eq!(s.cluster(), Some(ClusterId(5)));
+        assert!(!s.is_top());
+        assert_eq!(Scope::default(), Scope::Top);
+    }
+
+    #[test]
+    fn port_direction_reverses() {
+        assert_eq!(PortDirection::In.reversed(), PortDirection::Out);
+        assert_eq!(PortDirection::Out.reversed(), PortDirection::In);
+        assert_eq!(PortDirection::In.to_string(), "in");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(VertexId(0) < VertexId(1));
+        assert!(ClusterId(3) > ClusterId(2));
+    }
+}

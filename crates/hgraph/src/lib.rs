@@ -1,0 +1,101 @@
+//! Hierarchical graphs with alternative refinements — the modeling substrate
+//! of the *flexplore* project.
+//!
+//! This crate implements the hierarchical graph model of
+//! *"System Design for Flexibility"* (Haubelt, Teich, Richter, Ernst —
+//! DATE 2002), Definition 1: a graph `G = (V, E, Ψ, Γ)` whose *interfaces*
+//! `ψ ∈ Ψ` (hierarchical vertices) are refined by **alternative clusters**
+//! `γ ∈ Γ` (subgraphs). Selecting one cluster per active interface — the
+//! *cluster-selection* process — yields a concrete, non-hierarchical graph.
+//! The same machinery models both sides of a specification:
+//!
+//! * a **problem graph** whose interfaces capture alternative behaviors
+//!   (e.g. the three decryption algorithms of the paper's TV decoder), and
+//! * an **architecture graph** whose interfaces capture reconfigurable
+//!   hardware (e.g. an FPGA that can hold one of several designs).
+//!
+//! The higher layers live in sibling crates: `flexplore-spec` adds the
+//! specification-graph semantics (mapping edges, timed activation),
+//! `flexplore-flex` the flexibility metric, and `flexplore-explore` the
+//! design-space exploration.
+//!
+//! # Quickstart
+//!
+//! Model the decryption interface of the paper's digital TV decoder
+//! (Fig. 1) and flatten one selection:
+//!
+//! ```
+//! use flexplore_hgraph::{
+//!     HierarchicalGraph, PortDirection, PortTarget, Scope, Selection,
+//! };
+//!
+//! # fn main() -> Result<(), flexplore_hgraph::HgraphError> {
+//! let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("tv-decoder");
+//! let p_a = g.add_vertex(Scope::Top, "P_A", ());
+//! let i_d = g.add_interface(Scope::Top, "I_D");
+//! let p_in = g.add_port(i_d, "in", PortDirection::In);
+//!
+//! // Three alternative decryption algorithms refine I_D.
+//! let mut first = None;
+//! for k in 1..=3 {
+//!     let gamma = g.add_cluster(i_d, format!("gamma_D{k}"));
+//!     let v = g.add_vertex(gamma.into(), format!("P_D{k}"), ());
+//!     g.map_port(gamma, p_in, PortTarget::vertex(v))?;
+//!     first.get_or_insert(gamma);
+//! }
+//! g.add_edge(p_a, (i_d, p_in), ())?;
+//! g.validate()?;
+//!
+//! // Equation (1): the leaves are P_A plus all three P_Dk.
+//! assert_eq!(g.leaves().count(), 4);
+//!
+//! // Select gamma_D1 and flatten: the edge now ends at P_D1.
+//! let sel = Selection::new().with(i_d, first.unwrap());
+//! let flat = g.flatten(&sel)?;
+//! assert_eq!(flat.edges.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dot;
+mod error;
+mod flatten;
+mod graph;
+mod ids;
+mod selection;
+mod validate;
+
+pub use dot::DotOptions;
+pub use error::HgraphError;
+pub use flatten::{FlatEdge, FlatGraph};
+pub use graph::{Endpoint, HierarchicalGraph, PortTarget};
+pub use ids::{
+    ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId,
+};
+pub use selection::{ActiveSet, Selection};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HierarchicalGraph<u64, String>>();
+        assert_send_sync::<Selection>();
+        assert_send_sync::<ActiveSet>();
+        assert_send_sync::<FlatGraph>();
+        assert_send_sync::<HgraphError>();
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        assert!(!format!("{g:?}").is_empty());
+        assert!(!format!("{:?}", Selection::new()).is_empty());
+    }
+}

@@ -1,0 +1,479 @@
+//! Cluster selections: choosing exactly one alternative per active
+//! interface.
+//!
+//! A [`Selection`] is the static core of the paper's *cluster-selection*
+//! process: for each interface it names the cluster that implements the
+//! interface **at one instant of time**. Time-variant (reconfigurable)
+//! systems are modeled one instant at a time — each instant has its own
+//! selection, and higher layers (the `flexplore-spec` crate) sequence them.
+
+use crate::error::HgraphError;
+use crate::graph::HierarchicalGraph;
+use crate::ids::{ClusterId, InterfaceId, NodeRef, Scope, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A choice of one cluster per (active) interface.
+///
+/// Only interfaces that are actually reachable from the top level under the
+/// selection need an entry; entries for inactive interfaces are permitted
+/// and ignored.
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_hgraph::{HierarchicalGraph, Scope, Selection};
+///
+/// let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+/// let i = g.add_interface(Scope::Top, "I");
+/// let c1 = g.add_cluster(i, "c1");
+/// let c2 = g.add_cluster(i, "c2");
+///
+/// let sel = Selection::new().with(i, c2);
+/// assert_eq!(sel.get(i), Some(c2));
+/// assert_ne!(sel.get(i), Some(c1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Selection {
+    choices: BTreeMap<InterfaceId, ClusterId>,
+}
+
+impl Selection {
+    /// Creates an empty selection.
+    #[must_use]
+    pub fn new() -> Self {
+        Selection::default()
+    }
+
+    /// Returns the selected cluster for `interface`, if any.
+    #[must_use]
+    pub fn get(&self, interface: InterfaceId) -> Option<ClusterId> {
+        self.choices.get(&interface).copied()
+    }
+
+    /// Selects `cluster` for `interface`, replacing any previous choice.
+    pub fn select(&mut self, interface: InterfaceId, cluster: ClusterId) -> &mut Self {
+        self.choices.insert(interface, cluster);
+        self
+    }
+
+    /// Builder-style variant of [`select`](Self::select).
+    #[must_use]
+    pub fn with(mut self, interface: InterfaceId, cluster: ClusterId) -> Self {
+        self.choices.insert(interface, cluster);
+        self
+    }
+
+    /// Iterates over `(interface, cluster)` pairs in interface order.
+    pub fn iter(&self) -> impl Iterator<Item = (InterfaceId, ClusterId)> + '_ {
+        self.choices.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// Returns the number of explicit choices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Returns `true` if no choice has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+impl FromIterator<(InterfaceId, ClusterId)> for Selection {
+    fn from_iter<T: IntoIterator<Item = (InterfaceId, ClusterId)>>(iter: T) -> Self {
+        Selection {
+            choices: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(InterfaceId, ClusterId)> for Selection {
+    fn extend<T: IntoIterator<Item = (InterfaceId, ClusterId)>>(&mut self, iter: T) {
+        self.choices.extend(iter);
+    }
+}
+
+/// The set of entities active under a selection, computed by
+/// [`HierarchicalGraph::active_under`].
+///
+/// This realizes the hierarchical-activation rules of the paper for a single
+/// instant:
+///
+/// 1. every active interface activates exactly the selected cluster;
+/// 2. an active cluster activates all of its members;
+/// 4. all top-level vertices and interfaces are active.
+///
+/// (Rule 3, about edges needing active endpoints, is enforced structurally:
+/// only edges whose scope is active are listed.)
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveSet {
+    /// Active plain vertices, sorted.
+    pub vertices: Vec<VertexId>,
+    /// Active interfaces, sorted.
+    pub interfaces: Vec<InterfaceId>,
+    /// Active (selected) clusters, sorted.
+    pub clusters: Vec<ClusterId>,
+}
+
+impl ActiveSet {
+    /// Returns `true` if `v` is active.
+    #[must_use]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Returns `true` if `i` is active.
+    #[must_use]
+    pub fn contains_interface(&self, i: InterfaceId) -> bool {
+        self.interfaces.binary_search(&i).is_ok()
+    }
+
+    /// Returns `true` if `c` is active (selected).
+    #[must_use]
+    pub fn contains_cluster(&self, c: ClusterId) -> bool {
+        self.clusters.binary_search(&c).is_ok()
+    }
+
+    /// Returns `true` if the scope itself is active (top level, or a
+    /// selected cluster).
+    #[must_use]
+    pub fn contains_scope(&self, scope: Scope) -> bool {
+        match scope {
+            Scope::Top => true,
+            Scope::Cluster(c) => self.contains_cluster(c),
+        }
+    }
+
+    /// Returns `true` if the referenced node is active.
+    #[must_use]
+    pub fn contains_node(&self, node: NodeRef) -> bool {
+        match node {
+            NodeRef::Vertex(v) => self.contains_vertex(v),
+            NodeRef::Interface(i) => self.contains_interface(i),
+        }
+    }
+}
+
+impl<N, E> HierarchicalGraph<N, E> {
+    /// Computes the set of vertices, interfaces and clusters active under
+    /// `selection`, applying the hierarchical-activation rules from the top
+    /// level downwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::SelectionMissing`] if an active interface has
+    /// no selected cluster, and [`HgraphError::SelectionForeignCluster`] if
+    /// the selected cluster refines a different interface.
+    pub fn active_under(&self, selection: &Selection) -> Result<ActiveSet, HgraphError> {
+        let mut out = ActiveSet::default();
+        // Stack of active scopes still to expand; the top level is always
+        // active (activation rule 4).
+        let mut scopes = vec![Scope::Top];
+        while let Some(scope) = scopes.pop() {
+            for v in self.vertices_in(scope) {
+                out.vertices.push(v);
+            }
+            for i in self.interfaces_in(scope) {
+                out.interfaces.push(i);
+                let chosen = selection
+                    .get(i)
+                    .ok_or(HgraphError::SelectionMissing { interface: i })?;
+                if self.interface_of(chosen) != i {
+                    return Err(HgraphError::SelectionForeignCluster {
+                        interface: i,
+                        cluster: chosen,
+                    });
+                }
+                out.clusters.push(chosen);
+                scopes.push(Scope::Cluster(chosen));
+            }
+        }
+        out.vertices.sort_unstable();
+        out.interfaces.sort_unstable();
+        out.clusters.sort_unstable();
+        Ok(out)
+    }
+
+
+    /// Counts the complete selections of the graph without materializing
+    /// them: the hierarchical product of per-interface alternative counts.
+    ///
+    /// This is the number of *elementary cluster-activations* — useful for
+    /// sizing reports where [`enumerate_selections`](Self::enumerate_selections)
+    /// would be too large to hold.
+    ///
+    /// Interfaces with no clusters make the count 0 (no complete selection
+    /// exists).
+    #[must_use]
+    pub fn count_selections(&self) -> u128 {
+        self.count_selections_where(|_| true)
+    }
+
+    /// Like [`count_selections`](Self::count_selections) but only counting
+    /// clusters accepted by `allowed`.
+    #[must_use]
+    pub fn count_selections_where(&self, allowed: impl Fn(ClusterId) -> bool) -> u128 {
+        fn scope_count<N, E>(
+            graph: &HierarchicalGraph<N, E>,
+            scope: Scope,
+            allowed: &impl Fn(ClusterId) -> bool,
+        ) -> u128 {
+            let mut total: u128 = 1;
+            for i in graph.interfaces_in(scope) {
+                let choices: u128 = graph
+                    .clusters_of(i)
+                    .iter()
+                    .filter(|&&c| allowed(c))
+                    .map(|&c| scope_count(graph, Scope::Cluster(c), allowed))
+                    .sum();
+                total = total.saturating_mul(choices);
+            }
+            total
+        }
+        scope_count(self, Scope::Top, &allowed)
+    }
+
+    /// Enumerates every complete selection of the graph: the cartesian
+    /// product of cluster choices over all interfaces that can become
+    /// active.
+    ///
+    /// The product is taken hierarchically, so choices for interfaces inside
+    /// *unselected* clusters do not multiply the count. The result is the
+    /// set of *elementary cluster-activations* of the whole graph in the
+    /// paper's terminology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::InterfaceWithoutClusters`] if a reachable
+    /// interface has no alternative clusters.
+    pub fn enumerate_selections(&self) -> Result<Vec<Selection>, HgraphError> {
+        self.enumerate_selections_where(|_| true)
+    }
+
+    /// Like [`enumerate_selections`](Self::enumerate_selections), but only
+    /// clusters accepted by `allowed` may be chosen.
+    ///
+    /// This is how elementary cluster-activations are restricted to the
+    /// *activatable* clusters of a reduced specification during
+    /// exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::InterfaceWithoutClusters`] if a reachable
+    /// interface has no allowed cluster.
+    pub fn enumerate_selections_where(
+        &self,
+        allowed: impl Fn(ClusterId) -> bool,
+    ) -> Result<Vec<Selection>, HgraphError> {
+        let mut done: Vec<Selection> = Vec::new();
+        // Work list of partial selections plus scopes still to expand.
+        let mut work: Vec<(Selection, Vec<Scope>)> = vec![(Selection::new(), vec![Scope::Top])];
+        while let Some((sel, mut scopes)) = work.pop() {
+            let Some(scope) = scopes.pop() else {
+                done.push(sel);
+                continue;
+            };
+            // All interfaces of this scope must be decided; fork the partial
+            // selection on the first undecided one.
+            let undecided = self.interfaces_in(scope).find(|&i| sel.get(i).is_none());
+            match undecided {
+                None => {
+                    // Descend into the clusters selected within this scope.
+                    for i in self.interfaces_in(scope) {
+                        let c = sel.get(i).expect("all interfaces in scope are decided");
+                        scopes.push(Scope::Cluster(c));
+                    }
+                    work.push((sel, scopes));
+                }
+                Some(i) => {
+                    let clusters: Vec<ClusterId> = self
+                        .clusters_of(i)
+                        .iter()
+                        .copied()
+                        .filter(|&c| allowed(c))
+                        .collect();
+                    if clusters.is_empty() {
+                        return Err(HgraphError::InterfaceWithoutClusters { interface: i });
+                    }
+                    scopes.push(scope); // revisit this scope after deciding
+                    for c in clusters {
+                        work.push((sel.clone().with(i, c), scopes.clone()));
+                    }
+                }
+            }
+        }
+        done.sort_by(|a, b| {
+            a.choices
+                .iter()
+                .collect::<Vec<_>>()
+                .cmp(&b.choices.iter().collect::<Vec<_>>())
+        });
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PortDirection;
+
+    /// Two top-level interfaces with 3 and 2 clusters: 6 selections.
+    fn two_interfaces() -> (HierarchicalGraph<(), ()>, InterfaceId, InterfaceId) {
+        let mut g = HierarchicalGraph::new("g");
+        let i1 = g.add_interface(Scope::Top, "I1");
+        for k in 0..3 {
+            let c = g.add_cluster(i1, format!("a{k}"));
+            g.add_vertex(c.into(), format!("va{k}"), ());
+        }
+        let i2 = g.add_interface(Scope::Top, "I2");
+        for k in 0..2 {
+            let c = g.add_cluster(i2, format!("b{k}"));
+            g.add_vertex(c.into(), format!("vb{k}"), ());
+        }
+        (g, i1, i2)
+    }
+
+    #[test]
+    fn active_set_follows_selection() {
+        let (g, i1, i2) = two_interfaces();
+        let c_a1 = g.cluster_by_name(i1, "a1").unwrap();
+        let c_b0 = g.cluster_by_name(i2, "b0").unwrap();
+        let sel = Selection::new().with(i1, c_a1).with(i2, c_b0);
+        let act = g.active_under(&sel).unwrap();
+        assert_eq!(act.clusters, {
+            let mut v = vec![c_a1, c_b0];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(act.vertices.len(), 2);
+        assert!(act.contains_cluster(c_a1));
+        assert!(act.contains_scope(Scope::Top));
+        assert!(!act.contains_cluster(g.cluster_by_name(i1, "a0").unwrap()));
+    }
+
+    #[test]
+    fn missing_selection_is_reported() {
+        let (g, i1, _) = two_interfaces();
+        let c = g.cluster_by_name(i1, "a0").unwrap();
+        let sel = Selection::new().with(i1, c);
+        let err = g.active_under(&sel).unwrap_err();
+        assert!(matches!(err, HgraphError::SelectionMissing { .. }));
+    }
+
+    #[test]
+    fn foreign_cluster_is_reported() {
+        let (g, i1, i2) = two_interfaces();
+        let ca = g.cluster_by_name(i1, "a0").unwrap();
+        let sel = Selection::new().with(i1, ca).with(i2, ca);
+        let err = g.active_under(&sel).unwrap_err();
+        assert!(matches!(err, HgraphError::SelectionForeignCluster { .. }));
+    }
+
+    #[test]
+    fn enumerate_selections_counts_products() {
+        let (g, _, _) = two_interfaces();
+        let sels = g.enumerate_selections().unwrap();
+        assert_eq!(sels.len(), 6);
+        // All distinct.
+        for (a, b) in sels.iter().zip(sels.iter().skip(1)) {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn enumeration_is_hierarchical_not_global_product() {
+        // I with clusters c1, c2; c1 contains inner interface J (2 clusters),
+        // c2 is a leaf cluster. Total: selecting c1 branches over J (2) plus
+        // selecting c2 (1) = 3, not 2*2=4.
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let c1 = g.add_cluster(i, "c1");
+        let j = g.add_interface(c1.into(), "J");
+        for k in 0..2 {
+            let jc = g.add_cluster(j, format!("j{k}"));
+            g.add_vertex(jc.into(), format!("w{k}"), ());
+        }
+        let c2 = g.add_cluster(i, "c2");
+        g.add_vertex(c2.into(), "z", ());
+        let sels = g.enumerate_selections().unwrap();
+        assert_eq!(sels.len(), 3);
+    }
+
+    #[test]
+    fn interface_without_clusters_errors() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let _ = g.add_interface(Scope::Top, "I");
+        let err = g.enumerate_selections().unwrap_err();
+        assert!(matches!(err, HgraphError::InterfaceWithoutClusters { .. }));
+    }
+
+    #[test]
+    fn selection_collects_and_extends() {
+        let (g, i1, i2) = two_interfaces();
+        let ca = g.cluster_by_name(i1, "a0").unwrap();
+        let cb = g.cluster_by_name(i2, "b1").unwrap();
+        let sel: Selection = [(i1, ca)].into_iter().collect();
+        assert_eq!(sel.len(), 1);
+        let mut sel = sel;
+        sel.extend([(i2, cb)]);
+        assert_eq!(sel.len(), 2);
+        assert!(!sel.is_empty());
+        let pairs: Vec<_> = sel.iter().collect();
+        assert_eq!(pairs, vec![(i1, ca), (i2, cb)]);
+    }
+
+    #[test]
+    fn unused_port_direction_does_not_affect_activation() {
+        // Ports are irrelevant to activation; just exercise the code path.
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let _p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "c");
+        g.add_vertex(c.into(), "v", ());
+        let sel = Selection::new().with(i, c);
+        let act = g.active_under(&sel).unwrap();
+        assert_eq!(act.vertices.len(), 1);
+    }
+    #[test]
+    fn filtered_enumeration_restricts_choices() {
+        let (g, i1, i2) = two_interfaces();
+        let banned = g.cluster_by_name(i1, "a0").unwrap();
+        let sels = g
+            .enumerate_selections_where(|c| c != banned)
+            .unwrap();
+        assert_eq!(sels.len(), 4); // 2 remaining a-clusters x 2 b-clusters
+        assert!(sels.iter().all(|s| s.get(i1) != Some(banned)));
+        assert!(sels.iter().all(|s| s.get(i2).is_some()));
+    }
+
+    #[test]
+    fn filtered_enumeration_with_empty_interface_errors() {
+        let (g, i1, _) = two_interfaces();
+        let all_a: Vec<_> = g.clusters_of(i1).to_vec();
+        let err = g
+            .enumerate_selections_where(|c| !all_a.contains(&c))
+            .unwrap_err();
+        assert!(matches!(err, HgraphError::InterfaceWithoutClusters { .. }));
+    }
+    #[test]
+    fn count_matches_enumeration() {
+        let (g, _, _) = two_interfaces();
+        assert_eq!(g.count_selections(), 6);
+        assert_eq!(
+            g.count_selections() as usize,
+            g.enumerate_selections().unwrap().len()
+        );
+        let banned = g.clusters_of(g.interface_by_name(Scope::Top, "I1").unwrap())[0];
+        assert_eq!(g.count_selections_where(|c| c != banned), 4);
+    }
+
+    #[test]
+    fn count_of_empty_interface_is_zero() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let _ = g.add_interface(Scope::Top, "I");
+        assert_eq!(g.count_selections(), 0);
+    }
+}

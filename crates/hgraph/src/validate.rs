@@ -1,0 +1,154 @@
+//! Whole-graph structural validation.
+//!
+//! [`HierarchicalGraph::validate`] checks the invariants that individual
+//! construction calls cannot check locally — completeness of port mappings,
+//! refinability of every interface, and name uniqueness per scope — so that
+//! downstream passes (activation, flattening, exploration) can rely on a
+//! well-formed model.
+
+use crate::error::HgraphError;
+use crate::graph::HierarchicalGraph;
+use crate::ids::Scope;
+use std::collections::BTreeSet;
+
+impl<N, E> HierarchicalGraph<N, E> {
+    /// Validates the structural invariants of the graph.
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. every interface has at least one alternative cluster (otherwise
+    ///    activation rule 1 is unsatisfiable);
+    /// 2. every cluster maps every port of its interface (otherwise some
+    ///    selection would fail to flatten);
+    /// 3. names are unique per scope (vertices and interfaces share a
+    ///    namespace), and cluster names are unique per interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`HgraphError`].
+    pub fn validate(&self) -> Result<(), HgraphError> {
+        for i in self.interface_ids() {
+            if self.clusters_of(i).is_empty() {
+                return Err(HgraphError::InterfaceWithoutClusters { interface: i });
+            }
+            for &c in self.clusters_of(i) {
+                for &p in self.ports_of(i) {
+                    if self.port_target(c, p).is_none() {
+                        return Err(HgraphError::UnmappedPort { cluster: c, port: p });
+                    }
+                }
+            }
+        }
+
+        let scopes = std::iter::once(Scope::Top).chain(self.cluster_ids().map(Scope::Cluster));
+        for scope in scopes {
+            let mut seen = BTreeSet::new();
+            let names = self
+                .vertices_in(scope)
+                .map(|v| self.vertex_name(v))
+                .chain(self.interfaces_in(scope).map(|i| self.interface_name(i)));
+            for name in names {
+                if !seen.insert(name) {
+                    return Err(HgraphError::DuplicateName {
+                        scope,
+                        name: name.to_owned(),
+                    });
+                }
+            }
+        }
+        for i in self.interface_ids() {
+            let mut seen = BTreeSet::new();
+            for &c in self.clusters_of(i) {
+                let name = self.cluster_name(c);
+                if !seen.insert(name) {
+                    return Err(HgraphError::DuplicateName {
+                        scope: self.scope_of(i.into()),
+                        name: name.to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PortDirection, Scope};
+    use crate::PortTarget;
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "c");
+        let v = g.add_vertex(c.into(), "v", ());
+        g.map_port(c, p, PortTarget::vertex(v)).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn clusterless_interface_fails() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        g.add_interface(Scope::Top, "I");
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::InterfaceWithoutClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_port_map_fails() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let _p = g.add_port(i, "in", PortDirection::In);
+        let c = g.add_cluster(i, "c");
+        g.add_vertex(c.into(), "v", ());
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::UnmappedPort { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_vertex_names_in_scope_fail() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        g.add_vertex(Scope::Top, "x", ());
+        g.add_vertex(Scope::Top, "x", ());
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::DuplicateName { scope: Scope::Top, .. })
+        ));
+    }
+
+    #[test]
+    fn vertex_and_interface_share_namespace() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        g.add_vertex(Scope::Top, "x", ());
+        let i = g.add_interface(Scope::Top, "x");
+        g.add_cluster(i, "c");
+        assert!(matches!(g.validate(), Err(HgraphError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn duplicate_cluster_names_fail() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        g.add_cluster(i, "c");
+        g.add_cluster(i, "c");
+        assert!(matches!(g.validate(), Err(HgraphError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn same_name_in_different_scopes_is_fine() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let c1 = g.add_cluster(i, "c1");
+        let c2 = g.add_cluster(i, "c2");
+        g.add_vertex(c1.into(), "v", ());
+        g.add_vertex(c2.into(), "v", ());
+        assert!(g.validate().is_ok());
+    }
+}

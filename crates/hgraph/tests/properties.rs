@@ -1,0 +1,251 @@
+//! Property-based tests for the hierarchical graph substrate.
+//!
+//! Strategy: generate random two-level hierarchical graphs (top-level
+//! vertices, interfaces with random cluster counts, random intra-cluster
+//! vertices) and check the structural invariants promised by the crate.
+
+use flexplore_hgraph::{
+    HierarchicalGraph, PortDirection, PortTarget, Scope, Selection,
+};
+use proptest::prelude::*;
+
+/// Shape description of a random hierarchical graph.
+#[derive(Debug, Clone)]
+struct Shape {
+    top_vertices: usize,
+    // per interface: cluster sizes (#vertices in each alternative cluster)
+    interfaces: Vec<Vec<usize>>,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        0usize..4,
+        prop::collection::vec(prop::collection::vec(1usize..4, 1..4), 0..4),
+    )
+        .prop_map(|(top_vertices, interfaces)| Shape {
+            top_vertices,
+            interfaces,
+        })
+}
+
+/// Builds a graph from a shape: every interface gets one In port, every
+/// cluster maps it to its first vertex, and a chain of edges connects the
+/// top-level nodes in creation order.
+fn build(shape: &Shape) -> HierarchicalGraph<usize, ()> {
+    let mut g = HierarchicalGraph::new("prop");
+    let mut prev: Option<flexplore_hgraph::Endpoint> = None;
+    for t in 0..shape.top_vertices {
+        let v = g.add_vertex(Scope::Top, format!("t{t}"), t);
+        if let Some(_p) = prev.take() {
+            // Chains through interfaces need Out ports; keep it simple and
+            // only chain vertex->vertex.
+        }
+        prev = Some(v.into());
+    }
+    for (n, clusters) in shape.interfaces.iter().enumerate() {
+        let i = g.add_interface(Scope::Top, format!("I{n}"));
+        let p_in = g.add_port(i, "in", PortDirection::In);
+        for (k, &size) in clusters.iter().enumerate() {
+            let c = g.add_cluster(i, format!("c{n}_{k}"));
+            let mut first = None;
+            for s in 0..size {
+                let v = g.add_vertex(c.into(), format!("v{n}_{k}_{s}"), 1000 + s);
+                first.get_or_insert(v);
+            }
+            g.map_port(c, p_in, PortTarget::vertex(first.unwrap()))
+                .unwrap();
+        }
+        if let Some(ep) = prev.take() {
+            if let Some(v) = ep.node.as_vertex() {
+                g.add_edge(v, (i, p_in), ()).unwrap();
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Every generated graph passes validation.
+    #[test]
+    fn generated_graphs_validate(shape in shape_strategy()) {
+        let g = build(&shape);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Equation (1): the leaf count equals top vertices plus the sum of all
+    /// cluster sizes.
+    #[test]
+    fn leaf_count_matches_equation_1(shape in shape_strategy()) {
+        let g = build(&shape);
+        let expected: usize = shape.top_vertices
+            + shape.interfaces.iter().flatten().sum::<usize>();
+        prop_assert_eq!(g.leaves().count(), expected);
+    }
+
+    /// The number of complete selections equals the product of cluster
+    /// counts over all (top-level) interfaces.
+    #[test]
+    fn selection_count_is_product(shape in shape_strategy()) {
+        let g = build(&shape);
+        let sels = g.enumerate_selections().unwrap();
+        let expected: usize = shape
+            .interfaces
+            .iter()
+            .map(|cs| cs.len())
+            .product();
+        prop_assert_eq!(sels.len(), expected);
+    }
+
+    /// Every enumerated selection yields an activation satisfying the
+    /// hierarchical-activation rules, and flattening succeeds with the
+    /// expected vertex count.
+    #[test]
+    fn every_selection_flattens(shape in shape_strategy()) {
+        let g = build(&shape);
+        for sel in g.enumerate_selections().unwrap() {
+            let act = g.active_under(&sel).unwrap();
+            // Rule 1: one cluster per active interface.
+            prop_assert_eq!(act.clusters.len(), act.interfaces.len());
+            // Rule 4: all top-level nodes active.
+            for node in g.top_nodes() {
+                prop_assert!(act.contains_node(node));
+            }
+            let flat = g.flatten(&sel).unwrap();
+            prop_assert_eq!(flat.vertices.len(), act.vertices.len());
+            // Rule 3: every flattened edge connects active vertices.
+            for e in &flat.edges {
+                prop_assert!(act.contains_vertex(e.from));
+                prop_assert!(act.contains_vertex(e.to));
+            }
+        }
+    }
+
+    /// Flattened graphs built here are always acyclic (edges only go from
+    /// earlier top vertices into interfaces).
+    #[test]
+    fn chain_flat_graphs_are_acyclic(shape in shape_strategy()) {
+        let g = build(&shape);
+        if let Some(sel) = g.enumerate_selections().unwrap().into_iter().next() {
+            let flat = g.flatten(&sel).unwrap();
+            prop_assert!(flat.is_acyclic());
+        }
+    }
+
+    /// Serialization round-trips preserve counts.
+    #[test]
+    fn serde_round_trip_preserves_counts(shape in shape_strategy()) {
+        let g = build(&shape);
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: HierarchicalGraph<usize, ()> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g.vertex_count(), g2.vertex_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        prop_assert_eq!(g.interface_count(), g2.interface_count());
+        prop_assert_eq!(g.cluster_count(), g2.cluster_count());
+    }
+}
+
+#[test]
+fn selection_builder_is_order_insensitive() {
+    let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+    let i1 = g.add_interface(Scope::Top, "I1");
+    let c1 = g.add_cluster(i1, "c1");
+    let i2 = g.add_interface(Scope::Top, "I2");
+    let c2 = g.add_cluster(i2, "c2");
+    let a = Selection::new().with(i1, c1).with(i2, c2);
+    let b = Selection::new().with(i2, c2).with(i1, c1);
+    assert_eq!(a, b);
+}
+
+/// Three-level hierarchies: interfaces inside clusters inside clusters.
+mod deep {
+    use super::*;
+
+    /// Recursive shape: alternatives per interface at each level.
+    #[derive(Debug, Clone)]
+    struct DeepShape {
+        /// fan[d] = number of alternatives per interface at depth d.
+        fan: Vec<usize>,
+    }
+
+    fn deep_shape_strategy() -> impl Strategy<Value = DeepShape> {
+        prop::collection::vec(1usize..4, 1..4).prop_map(|fan| DeepShape { fan })
+    }
+
+    /// Builds a graph with one interface chain of the given fan-out per
+    /// level: every cluster at depth d < max contains one vertex and one
+    /// interface with fan[d+1] clusters; leaf clusters contain one vertex.
+    fn build_deep(shape: &DeepShape) -> HierarchicalGraph<(), ()> {
+        let mut g = HierarchicalGraph::new("deep");
+        fn grow(
+            g: &mut HierarchicalGraph<(), ()>,
+            scope: Scope,
+            fan: &[usize],
+            tag: String,
+        ) {
+            let Some((&width, rest)) = fan.split_first() else {
+                return;
+            };
+            let iface = g.add_interface(scope, format!("I{tag}"));
+            for a in 0..width {
+                let c = g.add_cluster(iface, format!("c{tag}_{a}"));
+                g.add_vertex(c.into(), format!("v{tag}_{a}"), ());
+                grow(g, c.into(), rest, format!("{tag}_{a}"));
+            }
+        }
+        grow(&mut g, Scope::Top, &shape.fan, String::new());
+        g
+    }
+
+    /// Expected number of selections: product over the recursion — at each
+    /// level, each cluster independently opens `fan[d+1]` choices, so the
+    /// count satisfies count(d) = fan[d] * count(d+1), count(last) = fan.
+    fn expected_selections(fan: &[usize]) -> u128 {
+        fan.iter().rev().fold(1u128, |acc, &w| w as u128 * acc)
+    }
+
+    /// Expected leaves: one vertex per cluster, clusters multiply by level:
+    /// leaves = fan[0] + fan[0]*fan[1] + fan[0]*fan[1]*fan[2] + ...
+    fn expected_leaves(fan: &[usize]) -> usize {
+        let mut total = 0;
+        let mut prod = 1;
+        for &w in fan {
+            prod *= w;
+            total += prod;
+        }
+        total
+    }
+
+    proptest! {
+        #[test]
+        fn deep_counts_match_closed_forms(shape in deep_shape_strategy()) {
+            let g = build_deep(&shape);
+            prop_assert!(g.validate().is_ok());
+            prop_assert_eq!(g.leaves().count(), expected_leaves(&shape.fan));
+            prop_assert_eq!(g.count_selections(), expected_selections(&shape.fan));
+            let sels = g.enumerate_selections().unwrap();
+            prop_assert_eq!(sels.len() as u128, g.count_selections());
+        }
+
+        #[test]
+        fn deep_flatten_vertex_count(shape in deep_shape_strategy()) {
+            let g = build_deep(&shape);
+            for sel in g.enumerate_selections().unwrap() {
+                // Each selection activates exactly one vertex per level of
+                // the chosen path: depth many vertices.
+                let flat = g.flatten(&sel).unwrap();
+                prop_assert_eq!(flat.vertices.len(), shape.fan.len());
+            }
+        }
+
+        #[test]
+        fn deep_max_depth_matches(shape in deep_shape_strategy()) {
+            let g = build_deep(&shape);
+            let max_depth = g
+                .cluster_ids()
+                .map(|c| g.depth_of(Scope::Cluster(c)))
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(max_depth, shape.fan.len());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's case-study models and synthetic workload generators.
+//!
+//! * [`tv_decoder`] — the digital TV decoder guiding example (Figs. 1–2):
+//!   leaves of Equation (1), the infeasible ASIC↔FPGA binding, the Fig. 2
+//!   possible-allocation set.
+//! * [`set_top_box`] — the Section 5 case study (Fig. 3 + Fig. 5 +
+//!   Table 1): the model whose exploration reproduces the published
+//!   six-point Pareto table; [`paper_pareto_table`] holds the published
+//!   reference values.
+//! * [`synthetic_spec`] — seeded random specifications of the same shape
+//!   for scaling experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexplore_models::set_top_box;
+//! use flexplore_flex::max_flexibility;
+//!
+//! let stb = set_top_box();
+//! // Fig. 3: the Set-Top box problem graph has maximal flexibility 8.
+//! assert_eq!(max_flexibility(stb.spec.problem().graph()), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod json;
+mod partial_reconfig;
+mod set_top_box;
+mod synthetic;
+mod tv_decoder;
+
+pub use json::{spec_from_json, spec_to_json};
+pub use partial_reconfig::{dual_slot_fpga, DualSlot};
+pub use set_top_box::{paper_pareto_table, set_top_box, set_top_box_problem, SetTopBox};
+pub use synthetic::{synthetic_spec, SyntheticConfig};
+pub use tv_decoder::{tv_decoder, TvDecoder};

@@ -1,0 +1,290 @@
+//! Seeded synthetic specification generator for scaling experiments.
+//!
+//! The paper claims EXPLORE reduces typical search spaces of `10^5`–`10^12`
+//! design points to a few thousand candidates, making *"industrial size
+//! applications"* explorable *"within minutes"*. This generator produces
+//! random hierarchical specifications of controllable size — the same shape
+//! as the Set-Top box (applications behind one top-level interface, nested
+//! alternative clusters, processors/ASICs/FPGA designs) — so that claim can
+//! be exercised at growing scale with deterministic seeds.
+
+use flexplore_hgraph::{PortDirection, PortTarget, Scope};
+use flexplore_sched::Time;
+use flexplore_spec::{
+    ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// RNG seed; equal configs produce identical specifications.
+    pub seed: u64,
+    /// Number of applications (clusters of the top-level interface).
+    pub applications: usize,
+    /// Interfaces per application (each a pipeline stage with
+    /// alternatives).
+    pub interfaces_per_app: usize,
+    /// Alternative clusters per interface.
+    pub alternatives: usize,
+    /// Number of general-purpose processors (can run everything).
+    pub processors: usize,
+    /// Number of ASICs (each runs a random subset of processes, faster).
+    pub asics: usize,
+    /// Number of FPGA designs on one reconfigurable device.
+    pub fpga_designs: usize,
+    /// Fraction of applications with a timing constraint (0.0–1.0).
+    pub constrained_fraction: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 42,
+            applications: 3,
+            interfaces_per_app: 2,
+            alternatives: 2,
+            processors: 2,
+            asics: 1,
+            fpga_designs: 2,
+            constrained_fraction: 0.5,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A small configuration (sub-second exploration).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            applications: 2,
+            interfaces_per_app: 1,
+            alternatives: 2,
+            processors: 1,
+            asics: 1,
+            fpga_designs: 1,
+            constrained_fraction: 0.5,
+        }
+    }
+
+    /// A Set-Top-box-sized configuration.
+    #[must_use]
+    pub fn medium(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            applications: 3,
+            interfaces_per_app: 2,
+            alternatives: 3,
+            processors: 2,
+            asics: 2,
+            fpga_designs: 3,
+            constrained_fraction: 0.6,
+        }
+    }
+
+    /// A configuration beyond the paper's case study.
+    #[must_use]
+    pub fn large(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            applications: 4,
+            interfaces_per_app: 3,
+            alternatives: 3,
+            processors: 2,
+            asics: 3,
+            fpga_designs: 4,
+            constrained_fraction: 0.7,
+        }
+    }
+}
+
+/// Generates a random specification from `config`.
+///
+/// Structural guarantees (so that exploration always has work to do):
+///
+/// * every process is mappable to every processor (the architecture always
+///   admits a processor-only implementation of at least one alternative
+///   per interface);
+/// * ASICs and FPGA designs carry faster mappings for random subsets of
+///   the processes;
+/// * a shared bus connects all processors and ASICs; a dedicated bus links
+///   the first processor to the FPGA.
+#[must_use]
+pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut p = ProblemGraph::new(format!("synthetic-{}", config.seed));
+
+    let app_interface = p.add_interface(Scope::Top, "I_app");
+    let mut process_ids = Vec::new();
+    for app in 0..config.applications {
+        let cluster = p.add_cluster(app_interface, format!("app{app}"));
+        let constrained = rng.random_bool(config.constrained_fraction.clamp(0.0, 1.0));
+        let period = Time::from_ns(rng.random_range(200..=400));
+        // Controller -> stage interfaces -> sink pipeline.
+        let ctrl = p.add_process_with(
+            cluster.into(),
+            format!("ctrl{app}"),
+            ProcessAttrs::new().negligible(),
+        );
+        process_ids.push(ctrl);
+        let mut upstream: flexplore_hgraph::Endpoint = ctrl.into();
+        for stage in 0..config.interfaces_per_app {
+            let iface = p.add_interface(cluster.into(), format!("I{app}_{stage}"));
+            let in_port = p.add_port(iface, "in", PortDirection::In);
+            let out_port = p.add_port(iface, "out", PortDirection::Out);
+            for alt in 0..config.alternatives {
+                let c = p.add_cluster(iface, format!("alt{app}_{stage}_{alt}"));
+                let v = p.add_process(c.into(), format!("P{app}_{stage}_{alt}"));
+                p.map_port(c, in_port, PortTarget::vertex(v)).expect("member");
+                p.map_port(c, out_port, PortTarget::vertex(v)).expect("member");
+                process_ids.push(v);
+            }
+            p.add_dependence(upstream, (iface, in_port)).expect("same scope");
+            upstream = (iface, out_port).into();
+        }
+        let sink_attrs = if constrained {
+            ProcessAttrs::new().with_period(period)
+        } else {
+            ProcessAttrs::new()
+        };
+        let sink = p.add_process_with(cluster.into(), format!("sink{app}"), sink_attrs);
+        p.add_dependence(upstream, sink).expect("same scope");
+        process_ids.push(sink);
+    }
+
+    let mut a = ArchitectureGraph::new("synthetic-arch");
+    let shared_bus = a.add_bus(Scope::Top, "B0", Cost::new(10));
+    let mut processors = Vec::new();
+    for k in 0..config.processors {
+        let cpu = a.add_resource(
+            Scope::Top,
+            format!("CPU{k}"),
+            Cost::new(rng.random_range(80..=160)),
+        );
+        a.connect(cpu, shared_bus).expect("same scope");
+        processors.push(cpu);
+    }
+    let mut asics = Vec::new();
+    for k in 0..config.asics {
+        let asic = a.add_resource(
+            Scope::Top,
+            format!("ASIC{k}"),
+            Cost::new(rng.random_range(150..=350)),
+        );
+        a.connect(shared_bus, asic).expect("same scope");
+        asics.push(asic);
+    }
+    let mut fpga_designs = Vec::new();
+    if config.fpga_designs > 0 && !processors.is_empty() {
+        let fpga_bus = a.add_bus(Scope::Top, "B1", Cost::new(10));
+        a.connect(processors[0], fpga_bus).expect("same scope");
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        a.connect_through(fpga_bus, fpga).expect("device link");
+        for k in 0..config.fpga_designs {
+            let d = a
+                .add_design(
+                    fpga,
+                    format!("cfg{k}"),
+                    format!("D{k}"),
+                    Cost::new(rng.random_range(40..=90)),
+                )
+                .expect("fresh design");
+            fpga_designs.push(d.design);
+        }
+    }
+
+    let mut spec = SpecificationGraph::new(format!("synthetic-{}", config.seed), p, a);
+    for &process in &process_ids {
+        for &cpu in &processors {
+            let latency = Time::from_ns(rng.random_range(30..=120));
+            spec.add_mapping(process, cpu, latency).expect("valid endpoints");
+        }
+        for &asic in &asics {
+            if rng.random_bool(0.4) {
+                let latency = Time::from_ns(rng.random_range(5..=40));
+                spec.add_mapping(process, asic, latency).expect("valid endpoints");
+            }
+        }
+        for &design in &fpga_designs {
+            if rng.random_bool(0.25) {
+                let latency = Time::from_ns(rng.random_range(10..=70));
+                spec.add_mapping(process, design, latency).expect("valid endpoints");
+            }
+        }
+    }
+    spec.validate().expect("generated model is structurally valid");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_explore::{explore, exhaustive_explore, ExploreOptions};
+    use flexplore_flex::max_flexibility;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SyntheticConfig::default();
+        let a = synthetic_spec(&config);
+        let b = synthetic_spec(&config);
+        assert_eq!(a.mapping_count(), b.mapping_count());
+        assert_eq!(a.vertex_set_size(), b.vertex_set_size());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_spec(&SyntheticConfig { seed: 1, ..SyntheticConfig::default() });
+        let b = synthetic_spec(&SyntheticConfig { seed: 2, ..SyntheticConfig::default() });
+        // Latencies are random; the mapping count almost surely differs.
+        assert!(
+            a.mapping_count() != b.mapping_count()
+                || {
+                    let la: Vec<u64> = a.mapping_ids().map(|m| a.mapping(m).latency.as_ns()).collect();
+                    let lb: Vec<u64> = b.mapping_ids().map(|m| b.mapping(m).latency.as_ns()).collect();
+                    la != lb
+                }
+        );
+    }
+
+    #[test]
+    fn every_process_is_mappable() {
+        let spec = synthetic_spec(&SyntheticConfig::medium(7));
+        assert!(spec.unmapped_processes().is_empty());
+    }
+
+    #[test]
+    fn flexibility_matches_structure() {
+        // With all alternatives activatable: apps * (stages*(alts) - (stages-1)).
+        let config = SyntheticConfig {
+            seed: 3,
+            applications: 2,
+            interfaces_per_app: 2,
+            alternatives: 3,
+            ..SyntheticConfig::default()
+        };
+        let spec = synthetic_spec(&config);
+        let per_app = 2 * 3 - (2 - 1);
+        assert_eq!(
+            max_flexibility(spec.problem().graph()),
+            (2 * per_app) as u64
+        );
+    }
+
+    #[test]
+    fn small_specs_explore_and_agree_with_exhaustive() {
+        for seed in 0..3 {
+            let spec = synthetic_spec(&SyntheticConfig::small(seed));
+            let fast = explore(&spec, &ExploreOptions::paper()).unwrap();
+            let slow = exhaustive_explore(&spec).unwrap();
+            assert!(
+                fast.front.same_objectives(&slow.front),
+                "seed {seed}: EXPLORE {:?} != exhaustive {:?}",
+                fast.front.objectives(),
+                slow.front.objectives()
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+use flexplore_explore::{explore, ExploreOptions};
+use flexplore_models::{paper_pareto_table, set_top_box};
+
+#[test]
+fn explore_reproduces_paper_pareto_table() {
+    let stb = set_top_box();
+    let result = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    let got: Vec<(u64, u64)> = result
+        .front
+        .objectives()
+        .into_iter()
+        .map(|(c, f)| (c.dollars(), f))
+        .collect();
+    let expected: Vec<(u64, u64)> = paper_pareto_table()
+        .into_iter()
+        .map(|(_, c, f)| (c, f))
+        .collect();
+    eprintln!("stats: {:?}", result.stats);
+    for p in result.front.points() {
+        eprintln!(
+            "  {} f={} [{}]",
+            p.cost,
+            p.flexibility,
+            p.implementation
+                .as_ref()
+                .map(|i| i.allocation.display_names(stb.spec.architecture()))
+                .unwrap_or_default()
+        );
+    }
+    assert_eq!(got, expected);
+}

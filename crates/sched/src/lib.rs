@@ -1,0 +1,47 @@
+//! Rate-monotonic schedulability analysis — the timing substrate of the
+//! *flexplore* project.
+//!
+//! The paper validates implementations against timing constraints with a
+//! utilization estimate: *"we quickly estimate the processor utilization and
+//! use the 69 % limit as defined in \[Liu & Layland 1973\] to accept or
+//! reject implementations."* This crate provides that test — in exact
+//! integer arithmetic — together with the sharper classical analyses it
+//! approximates (the `n`-task Liu–Layland bound, the hyperbolic bound, and
+//! exact response-time analysis), all selectable through [`SchedPolicy`].
+//!
+//! # Examples
+//!
+//! Reproducing the two feasibility verdicts worked out in Section 5 of the
+//! paper:
+//!
+//! ```
+//! use flexplore_sched::{fits_paper_limit, Time};
+//!
+//! // Game console on µP2: P_G1 (95 ns) + P_D (90 ns) within 240 ns — reject.
+//! assert!(!fits_paper_limit(Time::from_ns(95 + 90), Time::from_ns(240)));
+//!
+//! // Digital TV on µP2: P_D1 (95 ns) + P_U1 (45 ns) within 300 ns — accept.
+//! assert!(fits_paper_limit(Time::from_ns(95 + 45), Time::from_ns(300)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bounds;
+mod policy;
+mod rta;
+mod simulate;
+mod task;
+mod time;
+
+pub use bounds::{
+    fits_paper_limit, hyperbolic_test, is_harmonic, liu_layland_bound, liu_layland_test,
+    paper_limit_test,
+    PAPER_UTILIZATION_LIMIT, PAPER_UTILIZATION_LIMIT_PERCENT,
+};
+pub use policy::SchedPolicy;
+pub use rta::{response_time, rta_schedulable};
+pub use simulate::{hyperperiod, simulate_rm, SimOutcome};
+pub use task::{Task, TaskSet};
+pub use time::Time;

@@ -1,0 +1,185 @@
+//! Discrete-time simulation of preemptive rate-monotonic scheduling.
+//!
+//! An independent oracle for the analytical tests: the simulator releases
+//! every task at its period, always runs the highest-priority ready job
+//! (shortest period first, preemptively), and reports a deadline miss the
+//! moment a job is still unfinished at its next release.
+//!
+//! For synchronous releases (all tasks start at t = 0 — the *critical
+//! instant*), simulating one hyperperiod is exact for implicit-deadline
+//! periodic tasks, so [`simulate_rm`] and
+//! [`rta_schedulable`](crate::rta_schedulable) must always agree — which
+//! the property tests assert.
+
+use crate::task::TaskSet;
+use crate::time::Time;
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Every job met its deadline within the simulated horizon.
+    Schedulable,
+    /// Some job missed its deadline at the given instant.
+    DeadlineMissAt(Time),
+    /// The hyperperiod exceeded the supplied budget; the simulation did
+    /// not run. Use the analytical tests instead.
+    HorizonTooLarge {
+        /// The hyperperiod that was required.
+        hyperperiod: u128,
+    },
+}
+
+/// Least common multiple of all task periods, in nanoseconds.
+///
+/// Returns 0 for an empty set.
+#[must_use]
+pub fn hyperperiod(set: &TaskSet) -> u128 {
+    fn gcd(a: u128, b: u128) -> u128 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    set.iter().fold(0u128, |acc, t| {
+        let p = u128::from(t.period().as_ns());
+        if acc == 0 {
+            p
+        } else {
+            acc / gcd(acc, p) * p
+        }
+    })
+}
+
+/// Simulates preemptive rate-monotonic scheduling over one hyperperiod
+/// with synchronous release, nanosecond-exact (event-driven, so runtime is
+/// proportional to the number of releases, not the horizon).
+///
+/// `max_hyperperiod` bounds the simulated horizon; task sets whose
+/// hyperperiod exceeds it return [`SimOutcome::HorizonTooLarge`].
+#[must_use]
+pub fn simulate_rm(set: &TaskSet, max_hyperperiod: u128) -> SimOutcome {
+    if set.is_empty() {
+        return SimOutcome::Schedulable;
+    }
+    let horizon = hyperperiod(set);
+    if horizon > max_hyperperiod {
+        return SimOutcome::HorizonTooLarge {
+            hyperperiod: horizon,
+        };
+    }
+    let horizon = horizon as u64;
+    let tasks = set.tasks();
+    // Per task: remaining work of the current job and its absolute
+    // deadline (= next release).
+    let mut remaining: Vec<u64> = tasks.iter().map(|t| t.wcet().as_ns()).collect();
+    let mut next_release: Vec<u64> = tasks.iter().map(|t| t.period().as_ns()).collect();
+
+    let mut now: u64 = 0;
+    while now < horizon {
+        // Highest-priority ready task: tasks are in RM order already.
+        let running = remaining.iter().position(|&r| r > 0);
+        // Next event: the earliest release, or completion of the runner.
+        let next_event = next_release
+            .iter()
+            .copied()
+            .chain(running.map(|k| now + remaining[k]))
+            .filter(|&t| t > now)
+            .min()
+            .unwrap_or(horizon)
+            .min(horizon);
+        if let Some(k) = running {
+            remaining[k] -= next_event - now;
+        }
+        now = next_event;
+        // Handle releases at `now`. A release is also the previous job's
+        // deadline; at the horizon itself we still check deadlines but do
+        // not start the next hyperperiod's jobs.
+        for (k, release) in next_release.iter_mut().enumerate() {
+            if *release == now {
+                if remaining[k] > 0 {
+                    return SimOutcome::DeadlineMissAt(Time::from_ns(now));
+                }
+                if now < horizon {
+                    remaining[k] = tasks[k].wcet().as_ns();
+                    *release += tasks[k].period().as_ns();
+                }
+            }
+        }
+    }
+    // End of hyperperiod: every job must be complete (jobs whose deadline
+    // coincides with the horizon were checked in the release loop).
+    if remaining.iter().any(|&r| r > 0) {
+        return SimOutcome::DeadlineMissAt(Time::from_ns(horizon));
+    }
+    SimOutcome::Schedulable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::rta_schedulable;
+    use crate::task::Task;
+
+    fn set(entries: &[(u64, u64)]) -> TaskSet {
+        entries
+            .iter()
+            .enumerate()
+            .map(|(k, &(c, p))| Task::new(format!("t{k}"), Time::from_ns(c), Time::from_ns(p)))
+            .collect()
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        assert_eq!(hyperperiod(&set(&[(1, 4), (1, 6)])), 12);
+        assert_eq!(hyperperiod(&set(&[(1, 100)])), 100);
+        assert_eq!(hyperperiod(&TaskSet::new()), 0);
+    }
+
+    #[test]
+    fn classic_example_is_schedulable() {
+        let s = set(&[(20, 100), (40, 150), (100, 350)]);
+        assert_eq!(simulate_rm(&s, 1 << 30), SimOutcome::Schedulable);
+        assert!(rta_schedulable(&s));
+    }
+
+    #[test]
+    fn overload_misses() {
+        let s = set(&[(60, 100), (60, 100)]);
+        match simulate_rm(&s, 1 << 30) {
+            SimOutcome::DeadlineMissAt(t) => assert_eq!(t, Time::from_ns(100)),
+            other => panic!("expected a miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harmonic_full_utilization_schedules() {
+        let s = set(&[(50, 100), (100, 200)]);
+        assert_eq!(simulate_rm(&s, 1 << 30), SimOutcome::Schedulable);
+    }
+
+    #[test]
+    fn horizon_budget_is_respected() {
+        // Coprime large periods blow up the hyperperiod.
+        let s = set(&[(1, 999_983), (1, 999_979)]);
+        assert!(matches!(
+            simulate_rm(&s, 1_000_000),
+            SimOutcome::HorizonTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn simulation_agrees_with_rta_on_a_grid() {
+        for c1 in (10..=60).step_by(10) {
+            for c2 in (10..=120).step_by(10) {
+                let s = set(&[(c1, 100), (c2, 160)]);
+                let analytical = rta_schedulable(&s);
+                let simulated = simulate_rm(&s, 1 << 30) == SimOutcome::Schedulable;
+                assert_eq!(
+                    analytical, simulated,
+                    "RTA and simulation disagree on C=({c1},{c2})"
+                );
+            }
+        }
+    }
+}

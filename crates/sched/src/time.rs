@@ -1,0 +1,171 @@
+//! Time quantities.
+//!
+//! The paper annotates core execution times and output periods in
+//! nanoseconds (Table 1). We keep them as exact integer nanoseconds so that
+//! feasibility verdicts like `95 + 90 ≤ 0.69 · 240` are computed without
+//! floating-point rounding: the comparison `sum · 100 ≤ 69 · period` is done
+//! in integer arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A non-negative time quantity in integer nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_sched::Time;
+///
+/// let wcet = Time::from_ns(95) + Time::from_ns(45);
+/// assert_eq!(wcet.as_ns(), 140);
+/// assert!(wcet < Time::from_ns(300));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from integer nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Returns the value in nanoseconds.
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as seconds in floating point (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Integer ceiling division of `self` by `rhs`, used by response-time
+    /// analysis for the `⌈R/T⌉` term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    pub fn div_ceil(self, rhs: Time) -> u64 {
+        assert!(rhs.0 > 0, "division by zero time");
+        self.0.div_ceil(rhs.0)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ns: u64) -> Self {
+        Time(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(100);
+        let b = Time::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!((b * 3).as_ns(), 120);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ns(), 140);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(25);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(b.saturating_sub(a).as_ns(), 15);
+        assert_eq!(Time::from_ns(u64::MAX).checked_add(Time::from_ns(1)), None);
+        assert_eq!(a.checked_add(b), Some(Time::from_ns(35)));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(Time::from_ns(10).div_ceil(Time::from_ns(3)), 4);
+        assert_eq!(Time::from_ns(9).div_ceil(Time::from_ns(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_ceil_by_zero_panics() {
+        let _ = Time::from_ns(1).div_ceil(Time::ZERO);
+    }
+
+    #[test]
+    fn display_and_sum() {
+        assert_eq!(Time::from_ns(42).to_string(), "42ns");
+        let total: Time = [1u64, 2, 3].into_iter().map(Time::from_ns).sum();
+        assert_eq!(total.as_ns(), 6);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert!((Time::from_ns(1_000_000_000).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+}

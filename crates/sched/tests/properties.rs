@@ -1,0 +1,119 @@
+//! Property-based tests for the schedulability analyses.
+
+use flexplore_sched::{
+    hyperbolic_test, liu_layland_bound, liu_layland_test, paper_limit_test, response_time,
+    rta_schedulable, SchedPolicy, Task, TaskSet, Time,
+};
+use proptest::prelude::*;
+
+fn taskset_strategy() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((1u64..100, 50u64..500), 1..8).prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(k, (c, p))| {
+                // Keep wcet below period so single tasks are never trivially
+                // infeasible.
+                let c = c.min(p - 1).max(1);
+                Task::new(format!("t{k}"), Time::from_ns(c), Time::from_ns(p))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Sufficient tests never accept what the exact test rejects:
+    /// paper-69% ⊆ LL ⊆ hyperbolic ⊆ RTA.
+    #[test]
+    fn dominance_chain(set in taskset_strategy()) {
+        if paper_limit_test(&set) {
+            prop_assert!(liu_layland_test(&set));
+        }
+        if liu_layland_test(&set) {
+            prop_assert!(hyperbolic_test(&set));
+        }
+        if hyperbolic_test(&set) {
+            prop_assert!(rta_schedulable(&set));
+        }
+    }
+
+    /// Response time is never below the task's own WCET and never above its
+    /// period when `Some`.
+    #[test]
+    fn response_time_bounds(set in taskset_strategy()) {
+        for i in 0..set.len() {
+            if let Some(r) = response_time(&set, i) {
+                prop_assert!(r >= set.tasks()[i].wcet());
+                prop_assert!(r <= set.tasks()[i].period());
+            }
+        }
+    }
+
+    /// The highest-priority task's response time equals its WCET.
+    #[test]
+    fn highest_priority_runs_unimpeded(set in taskset_strategy()) {
+        let r = response_time(&set, 0);
+        prop_assert_eq!(r, Some(set.tasks()[0].wcet()));
+    }
+
+    /// Utilization above 1.0 is never schedulable; single tasks with
+    /// wcet < period always are.
+    #[test]
+    fn utilization_sanity(set in taskset_strategy()) {
+        if set.utilization() > 1.0 {
+            prop_assert!(!rta_schedulable(&set));
+        }
+        if set.len() == 1 {
+            prop_assert!(rta_schedulable(&set));
+        }
+    }
+
+    /// Every policy agrees on the empty set and on obviously tiny loads.
+    #[test]
+    fn tiny_load_accepted_by_all(c in 1u64..5, p in 1000u64..5000) {
+        let set: TaskSet = [Task::new("t", Time::from_ns(c), Time::from_ns(p))]
+            .into_iter()
+            .collect();
+        for policy in SchedPolicy::all() {
+            prop_assert!(policy.accepts(&set));
+        }
+    }
+}
+
+#[test]
+fn ll_bound_is_decreasing_in_n() {
+    let mut prev = liu_layland_bound(1);
+    for n in 2..200 {
+        let cur = liu_layland_bound(n);
+        assert!(cur <= prev + 1e-12);
+        prev = cur;
+    }
+    assert!(prev > 0.69, "bound never drops below the 69% asymptote");
+}
+
+proptest! {
+    /// The analytical RTA verdict agrees with the exact discrete-time
+    /// simulation over one hyperperiod (periods drawn from a small divisor
+    /// set to keep hyperperiods bounded).
+    #[test]
+    fn rta_agrees_with_simulation(
+        entries in prop::collection::vec((1u64..80, prop::sample::select(vec![40u64, 80, 100, 120, 200, 400])), 1..5)
+    ) {
+        let set: TaskSet = entries
+            .into_iter()
+            .enumerate()
+            .map(|(k, (c, p))| {
+                let c = c.min(p - 1).max(1);
+                Task::new(format!("t{k}"), Time::from_ns(c), Time::from_ns(p))
+            })
+            .collect();
+        let analytical = rta_schedulable(&set);
+        match flexplore_sched::simulate_rm(&set, 1 << 32) {
+            flexplore_sched::SimOutcome::Schedulable => prop_assert!(analytical),
+            flexplore_sched::SimOutcome::DeadlineMissAt(_) => prop_assert!(!analytical),
+            flexplore_sched::SimOutcome::HorizonTooLarge { .. } => {
+                prop_assert!(false, "bounded periods must have bounded hyperperiods")
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type of the static scheduler.
+
+use flexplore_hgraph::{HgraphError, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the static scheduling entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// An activated process has no binding entry.
+    Unbound {
+        /// The unbound process.
+        process: VertexId,
+    },
+    /// The flattened problem graph contains a dependence cycle; the paper
+    /// requires dependences to form a partial order.
+    CyclicDependences,
+    /// The problem graph could not be flattened under the given selection.
+    Flatten(HgraphError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unbound { process } => {
+                write!(f, "process {process} is not bound to any resource")
+            }
+            ScheduleError::CyclicDependences => {
+                write!(f, "dependences contain a cycle; no partial order exists")
+            }
+            ScheduleError::Flatten(e) => write!(f, "flattening: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Flatten(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScheduleError::Unbound {
+            process: VertexId::from_index(2),
+        };
+        assert!(e.to_string().contains("v2"));
+        assert!(e.source().is_none());
+        assert!(ScheduleError::CyclicDependences.to_string().contains("cycle"));
+        let wrapped = ScheduleError::Flatten(HgraphError::SelectionMissing {
+            interface: flexplore_hgraph::InterfaceId::from_index(0),
+        });
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ScheduleError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Graphviz export of whole specification graphs (the Fig. 2 view).
+//!
+//! Renders the problem graph on the left, the architecture graph on the
+//! right, and the mapping edges as dotted arrows between them — the way
+//! the paper draws specification graphs.
+
+use crate::spec::SpecificationGraph;
+use flexplore_hgraph::{NodeRef, Scope};
+use std::fmt::Write as _;
+
+impl SpecificationGraph {
+    /// Renders the complete specification graph (problem graph,
+    /// architecture graph, mapping edges) as a Graphviz DOT document.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, SpecificationGraph};
+    /// use flexplore_hgraph::Scope;
+    /// use flexplore_sched::Time;
+    ///
+    /// # fn main() -> Result<(), flexplore_spec::SpecError> {
+    /// let mut p = ProblemGraph::new("p");
+    /// let t = p.add_process(Scope::Top, "task");
+    /// let mut a = ArchitectureGraph::new("a");
+    /// let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(100));
+    /// let mut spec = SpecificationGraph::new("demo", p, a);
+    /// spec.add_mapping(t, cpu, Time::from_ns(10))?;
+    /// let dot = spec.to_dot();
+    /// assert!(dot.contains("subgraph cluster_problem"));
+    /// assert!(dot.contains("style=dotted"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.name()));
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  compound=true;");
+
+        let _ = writeln!(out, "  subgraph cluster_problem {{");
+        let _ = writeln!(out, "    label=\"problem graph\";");
+        write_side(&mut out, SideView::Problem(self), Scope::Top, 2);
+        let _ = writeln!(out, "  }}");
+
+        let _ = writeln!(out, "  subgraph cluster_architecture {{");
+        let _ = writeln!(out, "    label=\"architecture graph\";");
+        write_side(&mut out, SideView::Architecture(self), Scope::Top, 2);
+        let _ = writeln!(out, "  }}");
+
+        // Internal edges of both graphs.
+        for side in [SideView::Problem(self), SideView::Architecture(self)] {
+            let graph_edges: Vec<(String, String)> = side.edges();
+            for (from, to) in graph_edges {
+                let _ = writeln!(out, "  {from} -> {to};");
+            }
+        }
+
+        // Mapping edges, dotted with latency labels.
+        for m in self.mapping_ids() {
+            let mapping = self.mapping(m);
+            let from = format!("\"P:{}\"", escape(self.problem().process_name(mapping.process)));
+            let to = format!(
+                "\"A:{}\"",
+                escape(self.architecture().resource_name(mapping.resource))
+            );
+            let _ = writeln!(
+                out,
+                "  {from} -> {to} [style=dotted, label=\"{}\"];",
+                mapping.latency
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Which side of the specification a rendering pass walks.
+#[derive(Clone, Copy)]
+enum SideView<'a> {
+    Problem(&'a SpecificationGraph),
+    Architecture(&'a SpecificationGraph),
+}
+
+impl SideView<'_> {
+    fn prefix(self) -> &'static str {
+        match self {
+            SideView::Problem(_) => "P",
+            SideView::Architecture(_) => "A",
+        }
+    }
+
+    fn node_id(self, node: NodeRef) -> String {
+        let name = match (self, node) {
+            (SideView::Problem(s), NodeRef::Vertex(v)) => s.problem().graph().vertex_name(v),
+            (SideView::Problem(s), NodeRef::Interface(i)) => s.problem().graph().interface_name(i),
+            (SideView::Architecture(s), NodeRef::Vertex(v)) => {
+                s.architecture().graph().vertex_name(v)
+            }
+            (SideView::Architecture(s), NodeRef::Interface(i)) => {
+                s.architecture().graph().interface_name(i)
+            }
+        };
+        format!("\"{}:{}\"", self.prefix(), escape(name))
+    }
+
+    fn edges(self) -> Vec<(String, String)> {
+        fn graph_edges<N, E>(
+            g: &flexplore_hgraph::HierarchicalGraph<N, E>,
+        ) -> Vec<(NodeRef, NodeRef)> {
+            g.edge_ids()
+                .map(|e| {
+                    let (from, to) = g.edge_endpoints(e);
+                    (from.node, to.node)
+                })
+                .collect()
+        }
+        let pairs = match self {
+            SideView::Problem(s) => graph_edges(s.problem().graph()),
+            SideView::Architecture(s) => graph_edges(s.architecture().graph()),
+        };
+        pairs
+            .into_iter()
+            .map(|(from, to)| (self.node_id(from), self.node_id(to)))
+            .collect()
+    }
+}
+
+fn write_side(out: &mut String, side: SideView<'_>, scope: Scope, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let (vertices, interfaces): (Vec<NodeRef>, Vec<_>) = match side {
+        SideView::Problem(s) => (
+            s.problem().graph().vertices_in(scope).map(NodeRef::Vertex).collect(),
+            s.problem().graph().interfaces_in(scope).collect(),
+        ),
+        SideView::Architecture(s) => (
+            s.architecture().graph().vertices_in(scope).map(NodeRef::Vertex).collect(),
+            s.architecture().graph().interfaces_in(scope).collect(),
+        ),
+    };
+    for v in vertices {
+        let _ = writeln!(out, "{indent}{} [shape=ellipse];", side.node_id(v));
+    }
+    for i in interfaces {
+        let _ = writeln!(
+            out,
+            "{indent}{} [shape=doubleoctagon];",
+            side.node_id(NodeRef::Interface(i))
+        );
+        let clusters: Vec<_> = match side {
+            SideView::Problem(s) => s.problem().graph().clusters_of(i).to_vec(),
+            SideView::Architecture(s) => s.architecture().graph().clusters_of(i).to_vec(),
+        };
+        for c in clusters {
+            let name = match side {
+                SideView::Problem(s) => s.problem().graph().cluster_name(c).to_owned(),
+                SideView::Architecture(s) => s.architecture().graph().cluster_name(c).to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "{indent}subgraph \"cluster_{}_{}\" {{",
+                side.prefix(),
+                escape(&name)
+            );
+            let _ = writeln!(out, "{indent}  label=\"{}\";", escape(&name));
+            write_side(out, side, Scope::Cluster(c), depth + 1);
+            let _ = writeln!(out, "{indent}}}");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::architecture::ArchitectureGraph;
+    use crate::attrs::Cost;
+    use crate::problem::ProblemGraph;
+    use crate::spec::SpecificationGraph;
+    use flexplore_hgraph::Scope;
+    use flexplore_sched::Time;
+
+    fn sample() -> SpecificationGraph {
+        let mut p = ProblemGraph::new("p");
+        let a = p.add_process(Scope::Top, "a");
+        let i = p.add_interface(Scope::Top, "I");
+        let c = p.add_cluster(i, "alt");
+        let inner = p.add_process(c.into(), "inner");
+        let mut arch = ArchitectureGraph::new("arch");
+        let cpu = arch.add_resource(Scope::Top, "cpu", Cost::new(1));
+        let bus = arch.add_bus(Scope::Top, "bus", Cost::new(1));
+        arch.connect(cpu, bus).unwrap();
+        let mut spec = SpecificationGraph::new("sample", p, arch);
+        spec.add_mapping(a, cpu, Time::from_ns(3)).unwrap();
+        spec.add_mapping(inner, cpu, Time::from_ns(4)).unwrap();
+        spec
+    }
+
+    #[test]
+    fn dot_contains_both_sides_and_mappings() {
+        let dot = sample().to_dot();
+        assert!(dot.contains("subgraph cluster_problem"));
+        assert!(dot.contains("subgraph cluster_architecture"));
+        assert!(dot.contains("\"P:a\""));
+        assert!(dot.contains("\"A:cpu\""));
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("label=\"3ns\""));
+        // Architecture edge cpu -> bus appears with prefixed ids.
+        assert!(dot.contains("\"A:cpu\" -> \"A:bus\""));
+    }
+
+    #[test]
+    fn braces_balance() {
+        let dot = sample().to_dot();
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn nested_problem_clusters_render() {
+        let dot = sample().to_dot();
+        assert!(dot.contains("cluster_P_alt"));
+        assert!(dot.contains("\"P:inner\""));
+    }
+}

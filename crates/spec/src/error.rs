@@ -1,0 +1,189 @@
+//! Error types of the specification layer.
+
+use flexplore_hgraph::{EdgeId, HgraphError, VertexId};
+use std::error::Error;
+use std::fmt;
+
+use crate::spec::MappingId;
+
+/// Error returned by construction and validation of specification graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A structural defect in the problem graph.
+    Problem(HgraphError),
+    /// A structural defect in the architecture graph.
+    Architecture(HgraphError),
+    /// A mapping edge with invalid endpoints.
+    MappingEndpoint {
+        /// The problem-side endpoint.
+        process: VertexId,
+        /// The architecture-side endpoint.
+        resource: VertexId,
+        /// Why the mapping is invalid.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Problem(e) => write!(f, "problem graph: {e}"),
+            SpecError::Architecture(e) => write!(f, "architecture graph: {e}"),
+            SpecError::MappingEndpoint {
+                process,
+                resource,
+                reason,
+            } => write!(f, "mapping {process} -> {resource}: {reason}"),
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Problem(e) | SpecError::Architecture(e) => Some(e),
+            SpecError::MappingEndpoint { .. } => None,
+        }
+    }
+}
+
+impl From<HgraphError> for SpecError {
+    fn from(e: HgraphError) -> Self {
+        SpecError::Problem(e)
+    }
+}
+
+/// A violated binding-feasibility requirement (Section 2 of the paper).
+///
+/// Returned by
+/// [`SpecificationGraph::check_binding`](crate::SpecificationGraph::check_binding);
+/// each variant corresponds to one of the three requirements a feasible
+/// timed binding must satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BindingViolation {
+    /// Requirement 1: an activated mapping edge must start and end at
+    /// vertices activated at the same time.
+    InactiveEndpoint {
+        /// The offending mapping edge.
+        mapping: MappingId,
+        /// `true` if the problem-side endpoint is inactive, `false` for the
+        /// architecture side.
+        problem_side: bool,
+    },
+    /// Requirement 2: an activated problem leaf with no activated outgoing
+    /// mapping edge.
+    UnboundProcess {
+        /// The unbound process.
+        process: VertexId,
+    },
+    /// Requirement 2: an activated problem leaf bound through more than one
+    /// mapping edge.
+    MultipleBindings {
+        /// The over-bound process.
+        process: VertexId,
+    },
+    /// The binding entry for a process references a mapping edge of a
+    /// different process.
+    ForeignMapping {
+        /// The process with the dangling entry.
+        process: VertexId,
+        /// The mapping that belongs to another process.
+        mapping: MappingId,
+    },
+    /// Requirement 3: a data dependence between processes on different
+    /// resources with no activated communication path between them.
+    NoCommunicationPath {
+        /// The dependence edge that cannot be routed.
+        edge: EdgeId,
+        /// Resource of the producing process.
+        from_resource: VertexId,
+        /// Resource of the consuming process.
+        to_resource: VertexId,
+    },
+    /// The mode's selections are inconsistent with the hierarchy (missing
+    /// or foreign cluster choices).
+    InvalidMode(HgraphError),
+}
+
+impl fmt::Display for BindingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingViolation::InactiveEndpoint {
+                mapping,
+                problem_side,
+            } => {
+                let side = if *problem_side { "problem" } else { "architecture" };
+                write!(f, "mapping {mapping} has an inactive {side}-side endpoint")
+            }
+            BindingViolation::UnboundProcess { process } => {
+                write!(f, "activated process {process} is not bound to any resource")
+            }
+            BindingViolation::MultipleBindings { process } => {
+                write!(f, "activated process {process} is bound more than once")
+            }
+            BindingViolation::ForeignMapping { process, mapping } => {
+                write!(f, "binding entry for {process} uses foreign mapping {mapping}")
+            }
+            BindingViolation::NoCommunicationPath {
+                edge,
+                from_resource,
+                to_resource,
+            } => write!(
+                f,
+                "dependence {edge} cannot be routed between {from_resource} and {to_resource}"
+            ),
+            BindingViolation::InvalidMode(e) => write!(f, "invalid mode: {e}"),
+        }
+    }
+}
+
+impl Error for BindingViolation {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BindingViolation::InvalidMode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HgraphError> for BindingViolation {
+    fn from(e: HgraphError) -> Self {
+        BindingViolation::InvalidMode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SpecError>();
+        assert_traits::<BindingViolation>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        let v = BindingViolation::UnboundProcess {
+            process: VertexId::from_index(3),
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("v3"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn spec_error_wraps_hgraph_error() {
+        let inner = HgraphError::InterfaceWithoutClusters {
+            interface: flexplore_hgraph::InterfaceId::from_index(0),
+        };
+        let err: SpecError = inner.clone().into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("problem graph"));
+        let arch = SpecError::Architecture(inner);
+        assert!(arch.to_string().contains("architecture graph"));
+    }
+}

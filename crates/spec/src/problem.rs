@@ -1,0 +1,352 @@
+//! The problem graph `G_P`: hierarchical model of the required behavior.
+//!
+//! Vertices and interfaces represent processes and communication operations
+//! at system level; edges model dependence relations (a partial order among
+//! operations); clusters are alternative substitutions for interfaces
+//! (Section 2 of the paper).
+
+use crate::attrs::ProcessAttrs;
+use flexplore_hgraph::{
+    ClusterId, Endpoint, FlatGraph, HgraphError, HierarchicalGraph, InterfaceId, PortDirection,
+    PortId, PortTarget, Scope, Selection, VertexId,
+};
+use flexplore_sched::Time;
+use serde::{Deserialize, Serialize};
+
+/// A dependence relation between two operations of the problem graph.
+///
+/// The unit payload keeps edges cheap; the `Display` impl (empty string)
+/// keeps DOT exports clean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataDep;
+
+impl std::fmt::Display for DataDep {
+    fn fmt(&self, _f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Ok(())
+    }
+}
+
+
+/// Handle returned by [`ProblemGraph::add_alternative_stage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlternativeStage {
+    /// The stage interface.
+    pub interface: InterfaceId,
+    /// The `in` port.
+    pub input: PortId,
+    /// The `out` port.
+    pub output: PortId,
+    /// One `(cluster, process)` pair per alternative, in input order.
+    pub alternatives: Vec<(ClusterId, VertexId)>,
+}
+
+/// The hierarchical problem graph of a specification.
+///
+/// A thin domain wrapper around [`HierarchicalGraph`]: processes are
+/// vertices weighted with [`ProcessAttrs`], dependences are edges. The raw
+/// graph stays reachable through [`graph`](ProblemGraph::graph) for generic
+/// algorithms (flattening, DOT export, …).
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_spec::ProblemGraph;
+/// use flexplore_hgraph::Scope;
+/// use flexplore_sched::Time;
+///
+/// # fn main() -> Result<(), flexplore_hgraph::HgraphError> {
+/// let mut p = ProblemGraph::new("tv");
+/// let ctrl = p.add_process(Scope::Top, "P_C");
+/// let auth = p.add_process(Scope::Top, "P_A");
+/// p.set_negligible(ctrl, true);
+/// p.set_negligible(auth, true);
+/// let out = p.add_process(Scope::Top, "P_U");
+/// p.set_period(out, Time::from_ns(300));
+/// p.add_dependence(ctrl, out)?;
+/// assert_eq!(p.period(out), Some(Time::from_ns(300)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProblemGraph {
+    graph: HierarchicalGraph<ProcessAttrs, DataDep>,
+}
+
+impl ProblemGraph {
+    /// Creates an empty problem graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ProblemGraph {
+            graph: HierarchicalGraph::new(name),
+        }
+    }
+
+    /// Returns the underlying hierarchical graph.
+    #[must_use]
+    pub fn graph(&self) -> &HierarchicalGraph<ProcessAttrs, DataDep> {
+        &self.graph
+    }
+
+    /// Adds a process with default attributes to `scope`.
+    pub fn add_process(&mut self, scope: Scope, name: impl Into<String>) -> VertexId {
+        self.graph.add_vertex(scope, name, ProcessAttrs::default())
+    }
+
+    /// Adds a process with explicit attributes to `scope`.
+    pub fn add_process_with(
+        &mut self,
+        scope: Scope,
+        name: impl Into<String>,
+        attrs: ProcessAttrs,
+    ) -> VertexId {
+        self.graph.add_vertex(scope, name, attrs)
+    }
+
+    /// Adds an interface (a hierarchical process with alternative
+    /// refinements) to `scope`.
+    pub fn add_interface(&mut self, scope: Scope, name: impl Into<String>) -> InterfaceId {
+        self.graph.add_interface(scope, name)
+    }
+
+    /// Declares a port on an interface.
+    pub fn add_port(
+        &mut self,
+        interface: InterfaceId,
+        name: impl Into<String>,
+        direction: PortDirection,
+    ) -> PortId {
+        self.graph.add_port(interface, name, direction)
+    }
+
+    /// Adds an alternative cluster refining `interface`.
+    pub fn add_cluster(&mut self, interface: InterfaceId, name: impl Into<String>) -> ClusterId {
+        self.graph.add_cluster(interface, name)
+    }
+
+    /// Maps a port of the cluster's interface onto a member node.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalGraph::map_port`].
+    pub fn map_port(
+        &mut self,
+        cluster: ClusterId,
+        port: PortId,
+        target: PortTarget,
+    ) -> Result<(), HgraphError> {
+        self.graph.map_port(cluster, port, target)
+    }
+
+    /// Adds a dependence edge between two operations of the same scope.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalGraph::add_edge`].
+    pub fn add_dependence(
+        &mut self,
+        from: impl Into<Endpoint>,
+        to: impl Into<Endpoint>,
+    ) -> Result<flexplore_hgraph::EdgeId, HgraphError> {
+        self.graph.add_edge(from, to, DataDep)
+    }
+
+
+    /// Convenience builder for the ubiquitous "stage with alternatives"
+    /// pattern: adds an interface with one `in` and one `out` port and one
+    /// single-process cluster per alternative name, with both ports mapped
+    /// onto the process.
+    ///
+    /// Returns the interface, its `(in, out)` ports, and the
+    /// `(cluster, process)` pair per alternative, in input order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexplore_spec::ProblemGraph;
+    /// use flexplore_hgraph::Scope;
+    ///
+    /// let mut p = ProblemGraph::new("tv");
+    /// let stage = p.add_alternative_stage(Scope::Top, "I_D", &["P_D1", "P_D2", "P_D3"]);
+    /// assert_eq!(stage.alternatives.len(), 3);
+    /// assert_eq!(p.graph().clusters_of(stage.interface).len(), 3);
+    /// ```
+    pub fn add_alternative_stage(
+        &mut self,
+        scope: Scope,
+        name: impl Into<String>,
+        alternatives: &[&str],
+    ) -> AlternativeStage {
+        let name = name.into();
+        let interface = self.add_interface(scope, &name);
+        let input = self.add_port(interface, "in", PortDirection::In);
+        let output = self.add_port(interface, "out", PortDirection::Out);
+        let mut alts = Vec::with_capacity(alternatives.len());
+        for alt in alternatives {
+            let cluster = self.add_cluster(interface, format!("{name}_{alt}"));
+            let process = self.add_process(cluster.into(), *alt);
+            self.map_port(cluster, input, PortTarget::vertex(process))
+                .expect("fresh cluster member");
+            self.map_port(cluster, output, PortTarget::vertex(process))
+                .expect("fresh cluster member");
+            alts.push((cluster, process));
+        }
+        AlternativeStage {
+            interface,
+            input,
+            output,
+            alternatives: alts,
+        }
+    }
+
+    /// Sets the minimal output period of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    pub fn set_period(&mut self, v: VertexId, period: Time) {
+        self.graph.vertex_weight_mut(v).period = Some(period);
+    }
+
+    /// Marks a process as negligible for utilization estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    pub fn set_negligible(&mut self, v: VertexId, negligible: bool) {
+        self.graph.vertex_weight_mut(v).negligible = negligible;
+    }
+
+    /// Returns the minimal output period of a process, if constrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[must_use]
+    pub fn period(&self, v: VertexId) -> Option<Time> {
+        self.graph.vertex_weight(v).period
+    }
+
+    /// Returns `true` if the process is excluded from utilization
+    /// estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[must_use]
+    pub fn is_negligible(&self, v: VertexId) -> bool {
+        self.graph.vertex_weight(v).negligible
+    }
+
+    /// Returns the name of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[must_use]
+    pub fn process_name(&self, v: VertexId) -> &str {
+        self.graph.vertex_name(v)
+    }
+
+    /// Flattens the problem graph under a cluster selection.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalGraph::flatten`].
+    pub fn flatten(&self, selection: &Selection) -> Result<FlatGraph, HgraphError> {
+        self.graph.flatten(selection)
+    }
+
+    /// Enumerates the *elementary cluster-activations* of the problem
+    /// graph: every complete selection of exactly one cluster per active
+    /// interface.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalGraph::enumerate_selections`].
+    pub fn elementary_activations(&self) -> Result<Vec<Selection>, HgraphError> {
+        self.graph.enumerate_selections()
+    }
+
+    /// Validates the structural invariants of the graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchicalGraph::validate`].
+    pub fn validate(&self) -> Result<(), HgraphError> {
+        self.graph.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut p = ProblemGraph::new("p");
+        let a = p.add_process(Scope::Top, "a");
+        assert_eq!(p.process_name(a), "a");
+        assert_eq!(p.period(a), None);
+        assert!(!p.is_negligible(a));
+        p.set_period(a, Time::from_ns(100));
+        p.set_negligible(a, true);
+        assert_eq!(p.period(a), Some(Time::from_ns(100)));
+        assert!(p.is_negligible(a));
+    }
+
+    #[test]
+    fn attrs_constructor() {
+        let mut p = ProblemGraph::new("p");
+        let v = p.add_process_with(
+            Scope::Top,
+            "out",
+            ProcessAttrs::new().with_period(Time::from_ns(240)),
+        );
+        assert_eq!(p.period(v), Some(Time::from_ns(240)));
+    }
+
+    #[test]
+    fn elementary_activations_enumerate_alternatives() {
+        let mut p = ProblemGraph::new("p");
+        let i = p.add_interface(Scope::Top, "I");
+        for k in 0..3 {
+            let c = p.add_cluster(i, format!("c{k}"));
+            p.add_process(c.into(), format!("v{k}"));
+        }
+        assert_eq!(p.elementary_activations().unwrap().len(), 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn dependences_flatten_through_ports() {
+        let mut p = ProblemGraph::new("p");
+        let src = p.add_process(Scope::Top, "src");
+        let i = p.add_interface(Scope::Top, "I");
+        let port = p.add_port(i, "in", PortDirection::In);
+        let c = p.add_cluster(i, "c");
+        let inner = p.add_process(c.into(), "inner");
+        p.map_port(c, port, PortTarget::vertex(inner)).unwrap();
+        p.add_dependence(src, (i, port)).unwrap();
+        let sel = Selection::new().with(i, c);
+        let flat = p.flatten(&sel).unwrap();
+        assert_eq!(flat.edges[0].from, src);
+        assert_eq!(flat.edges[0].to, inner);
+    }
+    #[test]
+    fn alternative_stage_builder() {
+        let mut p = ProblemGraph::new("p");
+        let src = p.add_process(Scope::Top, "src");
+        let stage = p.add_alternative_stage(Scope::Top, "I", &["a", "b"]);
+        p.add_dependence(src, (stage.interface, stage.input)).unwrap();
+        assert!(p.validate().is_ok());
+        assert_eq!(stage.alternatives.len(), 2);
+        // Flatten through each alternative.
+        for &(cluster, process) in &stage.alternatives {
+            let sel = Selection::new().with(stage.interface, cluster);
+            let flat = p.flatten(&sel).unwrap();
+            assert!(flat.contains(process));
+            assert_eq!(flat.edges[0].to, process);
+        }
+        assert_eq!(p.elementary_activations().unwrap().len(), 2);
+    }
+}

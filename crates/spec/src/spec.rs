@@ -1,0 +1,560 @@
+//! The specification graph `G_S = (G_P, G_A, E_M)`.
+//!
+//! A specification graph combines the hierarchical [`ProblemGraph`], the
+//! hierarchical [`ArchitectureGraph`], and the user-defined **mapping
+//! edges** `E_M` — the "can be implemented by" relation linking leaves of
+//! the problem graph to leaves of the architecture graph, annotated with
+//! execution latencies (Section 2 of the paper, after Blickle et al.).
+
+use crate::architecture::ArchitectureGraph;
+use crate::attrs::{Cost, ResourceKind};
+use crate::error::SpecError;
+use crate::problem::ProblemGraph;
+use flexplore_hgraph::{ClusterId, InterfaceId, Selection, VertexId};
+use flexplore_sched::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a mapping edge (`e ∈ E_M`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MappingId(u32);
+
+impl MappingId {
+    /// Returns the raw arena index of this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MappingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A mapping edge: process `process` can be implemented by functional
+/// resource `resource` with core execution time `latency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The problem-graph leaf being implemented.
+    pub process: VertexId,
+    /// The architecture-graph leaf implementing it.
+    pub resource: VertexId,
+    /// Core execution time of `process` on `resource`.
+    pub latency: Time,
+}
+
+/// A (possibly partial) allocation of architecture resources: the set of
+/// top-level resources and reconfigurable-design clusters a design point
+/// pays for.
+///
+/// The paper derives possible resource allocations over exactly these
+/// elements: *"only leaves `v ∈ G_A.V` of the top-level architecture graph
+/// or whole clusters of the architecture graph are considered."*
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceAllocation {
+    /// Allocated top-level resources (functional and communication).
+    pub vertices: BTreeSet<VertexId>,
+    /// Allocated design clusters of reconfigurable devices.
+    pub clusters: BTreeSet<ClusterId>,
+}
+
+impl ResourceAllocation {
+    /// Creates an empty allocation.
+    #[must_use]
+    pub fn new() -> Self {
+        ResourceAllocation::default()
+    }
+
+    /// Builder: allocates a top-level resource.
+    #[must_use]
+    pub fn with_vertex(mut self, v: VertexId) -> Self {
+        self.vertices.insert(v);
+        self
+    }
+
+    /// Builder: allocates a design cluster.
+    #[must_use]
+    pub fn with_cluster(mut self, c: ClusterId) -> Self {
+        self.clusters.insert(c);
+        self
+    }
+
+    /// Total allocation cost: the sum of the costs of all allocated
+    /// resources, with each design cluster contributing the cost of its
+    /// leaves.
+    ///
+    /// This is the paper's *allocation cost model*
+    /// `c_impl(α) = Σ realization costs of resources in α`.
+    #[must_use]
+    pub fn cost(&self, architecture: &ArchitectureGraph) -> Cost {
+        let vertex_cost: Cost = self.vertices.iter().map(|&v| architecture.cost(v)).sum();
+        let cluster_cost: Cost = self
+            .clusters
+            .iter()
+            .map(|&c| architecture.cluster_cost(c))
+            .sum();
+        vertex_cost + cluster_cost
+    }
+
+    /// The set of concrete architecture vertices available somewhere in
+    /// time under this allocation: the allocated top-level vertices plus
+    /// the leaves of every allocated design cluster.
+    #[must_use]
+    pub fn available_vertices(&self, architecture: &ArchitectureGraph) -> BTreeSet<VertexId> {
+        let mut out = self.vertices.clone();
+        for &c in &self.clusters {
+            out.extend(architecture.graph().leaves_of_cluster(c));
+        }
+        out
+    }
+
+    /// Returns `true` if nothing is allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.clusters.is_empty()
+    }
+
+    /// Returns `true` if `other` allocates a subset of this allocation.
+    #[must_use]
+    pub fn contains(&self, other: &ResourceAllocation) -> bool {
+        other.vertices.is_subset(&self.vertices) && other.clusters.is_subset(&self.clusters)
+    }
+
+    /// Human-readable resource list (e.g. `µP2, D3, C1`), using the
+    /// architecture graph for names.
+    #[must_use]
+    pub fn display_names(&self, architecture: &ArchitectureGraph) -> String {
+        let mut names: Vec<&str> = self
+            .vertices
+            .iter()
+            .map(|&v| architecture.resource_name(v))
+            .collect();
+        for &c in &self.clusters {
+            for v in architecture.graph().leaves_of_cluster(c) {
+                names.push(architecture.resource_name(v));
+            }
+        }
+        names.join(", ")
+    }
+}
+
+/// A *mode*: the cluster selections of both graphs at one instant of time.
+///
+/// Adaptive systems switch between modes at run time; each mode has its own
+/// flattened problem graph, architecture configuration, and binding.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mode {
+    /// Selected problem-graph clusters (the elementary cluster-activation).
+    pub problem: Selection,
+    /// Selected architecture-graph clusters (device configurations).
+    pub architecture: Selection,
+}
+
+impl Mode {
+    /// Creates a mode from the two selections.
+    #[must_use]
+    pub fn new(problem: Selection, architecture: Selection) -> Self {
+        Mode {
+            problem,
+            architecture,
+        }
+    }
+}
+
+
+/// Size summary of a specification graph (see
+/// [`SpecificationGraph::statistics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecStatistics {
+    /// Leaf processes of the problem graph (all hierarchy levels).
+    pub processes: usize,
+    /// Interfaces of the problem graph.
+    pub problem_interfaces: usize,
+    /// Alternative clusters of the problem graph.
+    pub problem_clusters: usize,
+    /// Dependence edges of the problem graph.
+    pub dependences: usize,
+    /// Resources of the architecture graph (all hierarchy levels).
+    pub resources: usize,
+    /// Reconfigurable devices (architecture interfaces).
+    pub devices: usize,
+    /// Loadable designs (architecture clusters).
+    pub designs: usize,
+    /// Physical links of the architecture graph.
+    pub links: usize,
+    /// Mapping edges.
+    pub mappings: usize,
+    /// `|V_S|` — the raw search space is `2^{vertex_set_size}`.
+    pub vertex_set_size: usize,
+}
+
+/// The complete system specification: problem graph, architecture graph and
+/// mapping edges.
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, SpecificationGraph};
+/// use flexplore_hgraph::Scope;
+/// use flexplore_sched::Time;
+///
+/// # fn main() -> Result<(), flexplore_spec::SpecError> {
+/// let mut problem = ProblemGraph::new("p");
+/// let task = problem.add_process(Scope::Top, "P_U1");
+/// let mut arch = ArchitectureGraph::new("a");
+/// let up = arch.add_resource(Scope::Top, "uP", Cost::new(100));
+/// let mut spec = SpecificationGraph::new("tv", problem, arch);
+/// let m = spec.add_mapping(task, up, Time::from_ns(40))?;
+/// assert_eq!(spec.mapping(m).latency, Time::from_ns(40));
+/// assert_eq!(spec.mappings_of(task).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecificationGraph {
+    name: String,
+    problem: ProblemGraph,
+    architecture: ArchitectureGraph,
+    mappings: Vec<Mapping>,
+}
+
+impl SpecificationGraph {
+    /// Creates a specification graph from its two hierarchical graphs.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        problem: ProblemGraph,
+        architecture: ArchitectureGraph,
+    ) -> Self {
+        SpecificationGraph {
+            name: name.into(),
+            problem,
+            architecture,
+            mappings: Vec::new(),
+        }
+    }
+
+    /// Returns the display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the problem graph.
+    #[must_use]
+    pub fn problem(&self) -> &ProblemGraph {
+        &self.problem
+    }
+
+    /// Returns a mutable reference to the problem graph.
+    pub fn problem_mut(&mut self) -> &mut ProblemGraph {
+        &mut self.problem
+    }
+
+    /// Returns the architecture graph.
+    #[must_use]
+    pub fn architecture(&self) -> &ArchitectureGraph {
+        &self.architecture
+    }
+
+    /// Returns a mutable reference to the architecture graph.
+    pub fn architecture_mut(&mut self) -> &mut ArchitectureGraph {
+        &mut self.architecture
+    }
+
+    /// Adds a mapping edge: `process` *can be implemented by* `resource`
+    /// with the given core execution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::MappingEndpoint`] if `process` is not a vertex
+    /// of the problem graph, if `resource` is not a vertex of the
+    /// architecture graph, or if `resource` is a communication resource
+    /// (processes execute on functional resources only).
+    pub fn add_mapping(
+        &mut self,
+        process: VertexId,
+        resource: VertexId,
+        latency: Time,
+    ) -> Result<MappingId, SpecError> {
+        if process.index() >= self.problem.graph().vertex_count() {
+            return Err(SpecError::MappingEndpoint {
+                process,
+                resource,
+                reason: "process is not a vertex of the problem graph",
+            });
+        }
+        if resource.index() >= self.architecture.graph().vertex_count() {
+            return Err(SpecError::MappingEndpoint {
+                process,
+                resource,
+                reason: "resource is not a vertex of the architecture graph",
+            });
+        }
+        if self.architecture.kind(resource) != ResourceKind::Functional {
+            return Err(SpecError::MappingEndpoint {
+                process,
+                resource,
+                reason: "mapping targets must be functional resources",
+            });
+        }
+        let id = MappingId(self.mappings.len() as u32);
+        self.mappings.push(Mapping {
+            process,
+            resource,
+            latency,
+        });
+        Ok(id)
+    }
+
+    /// Returns a mapping edge by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not an id of this specification.
+    #[must_use]
+    pub fn mapping(&self, m: MappingId) -> &Mapping {
+        &self.mappings[m.index()]
+    }
+
+    /// Returns the number of mapping edges.
+    #[must_use]
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Iterates over all mapping-edge ids.
+    pub fn mapping_ids(&self) -> impl ExactSizeIterator<Item = MappingId> + '_ {
+        (0..self.mappings.len() as u32).map(MappingId)
+    }
+
+    /// Iterates over the mapping edges leaving `process`.
+    pub fn mappings_of(&self, process: VertexId) -> impl Iterator<Item = MappingId> + '_ {
+        self.mapping_ids()
+            .filter(move |&m| self.mappings[m.index()].process == process)
+    }
+
+    /// The set `R_i` of resources reachable from `process` via mapping
+    /// edges (Section 4 of the paper).
+    #[must_use]
+    pub fn reachable_resources(&self, process: VertexId) -> BTreeSet<VertexId> {
+        self.mappings_of(process)
+            .map(|m| self.mappings[m.index()].resource)
+            .collect()
+    }
+
+    /// Problem-graph leaves with no mapping edge at all; such processes can
+    /// never be activated in any feasible implementation.
+    #[must_use]
+    pub fn unmapped_processes(&self) -> Vec<VertexId> {
+        self.problem
+            .graph()
+            .leaves()
+            .filter(|&v| self.mappings_of(v).next().is_none())
+            .collect()
+    }
+
+    /// Completes a partial architecture selection: every reconfigurable
+    /// device missing from `partial` gets its first cluster.
+    ///
+    /// Flattening requires a choice for *every* device; modes that do not
+    /// use a device can hold an arbitrary configuration there (its design
+    /// vertex is simply not allocated, so reachability and binding are
+    /// unaffected).
+    #[must_use]
+    pub fn complete_arch_selection(&self, partial: &Selection) -> Selection {
+        let mut sel = partial.clone();
+        let graph = self.architecture.graph();
+        for i in graph.interface_ids() {
+            if sel.get(i).is_none() {
+                if let Some(&first) = graph.clusters_of(i).first() {
+                    sel.select(i, first);
+                }
+            }
+        }
+        sel
+    }
+
+    /// The reconfigurable-device interfaces of the architecture graph.
+    pub fn devices(&self) -> impl Iterator<Item = InterfaceId> + '_ {
+        self.architecture.graph().interface_ids()
+    }
+
+    /// `|V_S|`: the number of vertices of the specification graph in the
+    /// flat representation `G_S = (V_S, E_S)` — all non-hierarchical
+    /// vertices, interfaces and clusters of both graphs. The paper sizes
+    /// the raw search space as `2^{|V_S|}`.
+    #[must_use]
+    pub fn vertex_set_size(&self) -> usize {
+        let p = self.problem.graph();
+        let a = self.architecture.graph();
+        p.vertex_count()
+            + p.interface_count()
+            + p.cluster_count()
+            + a.vertex_count()
+            + a.interface_count()
+            + a.cluster_count()
+    }
+
+
+    /// A summary of the specification's size for reports and tooling.
+    #[must_use]
+    pub fn statistics(&self) -> SpecStatistics {
+        let p = self.problem.graph();
+        let a = self.architecture.graph();
+        SpecStatistics {
+            processes: p.vertex_count(),
+            problem_interfaces: p.interface_count(),
+            problem_clusters: p.cluster_count(),
+            dependences: p.edge_count(),
+            resources: a.vertex_count(),
+            devices: a.interface_count(),
+            designs: a.cluster_count(),
+            links: a.edge_count(),
+            mappings: self.mappings.len(),
+            vertex_set_size: self.vertex_set_size(),
+        }
+    }
+
+    /// Validates both graphs and every mapping edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.problem.validate().map_err(SpecError::Problem)?;
+        self.architecture
+            .validate()
+            .map_err(SpecError::Architecture)?;
+        for m in &self.mappings {
+            if self.architecture.kind(m.resource) != ResourceKind::Functional {
+                return Err(SpecError::MappingEndpoint {
+                    process: m.process,
+                    resource: m.resource,
+                    reason: "mapping targets must be functional resources",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_hgraph::Scope;
+
+    fn small_spec() -> (SpecificationGraph, VertexId, VertexId, VertexId) {
+        let mut p = ProblemGraph::new("p");
+        let t1 = p.add_process(Scope::Top, "t1");
+        let t2 = p.add_process(Scope::Top, "t2");
+        p.add_dependence(t1, t2).unwrap();
+        let mut a = ArchitectureGraph::new("a");
+        let r1 = a.add_resource(Scope::Top, "r1", Cost::new(100));
+        let _bus = a.add_bus(Scope::Top, "bus", Cost::new(10));
+        let mut spec = SpecificationGraph::new("s", p, a);
+        spec.add_mapping(t1, r1, Time::from_ns(5)).unwrap();
+        spec.add_mapping(t2, r1, Time::from_ns(7)).unwrap();
+        (spec, t1, t2, r1)
+    }
+
+    #[test]
+    fn mapping_queries() {
+        let (spec, t1, t2, r1) = small_spec();
+        assert_eq!(spec.mapping_count(), 2);
+        assert_eq!(spec.mappings_of(t1).count(), 1);
+        assert_eq!(spec.reachable_resources(t2), BTreeSet::from([r1]));
+        assert!(spec.unmapped_processes().is_empty());
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.name(), "s");
+    }
+
+    #[test]
+    fn mapping_to_bus_is_rejected() {
+        let (mut spec, t1, _, _) = small_spec();
+        let bus = spec
+            .architecture()
+            .graph()
+            .vertex_by_name(Scope::Top, "bus")
+            .unwrap();
+        let err = spec.add_mapping(t1, bus, Time::from_ns(1)).unwrap_err();
+        assert!(matches!(err, SpecError::MappingEndpoint { .. }));
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected() {
+        let (mut spec, _, _, r1) = small_spec();
+        let bogus = VertexId::from_index(999);
+        assert!(spec.add_mapping(bogus, r1, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn unmapped_processes_are_reported() {
+        let mut p = ProblemGraph::new("p");
+        let t = p.add_process(Scope::Top, "t");
+        let a = ArchitectureGraph::new("a");
+        let spec = SpecificationGraph::new("s", p, a);
+        assert_eq!(spec.unmapped_processes(), vec![t]);
+    }
+
+    #[test]
+    fn allocation_cost_sums_vertices_and_clusters() {
+        let mut a = ArchitectureGraph::new("a");
+        let up = a.add_resource(Scope::Top, "uP", Cost::new(100));
+        let bus = a.add_bus(Scope::Top, "C1", Cost::new(10));
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        let d = a.add_design(fpga, "cfg", "D3", Cost::new(60)).unwrap();
+        let alloc = ResourceAllocation::new()
+            .with_vertex(up)
+            .with_vertex(bus)
+            .with_cluster(d.cluster);
+        assert_eq!(alloc.cost(&a), Cost::new(170));
+        let avail = alloc.available_vertices(&a);
+        assert!(avail.contains(&d.design));
+        assert!(avail.contains(&up));
+        assert_eq!(avail.len(), 3);
+        assert!(!alloc.is_empty());
+        assert!(alloc.contains(&ResourceAllocation::new().with_vertex(up)));
+        assert!(!ResourceAllocation::new().contains(&alloc));
+        let names = alloc.display_names(&a);
+        assert!(names.contains("uP") && names.contains("D3"));
+    }
+
+    #[test]
+    fn complete_arch_selection_fills_devices() {
+        let mut a = ArchitectureGraph::new("a");
+        let fpga = a.add_interface(Scope::Top, "FPGA");
+        let d1 = a.add_design(fpga, "cfg1", "D1", Cost::new(1)).unwrap();
+        let _d2 = a.add_design(fpga, "cfg2", "D2", Cost::new(2)).unwrap();
+        let spec = SpecificationGraph::new("s", ProblemGraph::new("p"), a);
+        let sel = spec.complete_arch_selection(&Selection::new());
+        assert_eq!(sel.get(fpga), Some(d1.cluster));
+        // Explicit choices are preserved.
+        let d2c = spec.architecture().graph().clusters_of(fpga)[1];
+        let sel = spec.complete_arch_selection(&Selection::new().with(fpga, d2c));
+        assert_eq!(sel.get(fpga), Some(d2c));
+    }
+
+    #[test]
+    fn vertex_set_size_counts_everything() {
+        let (spec, _, _, _) = small_spec();
+        // problem: 2 vertices; architecture: 2 vertices.
+        assert_eq!(spec.vertex_set_size(), 4);
+    }
+    #[test]
+    fn statistics_summarize_the_graphs() {
+        let (spec, _, _, _) = small_spec();
+        let stats = spec.statistics();
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.dependences, 1);
+        assert_eq!(stats.resources, 2);
+        assert_eq!(stats.mappings, 2);
+        assert_eq!(stats.vertex_set_size, spec.vertex_set_size());
+        assert_eq!(stats.devices, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Dimensioning a product family with single-point design queries.
+//!
+//! A platform vendor plans three Set-Top box SKUs: an entry model (any
+//! working product), a mid-range model that must support the game console
+//! and at least five behaviors, and a flagship that implements the whole
+//! behavior family. Instead of computing the full Pareto front, each SKU
+//! is answered with a direct query:
+//!
+//! * *"cheapest platform with flexibility ≥ k"* —
+//!   [`min_cost_for_flexibility`],
+//! * *"most flexible platform within budget"* —
+//!   [`max_flexibility_under_budget`].
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example platform_family
+//! ```
+
+use flexplore::{
+    max_flexibility, max_flexibility_under_budget, min_cost_for_flexibility, set_top_box, Cost,
+    ExploreOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stb = set_top_box();
+    let spec = &stb.spec;
+    let options = ExploreOptions::paper();
+    let family_max = max_flexibility(spec.problem().graph());
+    println!("behavior family: maximal flexibility {family_max}");
+
+    // Entry SKU: the cheapest platform that ships at all.
+    let entry = min_cost_for_flexibility(spec, 1, &options)?.expect("some platform works");
+    println!(
+        "\nentry SKU     : {} at {} (flexibility {})",
+        entry
+            .implementation
+            .as_ref()
+            .map(|i| i.allocation.display_names(spec.architecture()))
+            .unwrap_or_default(),
+        entry.cost,
+        entry.flexibility
+    );
+
+    // Mid-range SKU: at least 5 behaviors.
+    let mid = min_cost_for_flexibility(spec, 5, &options)?.expect("5 is implementable");
+    println!(
+        "mid-range SKU : {} at {} (flexibility {})",
+        mid.implementation
+            .as_ref()
+            .map(|i| i.allocation.display_names(spec.architecture()))
+            .unwrap_or_default(),
+        mid.cost,
+        mid.flexibility
+    );
+
+    // Flagship SKU: the full family.
+    let flagship =
+        min_cost_for_flexibility(spec, family_max, &options)?.expect("family is implementable");
+    println!(
+        "flagship SKU  : {} at {} (flexibility {})",
+        flagship
+            .implementation
+            .as_ref()
+            .map(|i| i.allocation.display_names(spec.architecture()))
+            .unwrap_or_default(),
+        flagship.cost,
+        flagship.flexibility
+    );
+
+    // Procurement asks the inverse question: what do fixed budgets buy?
+    println!("\nbudget sweep:");
+    for budget in [110u64, 200, 250, 300, 400, 500] {
+        match max_flexibility_under_budget(spec, Cost::new(budget), &options)? {
+            Some(point) => println!(
+                "  ${budget:>4} buys flexibility {} ({} at {})",
+                point.flexibility,
+                point
+                    .implementation
+                    .as_ref()
+                    .map(|i| i.allocation.display_names(spec.architecture()))
+                    .unwrap_or_default(),
+                point.cost
+            ),
+            None => println!("  ${budget:>4} buys nothing feasible"),
+        }
+    }
+
+    // An impossible ask returns None instead of a wrong answer.
+    assert!(min_cost_for_flexibility(spec, family_max + 1, &options)?.is_none());
+    println!("\nflexibility {} is not implementable on any platform", family_max + 1);
+
+    // Year two: the entry SKU (µP2) has shipped; its cost is sunk. Which
+    // upgrades keep the deployed board and add flexibility?
+    let base = flexplore::ResourceAllocation::new().with_vertex(stb.resource("uP2"));
+    let upgrades = flexplore::explore_upgrades(spec, &base, &options)?;
+    println!("\nupgrade path from the deployed uP2 board (sunk cost $100):");
+    for point in &upgrades.front {
+        println!(
+            "  +{:>4} -> flexibility {} ({})",
+            format!("${}", point.cost.dollars().saturating_sub(100)),
+            point.flexibility,
+            point
+                .implementation
+                .as_ref()
+                .map(|i| i.allocation.display_names(spec.architecture()))
+                .unwrap_or_default()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: model a tiny flexible system from scratch and explore its
+//! flexibility/cost trade-off.
+//!
+//! A video pipeline has one stage with two alternative codecs. Codec `c1`
+//! runs on the CPU; codec `c2` only fits the ASIC. The exploration finds
+//! two Pareto-optimal platforms: CPU-only (cheap, one codec) and CPU+ASIC
+//! (more expensive, both codecs — a more *flexible* product).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use flexplore::{
+    explore, ArchitectureGraph, Cost, ExploreOptions, ProblemGraph, Scope, SpecificationGraph,
+    Time,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Behavior: a source feeding a codec stage with two alternatives.
+    // ------------------------------------------------------------------
+    let mut problem = ProblemGraph::new("pipeline");
+    let source = problem.add_process(Scope::Top, "source");
+    let stage = problem.add_interface(Scope::Top, "I_codec");
+    let input = stage_input(&mut problem, stage);
+
+    let c1 = problem.add_cluster(stage, "codec_v1");
+    let v1 = problem.add_process(c1.into(), "decode_v1");
+    problem.map_port(c1, input, flexplore::PortTarget::vertex(v1))?;
+
+    let c2 = problem.add_cluster(stage, "codec_v2");
+    let v2 = problem.add_process(c2.into(), "decode_v2");
+    problem.map_port(c2, input, flexplore::PortTarget::vertex(v2))?;
+
+    problem.add_dependence(source, (stage, input))?;
+
+    // ------------------------------------------------------------------
+    // 2. Platform: a CPU and an optional ASIC joined by a bus.
+    // ------------------------------------------------------------------
+    let mut arch = ArchitectureGraph::new("platform");
+    let cpu = arch.add_resource(Scope::Top, "CPU", Cost::new(100));
+    let asic = arch.add_resource(Scope::Top, "ASIC", Cost::new(180));
+    let bus = arch.add_bus(Scope::Top, "BUS", Cost::new(10));
+    arch.connect(cpu, bus)?;
+    arch.connect(bus, asic)?;
+
+    // ------------------------------------------------------------------
+    // 3. Mapping edges: who can run where, and how fast.
+    // ------------------------------------------------------------------
+    let mut spec = SpecificationGraph::new("quickstart", problem, arch);
+    spec.add_mapping(source, cpu, Time::from_ns(10))?;
+    spec.add_mapping(v1, cpu, Time::from_ns(40))?;
+    spec.add_mapping(v2, asic, Time::from_ns(15))?; // v2 is ASIC-only
+
+    // ------------------------------------------------------------------
+    // 4. Explore the flexibility/cost design space.
+    // ------------------------------------------------------------------
+    let result = explore(&spec, &ExploreOptions::paper())?;
+
+    println!("flexibility/cost Pareto front:");
+    for point in &result.front {
+        let resources = point
+            .implementation
+            .as_ref()
+            .map(|i| i.allocation.display_names(spec.architecture()))
+            .unwrap_or_default();
+        println!(
+            "  cost {:>5}   flexibility {}   resources [{resources}]",
+            point.cost.to_string(),
+            point.flexibility
+        );
+    }
+    println!(
+        "\nsearch: {} subsets -> {} possible allocations -> {} binding attempts -> {} Pareto points",
+        result.stats.allocations.subsets,
+        result.stats.allocations.kept,
+        result.stats.implement_attempts,
+        result.stats.pareto_points,
+    );
+    Ok(())
+}
+
+/// Declares the single input port of a codec stage.
+fn stage_input(
+    problem: &mut ProblemGraph,
+    stage: flexplore::InterfaceId,
+) -> flexplore::hgraph::PortId {
+    problem.add_port(stage, "in", flexplore::PortDirection::In)
+}

@@ -1,0 +1,138 @@
+//! The paper's Section 5 case study, end to end: build the Set-Top box
+//! specification (Fig. 3 + Fig. 5 + Table 1), run the EXPLORE algorithm,
+//! and print
+//!
+//! * the Pareto table of Section 5 (resources, clusters, cost,
+//!   flexibility),
+//! * the Fig. 4 trade-off curve in `(cost, 1/f)` coordinates, and
+//! * the search-space reduction statistics the paper reports.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example set_top_box
+//! ```
+//!
+//! Pass `--dot` to also print the problem graph in Graphviz format.
+
+use flexplore::hgraph::DotOptions;
+use flexplore::{explore, paper_pareto_table, set_top_box, ExploreOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stb = set_top_box();
+    let spec = &stb.spec;
+
+    if std::env::args().any(|a| a == "--dot") {
+        println!("{}", spec.problem().graph().to_dot(&DotOptions::default()));
+        return Ok(());
+    }
+
+    println!("Set-Top box case study (Haubelt et al., DATE 2002, Section 5)");
+    println!(
+        "  problem graph: {} processes, {} interfaces, {} clusters",
+        spec.problem().graph().vertex_count(),
+        spec.problem().graph().interface_count(),
+        spec.problem().graph().cluster_count(),
+    );
+    println!(
+        "  architecture: {} resources, {} FPGA designs, {} mapping edges",
+        spec.architecture().graph().vertex_count(),
+        stb.designs.len(),
+        spec.mapping_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let result = explore(spec, &ExploreOptions::paper())?;
+    let elapsed = started.elapsed();
+
+    println!("\nPareto-optimal solutions (paper's Section 5 table):");
+    println!("  {:<28} {:<42} {:>6} {:>3}", "Resources", "Clusters", "c", "f");
+    for point in &result.front {
+        let implementation = point.implementation.as_ref().expect("explore retains impls");
+        let resources = implementation.allocation.display_names(spec.architecture());
+        let mut clusters: Vec<&str> = implementation
+            .covered_clusters
+            .iter()
+            .map(|&c| spec.problem().graph().cluster_name(c))
+            .filter(|n| !n.ends_with("_I") || *n == "gamma_I") // keep all, cosmetic
+            .collect();
+        clusters.sort_unstable();
+        println!(
+            "  {:<28} {:<42} {:>6} {:>3}",
+            resources,
+            clusters.join(","),
+            point.cost.to_string(),
+            point.flexibility
+        );
+    }
+
+    println!("\nreference (published table):");
+    for (resources, cost, flexibility) in paper_pareto_table() {
+        println!("  {:<28} ${cost:<5} f={flexibility}", resources.join(", "));
+    }
+
+    println!("\nFig. 4 trade-off curve (cost vs 1/flexibility):");
+    for point in &result.front {
+        println!(
+            "  cost {:>4}   1/f = {:.3}",
+            point.cost.dollars(),
+            point.reciprocal_flexibility()
+        );
+    }
+
+    let stats = &result.stats;
+    println!("\nsearch-space reduction (paper: 2^25 -> ~7000 -> ~1050 -> 6):");
+    println!("  raw design points     : 2^{}", stats.vertex_set_size);
+    println!("  unit subsets scanned  : {}", stats.allocations.subsets);
+    println!(
+        "  structurally pruned   : {}",
+        stats.allocations.pruned_structurally
+    );
+    println!("  infeasible (estimate) : {}", stats.allocations.infeasible);
+    println!("  possible allocations  : {}", stats.allocations.kept);
+    println!("  estimate-skipped      : {}", stats.estimate_skipped);
+    println!("  binding attempts      : {}", stats.implement_attempts);
+    println!("  Pareto-optimal points : {}", stats.pareto_points);
+    println!("  wall-clock            : {elapsed:.2?}");
+
+    // Show the paper's coverage example: the modes realizing the $290
+    // point and the FPGA configuration each holds.
+    if let Some(point) = result
+        .front
+        .iter()
+        .find(|p| p.cost.dollars() == 290)
+    {
+        let implementation = point.implementation.as_ref().expect("retained");
+        println!("\nmode coverage of the $290 design point:");
+        for mode in implementation.covering_modes() {
+            let clusters: Vec<&str> = mode
+                .mode
+                .problem
+                .iter()
+                .map(|(_, c)| spec.problem().graph().cluster_name(c))
+                .collect();
+            let config: Vec<String> = mode
+                .mode
+                .architecture
+                .iter()
+                .map(|(i, c)| {
+                    format!(
+                        "{}={}",
+                        spec.architecture().graph().interface_name(i),
+                        spec.architecture().graph().cluster_name(c)
+                    )
+                })
+                .collect();
+            println!(
+                "  {{{}}} with {}",
+                clusters.join(" "),
+                if config.is_empty() {
+                    "no reconfigurable device".to_owned()
+                } else {
+                    config.join(", ")
+                }
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! Cross-crate property tests: the system-level invariants of DESIGN.md,
+//! checked on randomized synthetic specifications.
+
+use flexplore::bind::{implement_default, mode_timing_accepts};
+use flexplore::flex::estimate_flexibility;
+use flexplore::{
+    exhaustive_explore, explore, set_top_box, synthetic_spec, ExploreOptions, ResourceAllocation,
+    SchedPolicy, SyntheticConfig,
+};
+use proptest::prelude::*;
+
+fn small_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (0u64..200, 1usize..3, 1usize..3, 1usize..3, 1usize..3, 0usize..2, 0usize..3).prop_map(
+        |(seed, apps, stages, alts, cpus, asics, designs)| SyntheticConfig {
+            seed,
+            applications: apps,
+            interfaces_per_app: stages,
+            alternatives: alts,
+            processors: cpus,
+            asics,
+            fpga_designs: designs,
+            constrained_fraction: 0.5,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's central correctness claim: EXPLORE finds exactly the
+    /// Pareto front that exhaustive search finds.
+    #[test]
+    fn explore_equals_exhaustive(config in small_config_strategy()) {
+        let spec = synthetic_spec(&config);
+        let fast = explore(&spec, &ExploreOptions::paper()).unwrap();
+        let slow = exhaustive_explore(&spec).unwrap();
+        prop_assert!(
+            fast.front.same_objectives(&slow.front),
+            "EXPLORE {:?} != exhaustive {:?}",
+            fast.front.objectives(),
+            slow.front.objectives()
+        );
+    }
+
+    /// Every mode of every implementation on the front re-verifies against
+    /// the declarative binding rules and the timing policy.
+    #[test]
+    fn all_front_modes_reverify(config in small_config_strategy()) {
+        let spec = synthetic_spec(&config);
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        for point in &result.front {
+            let implementation = point.implementation.as_ref().unwrap();
+            let allocated = implementation
+                .allocation
+                .available_vertices(spec.architecture());
+            for mode in &implementation.modes {
+                prop_assert!(spec
+                    .check_binding(&mode.mode, &allocated, &mode.binding)
+                    .is_ok());
+                prop_assert!(mode_timing_accepts(
+                    &spec,
+                    &mode.mode.problem,
+                    &mode.binding,
+                    SchedPolicy::PaperLimit69
+                ));
+            }
+        }
+    }
+
+    /// The flexibility estimate is a sound upper bound: the implemented
+    /// flexibility never exceeds it.
+    #[test]
+    fn estimate_is_upper_bound(config in small_config_strategy()) {
+        let spec = synthetic_spec(&config);
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        for point in &result.front {
+            let implementation = point.implementation.as_ref().unwrap();
+            let estimate = estimate_flexibility(&spec, &implementation.allocation);
+            prop_assert!(implementation.flexibility <= estimate.value);
+        }
+    }
+
+    /// Fronts are sorted by cost with strictly increasing flexibility and
+    /// mutually non-dominated.
+    #[test]
+    fn fronts_are_well_formed(config in small_config_strategy()) {
+        let spec = synthetic_spec(&config);
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        let objectives = result.front.objectives();
+        for w in objectives.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        for a in result.front.iter() {
+            for b in result.front.iter() {
+                if !std::ptr::eq(a, b) {
+                    prop_assert!(!a.dominates(b));
+                }
+            }
+        }
+    }
+}
+
+/// Monotonicity on the case study: growing an allocation never decreases
+/// the implemented flexibility.
+#[test]
+fn allocation_growth_is_monotone() {
+    let stb = set_top_box();
+    let steps = [
+        ResourceAllocation::new().with_vertex(stb.resource("uP2")),
+        ResourceAllocation::new()
+            .with_vertex(stb.resource("uP2"))
+            .with_vertex(stb.resource("C1"))
+            .with_cluster(stb.design("U2")),
+        ResourceAllocation::new()
+            .with_vertex(stb.resource("uP2"))
+            .with_vertex(stb.resource("C1"))
+            .with_cluster(stb.design("U2"))
+            .with_cluster(stb.design("G1")),
+        ResourceAllocation::new()
+            .with_vertex(stb.resource("uP2"))
+            .with_vertex(stb.resource("C1"))
+            .with_vertex(stb.resource("C2"))
+            .with_vertex(stb.resource("A1"))
+            .with_cluster(stb.design("U2"))
+            .with_cluster(stb.design("G1"))
+            .with_cluster(stb.design("D3")),
+    ];
+    let mut last = 0;
+    for allocation in &steps {
+        let implementation =
+            implement_default(&stb.spec, allocation).expect("all steps feasible");
+        assert!(
+            implementation.flexibility >= last,
+            "flexibility dropped from {last} to {} at [{}]",
+            implementation.flexibility,
+            allocation.display_names(stb.spec.architecture())
+        );
+        last = implementation.flexibility;
+    }
+    assert_eq!(last, 8, "the final step implements everything");
+}
+
+/// Serde round-trip of a complete exploration result.
+#[test]
+fn exploration_results_serialize() {
+    let spec = synthetic_spec(&SyntheticConfig::small(5));
+    let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    let back: flexplore::ExploreResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.front.objectives(), result.front.objectives());
+    assert_eq!(back.stats, result.stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The single-point queries agree with the full front on random specs.
+    #[test]
+    fn queries_agree_with_front(config in small_config_strategy()) {
+        use flexplore::{max_flexibility_under_budget, min_cost_for_flexibility};
+        let spec = synthetic_spec(&config);
+        let options = ExploreOptions::paper();
+        let front = explore(&spec, &options).unwrap().front;
+        for point in &front {
+            let q = min_cost_for_flexibility(&spec, point.flexibility, &options)
+                .unwrap()
+                .expect("front flexibility is implementable");
+            prop_assert_eq!(q.cost, point.cost);
+            let b = max_flexibility_under_budget(&spec, point.cost, &options)
+                .unwrap()
+                .expect("front cost affords something");
+            prop_assert_eq!(b.flexibility, point.flexibility);
+        }
+        // One past the best flexibility is unattainable.
+        let best = front.best_flexibility();
+        prop_assert!(min_cost_for_flexibility(&spec, best + 1, &options)
+            .unwrap()
+            .is_none());
+    }
+
+    /// Upgrade exploration from any front allocation never decreases
+    /// flexibility and always contains the base.
+    #[test]
+    fn upgrades_contain_base_and_do_not_regress(config in small_config_strategy()) {
+        use flexplore::explore_upgrades;
+        let spec = synthetic_spec(&config);
+        let options = ExploreOptions::paper();
+        let front = explore(&spec, &options).unwrap().front;
+        let Some(first) = front.points().first() else { return Ok(()); };
+        let base = first.implementation.as_ref().unwrap().allocation.clone();
+        let upgrades = explore_upgrades(&spec, &base, &options).unwrap();
+        prop_assert!(!upgrades.front.is_empty());
+        for point in &upgrades.front {
+            let implementation = point.implementation.as_ref().unwrap();
+            prop_assert!(implementation.allocation.contains(&base));
+            prop_assert!(point.flexibility >= first.flexibility);
+        }
+    }
+
+    /// Every mode of every front implementation admits a valid static
+    /// schedule: entries respect precedence, resources never overlap, and
+    /// constrained sinks meet their periods.
+    #[test]
+    fn front_modes_schedule_consistently(config in small_config_strategy()) {
+        use flexplore::schedule::{schedule_mode, CommDelay};
+        let spec = synthetic_spec(&config);
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        for point in &result.front {
+            let implementation = point.implementation.as_ref().unwrap();
+            for mode in &implementation.modes {
+                let schedule =
+                    schedule_mode(&spec, &mode.mode.problem, &mode.binding, CommDelay::Zero)
+                        .unwrap();
+                let flat = spec.problem().flatten(&mode.mode.problem).unwrap();
+                for e in &flat.edges {
+                    prop_assert!(
+                        schedule.entry(e.from).unwrap().finish
+                            <= schedule.entry(e.to).unwrap().start
+                    );
+                }
+                let mut per_resource: std::collections::BTreeMap<_, Vec<_>> =
+                    std::collections::BTreeMap::new();
+                for entry in schedule.entries() {
+                    per_resource.entry(entry.resource).or_default().push(entry);
+                }
+                for entries in per_resource.values() {
+                    for w in entries.windows(2) {
+                        prop_assert!(w[0].finish <= w[1].start);
+                    }
+                }
+            }
+        }
+    }
+}

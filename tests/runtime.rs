@@ -1,0 +1,212 @@
+//! Integration tests for the run-time layers built on top of the
+//! exploration: static scheduling of modes (the paper's future-work item)
+//! and adaptive mode management with reconfiguration accounting.
+
+use flexplore::adaptive::{AdaptiveSystem, ReconfigCost};
+use flexplore::schedule::{schedule_mode, CommDelay};
+use flexplore::{
+    explore, implement_default, set_top_box, ExploreOptions, ResourceAllocation, Selection, Time,
+};
+
+/// Every mode on the explored Pareto front admits a static schedule whose
+/// makespan meets the minimal output periods exactly.
+#[test]
+fn every_front_mode_schedules_within_its_period() {
+    let stb = set_top_box();
+    let result = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    let mut scheduled = 0;
+    for point in &result.front {
+        let implementation = point.implementation.as_ref().unwrap();
+        for mode in &implementation.modes {
+            let schedule =
+                schedule_mode(&stb.spec, &mode.mode.problem, &mode.binding, CommDelay::Zero)
+                    .expect("front modes schedule");
+            assert!(
+                schedule.meets_periods(&stb.spec),
+                "mode violates its period with makespan {}",
+                schedule.makespan()
+            );
+            scheduled += 1;
+        }
+    }
+    assert!(scheduled > 10, "the front carries many modes");
+}
+
+/// The paper's worked example, scheduled exactly: the game console on µP1
+/// finishes at 25 + 75 + 70 = 170 ns, within its 240 ns period.
+#[test]
+fn game_on_up1_schedules_to_170ns() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new().with_vertex(stb.resource("uP1"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    let game_mode = implementation
+        .modes
+        .iter()
+        .find(|m| {
+            m.mode
+                .problem
+                .iter()
+                .any(|(_, c)| c == stb.cluster("gamma_G"))
+        })
+        .expect("game feasible on uP1");
+    let schedule = schedule_mode(
+        &stb.spec,
+        &game_mode.mode.problem,
+        &game_mode.binding,
+        CommDelay::Zero,
+    )
+    .unwrap();
+    assert_eq!(schedule.makespan(), Time::from_ns(170));
+    assert!(schedule.meets_periods(&stb.spec));
+}
+
+/// Communication delays can break a period that holds under the paper's
+/// zero-delay assumption: the offloaded game (core on the FPGA) crosses
+/// the bus twice per frame.
+#[test]
+fn comm_delays_tighten_the_verdict() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new()
+        .with_vertex(stb.resource("uP2"))
+        .with_vertex(stb.resource("C1"))
+        .with_cluster(stb.design("G1"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    let game_mode = implementation
+        .modes
+        .iter()
+        .find(|m| {
+            m.mode
+                .problem
+                .iter()
+                .any(|(_, c)| c == stb.cluster("gamma_G1"))
+        })
+        .expect("offloaded game feasible");
+    // Zero delay: 27 (ctrl) + 20 (core on FPGA) + 90 (accel) serialized
+    // over two resources -> well within 240.
+    let free = schedule_mode(
+        &stb.spec,
+        &game_mode.mode.problem,
+        &game_mode.binding,
+        CommDelay::Zero,
+    )
+    .unwrap();
+    assert!(free.meets_periods(&stb.spec));
+    // A 60 ns bus delay per hop pushes the accelerator past its period.
+    let slow = schedule_mode(
+        &stb.spec,
+        &game_mode.mode.problem,
+        &game_mode.binding,
+        CommDelay::Uniform(Time::from_ns(60)),
+    )
+    .unwrap();
+    assert!(slow.makespan() > free.makespan());
+    assert!(!slow.meets_periods(&stb.spec));
+}
+
+/// End-to-end adaptive scenario on the $290 platform: a zapping session
+/// with reconfiguration accounting.
+#[test]
+fn adaptive_zapping_session() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new()
+        .with_vertex(stb.resource("uP2"))
+        .with_vertex(stb.resource("C1"))
+        .with_cluster(stb.design("D3"))
+        .with_cluster(stb.design("U2"))
+        .with_cluster(stb.design("G1"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    assert_eq!(implementation.flexibility, 5);
+
+    let tv = |d: &str, u: &str| {
+        Selection::new()
+            .with(stb.interfaces["I_app"], stb.cluster("gamma_D"))
+            .with(stb.interfaces["I_D"], stb.cluster(d))
+            .with(stb.interfaces["I_U"], stb.cluster(u))
+    };
+    let game = Selection::new()
+        .with(stb.interfaces["I_app"], stb.cluster("gamma_G"))
+        .with(stb.interfaces["I_G"], stb.cluster("gamma_G1"));
+    let browser = Selection::new().with(stb.interfaces["I_app"], stb.cluster("gamma_I"));
+
+    let mut system = AdaptiveSystem::new(
+        &stb.spec,
+        &implementation,
+        ReconfigCost::Uniform(Time::from_ns(500)),
+    );
+    system
+        .run_trace(&[
+            tv("gamma_D1", "gamma_U1"),
+            tv("gamma_D3", "gamma_U1"),
+            game.clone(),
+            tv("gamma_D1", "gamma_U2"),
+            browser,
+        ])
+        .unwrap();
+    let stats = system.stats();
+    assert_eq!(stats.switches, 5);
+    // D3, G1 and U2 each require a swap; D1xU1 and the browser run on the
+    // processor without touching the device.
+    assert_eq!(stats.reconfigurations, 3);
+    assert_eq!(stats.total_reconfig_time, Time::from_ns(1500));
+
+    // Game class 3 was never paid for: rejected.
+    let g3 = Selection::new()
+        .with(stb.interfaces["I_app"], stb.cluster("gamma_G"))
+        .with(stb.interfaces["I_G"], stb.cluster("gamma_G3"));
+    assert!(system.switch_to(&g3).is_err());
+    assert_eq!(system.stats().rejected, 1);
+}
+
+/// The richest platform ($430) serves every behavior in the family with
+/// no rejections.
+#[test]
+fn full_platform_serves_all_behaviors() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new()
+        .with_vertex(stb.resource("uP2"))
+        .with_vertex(stb.resource("A1"))
+        .with_vertex(stb.resource("C1"))
+        .with_vertex(stb.resource("C2"))
+        .with_cluster(stb.design("D3"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    assert_eq!(implementation.flexibility, 8);
+    let mut system = AdaptiveSystem::new(&stb.spec, &implementation, ReconfigCost::Free);
+    // Every elementary behavior of the family.
+    let mut requests = vec![Selection::new().with(stb.interfaces["I_app"], stb.cluster("gamma_I"))];
+    for g in ["gamma_G1", "gamma_G2", "gamma_G3"] {
+        requests.push(
+            Selection::new()
+                .with(stb.interfaces["I_app"], stb.cluster("gamma_G"))
+                .with(stb.interfaces["I_G"], stb.cluster(g)),
+        );
+    }
+    for d in ["gamma_D1", "gamma_D2", "gamma_D3"] {
+        for u in ["gamma_U1", "gamma_U2"] {
+            requests.push(
+                Selection::new()
+                    .with(stb.interfaces["I_app"], stb.cluster("gamma_D"))
+                    .with(stb.interfaces["I_D"], stb.cluster(d))
+                    .with(stb.interfaces["I_U"], stb.cluster(u)),
+            );
+        }
+    }
+    let mut served = 0;
+    let mut rejected = Vec::new();
+    for request in &requests {
+        match system.switch_to(request) {
+            Ok(_) => served += 1,
+            Err(_) => rejected.push(request.clone()),
+        }
+    }
+    // Flexibility 8 means every *cluster* is activatable at some time —
+    // not that every combination is: D3 (FPGA-only) with U2 (ASIC-only
+    // here) is unroutable because no bus joins FPGA and A1, exactly the
+    // Fig. 2 infeasibility argument. All nine other behaviors are served.
+    assert_eq!(served, 9);
+    assert_eq!(rejected.len(), 1);
+    let d3u2 = Selection::new()
+        .with(stb.interfaces["I_app"], stb.cluster("gamma_D"))
+        .with(stb.interfaces["I_D"], stb.cluster("gamma_D3"))
+        .with(stb.interfaces["I_U"], stb.cluster("gamma_U2"));
+    assert_eq!(rejected[0], d3u2);
+}

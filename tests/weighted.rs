@@ -1,0 +1,73 @@
+//! Integration tests for the weighted-flexibility variant (footnote 2) on
+//! the Set-Top box case study.
+
+use flexplore::flex::FlexibilityWeights;
+use flexplore::{explore, explore_weighted, set_top_box, ExploreOptions};
+
+/// Uniform weights reproduce the unweighted Section 5 front.
+#[test]
+fn uniform_weights_reproduce_the_paper_front() {
+    let stb = set_top_box();
+    let unweighted = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    let weighted = explore_weighted(
+        &stb.spec,
+        &FlexibilityWeights::new(),
+        &ExploreOptions::paper(),
+    )
+    .unwrap();
+    assert_eq!(weighted.front.len(), unweighted.front.len());
+    for (w, u) in weighted.front.iter().zip(unweighted.front.iter()) {
+        assert_eq!(w.cost, u.cost);
+        assert!((w.weighted_flexibility - u.flexibility as f64).abs() < 1e-9);
+    }
+}
+
+/// Market weighting: the third decryption algorithm (rare broadcast
+/// standard) is worth little, the game classes a lot — the weighted front
+/// skips the D3-centric platforms and jumps to the ASIC.
+#[test]
+fn market_weights_reshape_the_front() {
+    let stb = set_top_box();
+    let weights = FlexibilityWeights::new()
+        .with(stb.cluster("gamma_D3"), 0.1)
+        .with(stb.cluster("gamma_G1"), 2.0)
+        .with(stb.cluster("gamma_G2"), 2.0)
+        .with(stb.cluster("gamma_G3"), 2.0);
+    let result = explore_weighted(&stb.spec, &weights, &ExploreOptions::paper()).unwrap();
+    // The front remains cost-sorted and strictly improving.
+    for w in result.front.windows(2) {
+        assert!(w[0].cost < w[1].cost);
+        assert!(w[0].weighted_flexibility < w[1].weighted_flexibility);
+    }
+    // The game-heavy weighting makes the µP1 point (which adds the game)
+    // worth 1 + 2 + 1 = 4 weighted, and the ASIC platform dominates the
+    // D3-only upgrades: check the flagship value.
+    let best = result.front.last().unwrap();
+    // All clusters: γI (1) + games (3·2) + decrypt (1 + 1 + 0.1) +
+    // uncompress (1 + 1) − default (1) per extra interface in γ_D, and
+    // −1·default for the γ_G interface... rather than re-deriving the
+    // closed form, assert the exact metric value computed independently:
+    let expected = flexplore::weighted_flexibility(stb.spec.problem().graph(), &weights, |_| true);
+    assert!((best.weighted_flexibility - expected).abs() < 1e-9);
+    assert!(expected > 8.0, "game upweighting raises the ceiling");
+}
+
+/// Zero-weighting an entire application removes its platforms' advantage:
+/// with the game worthless, no Pareto point pays for G-only resources.
+#[test]
+fn worthless_game_removes_game_only_upgrades() {
+    let stb = set_top_box();
+    let weights = FlexibilityWeights::new()
+        .with(stb.cluster("gamma_G"), 0.0)
+        .with(stb.cluster("gamma_G1"), 0.0)
+        .with(stb.cluster("gamma_G2"), 0.0)
+        .with(stb.cluster("gamma_G3"), 0.0);
+    let result = explore_weighted(&stb.spec, &weights, &ExploreOptions::paper()).unwrap();
+    // µP1's only edge over µP2 is the game: with the game worthless the
+    // $120 point disappears from the weighted front.
+    assert!(result
+        .front
+        .iter()
+        .all(|p| p.cost.dollars() != 120), "µP1 point must vanish: {:?}",
+        result.front.iter().map(|p| (p.cost.dollars(), p.weighted_flexibility)).collect::<Vec<_>>());
+}
