@@ -1,6 +1,7 @@
 //! Error type of the run-time mode manager.
 
-use flexplore_hgraph::Selection;
+use flexplore_bind::BindError;
+use flexplore_hgraph::{Selection, VertexId};
 use std::error::Error;
 use std::fmt;
 
@@ -15,6 +16,19 @@ pub enum AdaptiveError {
         /// The rejected behavior request.
         requested: Selection,
     },
+    /// A resource failure interrupted the running behavior and no surviving
+    /// or rebound mode preserves it. Only raised under
+    /// [`DegradationPolicy::FailFast`](crate::DegradationPolicy::FailFast);
+    /// the other policies record the loss and keep operating.
+    DegradationFailed {
+        /// The failed resource that triggered the degradation attempt.
+        resource: VertexId,
+        /// The top-level behavior that could not be preserved.
+        behavior: Selection,
+    },
+    /// Re-implementing the platform with failed resources masked out
+    /// exceeded a binding-search bound.
+    Rebind(BindError),
 }
 
 impl fmt::Display for AdaptiveError {
@@ -25,11 +39,30 @@ impl fmt::Display for AdaptiveError {
                 "no feasible mode implements the requested behavior ({} selections)",
                 requested.len()
             ),
+            AdaptiveError::DegradationFailed { behavior, .. } => write!(
+                f,
+                "resource failure lost the running behavior ({} selections) with no fallback",
+                behavior.len()
+            ),
+            AdaptiveError::Rebind(e) => write!(f, "degraded rebinding: {e}"),
         }
     }
 }
 
-impl Error for AdaptiveError {}
+impl Error for AdaptiveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdaptiveError::Rebind(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BindError> for AdaptiveError {
+    fn from(e: BindError) -> Self {
+        AdaptiveError::Rebind(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -43,5 +76,18 @@ mod tests {
         assert!(e.to_string().contains("no feasible mode"));
         fn assert_traits<T: Error + Send + Sync + 'static>() {}
         assert_traits::<AdaptiveError>();
+    }
+
+    #[test]
+    fn fault_variants_display_and_chain() {
+        let lost = AdaptiveError::DegradationFailed {
+            resource: VertexId::from_index(0),
+            behavior: Selection::new(),
+        };
+        assert!(lost.to_string().contains("no fallback"));
+        assert!(lost.source().is_none());
+        let rebind: AdaptiveError = BindError::TooManyActivations { limit: 3 }.into();
+        assert!(rebind.to_string().contains('3'));
+        assert!(rebind.source().is_some());
     }
 }

@@ -11,7 +11,11 @@
 //!   them (or rejected if the platform was not dimensioned for them),
 //! * device reconfigurations are derived from the mode's architecture
 //!   selection and accounted with a configurable per-swap latency,
-//! * the full switch timeline and aggregate statistics are recorded.
+//! * the full switch timeline and aggregate statistics are recorded,
+//! * resource failures can be injected ([`FaultPlan`]) and the manager
+//!   degrades gracefully: it re-resolves the running behavior to a
+//!   surviving or freshly rebound mode that avoids the dead resources,
+//!   governed by a [`DegradationPolicy`].
 //!
 //! # Examples
 //!
@@ -45,9 +49,15 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod faults;
 mod manager;
 mod trace;
 
 pub use error::AdaptiveError;
+pub use faults::{
+    run_with_faults, DegradationPolicy, DegradeOutcome, FailureRecord, FaultKind, FaultPlan,
+    FaultReport, FaultScenario, FaultTimelineEvent, PlannedFault, RandomFaultConfig,
+    ResourceHealth,
+};
 pub use manager::{AdaptiveStats, AdaptiveSystem, ReconfigCost, SwitchEvent};
 pub use trace::{evaluate_platform, generate_trace, PlatformEvaluation, TraceConfig};

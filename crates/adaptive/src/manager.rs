@@ -8,6 +8,7 @@
 //! timeline of events is recorded for analysis.
 
 use crate::error::AdaptiveError;
+use crate::faults::{DegradationPolicy, FaultTimelineEvent, ResourceHealth};
 use flexplore_bind::{Implementation, ModeImplementation};
 use flexplore_hgraph::{ClusterId, InterfaceId, Selection};
 use flexplore_sched::Time;
@@ -57,23 +58,44 @@ pub struct AdaptiveStats {
     pub reconfigurations: u64,
     /// Total time spent reconfiguring.
     pub total_reconfig_time: Time,
+    /// Resource failures injected.
+    pub failures: u64,
+    /// Resource recoveries applied.
+    pub recoveries: u64,
+    /// Degraded switches: behaviors preserved after a failure by moving to
+    /// a surviving or rebound mode.
+    pub degraded_switches: u64,
+    /// Behaviors lost to failures (no surviving or rebound mode).
+    pub behaviors_lost: u64,
 }
 
 /// A run-time mode manager over one explored implementation.
+///
+/// Beyond behavior switching, the manager tracks per-resource health: see
+/// [`fail_resource`](Self::fail_resource) and the `faults` module for the
+/// failure-injection and graceful-degradation machinery.
 #[derive(Debug, Clone)]
 pub struct AdaptiveSystem<'a> {
-    spec: &'a SpecificationGraph,
-    implementation: &'a Implementation,
-    reconfig: ReconfigCost,
-    device_state: BTreeMap<InterfaceId, ClusterId>,
-    current: Option<usize>,
-    stats: AdaptiveStats,
-    timeline: Vec<SwitchEvent>,
+    pub(crate) spec: &'a SpecificationGraph,
+    pub(crate) implementation: &'a Implementation,
+    pub(crate) reconfig: ReconfigCost,
+    pub(crate) device_state: BTreeMap<InterfaceId, ClusterId>,
+    pub(crate) current: Option<usize>,
+    pub(crate) stats: AdaptiveStats,
+    pub(crate) timeline: Vec<SwitchEvent>,
+    pub(crate) health: ResourceHealth,
+    pub(crate) policy: DegradationPolicy,
+    /// Modes constructed by degraded rebinding (the precomputed modes live
+    /// in the borrowed implementation). Indices `>= implementation.modes.len()`
+    /// refer into this overlay.
+    pub(crate) degraded_modes: Vec<ModeImplementation>,
+    pub(crate) fault_timeline: Vec<FaultTimelineEvent>,
 }
 
 impl<'a> AdaptiveSystem<'a> {
     /// Creates a manager over `implementation`, with all devices
-    /// unconfigured.
+    /// unconfigured, all resources healthy, and the default (best-effort)
+    /// degradation policy.
     #[must_use]
     pub fn new(
         spec: &'a SpecificationGraph,
@@ -88,13 +110,41 @@ impl<'a> AdaptiveSystem<'a> {
             current: None,
             stats: AdaptiveStats::default(),
             timeline: Vec::new(),
+            health: ResourceHealth::default(),
+            policy: DegradationPolicy::default(),
+            degraded_modes: Vec::new(),
+            fault_timeline: Vec::new(),
+        }
+    }
+
+    /// Sets the degradation policy applied when a resource failure hits
+    /// the running behavior.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Total number of addressable modes: precomputed plus rebound.
+    pub(crate) fn mode_count(&self) -> usize {
+        self.implementation.modes.len() + self.degraded_modes.len()
+    }
+
+    /// Resolves a mode index across the precomputed modes and the
+    /// degraded-rebinding overlay.
+    pub(crate) fn mode_at(&self, index: usize) -> &ModeImplementation {
+        let precomputed = self.implementation.modes.len();
+        if index < precomputed {
+            &self.implementation.modes[index]
+        } else {
+            &self.degraded_modes[index - precomputed]
         }
     }
 
     /// The mode currently executing, if any.
     #[must_use]
     pub fn current_mode(&self) -> Option<&ModeImplementation> {
-        self.current.map(|k| &self.implementation.modes[k])
+        self.current.map(|k| self.mode_at(k))
     }
 
     /// The configuration currently loaded on `device`, if any.
@@ -114,7 +164,6 @@ impl<'a> AdaptiveSystem<'a> {
     pub fn timeline(&self) -> &[SwitchEvent] {
         &self.timeline
     }
-
 
     /// The behaviors this platform can serve: the problem selections of
     /// all feasible modes, deduplicated and sorted.
@@ -141,27 +190,23 @@ impl<'a> AdaptiveSystem<'a> {
     /// # Errors
     ///
     /// Returns [`AdaptiveError::Unimplementable`] if no feasible mode of
-    /// the implementation realizes the requested behavior — the platform
-    /// was not dimensioned for it.
+    /// the implementation realizes the requested behavior on the healthy
+    /// part of the platform — the platform was not dimensioned for it, or
+    /// failures took the needed resources down and no rebinding avoids
+    /// them.
     pub fn switch_to(&mut self, requested: &Selection) -> Result<&SwitchEvent, AdaptiveError> {
-        let Some(index) = self.find_mode(requested) else {
+        let found = match self.find_mode(requested) {
+            Some(index) => Some(index),
+            None => self.rebind_for_request(requested),
+        };
+        let Some(index) = found else {
             self.stats.rejected += 1;
             return Err(AdaptiveError::Unimplementable {
                 requested: requested.clone(),
             });
         };
-        let mode = &self.implementation.modes[index];
-        let mut reconfigured = Vec::new();
-        for (device, cluster) in mode.mode.architecture.iter() {
-            let previous = self.device_state.insert(device, cluster);
-            if previous != Some(cluster) {
-                reconfigured.push((device, previous, cluster));
-            }
-        }
-        let reconfig_time = self.reconfig.per_swap() * reconfigured.len() as u64;
+        let (reconfigured, reconfig_time) = self.apply_device_state(index);
         self.stats.switches += 1;
-        self.stats.reconfigurations += reconfigured.len() as u64;
-        self.stats.total_reconfig_time += reconfig_time;
         self.current = Some(index);
         self.timeline.push(SwitchEvent {
             requested: requested.clone(),
@@ -169,6 +214,27 @@ impl<'a> AdaptiveSystem<'a> {
             reconfig_time,
         });
         Ok(self.timeline.last().expect("just pushed"))
+    }
+
+    /// Loads `index`'s architecture selection onto the devices, recording
+    /// and accounting every configuration swap.
+    pub(crate) fn apply_device_state(
+        &mut self,
+        index: usize,
+    ) -> (Vec<(InterfaceId, Option<ClusterId>, ClusterId)>, Time) {
+        let swaps: Vec<(InterfaceId, ClusterId)> =
+            self.mode_at(index).mode.architecture.iter().collect();
+        let mut reconfigured = Vec::new();
+        for (device, cluster) in swaps {
+            let previous = self.device_state.insert(device, cluster);
+            if previous != Some(cluster) {
+                reconfigured.push((device, previous, cluster));
+            }
+        }
+        let reconfig_time = self.reconfig.per_swap() * reconfigured.len() as u64;
+        self.stats.reconfigurations += reconfigured.len() as u64;
+        self.stats.total_reconfig_time += reconfig_time;
+        (reconfigured, reconfig_time)
     }
 
     /// Runs a whole request trace, stopping at the first unimplementable
@@ -185,19 +251,17 @@ impl<'a> AdaptiveSystem<'a> {
     }
 
     /// Finds a feasible mode whose problem selection agrees with the
-    /// request on the *active* interfaces of the request.
+    /// request on the *active* interfaces of the request. Modes that lost
+    /// a resource to an injected fault are skipped.
     fn find_mode(&self, requested: &Selection) -> Option<usize> {
-        let active = self
-            .spec
-            .problem()
-            .graph()
-            .active_under(requested)
-            .ok()?;
-        self.implementation.modes.iter().position(|m| {
+        let active = self.spec.problem().graph().active_under(requested).ok()?;
+        (0..self.mode_count()).find(|&k| {
+            let m = self.mode_at(k);
             active
                 .interfaces
                 .iter()
                 .all(|&i| m.mode.problem.get(i) == requested.get(i))
+                && self.mode_survives(m)
         })
     }
 }

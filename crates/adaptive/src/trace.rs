@@ -182,10 +182,7 @@ mod tests {
         let rich_eval = evaluate_platform(&stb.spec, &rich, &trace, ReconfigCost::Free);
         assert!(rich_eval.served > cheap_eval.served);
         assert!(rich_eval.served_fraction() > cheap_eval.served_fraction());
-        assert_eq!(
-            cheap_eval.served + cheap_eval.rejected,
-            trace.len() as u64
-        );
+        assert_eq!(cheap_eval.served + cheap_eval.rejected, trace.len() as u64);
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn configurations() -> Vec<(&'static str, ExploreOptions)> {
     let paper = ExploreOptions::paper();
     let no_flex = ExploreOptions {
         flexibility_pruning: false,
-        ..paper
+        ..paper.clone()
     };
     let no_structural = ExploreOptions {
         allocation: AllocationOptions {
@@ -28,11 +28,11 @@ fn configurations() -> Vec<(&'static str, ExploreOptions)> {
             prune_unusable: false,
             ..AllocationOptions::default()
         },
-        ..paper
+        ..paper.clone()
     };
     let neither = ExploreOptions {
         flexibility_pruning: false,
-        ..no_structural
+        ..no_structural.clone()
     };
     vec![
         ("paper(all-prunings)", paper),
@@ -45,7 +45,10 @@ fn configurations() -> Vec<(&'static str, ExploreOptions)> {
 fn models() -> Vec<(&'static str, SpecificationGraph)> {
     vec![
         ("set-top-box", set_top_box().spec),
-        ("synthetic-medium", synthetic_spec(&SyntheticConfig::medium(11))),
+        (
+            "synthetic-medium",
+            synthetic_spec(&SyntheticConfig::medium(11)),
+        ),
     ]
 }
 

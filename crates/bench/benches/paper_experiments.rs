@@ -21,7 +21,10 @@ fn print_fig3() {
     let g = stb.spec.problem().graph();
     let game = stb.cluster("gamma_G");
     println!("== Fig. 3: flexibility of the Set-Top box problem graph ==");
-    println!("  all clusters activatable : f = {} (paper: 8)", max_flexibility(g));
+    println!(
+        "  all clusters activatable : f = {} (paper: 8)",
+        max_flexibility(g)
+    );
     println!(
         "  without gamma_G          : f = {} (paper: 5)",
         flexibility(g, |c| c != game)
@@ -72,7 +75,10 @@ fn print_case_study() {
             ref_names.join(",")
         );
         assert_eq!(point.cost.dollars(), ref_cost, "cost must match the paper");
-        assert_eq!(point.flexibility, ref_flex, "flexibility must match the paper");
+        assert_eq!(
+            point.flexibility, ref_flex,
+            "flexibility must match the paper"
+        );
     }
     println!("\n== Fig. 4: trade-off curve (cost, 1/f) ==");
     for point in &result.front {

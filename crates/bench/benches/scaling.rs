@@ -111,5 +111,10 @@ fn print_moea_quality(c: &mut Criterion) {
     c.bench_function("e8_quality_printed", |b| b.iter(|| black_box(0)));
 }
 
-criterion_group!(benches, print_reduction_table, bench_engines, print_moea_quality);
+criterion_group!(
+    benches,
+    print_reduction_table,
+    bench_engines,
+    print_moea_quality
+);
 criterion_main!(benches);

@@ -13,9 +13,9 @@ use flexplore::adaptive::{evaluate_platform, generate_trace, ReconfigCost, Trace
 use flexplore::bind::{BindOptions, ImplementOptions};
 use flexplore::flex::{flexibility, max_flexibility};
 use flexplore::{
-    exhaustive_explore, explore, moea_explore, paper_pareto_table,
-    possible_resource_allocations, set_top_box, synthetic_spec, tv_decoder, AllocationOptions,
-    Cost, ExploreOptions, MoeaOptions, SchedPolicy, SyntheticConfig, Time,
+    exhaustive_explore, explore, moea_explore, paper_pareto_table, possible_resource_allocations,
+    set_top_box, synthetic_spec, tv_decoder, AllocationOptions, Cost, ExploreOptions, MoeaOptions,
+    SchedPolicy, SyntheticConfig, Time,
 };
 use std::time::Instant;
 
@@ -38,7 +38,10 @@ fn e1_e2() -> Result<(), Box<dyn std::error::Error>> {
     let g = tv.spec.problem().graph();
     let mut leaves: Vec<&str> = g.leaves().map(|v| g.vertex_name(v)).collect();
     leaves.sort_unstable();
-    println!("`V_l(G)` = {{{}}} (paper: P_A, P_C, P_D1–3, P_U1–2)\n", leaves.join(", "));
+    println!(
+        "`V_l(G)` = {{{}}} (paper: P_A, P_C, P_D1–3, P_U1–2)\n",
+        leaves.join(", ")
+    );
 
     println!("## E2 — Fig. 2 possible resource allocations\n");
     let (cands, stats) = possible_resource_allocations(&tv.spec, &AllocationOptions::default())?;
@@ -106,7 +109,10 @@ fn e4_e6_e7() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---|");
     println!("| raw design points | 2^{} |", s.vertex_set_size);
     println!("| subsets scanned | {} |", s.allocations.subsets);
-    println!("| structurally pruned | {} |", s.allocations.pruned_structurally);
+    println!(
+        "| structurally pruned | {} |",
+        s.allocations.pruned_structurally
+    );
     println!("| estimate-infeasible | {} |", s.allocations.infeasible);
     println!("| possible allocations | {} |", s.allocations.kept);
     println!("| estimate-skipped | {} |", s.estimate_skipped);
@@ -123,7 +129,13 @@ fn e8() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---|---|---|---|---|---|---|---|");
     for (label, config) in [
         ("small", SyntheticConfig::small(11)),
-        ("default", SyntheticConfig { seed: 11, ..SyntheticConfig::default() }),
+        (
+            "default",
+            SyntheticConfig {
+                seed: 11,
+                ..SyntheticConfig::default()
+            },
+        ),
         ("medium", SyntheticConfig::medium(11)),
         ("large", SyntheticConfig::large(11)),
     ] {
@@ -169,12 +181,12 @@ fn e9() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---|---|---|");
     let paper = ExploreOptions::paper();
     let configurations = [
-        ("all prunings", paper),
+        ("all prunings", paper.clone()),
         (
             "no flexibility estimation",
             ExploreOptions {
                 flexibility_pruning: false,
-                ..paper
+                ..paper.clone()
             },
         ),
         (
@@ -255,7 +267,9 @@ fn e12() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "| {} | {} | {} | {:.1}% | {} |",
-            implementation.allocation.display_names(stb.spec.architecture()),
+            implementation
+                .allocation
+                .display_names(stb.spec.architecture()),
             point.cost,
             point.flexibility,
             eval.served_fraction() * 100.0,

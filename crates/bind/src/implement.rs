@@ -12,7 +12,7 @@
 use crate::comm::CommGraph;
 use crate::solver::{solve_mode, BindOptions, ModeImplementation, SolveStats};
 use flexplore_flex::{estimate_with_available, flexibility, Flexibility};
-use flexplore_hgraph::ClusterId;
+use flexplore_hgraph::{ClusterId, VertexId};
 use flexplore_spec::{Cost, ResourceAllocation, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -44,12 +44,18 @@ impl fmt::Display for BindError {
 impl Error for BindError {}
 
 /// Options for [`implement_allocation`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ImplementOptions {
     /// Per-mode binding-search options.
     pub bind: BindOptions,
     /// Upper bound on the number of ECAs enumerated per allocation.
     pub max_activations: usize,
+    /// Architecture vertices treated as unavailable even though allocated.
+    /// Degraded-mode rebinding and resilience analysis reuse the whole
+    /// implement/solve pipeline by masking failed (or hypothetically
+    /// killed) resources here instead of duplicating the search logic.
+    /// Empty by default.
+    pub excluded_resources: BTreeSet<VertexId>,
 }
 
 impl Default for ImplementOptions {
@@ -57,7 +63,18 @@ impl Default for ImplementOptions {
         ImplementOptions {
             bind: BindOptions::default(),
             max_activations: 100_000,
+            excluded_resources: BTreeSet::new(),
         }
+    }
+}
+
+impl ImplementOptions {
+    /// Returns these options with `excluded` masked out of every candidate
+    /// allocation (replacing any previous mask).
+    #[must_use]
+    pub fn with_excluded_resources(mut self, excluded: BTreeSet<VertexId>) -> Self {
+        self.excluded_resources = excluded;
+        self
     }
 }
 
@@ -145,7 +162,10 @@ pub fn implement_allocation(
     options: &ImplementOptions,
 ) -> Result<(Option<Implementation>, ImplementStats), BindError> {
     let mut stats = ImplementStats::default();
-    let available = allocation.available_vertices(spec.architecture());
+    let mut available = allocation.available_vertices(spec.architecture());
+    for v in &options.excluded_resources {
+        available.remove(v);
+    }
     let estimate = estimate_with_available(spec, &available);
     if !estimate.feasible {
         return Ok((None, stats));
@@ -324,7 +344,11 @@ mod tests {
         assert_eq!(implementation.modes.len(), 4);
         // A covering subset needs only 2 of the 4 modes.
         let cover = implementation.covering_modes();
-        assert!(cover.len() <= 2, "expected a 2-mode cover, got {}", cover.len());
+        assert!(
+            cover.len() <= 2,
+            "expected a 2-mode cover, got {}",
+            cover.len()
+        );
     }
 
     #[test]
@@ -369,6 +393,33 @@ mod tests {
         let err = implement_allocation(&s, &full, &options).unwrap_err();
         assert_eq!(err, BindError::TooManyActivations { limit: 2 });
         assert!(err.to_string().contains('2'));
+    }
+
+    #[test]
+    fn excluded_resources_shrink_the_implementation() {
+        // Masking the ASIC out of the full allocation leaves only the
+        // uP-side modes: same platform, degraded capability.
+        let (s, names, _, full) = spec();
+        let asic = s
+            .architecture()
+            .graph()
+            .vertex_by_name(Scope::Top, "A")
+            .unwrap();
+        let options =
+            ImplementOptions::default().with_excluded_resources([asic].into_iter().collect());
+        let (implementation, _) = implement_allocation(&s, &full, &options).unwrap();
+        let implementation = implementation.expect("uP-side modes still feasible");
+        assert_eq!(implementation.flexibility, 1);
+        assert!(!implementation.covered_clusters.contains(&names["D2"]));
+        assert!(!implementation.covered_clusters.contains(&names["U2"]));
+        // The mask does not change what was paid for.
+        assert_eq!(implementation.cost, Cost::new(310));
+        // No mode binds to the excluded resource.
+        for mode in &implementation.modes {
+            for (_, m) in mode.binding.iter() {
+                assert_ne!(s.mapping(m).resource, asic);
+            }
+        }
     }
 
     #[test]

@@ -83,12 +83,11 @@ mod timing;
 
 pub use comm::{full_comm_graph, CommGraph};
 pub use implement::{
-    implement_allocation, implement_default, BindError, Implementation, ImplementOptions,
-    ImplementStats,
+    implement_allocation, implement_default, BindError, ImplementOptions, ImplementStats,
+    Implementation,
 };
 pub use solver::{
-    mode_is_feasible, mode_timing_accepts, solve_mode, BindOptions, ModeImplementation,
-    SolveStats,
+    mode_is_feasible, mode_timing_accepts, solve_mode, BindOptions, ModeImplementation, SolveStats,
 };
 pub use timing::{inherited_periods, mode_meets_timing, resource_task_sets};
 

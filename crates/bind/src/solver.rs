@@ -145,18 +145,11 @@ pub fn solve_mode(
     }
     let arch_selection: Selection = configs.iter().map(|(&i, &c)| (i, c)).collect();
     let mode = Mode::new(eca.clone(), arch_selection);
-    let implementation = ModeImplementation {
-        mode,
-        binding,
-    };
+    let implementation = ModeImplementation { mode, binding };
     if options.verify {
         let allocated = allocation.available_vertices(spec.architecture());
         if spec
-            .check_binding(
-                &implementation.mode,
-                &allocated,
-                &implementation.binding,
-            )
+            .check_binding(&implementation.mode, &allocated, &implementation.binding)
             .is_err()
             || !mode_meets_timing(spec, &flat, &implementation.binding, options.policy)
         {
@@ -252,8 +245,17 @@ fn backtrack(
 
         if ok
             && backtrack(
-                spec, comm, options, domains, edges_of, periods, device_of,
-                depth + 1, binding, configs, stats,
+                spec,
+                comm,
+                options,
+                domains,
+                edges_of,
+                periods,
+                device_of,
+                depth + 1,
+                binding,
+                configs,
+                stats,
             )
         {
             return true;
@@ -288,11 +290,15 @@ fn partial_timing_ok(
             continue;
         };
         let mapping = spec.mapping(m);
-        sets.entry(mapping.resource).or_default().push(Task::new(
+        let Ok(task) = Task::try_new(
             spec.problem().process_name(process),
             mapping.latency,
             *period,
-        ));
+        ) else {
+            // A zero-period task admits no schedule: prune the assignment.
+            return false;
+        };
+        sets.entry(mapping.resource).or_default().push(task);
     }
     sets.values().all(|s| policy.accepts(s))
 }
@@ -315,7 +321,9 @@ pub fn mode_is_feasible(
 ) -> bool {
     let available = allocation.available_vertices(spec.architecture());
     let comm = CommGraph::new(spec.architecture(), &available);
-    solve_mode(spec, allocation, &comm, eca, options).0.is_some()
+    solve_mode(spec, allocation, &comm, eca, options)
+        .0
+        .is_some()
 }
 
 /// Exposes flattened-graph timing acceptance for callers that already
@@ -360,7 +368,8 @@ mod tests {
         let g1 = a.add_design(fpga, "cfg_G1", "G1", Cost::new(60)).unwrap();
         let mut spec = SpecificationGraph::new("s", p, a);
         spec.add_mapping(core, up, Time::from_ns(95)).unwrap();
-        spec.add_mapping(core, g1.design, Time::from_ns(20)).unwrap();
+        spec.add_mapping(core, g1.design, Time::from_ns(20))
+            .unwrap();
         spec.add_mapping(accel, up, Time::from_ns(90)).unwrap();
         let up_only = ResourceAllocation::new().with_vertex(up);
         let with_fpga = ResourceAllocation::new()

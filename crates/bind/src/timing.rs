@@ -9,7 +9,7 @@
 //! utilization passes the schedulability test (the 69 % limit by default).
 
 use flexplore_hgraph::{FlatGraph, VertexId};
-use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
+use flexplore_sched::{SchedError, SchedPolicy, Task, TaskSet, Time};
 use flexplore_spec::{Binding, SpecificationGraph};
 use std::collections::BTreeMap;
 
@@ -56,12 +56,18 @@ pub fn inherited_periods(
 /// Builds the per-resource periodic task sets induced by a bound mode:
 /// every non-negligible process with an inherited period becomes a task
 /// (WCET = the bound mapping's latency) on the resource it is bound to.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`SchedError::ZeroPeriod`] when a timing-constrained process
+/// declares a zero period. Hand-written models reach this path through
+/// JSON loading, so the defect is reported as a typed error instead of a
+/// panic.
 pub fn resource_task_sets(
     spec: &SpecificationGraph,
     flat: &FlatGraph,
     binding: &Binding,
-) -> BTreeMap<VertexId, TaskSet> {
+) -> Result<BTreeMap<VertexId, TaskSet>, SchedError> {
     let periods = inherited_periods(spec, flat);
     let mut sets: BTreeMap<VertexId, TaskSet> = BTreeMap::new();
     for &v in &flat.vertices {
@@ -75,17 +81,15 @@ pub fn resource_task_sets(
             continue;
         };
         let mapping = spec.mapping(m);
-        sets.entry(mapping.resource).or_default().push(Task::new(
-            spec.problem().process_name(v),
-            mapping.latency,
-            *period,
-        ));
+        let task = Task::try_new(spec.problem().process_name(v), mapping.latency, *period)?;
+        sets.entry(mapping.resource).or_default().push(task);
     }
-    sets
+    Ok(sets)
 }
 
 /// Accepts or rejects a bound mode: every resource's task set must pass
-/// `policy`.
+/// `policy`. A mode with a zero-period task is rejected outright (no
+/// schedule admits it).
 ///
 /// # Examples
 ///
@@ -98,9 +102,10 @@ pub fn mode_meets_timing(
     binding: &Binding,
     policy: SchedPolicy,
 ) -> bool {
-    resource_task_sets(spec, flat, binding)
-        .values()
-        .all(|set| policy.accepts(set))
+    match resource_task_sets(spec, flat, binding) {
+        Ok(sets) => sets.values().all(|set| policy.accepts(set)),
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +135,8 @@ mod tests {
         let mut spec = SpecificationGraph::new("s", p, a);
         spec.add_mapping(ctrl, up, Time::from_ns(25)).unwrap();
         spec.add_mapping(core, up, Time::from_ns(core_lat)).unwrap();
-        spec.add_mapping(accel, up, Time::from_ns(accel_lat)).unwrap();
+        spec.add_mapping(accel, up, Time::from_ns(accel_lat))
+            .unwrap();
         (spec, ctrl, core, accel)
     }
 
@@ -183,7 +189,7 @@ mod tests {
         let (spec, _, core, accel) = game_spec(75, 70);
         let flat = spec.problem().flatten(&Selection::new()).unwrap();
         let binding = full_binding(&spec);
-        let sets = resource_task_sets(&spec, &flat, &binding);
+        let sets = resource_task_sets(&spec, &flat, &binding).unwrap();
         let up_set = sets.values().next().unwrap();
         // ctrl excluded: only core + accel.
         assert_eq!(up_set.len(), 2);
@@ -205,7 +211,9 @@ mod tests {
         spec.add_mapping(b, up, Time::from_ns(2000)).unwrap();
         let flat = spec.problem().flatten(&Selection::new()).unwrap();
         let binding = full_binding(&spec);
-        assert!(resource_task_sets(&spec, &flat, &binding).is_empty());
+        assert!(resource_task_sets(&spec, &flat, &binding)
+            .unwrap()
+            .is_empty());
         assert!(mode_meets_timing(
             &spec,
             &flat,
@@ -271,7 +279,33 @@ mod tests {
             &binding,
             SchedPolicy::PaperLimit69
         ));
-        let sets = resource_task_sets(&spec, &flat, &binding);
+        let sets = resource_task_sets(&spec, &flat, &binding).unwrap();
         assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn zero_period_is_a_typed_error_not_a_panic() {
+        // A hand-edited model can declare a zero output period; the timing
+        // layer must reject it, not crash the explorer.
+        let mut p = ProblemGraph::new("p");
+        let out = p.add_process_with(
+            Scope::Top,
+            "out",
+            ProcessAttrs::new().with_period(Time::ZERO),
+        );
+        let mut a = ArchitectureGraph::new("a");
+        let up = a.add_resource(Scope::Top, "uP", Cost::new(1));
+        let mut spec = SpecificationGraph::new("s", p, a);
+        spec.add_mapping(out, up, Time::from_ns(10)).unwrap();
+        let flat = spec.problem().flatten(&Selection::new()).unwrap();
+        let binding = full_binding(&spec);
+        let err = resource_task_sets(&spec, &flat, &binding).unwrap_err();
+        assert!(matches!(err, SchedError::ZeroPeriod { .. }));
+        assert!(!mode_meets_timing(
+            &spec,
+            &flat,
+            &binding,
+            SchedPolicy::PaperLimit69
+        ));
     }
 }

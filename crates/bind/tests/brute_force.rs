@@ -91,7 +91,8 @@ fn build(instance: &Instance) -> (SpecificationGraph, Vec<VertexId>, ResourceAll
     for (pi, &process) in processes.iter().enumerate() {
         for (ri, &resource) in resources.iter().enumerate() {
             if let Some(ns) = instance.latencies[pi * instance.resources + ri] {
-                spec.add_mapping(process, resource, Time::from_ns(ns)).unwrap();
+                spec.add_mapping(process, resource, Time::from_ns(ns))
+                    .unwrap();
             }
         }
     }
@@ -124,15 +125,15 @@ fn brute_force_feasible(
         let binding: Binding = processes
             .iter()
             .zip(&indices)
-            .map(|(&v, &i)| (v, domains[processes.iter().position(|&x| x == v).unwrap()][i]))
+            .map(|(&v, &i)| {
+                (
+                    v,
+                    domains[processes.iter().position(|&x| x == v).unwrap()][i],
+                )
+            })
             .collect();
         let ok = spec.check_binding(&mode, &allocated, &binding).is_ok()
-            && flexplore_bind::mode_meets_timing(
-                spec,
-                &flat,
-                &binding,
-                SchedPolicy::PaperLimit69,
-            );
+            && flexplore_bind::mode_meets_timing(spec, &flat, &binding, SchedPolicy::PaperLimit69);
         if ok {
             return true;
         }

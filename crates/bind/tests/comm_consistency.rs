@@ -37,13 +37,15 @@ fn shape_strategy() -> impl Strategy<Value = ArchShape> {
                 any::<u64>(),
             )
         })
-        .prop_map(|(processors, buses, designs, wires, allocation_bits)| ArchShape {
-            processors,
-            buses,
-            designs,
-            wires,
-            allocation_bits,
-        })
+        .prop_map(
+            |(processors, buses, designs, wires, allocation_bits)| ArchShape {
+                processors,
+                buses,
+                designs,
+                wires,
+                allocation_bits,
+            },
+        )
 }
 
 fn build(shape: &ArchShape) -> (ArchitectureGraph, Vec<VertexId>, Selection) {

@@ -11,15 +11,19 @@
 //! flexplore dot <spec.json>                             Graphviz export (Fig. 2 view)
 //! flexplore info <spec.json>                            size statistics
 //! flexplore demo [--json]                               built-in Set-Top box case study
+//! flexplore faults <spec.json> [--kill R@NS[+NS]]...    fault-injection scenario + resilience
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
 use flexplore::models::spec_from_json;
 use flexplore::{
-    explore, flexibility_profile, max_flexibility_under_budget, min_cost_for_flexibility,
-    set_top_box, AllocationOptions, Cost, ExploreOptions, SpecificationGraph,
+    explore, flexibility_profile, k_resilient_flexibility, max_flexibility_under_budget,
+    min_cost_for_flexibility, run_with_faults, set_top_box, AllocationOptions, Cost,
+    DegradationPolicy, ExploreOptions, FaultKind, FaultPlan, FaultScenario, ImplementOptions,
+    ReconfigCost, Selection, SpecificationGraph, Time, VertexId,
 };
 use std::fmt::Write as _;
 
@@ -56,6 +60,9 @@ USAGE:
     flexplore dot <spec.json>
     flexplore info <spec.json>
     flexplore demo [--json]
+    flexplore faults <spec.json> [--kill <RESOURCE>@<NS>[+<OUTAGE>]]...
+                     [--seed <N>] [--count <N>] [--policy <POLICY>]
+                     [--budget <DOLLARS>] [--k <K>] [--trace <N>]
 
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
@@ -66,6 +73,14 @@ COMMANDS:
     info          print size statistics of a specification
     demo          run the paper's Set-Top box case study (--json dumps the
                   model instead)
+    faults        replay a behavior trace while injecting resource failures,
+                  print the degradation timeline and the flexibility that
+                  survives. --kill schedules a failure of a named resource at
+                  a time in ns (append +<NS> for a transient outage); without
+                  --kill a seeded-random plan is used (--seed, --count).
+                  --policy is fail-fast, best-effort (default) or retry;
+                  --budget picks the platform (most flexible one affordable),
+                  --k bounds the k-resilience analysis (default 1)
 ";
 
 /// Runs one CLI invocation; `args` excludes the program name.
@@ -83,14 +98,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("dot") => cmd_dot(&args.collect::<Vec<_>>()),
         Some("info") => cmd_info(&args.collect::<Vec<_>>()),
         Some("demo") => cmd_demo(&args.collect::<Vec<_>>()),
+        Some("faults") => cmd_faults(&args.collect::<Vec<_>>()),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
 fn load_spec(path: &str) -> Result<SpecificationGraph, CliError> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     spec_from_json(&json).map_err(|e| err(format!("invalid specification {path}: {e}")))
 }
 
@@ -124,7 +140,12 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         return Ok(result.front.to_csv());
     }
     let mut out = String::new();
-    let _ = writeln!(out, "Pareto front of {} ({} points):", spec.name(), result.front.len());
+    let _ = writeln!(
+        out,
+        "Pareto front of {} ({} points):",
+        spec.name(),
+        result.front.len()
+    );
     for point in &result.front {
         let resources = point
             .implementation
@@ -186,7 +207,11 @@ fn cmd_query(args: &[&str]) -> Result<String, CliError> {
                 .map_err(|_| err("--budget needs a dollar amount"))?;
             max_flexibility_under_budget(&spec, Cost::new(budget), &options)
         }
-        _ => return Err(err(format!("query needs --min-flex <K> or --budget <D>\n\n{USAGE}"))),
+        _ => {
+            return Err(err(format!(
+                "query needs --min-flex <K> or --budget <D>\n\n{USAGE}"
+            )))
+        }
     }
     .map_err(|e| err(e.to_string()))?;
     match point {
@@ -262,10 +287,244 @@ fn cmd_demo(args: &[&str]) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        ["--json"] => flexplore::models::spec_to_json(&stb.spec)
-            .map_err(|e| err(e.to_string())),
+        ["--json"] => flexplore::models::spec_to_json(&stb.spec).map_err(|e| err(e.to_string())),
         other => Err(err(format!("unexpected arguments: {other:?}"))),
     }
+}
+
+fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    let mut kills: Vec<(String, Time, Option<Time>)> = Vec::new();
+    let mut seed = 1u64;
+    let mut count = 2usize;
+    let mut policy = DegradationPolicy::BestEffort;
+    let mut budget = u64::MAX;
+    let mut k = 1usize;
+    let mut trace_length = 20usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .copied()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match *flag {
+            "--kill" => kills.push(parse_kill(value("--kill")?)?),
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| err("--seed needs an integer"))?;
+            }
+            "--count" => {
+                count = value("--count")?
+                    .parse()
+                    .map_err(|_| err("--count needs an integer"))?;
+            }
+            "--policy" => {
+                policy = match value("--policy")? {
+                    "fail-fast" => DegradationPolicy::FailFast,
+                    "best-effort" => DegradationPolicy::BestEffort,
+                    "retry" => DegradationPolicy::QueuedRetry {
+                        max_attempts: 3,
+                        backoff: Time::from_ns(2_000),
+                    },
+                    other => {
+                        return Err(err(format!(
+                            "unknown policy {other:?} (fail-fast, best-effort, retry)"
+                        )))
+                    }
+                };
+            }
+            "--budget" => {
+                budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| err("--budget needs a dollar amount"))?;
+            }
+            "--k" => {
+                k = value("--k")?
+                    .parse()
+                    .map_err(|_| err("--k needs an integer"))?;
+            }
+            "--trace" => {
+                trace_length = value("--trace")?
+                    .parse()
+                    .map_err(|_| err("--trace needs an integer"))?;
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let spec = load_spec(path)?;
+    let point = max_flexibility_under_budget(&spec, Cost::new(budget), &ExploreOptions::paper())
+        .map_err(|e| err(e.to_string()))?
+        .ok_or_else(|| err("no feasible platform within the budget"))?;
+    let implementation = point
+        .implementation
+        .ok_or_else(|| err("the selected design point carries no implementation"))?;
+    let arch = spec.architecture();
+
+    let plan = if kills.is_empty() {
+        let candidates: Vec<VertexId> = implementation
+            .allocation
+            .available_vertices(arch)
+            .into_iter()
+            .collect();
+        FaultPlan::randomized(
+            seed,
+            &candidates,
+            &flexplore::adaptive::RandomFaultConfig {
+                faults: count,
+                ..flexplore::adaptive::RandomFaultConfig::default()
+            },
+        )
+    } else {
+        let mut plan = FaultPlan::new();
+        for (name, at, outage) in &kills {
+            let resource = arch
+                .graph()
+                .vertex_ids()
+                .find(|&v| arch.resource_name(v) == name)
+                .ok_or_else(|| err(format!("unknown resource {name:?}")))?;
+            let kind = match outage {
+                Some(outage) => FaultKind::Transient { outage: *outage },
+                None => FaultKind::Permanent,
+            };
+            plan = plan.with_fault(*at, resource, kind);
+        }
+        plan
+    };
+
+    let trace = generate_trace(
+        &spec,
+        &TraceConfig {
+            seed: 7,
+            length: trace_length,
+            skewed: false,
+        },
+    );
+    let scenario = FaultScenario {
+        plan,
+        policy,
+        dwell: Time::from_ns(1_000),
+    };
+    let report = run_with_faults(
+        &spec,
+        &implementation,
+        ReconfigCost::Uniform(Time::from_ns(1_000)),
+        &trace,
+        &scenario,
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let behavior_names = |s: &Selection| -> String {
+        let g = spec.problem().graph();
+        s.iter()
+            .map(|(_, c)| g.cluster_name(c).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "platform [{}] cost {} flexibility {}",
+        implementation.allocation.display_names(arch),
+        implementation.cost,
+        implementation.flexibility
+    );
+    let _ = writeln!(
+        out,
+        "scenario: {} requests, {} scheduled faults",
+        trace.len(),
+        scenario.plan.faults().len()
+    );
+    let _ = writeln!(out, "degradation timeline:");
+    if report.fault_timeline.is_empty() {
+        let _ = writeln!(out, "  (no faults fired)");
+    }
+    for event in &report.fault_timeline {
+        match event {
+            FaultTimelineEvent::ResourceFailed {
+                at,
+                resource,
+                permanent,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  {at:>8}  FAIL    {} ({})",
+                    arch.resource_name(*resource),
+                    if *permanent { "permanent" } else { "transient" }
+                );
+            }
+            FaultTimelineEvent::ResourceRecovered { at, resource } => {
+                let _ = writeln!(out, "  {at:>8}  RECOVER {}", arch.resource_name(*resource));
+            }
+            FaultTimelineEvent::DegradedSwitch {
+                at,
+                behavior,
+                mode,
+                rebound,
+                reconfig_time,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  {at:>8}  DEGRADE kept [{}] via [{}] ({}, reconfig {reconfig_time})",
+                    behavior_names(behavior),
+                    behavior_names(mode),
+                    if *rebound {
+                        "rebound by solver"
+                    } else {
+                        "surviving mode"
+                    }
+                );
+            }
+            FaultTimelineEvent::BehaviorLost { at, behavior } => {
+                let _ = writeln!(out, "  {at:>8}  LOST    [{}]", behavior_names(behavior));
+            }
+        }
+    }
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "served {} rejected {} | failures {} recoveries {} degraded switches {} behaviors lost {}",
+        s.switches, s.rejected, s.failures, s.recoveries, s.degraded_switches, s.behaviors_lost
+    );
+    let _ = writeln!(
+        out,
+        "flexibility: baseline {} surviving {}",
+        report.baseline_flexibility, report.surviving_flexibility
+    );
+    let resilience =
+        k_resilient_flexibility(&spec, &implementation, k, &ImplementOptions::default())
+            .map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "{k}-resilient flexibility: {} (worst case: {})",
+        resilience.resilient_flexibility,
+        if resilience.worst_case.is_empty() {
+            "none".to_owned()
+        } else {
+            resilience.worst_case.join(" + ")
+        }
+    );
+    Ok(out)
+}
+
+/// Parses `NAME@AT` or `NAME@AT+OUTAGE` (times in ns).
+fn parse_kill(arg: &str) -> Result<(String, Time, Option<Time>), CliError> {
+    let invalid = || err(format!("--kill expects NAME@NS or NAME@NS+NS, got {arg:?}"));
+    let (name, times) = arg.split_once('@').ok_or_else(invalid)?;
+    if name.is_empty() {
+        return Err(invalid());
+    }
+    let (at, outage) = match times.split_once('+') {
+        Some((at, outage)) => (at, Some(outage)),
+        None => (times, None),
+    };
+    let at: u64 = at.parse().map_err(|_| invalid())?;
+    let outage = outage
+        .map(|o| o.parse::<u64>().map(Time::from_ns).map_err(|_| invalid()))
+        .transpose()?;
+    Ok((name.to_owned(), Time::from_ns(at), outage))
 }
 
 fn split_path<'a>(args: &'a [&'a str]) -> Result<(&'a str, &'a [&'a str]), CliError> {
@@ -343,8 +602,60 @@ mod tests {
     }
 
     #[test]
+    fn faults_prints_timeline_and_resilience() {
+        let json = run_strs(&["demo", "--json"]).unwrap();
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stb-faults.json");
+        std::fs::write(&path, &json).unwrap();
+        let path = path.to_str().unwrap();
+
+        // A scripted kill of the D3 design on the $290 platform, timed to
+        // interrupt the D3 decoder requested at t=6000 in the seed-7 trace.
+        let out = run_strs(&[
+            "faults", path, "--budget", "290", "--kill", "D3@6500", "--trace", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("cost $290"), "{out}");
+        assert!(out.contains("FAIL    D3 (permanent)"), "{out}");
+        assert!(out.contains("DEGRADE"), "{out}");
+        assert!(out.contains("flexibility: baseline"), "{out}");
+        assert!(out.contains("1-resilient flexibility: 0"), "{out}");
+
+        // Seeded plans are deterministic.
+        let a = run_strs(&["faults", path, "--seed", "3", "--trace", "10"]).unwrap();
+        let b = run_strs(&["faults", path, "--seed", "3", "--trace", "10"]).unwrap();
+        assert_eq!(a, b);
+
+        // A transient kill recovers.
+        let out = run_strs(&[
+            "faults",
+            path,
+            "--budget",
+            "290",
+            "--kill",
+            "D3@6500+2000",
+            "--trace",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("FAIL    D3 (transient)"), "{out}");
+        assert!(out.contains("RECOVER D3"), "{out}");
+
+        let e = run_strs(&["faults", path, "--kill", "NOPE@10"]).unwrap_err();
+        assert!(e.message.contains("unknown resource"));
+        let e = run_strs(&["faults", path, "--kill", "D3"]).unwrap_err();
+        assert!(e.message.contains("--kill expects"));
+        let e = run_strs(&["faults", path, "--policy", "wat"]).unwrap_err();
+        assert!(e.message.contains("unknown policy"));
+    }
+
+    #[test]
     fn bad_inputs_are_reported() {
-        assert!(run_strs(&["explore"]).unwrap_err().message.contains("spec.json"));
+        assert!(run_strs(&["explore"])
+            .unwrap_err()
+            .message
+            .contains("spec.json"));
         assert!(run_strs(&["explore", "/nonexistent.json"])
             .unwrap_err()
             .message

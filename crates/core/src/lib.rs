@@ -21,7 +21,7 @@
 //! | [`explore`] | EXPLORE branch-and-bound, exhaustive and NSGA-II baselines, Pareto fronts (Section 4) |
 //! | [`models`] | the TV decoder (Figs. 1–2), the Set-Top box case study (Fig. 3/5 + Table 1), synthetic generators |
 //! | [`schedule`] | static list scheduling of bound modes — the paper's future-work item |
-//! | [`adaptive`] | run-time mode management with reconfiguration accounting |
+//! | [`adaptive`] | run-time mode management with reconfiguration accounting, fault injection, and graceful degradation |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -65,22 +65,26 @@ pub use flexplore_schedule as schedule;
 pub use flexplore_spec as spec;
 
 // Convenience re-exports of the most used items.
+pub use flexplore_adaptive::{
+    run_with_faults, AdaptiveSystem, DegradationPolicy, FaultKind, FaultPlan, FaultReport,
+    FaultScenario, ReconfigCost,
+};
 pub use flexplore_bind::{
-    implement_allocation, implement_default, BindOptions, Implementation, ImplementOptions,
+    implement_allocation, implement_default, BindOptions, ImplementOptions, Implementation,
 };
 pub use flexplore_explore::{
-    exhaustive_explore, explore, explore_upgrades, explore_weighted,
-    max_flexibility_under_budget,
-    min_cost_for_flexibility,
-    moea_explore, possible_resource_allocations, AllocationOptions, DesignPoint, ExploreOptions,
-    ExploreResult, MoeaOptions, ParetoFront,
+    exhaustive_explore, explore, explore_resilient, explore_upgrades, explore_weighted,
+    k_resilient_flexibility, max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
+    possible_resource_allocations, remaining_flexibility, AllocationOptions, DesignPoint,
+    ExploreOptions, ExploreResult, MoeaOptions, ParetoFront, ResilienceReport,
+    ResilientDesignPoint,
 };
 pub use flexplore_flex::{
-    estimate_flexibility, flexibility, flexibility_profile, max_flexibility,
-    weighted_flexibility, Flexibility, FlexibilityWeights,
+    estimate_flexibility, flexibility, flexibility_profile, max_flexibility, weighted_flexibility,
+    Flexibility, FlexibilityWeights,
 };
 pub use flexplore_hgraph::{
-    HierarchicalGraph, InterfaceId, ClusterId, PortDirection, PortTarget, Scope, Selection,
+    ClusterId, HierarchicalGraph, InterfaceId, PortDirection, PortTarget, Scope, Selection,
     VertexId,
 };
 pub use flexplore_models::{
@@ -89,7 +93,6 @@ pub use flexplore_models::{
 };
 pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
 pub use flexplore_schedule::{schedule_mode, CommDelay, StaticSchedule};
-pub use flexplore_adaptive::{AdaptiveSystem, ReconfigCost};
 pub use flexplore_spec::{
     ArchitectureGraph, Binding, Cost, Mode, ProblemGraph, ProcessAttrs, ResourceAllocation,
     SpecificationGraph,

@@ -90,10 +90,7 @@ pub struct AllocationStats {
 #[must_use]
 pub fn allocatable_units(spec: &SpecificationGraph) -> Vec<Unit> {
     let graph = spec.architecture().graph();
-    let mut units: Vec<Unit> = graph
-        .vertices_in(Scope::Top)
-        .map(Unit::Vertex)
-        .collect();
+    let mut units: Vec<Unit> = graph.vertices_in(Scope::Top).map(Unit::Vertex).collect();
     units.extend(graph.cluster_ids().map(Unit::Cluster));
     units
 }
@@ -131,8 +128,7 @@ pub fn possible_resource_allocations(
 
     // Potential neighbor lists for the useless-bus pruning, at unit
     // granularity (device clusters collapse onto their device's neighbors).
-    let neighbor_units: BTreeMap<VertexId, Vec<Unit>> =
-        bus_neighbors(spec, &units);
+    let neighbor_units: BTreeMap<VertexId, Vec<Unit>> = bus_neighbors(spec, &units);
 
     let n = units.len();
     let total: u64 = 1u64 << n;
@@ -162,7 +158,10 @@ pub fn possible_resource_allocations(
                         scope.spawn(move || scan_range(context, lo..hi))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker"))
+                    .collect()
             });
         kept = Vec::new();
         for (k, partial) in results {
@@ -220,19 +219,14 @@ fn scan_range(
         }
 
         if options.prune_unusable {
-            let unusable = allocation
-                .vertices
-                .iter()
-                .any(|&v| {
-                    arch.kind(v) == ResourceKind::Functional
-                        && !context.mapping_targets.contains(&v)
-                })
-                || allocation.clusters.iter().any(|&c| {
-                    graph
-                        .leaves_of_cluster(c)
-                        .iter()
-                        .all(|v| !context.mapping_targets.contains(v))
-                });
+            let unusable = allocation.vertices.iter().any(|&v| {
+                arch.kind(v) == ResourceKind::Functional && !context.mapping_targets.contains(&v)
+            }) || allocation.clusters.iter().any(|&c| {
+                graph
+                    .leaves_of_cluster(c)
+                    .iter()
+                    .all(|v| !context.mapping_targets.contains(v))
+            });
             if unusable {
                 stats.pruned_structurally += 1;
                 continue;
@@ -345,8 +339,10 @@ mod tests {
         assert_eq!(stats.subsets, 16);
         // Feasible candidates with prunings: {r1}, {r2}, {r1,r2},
         // {r1,bus,r2}, {r1,r2,... dead pruned ...}.
-        let sets: Vec<BTreeSet<VertexId>> =
-            cands.iter().map(|c| c.allocation.vertices.clone()).collect();
+        let sets: Vec<BTreeSet<VertexId>> = cands
+            .iter()
+            .map(|c| c.allocation.vertices.clone())
+            .collect();
         assert!(sets.contains(&BTreeSet::from([r1])));
         assert!(sets.contains(&BTreeSet::from([r2])));
         assert!(sets.contains(&BTreeSet::from([r1, r2])));
@@ -361,11 +357,8 @@ mod tests {
     #[test]
     fn unusable_resources_are_pruned() {
         let (s, _, _, dead, _) = spec();
-        let (cands, _) =
-            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
-        assert!(cands
-            .iter()
-            .all(|c| !c.allocation.vertices.contains(&dead)));
+        let (cands, _) = possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        assert!(cands.iter().all(|c| !c.allocation.vertices.contains(&dead)));
         // Disabling the pruning brings `dead` supersets back.
         let options = AllocationOptions {
             prune_unusable: false,
@@ -378,8 +371,7 @@ mod tests {
     #[test]
     fn dangling_buses_are_pruned() {
         let (s, r1, _, _, bus) = spec();
-        let (cands, _) =
-            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        let (cands, _) = possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
         // {r1, bus} has the bus with a single allocated neighbor: pruned.
         assert!(!cands
             .iter()
@@ -394,7 +386,10 @@ mod tests {
             ..AllocationOptions::default()
         };
         let err = possible_resource_allocations(&s, &options).unwrap_err();
-        assert!(matches!(err, ExploreError::TooManyUnits { units: 4, max: 2 }));
+        assert!(matches!(
+            err,
+            ExploreError::TooManyUnits { units: 4, max: 2 }
+        ));
     }
 
     #[test]
@@ -419,8 +414,7 @@ mod tests {
     #[test]
     fn estimates_are_attached() {
         let (s, _, _, _, _) = spec();
-        let (cands, _) =
-            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        let (cands, _) = possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
         for c in &cands {
             assert!(c.estimate.feasible);
             assert_eq!(c.estimate.value, 1); // flat problem graph
@@ -429,8 +423,7 @@ mod tests {
     #[test]
     fn parallel_scan_matches_sequential() {
         let (s, _, _, _, _) = spec();
-        let sequential =
-            possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
+        let sequential = possible_resource_allocations(&s, &AllocationOptions::default()).unwrap();
         let parallel = possible_resource_allocations(
             &s,
             &AllocationOptions {

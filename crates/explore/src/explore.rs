@@ -18,9 +18,7 @@
 //! (the correctness property the `explore-vs-exhaustive` property tests
 //! assert).
 
-use crate::allocations::{
-    possible_resource_allocations, AllocationOptions, AllocationStats,
-};
+use crate::allocations::{possible_resource_allocations, AllocationOptions, AllocationStats};
 use crate::error::ExploreError;
 use crate::pareto::{DesignPoint, ParetoFront};
 use flexplore_bind::{implement_allocation, ImplementOptions};
@@ -28,7 +26,7 @@ use flexplore_spec::SpecificationGraph;
 use serde::{Deserialize, Serialize};
 
 /// Options for [`explore`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExploreOptions {
     /// Allocation-enumeration options (structural prunings live here).
     pub allocation: AllocationOptions,
@@ -243,11 +241,7 @@ mod tests {
             .interface_by_name(Scope::Top, "I")
             .unwrap();
         let c2 = s.problem().graph().cluster_by_name(i, "c2").unwrap();
-        let v2 = s
-            .problem()
-            .graph()
-            .vertex_by_name(c2.into(), "v2")
-            .unwrap();
+        let v2 = s.problem().graph().vertex_by_name(c2.into(), "v2").unwrap();
         s.add_mapping(sink, cpu2, Time::from_ns(10)).unwrap();
         s.add_mapping(v2, cpu2, Time::from_ns(20)).unwrap();
 

@@ -57,6 +57,7 @@ mod explore;
 mod moea;
 mod pareto;
 mod queries;
+mod resilience;
 mod upgrade;
 mod weighted;
 
@@ -69,5 +70,9 @@ pub use explore::{exhaustive_explore, explore, ExploreOptions, ExploreResult, Ex
 pub use moea::{moea_explore, MoeaOptions, MoeaResult};
 pub use pareto::{exploration_order, DesignPoint, ParetoFront};
 pub use queries::{max_flexibility_under_budget, min_cost_for_flexibility};
+pub use resilience::{
+    explore_resilient, k_resilient_flexibility, remaining_flexibility, ResilienceReport,
+    ResilientDesignPoint,
+};
 pub use upgrade::explore_upgrades;
 pub use weighted::{explore_weighted, WeightedExploreResult, WeightedPoint};

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Options for [`moea_explore`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MoeaOptions {
     /// Population size.
     pub population: usize,
@@ -119,9 +119,9 @@ pub fn moea_explore(
 
     // Evaluation with memoization; pushes feasible points into the archive.
     let evaluate = |mask: u64,
-                        cache: &mut BTreeMap<u64, Objectives>,
-                        front: &mut ParetoFront,
-                        implement_attempts: &mut u64|
+                    cache: &mut BTreeMap<u64, Objectives>,
+                    front: &mut ParetoFront,
+                    implement_attempts: &mut u64|
      -> Result<Objectives, ExploreError> {
         if let Some(&cached) = cache.get(&mask) {
             return Ok(cached);
@@ -207,9 +207,11 @@ pub fn moea_explore(
         let crowding = crowding_distances(&combined, &ranks);
         let mut order: Vec<usize> = (0..combined.len()).collect();
         order.sort_by(|&x, &y| {
-            ranks[x]
-                .cmp(&ranks[y])
-                .then(crowding[y].partial_cmp(&crowding[x]).unwrap_or(std::cmp::Ordering::Equal))
+            ranks[x].cmp(&ranks[y]).then(
+                crowding[y]
+                    .partial_cmp(&crowding[x])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         population = order
             .into_iter()
@@ -303,8 +305,7 @@ fn crowding_distances(scored: &[(u64, Objectives)], ranks: &[usize]) -> Vec<f64>
         crowding[*by_flex.last().expect("non-empty")] = f64::INFINITY;
         if span > 0.0 {
             for w in by_flex.windows(3) {
-                let delta =
-                    (scored[w[2]].1.flexibility - scored[w[0]].1.flexibility) as f64;
+                let delta = (scored[w[2]].1.flexibility - scored[w[0]].1.flexibility) as f64;
                 crowding[w[1]] += delta / span;
             }
         }
@@ -397,10 +398,34 @@ mod tests {
     #[test]
     fn ranks_and_crowding_basics() {
         let pts = [
-            (0u64, Objectives { cost: Cost::new(10), flexibility: 1 }),
-            (1u64, Objectives { cost: Cost::new(20), flexibility: 2 }),
-            (2u64, Objectives { cost: Cost::new(30), flexibility: 3 }),
-            (3u64, Objectives { cost: Cost::new(30), flexibility: 1 }), // dominated
+            (
+                0u64,
+                Objectives {
+                    cost: Cost::new(10),
+                    flexibility: 1,
+                },
+            ),
+            (
+                1u64,
+                Objectives {
+                    cost: Cost::new(20),
+                    flexibility: 2,
+                },
+            ),
+            (
+                2u64,
+                Objectives {
+                    cost: Cost::new(30),
+                    flexibility: 3,
+                },
+            ),
+            (
+                3u64,
+                Objectives {
+                    cost: Cost::new(30),
+                    flexibility: 1,
+                },
+            ), // dominated
         ];
         let ranks = non_dominated_ranks(&pts);
         assert_eq!(ranks[0], 0);

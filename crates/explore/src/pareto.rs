@@ -93,11 +93,9 @@ impl ParetoFront {
     /// Points with identical objectives as an archived point are not added
     /// (the first realization is kept).
     pub fn insert(&mut self, point: DesignPoint) -> bool {
-        if self
-            .points
-            .iter()
-            .any(|p| p.dominates(&point) || (p.cost == point.cost && p.flexibility == point.flexibility))
-        {
+        if self.points.iter().any(|p| {
+            p.dominates(&point) || (p.cost == point.cost && p.flexibility == point.flexibility)
+        }) {
             return false;
         }
         self.points.retain(|p| !point.dominates(p));
@@ -147,7 +145,10 @@ impl ParetoFront {
     /// The objective vectors of the front in cost order.
     #[must_use]
     pub fn objectives(&self) -> Vec<(Cost, Flexibility)> {
-        self.points.iter().map(|p| (p.cost, p.flexibility)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.cost, p.flexibility))
+            .collect()
     }
 
     /// A simple quality indicator: the area dominated by the front in the
@@ -270,14 +271,7 @@ mod tests {
 
     #[test]
     fn paper_pareto_table_is_mutually_non_dominated() {
-        let table = [
-            (100, 2),
-            (120, 3),
-            (230, 4),
-            (290, 5),
-            (360, 7),
-            (430, 8),
-        ];
+        let table = [(100, 2), (120, 3), (230, 4), (290, 5), (360, 7), (430, 8)];
         let front: ParetoFront = table.iter().map(|&(c, f)| p(c, f)).collect();
         assert_eq!(front.len(), 6);
     }

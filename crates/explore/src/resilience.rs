@@ -1,0 +1,352 @@
+//! k-resilient flexibility: how much flexibility survives resource loss.
+//!
+//! The paper's flexibility metric values a platform by the behaviors it
+//! *can* adopt; this module values it by the behaviors it can **still**
+//! adopt after things break. The *k-resilient flexibility* of an
+//! implementation is the minimum flexibility it retains over all ways of
+//! killing at most `k` of its allocated resource units — the guaranteed
+//! flexibility under a `k`-failure fault model. Buying a redundant decoder
+//! design raises resilience without raising flexibility: the two
+//! objectives are genuinely different, which is why
+//! [`explore_resilient`] spans a three-dimensional front (cost vs.
+//! flexibility vs. resilience).
+//!
+//! The analysis reuses the exploration-time pipeline end to end: a kill
+//! set is evaluated by re-running
+//! [`implement_allocation`] with the dead resources masked out via
+//! [`ImplementOptions::with_excluded_resources`] — the same machinery the
+//! run-time manager uses for degraded rebinding.
+
+use crate::allocations::possible_resource_allocations;
+use crate::error::ExploreError;
+use crate::explore::ExploreOptions;
+use flexplore_bind::{implement_allocation, ImplementOptions, Implementation};
+use flexplore_flex::Flexibility;
+use flexplore_hgraph::{ClusterId, VertexId};
+use flexplore_spec::{Cost, SpecificationGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One independently-failing resource unit of an allocation: a directly
+/// allocated vertex (processor, bus, ASIC), or an allocated cluster (a
+/// loadable design, which dies as a whole).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum KillUnit {
+    Vertex(VertexId),
+    Cluster(ClusterId),
+}
+
+impl KillUnit {
+    fn dead_vertices(self, spec: &SpecificationGraph) -> Vec<VertexId> {
+        match self {
+            KillUnit::Vertex(v) => vec![v],
+            KillUnit::Cluster(c) => spec.architecture().graph().leaves_of_cluster(c),
+        }
+    }
+
+    fn name(self, spec: &SpecificationGraph) -> String {
+        match self {
+            KillUnit::Vertex(v) => spec.architecture().resource_name(v).to_owned(),
+            KillUnit::Cluster(c) => spec.architecture().graph().cluster_name(c).to_owned(),
+        }
+    }
+}
+
+fn kill_units(implementation: &Implementation) -> Vec<KillUnit> {
+    let mut units: Vec<KillUnit> = implementation
+        .allocation
+        .vertices
+        .iter()
+        .map(|&v| KillUnit::Vertex(v))
+        .collect();
+    units.extend(
+        implementation
+            .allocation
+            .clusters
+            .iter()
+            .map(|&c| KillUnit::Cluster(c)),
+    );
+    units
+}
+
+/// Flexibility (Definition 4) the implementation's allocation retains when
+/// the `dead` resources are masked out of the binding search. Returns 0
+/// when the degraded platform no longer implements every top-level
+/// behavior — under the paper's definition such a platform implements
+/// nothing.
+///
+/// # Errors
+///
+/// Propagates binding-search bound violations as
+/// [`ExploreError::Bind`].
+pub fn remaining_flexibility(
+    spec: &SpecificationGraph,
+    implementation: &Implementation,
+    dead: &BTreeSet<VertexId>,
+    options: &ImplementOptions,
+) -> Result<Flexibility, ExploreError> {
+    if dead.is_empty() {
+        return Ok(implementation.flexibility);
+    }
+    let mut excluded = options.excluded_resources.clone();
+    excluded.extend(dead.iter().copied());
+    let masked = options.clone().with_excluded_resources(excluded);
+    let (implemented, _) = implement_allocation(spec, &implementation.allocation, &masked)?;
+    Ok(implemented.map_or(0, |i| i.flexibility))
+}
+
+/// Result of a [`k_resilient_flexibility`] analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// The fault bound: up to `k` resource units fail.
+    pub k: usize,
+    /// Fault-free flexibility of the implementation.
+    pub baseline: Flexibility,
+    /// Minimum flexibility retained over every kill set of at most `k`
+    /// units. Equals `baseline` when `k` is 0.
+    pub resilient_flexibility: Flexibility,
+    /// Resource-unit names of a worst-case kill set (empty when `k` is 0
+    /// or nothing is allocated).
+    pub worst_case: Vec<String>,
+    /// Number of kill sets evaluated.
+    pub evaluations: usize,
+}
+
+/// Computes the k-resilient flexibility of `implementation`: the minimum
+/// of [`remaining_flexibility`] over all kill sets of at most `k`
+/// allocated units (directly allocated vertices, and allocated design
+/// clusters failing as a whole).
+///
+/// Flexibility is monotone in the surviving resources, so the minimum is
+/// realized by a kill set of exactly `min(k, units)` — smaller sets are
+/// still evaluated to report how quickly the flexibility decays.
+///
+/// # Errors
+///
+/// Propagates binding-search bound violations as
+/// [`ExploreError::Bind`].
+pub fn k_resilient_flexibility(
+    spec: &SpecificationGraph,
+    implementation: &Implementation,
+    k: usize,
+    options: &ImplementOptions,
+) -> Result<ResilienceReport, ExploreError> {
+    let units = kill_units(implementation);
+    let baseline = implementation.flexibility;
+    let mut report = ResilienceReport {
+        k,
+        baseline,
+        resilient_flexibility: baseline,
+        worst_case: Vec::new(),
+        evaluations: 0,
+    };
+    let limit = k.min(units.len());
+    let mut chosen: Vec<usize> = Vec::new();
+    for size in 1..=limit {
+        chosen.clear();
+        evaluate_kill_sets(
+            spec,
+            implementation,
+            options,
+            &units,
+            size,
+            0,
+            &mut chosen,
+            &mut report,
+        )?;
+    }
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_kill_sets(
+    spec: &SpecificationGraph,
+    implementation: &Implementation,
+    options: &ImplementOptions,
+    units: &[KillUnit],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    report: &mut ResilienceReport,
+) -> Result<(), ExploreError> {
+    if chosen.len() == size {
+        let dead: BTreeSet<VertexId> = chosen
+            .iter()
+            .flat_map(|&i| units[i].dead_vertices(spec))
+            .collect();
+        let remaining = remaining_flexibility(spec, implementation, &dead, options)?;
+        report.evaluations += 1;
+        if remaining < report.resilient_flexibility {
+            report.resilient_flexibility = remaining;
+            report.worst_case = chosen.iter().map(|&i| units[i].name(spec)).collect();
+        }
+        return Ok(());
+    }
+    for i in start..units.len() {
+        chosen.push(i);
+        evaluate_kill_sets(
+            spec,
+            implementation,
+            options,
+            units,
+            size,
+            i + 1,
+            chosen,
+            report,
+        )?;
+        chosen.pop();
+    }
+    Ok(())
+}
+
+/// A point of the three-objective front: allocation cost (minimized),
+/// flexibility and k-resilient flexibility (both maximized).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilientDesignPoint {
+    /// Allocation cost.
+    pub cost: Cost,
+    /// Fault-free flexibility.
+    pub flexibility: Flexibility,
+    /// Guaranteed flexibility under at most `k` unit failures.
+    pub resilience: Flexibility,
+    /// The implementation realizing the point.
+    pub implementation: Implementation,
+}
+
+impl ResilientDesignPoint {
+    /// Weak Pareto dominance on (cost min, flexibility max, resilience
+    /// max), strict in at least one objective.
+    #[must_use]
+    pub fn dominates(&self, other: &ResilientDesignPoint) -> bool {
+        let no_worse = self.cost <= other.cost
+            && self.flexibility >= other.flexibility
+            && self.resilience >= other.resilience;
+        let better = self.cost < other.cost
+            || self.flexibility > other.flexibility
+            || self.resilience > other.resilience;
+        no_worse && better
+    }
+}
+
+/// Explores the cost / flexibility / k-resilience trade-off: implements
+/// every possible resource allocation and keeps the three-objective
+/// Pareto-optimal points, in cost order.
+///
+/// Redundant allocations that a cost/flexibility exploration would discard
+/// (same flexibility, higher cost) survive here when the extra units buy
+/// guaranteed flexibility under failures.
+///
+/// # Errors
+///
+/// See [`explore`](crate::explore) — plus anything
+/// [`k_resilient_flexibility`] can return.
+pub fn explore_resilient(
+    spec: &SpecificationGraph,
+    k: usize,
+    options: &ExploreOptions,
+) -> Result<Vec<ResilientDesignPoint>, ExploreError> {
+    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let mut front: Vec<ResilientDesignPoint> = Vec::new();
+    for candidate in &candidates {
+        let (implemented, _) =
+            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+        let Some(implementation) = implemented else {
+            continue;
+        };
+        let resilience = k_resilient_flexibility(spec, &implementation, k, &options.implement)?
+            .resilient_flexibility;
+        let point = ResilientDesignPoint {
+            cost: implementation.cost,
+            flexibility: implementation.flexibility,
+            resilience,
+            implementation,
+        };
+        if front.iter().any(|p| p.dominates(&point)) {
+            continue;
+        }
+        front.retain(|p| !point.dominates(p));
+        front.push(point);
+    }
+    front.sort_by_key(|p| (p.cost, p.flexibility, p.resilience));
+    Ok(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_bind::implement_default;
+    use flexplore_models::set_top_box;
+    use flexplore_spec::ResourceAllocation;
+
+    /// The $290 platform: µP2 + C1 + all three FPGA designs.
+    fn platform() -> (flexplore_models::SetTopBox, Implementation) {
+        let stb = set_top_box();
+        let allocation = ResourceAllocation::new()
+            .with_vertex(stb.resource("uP2"))
+            .with_vertex(stb.resource("C1"))
+            .with_cluster(stb.design("D3"))
+            .with_cluster(stb.design("U2"))
+            .with_cluster(stb.design("G1"));
+        let implementation = implement_default(&stb.spec, &allocation).expect("feasible");
+        (stb, implementation)
+    }
+
+    #[test]
+    fn single_failure_strictly_reduces_set_top_box_flexibility() {
+        let (stb, implementation) = platform();
+        let options = ImplementOptions::default();
+        let report = k_resilient_flexibility(&stb.spec, &implementation, 1, &options).unwrap();
+        assert_eq!(report.baseline, implementation.flexibility);
+        // Killing the lone processor leaves nothing schedulable.
+        assert!(report.resilient_flexibility < report.baseline);
+        assert_eq!(report.worst_case.len(), 1);
+        assert!(report.evaluations >= 5);
+    }
+
+    #[test]
+    fn zero_k_is_the_baseline() {
+        let (stb, implementation) = platform();
+        let options = ImplementOptions::default();
+        let report = k_resilient_flexibility(&stb.spec, &implementation, 0, &options).unwrap();
+        assert_eq!(report.resilient_flexibility, report.baseline);
+        assert_eq!(report.evaluations, 0);
+        assert!(report.worst_case.is_empty());
+    }
+
+    #[test]
+    fn remaining_flexibility_masks_the_dead_set() {
+        let (stb, implementation) = platform();
+        let options = ImplementOptions::default();
+        let none = BTreeSet::new();
+        assert_eq!(
+            remaining_flexibility(&stb.spec, &implementation, &none, &options).unwrap(),
+            implementation.flexibility
+        );
+        // Losing the processor kills every software process.
+        let dead: BTreeSet<VertexId> = [stb.resource("uP2")].into_iter().collect();
+        assert_eq!(
+            remaining_flexibility(&stb.spec, &implementation, &dead, &options).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn resilient_front_is_pareto_consistent() {
+        let stb = set_top_box();
+        let options = ExploreOptions::paper();
+        let front = explore_resilient(&stb.spec, 1, &options).unwrap();
+        assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "front contains dominated points");
+                }
+            }
+        }
+        // With one allowed failure no point can guarantee more than it
+        // could deliver fault-free.
+        for p in &front {
+            assert!(p.resilience <= p.flexibility);
+        }
+    }
+}

@@ -38,8 +38,7 @@ impl WeightedPoint {
     #[must_use]
     pub fn dominates(&self, other: &WeightedPoint) -> bool {
         (self.cost <= other.cost && self.weighted_flexibility >= other.weighted_flexibility)
-            && (self.cost < other.cost
-                || self.weighted_flexibility > other.weighted_flexibility)
+            && (self.cost < other.cost || self.weighted_flexibility > other.weighted_flexibility)
     }
 }
 

@@ -97,8 +97,7 @@ pub fn estimate_with_available(
     available: &BTreeSet<VertexId>,
 ) -> FlexibilityEstimate {
     let graph = spec.problem().graph();
-    let bindable =
-        |v: VertexId| -> bool { !spec.reachable_resources(v).is_disjoint(available) };
+    let bindable = |v: VertexId| -> bool { !spec.reachable_resources(v).is_disjoint(available) };
 
     let mut activatable: BTreeSet<ClusterId> = BTreeSet::new();
     // Process clusters bottom-up: a cluster can only be judged once its

@@ -48,8 +48,8 @@ mod metric;
 mod profile;
 
 pub use estimate::{estimate_flexibility, estimate_with_available, FlexibilityEstimate};
-pub use profile::{flexibility_profile, ClusterContribution};
 pub use metric::{
-    cluster_flexibility, flexibility, flexibility_def4_raw, max_flexibility,
-    weighted_flexibility, Flexibility, FlexibilityWeights,
+    cluster_flexibility, flexibility, flexibility_def4_raw, max_flexibility, weighted_flexibility,
+    Flexibility, FlexibilityWeights,
 };
+pub use profile::{flexibility_profile, ClusterContribution};

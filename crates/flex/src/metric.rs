@@ -216,7 +216,10 @@ impl FlexibilityWeights {
     /// Returns the weight of `cluster`.
     #[must_use]
     pub fn weight(&self, cluster: ClusterId) -> f64 {
-        self.overrides.get(&cluster).copied().unwrap_or(self.default)
+        self.overrides
+            .get(&cluster)
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// Returns the default weight.
@@ -282,10 +285,7 @@ mod tests {
     /// Builds the Fig. 3 problem graph skeleton: one application interface
     /// with clusters γ_I (leaf), γ_G (interface I_G with 3 clusters) and
     /// γ_D (interfaces I_D with 3 and I_U with 2 clusters).
-    fn fig3() -> (
-        HierarchicalGraph<(), ()>,
-        BTreeMap<&'static str, ClusterId>,
-    ) {
+    fn fig3() -> (HierarchicalGraph<(), ()>, BTreeMap<&'static str, ClusterId>) {
         let mut g = HierarchicalGraph::new("fig3");
         let mut names = BTreeMap::new();
         let app = g.add_interface(Scope::Top, "I_app");

@@ -118,7 +118,10 @@ impl fmt::Display for HgraphError {
                 "edge from {from} (scope {from_scope}) to {to} (scope {to_scope}) crosses scopes"
             ),
             HgraphError::PortRequired { node } => {
-                write!(f, "endpoint {node} requires a port if and only if it is an interface")
+                write!(
+                    f,
+                    "endpoint {node} requires a port if and only if it is an interface"
+                )
             }
             HgraphError::ForeignPort { interface, port } => {
                 write!(f, "port {port} does not belong to interface {interface}")
@@ -133,22 +136,37 @@ impl fmt::Display for HgraphError {
                 "port {port} of {interface} is declared {declared} but used as {used}"
             ),
             HgraphError::PortTargetOutsideCluster { cluster, target } => {
-                write!(f, "port mapping of {cluster} targets {target} outside the cluster")
+                write!(
+                    f,
+                    "port mapping of {cluster} targets {target} outside the cluster"
+                )
             }
             HgraphError::UnmappedPort { cluster, port } => {
-                write!(f, "cluster {cluster} does not map port {port} of its interface")
+                write!(
+                    f,
+                    "cluster {cluster} does not map port {port} of its interface"
+                )
             }
             HgraphError::InterfaceWithoutClusters { interface } => {
                 write!(f, "interface {interface} has no alternative clusters")
             }
             HgraphError::SelectionMissing { interface } => {
-                write!(f, "selection has no cluster for active interface {interface}")
+                write!(
+                    f,
+                    "selection has no cluster for active interface {interface}"
+                )
             }
             HgraphError::SelectionForeignCluster { interface, cluster } => {
-                write!(f, "selected cluster {cluster} does not refine interface {interface}")
+                write!(
+                    f,
+                    "selected cluster {cluster} does not refine interface {interface}"
+                )
             }
             HgraphError::PortResolutionCycle { interface, port } => {
-                write!(f, "resolving port {port} of {interface} did not reach a vertex")
+                write!(
+                    f,
+                    "resolving port {port} of {interface} did not reach a vertex"
+                )
             }
             HgraphError::DuplicateName { scope, name } => {
                 write!(f, "duplicate name {name:?} in scope {scope}")

@@ -48,18 +48,12 @@ impl FlatGraph {
 
     /// Iterates over the direct successors of `v`.
     pub fn successors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.from == v)
-            .map(|e| e.to)
+        self.edges.iter().filter(move |e| e.from == v).map(|e| e.to)
     }
 
     /// Iterates over the direct predecessors of `v`.
     pub fn predecessors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.to == v)
-            .map(|e| e.from)
+        self.edges.iter().filter(move |e| e.to == v).map(|e| e.from)
     }
 
     /// Computes a topological order of the flattened graph, or `None` if it
@@ -69,8 +63,7 @@ impl FlatGraph {
     /// the paper requires to be partial orders).
     #[must_use]
     pub fn topological_order(&self) -> Option<Vec<VertexId>> {
-        let mut indeg: BTreeMap<VertexId, usize> =
-            self.vertices.iter().map(|&v| (v, 0)).collect();
+        let mut indeg: BTreeMap<VertexId, usize> = self.vertices.iter().map(|&v| (v, 0)).collect();
         for e in &self.edges {
             if let Some(d) = indeg.get_mut(&e.to) {
                 *d += 1;
@@ -148,9 +141,9 @@ impl<N, E> HierarchicalGraph<N, E> {
                 NodeRef::Vertex(v) => return Ok(v),
                 NodeRef::Interface(inner) => {
                     iface = inner;
-                    port = target.port.ok_or(HgraphError::PortRequired {
-                        node: target.node,
-                    })?;
+                    port = target
+                        .port
+                        .ok_or(HgraphError::PortRequired { node: target.node })?;
                 }
             }
         }
@@ -175,9 +168,9 @@ impl<N, E> HierarchicalGraph<N, E> {
                 NodeRef::Vertex(v) => v,
                 NodeRef::Interface(i) => self.resolve_port(
                     i,
-                    from_ep.port.ok_or(HgraphError::PortRequired {
-                        node: from_ep.node,
-                    })?,
+                    from_ep
+                        .port
+                        .ok_or(HgraphError::PortRequired { node: from_ep.node })?,
                     selection,
                 )?,
             };
@@ -185,7 +178,9 @@ impl<N, E> HierarchicalGraph<N, E> {
                 NodeRef::Vertex(v) => v,
                 NodeRef::Interface(i) => self.resolve_port(
                     i,
-                    to_ep.port.ok_or(HgraphError::PortRequired { node: to_ep.node })?,
+                    to_ep
+                        .port
+                        .ok_or(HgraphError::PortRequired { node: to_ep.node })?,
                     selection,
                 )?,
             };
@@ -239,7 +234,13 @@ mod tests {
         (g, a, i_d, i_u, z)
     }
 
-    fn select(g: &HierarchicalGraph<(), ()>, i_d: InterfaceId, i_u: InterfaceId, d: &str, u: &str) -> Selection {
+    fn select(
+        g: &HierarchicalGraph<(), ()>,
+        i_d: InterfaceId,
+        i_u: InterfaceId,
+        d: &str,
+        u: &str,
+    ) -> Selection {
         Selection::new()
             .with(i_d, g.cluster_by_name(i_d, d).unwrap())
             .with(i_u, g.cluster_by_name(i_u, u).unwrap())

@@ -12,9 +12,7 @@
 //! to exactly one [`Scope`]: the top level or the inside of one cluster.
 
 use crate::error::HgraphError;
-use crate::ids::{
-    ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId,
-};
+use crate::ids::{ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -883,7 +881,10 @@ mod tests {
         let w = g.add_vertex(inner_c.into(), "w", ());
         assert_eq!(g.leaves_of_cluster(c), vec![v, w]);
         assert_eq!(g.depth_of(Scope::Cluster(inner_c)), 2);
-        assert_eq!(g.enclosing_clusters(Scope::Cluster(inner_c)), vec![inner_c, c]);
+        assert_eq!(
+            g.enclosing_clusters(Scope::Cluster(inner_c)),
+            vec![inner_c, c]
+        );
     }
 
     #[test]

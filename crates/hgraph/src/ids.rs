@@ -153,7 +153,9 @@ impl fmt::Display for NodeRef {
 /// Scopes are what makes the graph *hierarchical*: every vertex, interface
 /// and edge belongs to exactly one scope, and clusters (which belong to an
 /// interface) open a fresh scope for their members.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum Scope {
     /// The top level of the hierarchical graph.
     #[default]

@@ -73,9 +73,7 @@ pub use dot::DotOptions;
 pub use error::HgraphError;
 pub use flatten::{FlatEdge, FlatGraph};
 pub use graph::{Endpoint, HierarchicalGraph, PortTarget};
-pub use ids::{
-    ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId,
-};
+pub use ids::{ClusterId, EdgeId, InterfaceId, NodeRef, PortDirection, PortId, Scope, VertexId};
 pub use selection::{ActiveSet, Selection};
 
 #[cfg(test)]

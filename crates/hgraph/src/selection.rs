@@ -197,7 +197,6 @@ impl<N, E> HierarchicalGraph<N, E> {
         Ok(out)
     }
 
-
     /// Counts the complete selections of the graph without materializing
     /// them: the hierarchical product of per-interface alternative counts.
     ///
@@ -441,9 +440,7 @@ mod tests {
     fn filtered_enumeration_restricts_choices() {
         let (g, i1, i2) = two_interfaces();
         let banned = g.cluster_by_name(i1, "a0").unwrap();
-        let sels = g
-            .enumerate_selections_where(|c| c != banned)
-            .unwrap();
+        let sels = g.enumerate_selections_where(|c| c != banned).unwrap();
         assert_eq!(sels.len(), 4); // 2 remaining a-clusters x 2 b-clusters
         assert!(sels.iter().all(|s| s.get(i1) != Some(banned)));
         assert!(sels.iter().all(|s| s.get(i2).is_some()));

@@ -34,7 +34,10 @@ impl<N, E> HierarchicalGraph<N, E> {
             for &c in self.clusters_of(i) {
                 for &p in self.ports_of(i) {
                     if self.port_target(c, p).is_none() {
-                        return Err(HgraphError::UnmappedPort { cluster: c, port: p });
+                        return Err(HgraphError::UnmappedPort {
+                            cluster: c,
+                            port: p,
+                        });
                     }
                 }
             }
@@ -119,7 +122,10 @@ mod tests {
         g.add_vertex(Scope::Top, "x", ());
         assert!(matches!(
             g.validate(),
-            Err(HgraphError::DuplicateName { scope: Scope::Top, .. })
+            Err(HgraphError::DuplicateName {
+                scope: Scope::Top,
+                ..
+            })
         ));
     }
 
@@ -129,7 +135,10 @@ mod tests {
         g.add_vertex(Scope::Top, "x", ());
         let i = g.add_interface(Scope::Top, "x");
         g.add_cluster(i, "c");
-        assert!(matches!(g.validate(), Err(HgraphError::DuplicateName { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::DuplicateName { .. })
+        ));
     }
 
     #[test]
@@ -138,7 +147,10 @@ mod tests {
         let i = g.add_interface(Scope::Top, "I");
         g.add_cluster(i, "c");
         g.add_cluster(i, "c");
-        assert!(matches!(g.validate(), Err(HgraphError::DuplicateName { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::DuplicateName { .. })
+        ));
     }
 
     #[test]

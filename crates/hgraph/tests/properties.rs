@@ -4,9 +4,7 @@
 //! vertices, interfaces with random cluster counts, random intra-cluster
 //! vertices) and check the structural invariants promised by the crate.
 
-use flexplore_hgraph::{
-    HierarchicalGraph, PortDirection, PortTarget, Scope, Selection,
-};
+use flexplore_hgraph::{HierarchicalGraph, PortDirection, PortTarget, Scope, Selection};
 use proptest::prelude::*;
 
 /// Shape description of a random hierarchical graph.
@@ -176,12 +174,7 @@ mod deep {
     /// interface with fan[d+1] clusters; leaf clusters contain one vertex.
     fn build_deep(shape: &DeepShape) -> HierarchicalGraph<(), ()> {
         let mut g = HierarchicalGraph::new("deep");
-        fn grow(
-            g: &mut HierarchicalGraph<(), ()>,
-            scope: Scope,
-            fan: &[usize],
-            tag: String,
-        ) {
+        fn grow(g: &mut HierarchicalGraph<(), ()>, scope: Scope, fan: &[usize], tag: String) {
             let Some((&width, rest)) = fan.split_first() else {
                 return;
             };

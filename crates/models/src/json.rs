@@ -28,7 +28,8 @@ pub fn spec_to_json(spec: &SpecificationGraph) -> Result<String, serde_json::Err
 /// reported as a custom deserialization error.
 pub fn spec_from_json(json: &str) -> Result<SpecificationGraph, serde_json::Error> {
     let spec: SpecificationGraph = serde_json::from_str(json)?;
-    spec.validate().map_err(serde::de::Error::custom)?;
+    spec.validate()
+        .map_err(<serde_json::Error as serde::de::Error>::custom)?;
     Ok(spec)
 }
 

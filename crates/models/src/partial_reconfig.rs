@@ -51,7 +51,9 @@ pub fn dual_slot_fpga() -> DualSlot {
     let sink = p.add_process_with(
         Scope::Top,
         "sink",
-        ProcessAttrs::new().with_period(Time::from_ns(200)).negligible(),
+        ProcessAttrs::new()
+            .with_period(Time::from_ns(200))
+            .negligible(),
     );
     let stage = |p: &mut ProblemGraph, name: &str| -> (InterfaceId, Vec<(ClusterId, VertexId)>) {
         let i = p.add_interface(Scope::Top, format!("I_{name}"));
@@ -62,7 +64,8 @@ pub fn dual_slot_fpga() -> DualSlot {
             let c = p.add_cluster(i, format!("{name}_{variant}"));
             let v = p.add_process(c.into(), format!("{name}_{variant}_p"));
             p.map_port(c, input, PortTarget::vertex(v)).expect("member");
-            p.map_port(c, output, PortTarget::vertex(v)).expect("member");
+            p.map_port(c, output, PortTarget::vertex(v))
+                .expect("member");
             alts.push((c, v));
         }
         (i, alts)
@@ -83,8 +86,10 @@ pub fn dual_slot_fpga() -> DualSlot {
     let c_in = p.graph().ports_of(i_compress)[0];
     let c_out = p.graph().ports_of(i_compress)[1];
     p.add_dependence(src, (i_filter, f_in)).expect("same scope");
-    p.add_dependence((i_filter, f_out), (i_compress, c_in)).expect("same scope");
-    p.add_dependence((i_compress, c_out), sink).expect("same scope");
+    p.add_dependence((i_filter, f_out), (i_compress, c_in))
+        .expect("same scope");
+    p.add_dependence((i_compress, c_out), sink)
+        .expect("same scope");
 
     let mut a = ArchitectureGraph::new("pr-arch");
     let mut resources = BTreeMap::new();
@@ -99,7 +104,12 @@ pub fn dual_slot_fpga() -> DualSlot {
         let region = a.add_interface(Scope::Top, slot);
         a.connect_through(bus, region).expect("device link");
         let d = a
-            .add_design(region, format!("cfg_{design_name}"), design_name, Cost::new(80))
+            .add_design(
+                region,
+                format!("cfg_{design_name}"),
+                design_name,
+                Cost::new(80),
+            )
             .expect("fresh design");
         resources.insert(design_name.to_owned(), d.design);
         designs.insert(design_name.to_owned(), d.cluster);
@@ -111,11 +121,16 @@ pub fn dual_slot_fpga() -> DualSlot {
     let compress_cpu_p = compress_alts[0].1;
     let compress_acc_p = compress_alts[1].1;
     spec.add_mapping(src, cpu, Time::from_ns(1)).expect("valid");
-    spec.add_mapping(sink, cpu, Time::from_ns(1)).expect("valid");
-    spec.add_mapping(filter_cpu_p, cpu, Time::from_ns(80)).expect("valid");
-    spec.add_mapping(filter_acc_p, resources["FA"], Time::from_ns(30)).expect("valid");
-    spec.add_mapping(compress_cpu_p, cpu, Time::from_ns(80)).expect("valid");
-    spec.add_mapping(compress_acc_p, resources["CA"], Time::from_ns(30)).expect("valid");
+    spec.add_mapping(sink, cpu, Time::from_ns(1))
+        .expect("valid");
+    spec.add_mapping(filter_cpu_p, cpu, Time::from_ns(80))
+        .expect("valid");
+    spec.add_mapping(filter_acc_p, resources["FA"], Time::from_ns(30))
+        .expect("valid");
+    spec.add_mapping(compress_cpu_p, cpu, Time::from_ns(80))
+        .expect("valid");
+    spec.add_mapping(compress_acc_p, resources["CA"], Time::from_ns(30))
+        .expect("valid");
     spec.validate().expect("model is structurally valid");
 
     DualSlot {

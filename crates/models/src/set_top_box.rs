@@ -32,13 +32,9 @@
 //! consistency with the published table — cheaper µP1-FPGA wiring would
 //! dominate the table's $230 entry).
 
-use flexplore_hgraph::{
-    ClusterId, InterfaceId, PortDirection, PortTarget, Scope, VertexId,
-};
+use flexplore_hgraph::{ClusterId, InterfaceId, PortDirection, PortTarget, Scope, VertexId};
 use flexplore_sched::Time;
-use flexplore_spec::{
-    ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph,
-};
+use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph};
 use std::collections::BTreeMap;
 
 /// The Set-Top box model with name-indexed handles into the specification.
@@ -196,7 +192,8 @@ pub fn set_top_box_problem() -> (ProblemGraph, ProblemHandles) {
         processes.insert(format!("P_U{k}"), v);
     }
     p.add_dependence(pcd, (i_d, d_in)).expect("same scope");
-    p.add_dependence((i_d, d_out), (i_u, u_in)).expect("same scope");
+    p.add_dependence((i_d, d_out), (i_u, u_in))
+        .expect("same scope");
 
     (p, (processes, clusters, interfaces))
 }
@@ -259,35 +256,107 @@ pub fn set_top_box() -> SetTopBox {
     // Table 1: possible mappings with core execution times in ns.
     // Columns: uP1, uP2, A1, A2, A3, D3, U2, G1 (dash = no mapping).
     let table: &[(&str, [Option<u64>; 8])] = &[
-        ("P_CI", [Some(10), Some(12), None, None, None, None, None, None]),
-        ("P_P", [Some(15), Some(19), None, None, None, None, None, None]),
-        ("P_F", [Some(50), Some(75), None, None, None, None, None, None]),
-        ("P_CG", [Some(25), Some(27), None, None, None, None, None, None]),
+        (
+            "P_CI",
+            [Some(10), Some(12), None, None, None, None, None, None],
+        ),
+        (
+            "P_P",
+            [Some(15), Some(19), None, None, None, None, None, None],
+        ),
+        (
+            "P_F",
+            [Some(50), Some(75), None, None, None, None, None, None],
+        ),
+        (
+            "P_CG",
+            [Some(25), Some(27), None, None, None, None, None, None],
+        ),
         (
             "P_G1",
-            [Some(75), Some(95), Some(15), Some(15), Some(15), None, None, Some(20)],
+            [
+                Some(75),
+                Some(95),
+                Some(15),
+                Some(15),
+                Some(15),
+                None,
+                None,
+                Some(20),
+            ],
         ),
-        ("P_G2", [None, None, Some(25), Some(22), Some(22), None, None, None]),
-        ("P_G3", [None, None, Some(50), Some(45), Some(35), None, None, None]),
+        (
+            "P_G2",
+            [None, None, Some(25), Some(22), Some(22), None, None, None],
+        ),
+        (
+            "P_G3",
+            [None, None, Some(50), Some(45), Some(35), None, None, None],
+        ),
         (
             "P_D",
-            [Some(70), Some(90), Some(30), Some(30), Some(25), None, None, None],
+            [
+                Some(70),
+                Some(90),
+                Some(30),
+                Some(30),
+                Some(25),
+                None,
+                None,
+                None,
+            ],
         ),
-        ("P_CD", [Some(10), Some(10), None, None, None, None, None, None]),
-        ("P_A", [Some(55), Some(60), None, None, None, None, None, None]),
+        (
+            "P_CD",
+            [Some(10), Some(10), None, None, None, None, None, None],
+        ),
+        (
+            "P_A",
+            [Some(55), Some(60), None, None, None, None, None, None],
+        ),
         (
             "P_D1",
-            [Some(85), Some(95), Some(25), Some(22), Some(22), None, None, None],
+            [
+                Some(85),
+                Some(95),
+                Some(25),
+                Some(22),
+                Some(22),
+                None,
+                None,
+                None,
+            ],
         ),
-        ("P_D2", [None, None, Some(35), Some(33), Some(32), None, None, None]),
+        (
+            "P_D2",
+            [None, None, Some(35), Some(33), Some(32), None, None, None],
+        ),
         ("P_D3", [None, None, None, None, None, Some(63), None, None]),
         (
             "P_U1",
-            [Some(40), Some(45), Some(15), Some(12), Some(10), None, None, None],
+            [
+                Some(40),
+                Some(45),
+                Some(15),
+                Some(12),
+                Some(10),
+                None,
+                None,
+                None,
+            ],
         ),
         (
             "P_U2",
-            [None, None, Some(29), Some(27), Some(22), None, Some(59), None],
+            [
+                None,
+                None,
+                Some(29),
+                Some(27),
+                Some(22),
+                None,
+                Some(59),
+                None,
+            ],
         ),
     ];
     let columns = ["uP1", "uP2", "A1", "A2", "A3", "D3", "U2", "G1"];

@@ -10,9 +10,7 @@
 
 use flexplore_hgraph::{PortDirection, PortTarget, Scope};
 use flexplore_sched::Time;
-use flexplore_spec::{
-    ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph,
-};
+use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -138,11 +136,14 @@ pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
             for alt in 0..config.alternatives {
                 let c = p.add_cluster(iface, format!("alt{app}_{stage}_{alt}"));
                 let v = p.add_process(c.into(), format!("P{app}_{stage}_{alt}"));
-                p.map_port(c, in_port, PortTarget::vertex(v)).expect("member");
-                p.map_port(c, out_port, PortTarget::vertex(v)).expect("member");
+                p.map_port(c, in_port, PortTarget::vertex(v))
+                    .expect("member");
+                p.map_port(c, out_port, PortTarget::vertex(v))
+                    .expect("member");
                 process_ids.push(v);
             }
-            p.add_dependence(upstream, (iface, in_port)).expect("same scope");
+            p.add_dependence(upstream, (iface, in_port))
+                .expect("same scope");
             upstream = (iface, out_port).into();
         }
         let sink_attrs = if constrained {
@@ -200,29 +201,33 @@ pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
     for &process in &process_ids {
         for &cpu in &processors {
             let latency = Time::from_ns(rng.random_range(30..=120));
-            spec.add_mapping(process, cpu, latency).expect("valid endpoints");
+            spec.add_mapping(process, cpu, latency)
+                .expect("valid endpoints");
         }
         for &asic in &asics {
             if rng.random_bool(0.4) {
                 let latency = Time::from_ns(rng.random_range(5..=40));
-                spec.add_mapping(process, asic, latency).expect("valid endpoints");
+                spec.add_mapping(process, asic, latency)
+                    .expect("valid endpoints");
             }
         }
         for &design in &fpga_designs {
             if rng.random_bool(0.25) {
                 let latency = Time::from_ns(rng.random_range(10..=70));
-                spec.add_mapping(process, design, latency).expect("valid endpoints");
+                spec.add_mapping(process, design, latency)
+                    .expect("valid endpoints");
             }
         }
     }
-    spec.validate().expect("generated model is structurally valid");
+    spec.validate()
+        .expect("generated model is structurally valid");
     spec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexplore_explore::{explore, exhaustive_explore, ExploreOptions};
+    use flexplore_explore::{exhaustive_explore, explore, ExploreOptions};
     use flexplore_flex::max_flexibility;
 
     #[test]
@@ -236,16 +241,27 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = synthetic_spec(&SyntheticConfig { seed: 1, ..SyntheticConfig::default() });
-        let b = synthetic_spec(&SyntheticConfig { seed: 2, ..SyntheticConfig::default() });
+        let a = synthetic_spec(&SyntheticConfig {
+            seed: 1,
+            ..SyntheticConfig::default()
+        });
+        let b = synthetic_spec(&SyntheticConfig {
+            seed: 2,
+            ..SyntheticConfig::default()
+        });
         // Latencies are random; the mapping count almost surely differs.
         assert!(
-            a.mapping_count() != b.mapping_count()
-                || {
-                    let la: Vec<u64> = a.mapping_ids().map(|m| a.mapping(m).latency.as_ns()).collect();
-                    let lb: Vec<u64> = b.mapping_ids().map(|m| b.mapping(m).latency.as_ns()).collect();
-                    la != lb
-                }
+            a.mapping_count() != b.mapping_count() || {
+                let la: Vec<u64> = a
+                    .mapping_ids()
+                    .map(|m| a.mapping(m).latency.as_ns())
+                    .collect();
+                let lb: Vec<u64> = b
+                    .mapping_ids()
+                    .map(|m| b.mapping(m).latency.as_ns())
+                    .collect();
+                la != lb
+            }
         );
     }
 

@@ -12,9 +12,7 @@
 //! infeasible-binding example (decryption on the ASIC, uncompression on the
 //! FPGA) unroutable.
 
-use flexplore_hgraph::{
-    ClusterId, InterfaceId, PortDirection, PortTarget, Scope, VertexId,
-};
+use flexplore_hgraph::{ClusterId, InterfaceId, PortDirection, PortTarget, Scope, VertexId};
 use flexplore_sched::Time;
 use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph};
 use std::collections::BTreeMap;
@@ -115,7 +113,8 @@ pub fn tv_decoder() -> TvDecoder {
         processes.insert(format!("P_U{k}"), v);
     }
     p.add_dependence(pc, (i_d, d_in)).expect("same scope");
-    p.add_dependence((i_d, d_out), (i_u, u_in)).expect("same scope");
+    p.add_dependence((i_d, d_out), (i_u, u_in))
+        .expect("same scope");
 
     let mut a = ArchitectureGraph::new("tv-decoder-arch");
     let mut resources = BTreeMap::new();
@@ -296,10 +295,7 @@ mod tests {
         // The cheapest possible allocation is {µP} (paper's set A starts
         // with µP).
         let first = &cands[0];
-        assert_eq!(
-            first.allocation.display_names(tv.spec.architecture()),
-            "uP"
-        );
+        assert_eq!(first.allocation.display_names(tv.spec.architecture()), "uP");
         assert_eq!(first.cost, Cost::new(100));
         // And every candidate contains the µP (only processor that can run
         // P_A / P_C).

@@ -141,9 +141,7 @@ pub fn paper_limit_test(set: &TaskSet) -> bool {
         if prod > 0 {
             let lhs: u128 = tasks
                 .iter()
-                .map(|t| {
-                    t.wcet().as_ns() as u128 * 100 * (prod / t.period().as_ns() as u128)
-                })
+                .map(|t| t.wcet().as_ns() as u128 * 100 * (prod / t.period().as_ns() as u128))
                 .sum();
             return lhs <= PAPER_UTILIZATION_LIMIT_PERCENT as u128 * prod;
         }

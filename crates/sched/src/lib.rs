@@ -37,11 +37,10 @@ mod time;
 
 pub use bounds::{
     fits_paper_limit, hyperbolic_test, is_harmonic, liu_layland_bound, liu_layland_test,
-    paper_limit_test,
-    PAPER_UTILIZATION_LIMIT, PAPER_UTILIZATION_LIMIT_PERCENT,
+    paper_limit_test, PAPER_UTILIZATION_LIMIT, PAPER_UTILIZATION_LIMIT_PERCENT,
 };
 pub use policy::SchedPolicy;
 pub use rta::{response_time, rta_schedulable};
 pub use simulate::{hyperperiod, simulate_rm, SimOutcome};
-pub use task::{Task, TaskSet};
+pub use task::{SchedError, Task, TaskSet};
 pub use time::Time;

@@ -7,7 +7,33 @@
 
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
 use std::fmt;
+
+/// Error type of task construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A task was given a zero period. A zero period admits no schedule
+    /// (the task would have to complete in no time, forever), so such a
+    /// task can never pass any schedulability test.
+    ZeroPeriod {
+        /// Name of the offending task.
+        task: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::ZeroPeriod { task } => {
+                write!(f, "task {task:?} has a zero period (no schedule admits it)")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
 
 /// A periodic task: a worst-case execution time (`wcet`) recurring every
 /// `period`.
@@ -34,14 +60,28 @@ impl Task {
     /// # Panics
     ///
     /// Panics if `period` is zero (a zero period admits no schedule).
+    /// Library code validating untrusted models should prefer
+    /// [`Task::try_new`].
     #[must_use]
     pub fn new(name: impl Into<String>, wcet: Time, period: Time) -> Self {
-        assert!(period > Time::ZERO, "task period must be positive");
-        Task {
-            name: name.into(),
-            wcet,
-            period,
+        match Task::try_new(name, wcet, period) {
+            Ok(task) => task,
+            Err(e) => panic!("task period must be positive: {e}"),
         }
+    }
+
+    /// Creates a periodic task, rejecting degenerate parameters with a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::ZeroPeriod`] if `period` is zero.
+    pub fn try_new(name: impl Into<String>, wcet: Time, period: Time) -> Result<Self, SchedError> {
+        let name = name.into();
+        if period <= Time::ZERO {
+            return Err(SchedError::ZeroPeriod { task: name });
+        }
+        Ok(Task { name, wcet, period })
     }
 
     /// Returns the task name.
@@ -96,9 +136,7 @@ impl TaskSet {
 
     /// Adds a task, keeping rate-monotonic order.
     pub fn push(&mut self, task: Task) {
-        let pos = self
-            .tasks
-            .partition_point(|t| t.period() <= task.period());
+        let pos = self.tasks.partition_point(|t| t.period() <= task.period());
         self.tasks.insert(pos, task);
     }
 
@@ -180,6 +218,26 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = t("bad", 1, 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_period_as_typed_error() {
+        let err = Task::try_new("bad", Time::from_ns(1), Time::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::ZeroPeriod {
+                task: "bad".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("zero period"));
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SchedError>();
+    }
+
+    #[test]
+    fn try_new_accepts_positive_periods() {
+        let task = Task::try_new("ok", Time::from_ns(10), Time::from_ns(40)).unwrap();
+        assert_eq!(task.period(), Time::from_ns(40));
     }
 
     #[test]

@@ -54,7 +54,9 @@ mod tests {
         };
         assert!(e.to_string().contains("v2"));
         assert!(e.source().is_none());
-        assert!(ScheduleError::CyclicDependences.to_string().contains("cycle"));
+        assert!(ScheduleError::CyclicDependences
+            .to_string()
+            .contains("cycle"));
         let wrapped = ScheduleError::Flatten(HgraphError::SelectionMissing {
             interface: flexplore_hgraph::InterfaceId::from_index(0),
         });

@@ -95,7 +95,6 @@ impl StaticSchedule {
         })
     }
 
-
     /// The *initiation interval* bound for pipelined execution: the
     /// largest total busy time of any single resource.
     ///
@@ -176,7 +175,10 @@ pub fn schedule_mode(
     binding: &Binding,
     comm: CommDelay,
 ) -> Result<StaticSchedule, ScheduleError> {
-    let flat = spec.problem().flatten(eca).map_err(ScheduleError::Flatten)?;
+    let flat = spec
+        .problem()
+        .flatten(eca)
+        .map_err(ScheduleError::Flatten)?;
     schedule_flat(spec, &flat, binding, comm)
 }
 
@@ -220,8 +222,7 @@ pub fn schedule_flat(
     }
 
     // Event-driven list scheduling.
-    let mut indegree: BTreeMap<VertexId, usize> =
-        flat.vertices.iter().map(|&v| (v, 0)).collect();
+    let mut indegree: BTreeMap<VertexId, usize> = flat.vertices.iter().map(|&v| (v, 0)).collect();
     for e in &flat.edges {
         *indegree.get_mut(&e.to).expect("endpoint in map") += 1;
     }
@@ -271,11 +272,7 @@ pub fn schedule_flat(
         return Err(ScheduleError::CyclicDependences);
     }
     entries.sort_by_key(|e| (e.start, e.process));
-    let makespan = entries
-        .iter()
-        .map(|e| e.finish)
-        .max()
-        .unwrap_or(Time::ZERO);
+    let makespan = entries.iter().map(|e| e.finish).max().unwrap_or(Time::ZERO);
     Ok(StaticSchedule { entries, makespan })
 }
 
@@ -373,8 +370,7 @@ mod tests {
     fn unbound_process_is_reported() {
         let (spec, [a, _, _, _], binding) = diamond();
         let partial: Binding = binding.iter().filter(|(p, _)| *p != a).collect();
-        let err =
-            schedule_mode(&spec, &Selection::new(), &partial, CommDelay::Zero).unwrap_err();
+        let err = schedule_mode(&spec, &Selection::new(), &partial, CommDelay::Zero).unwrap_err();
         assert_eq!(err, ScheduleError::Unbound { process: a });
     }
 

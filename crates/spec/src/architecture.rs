@@ -91,12 +91,7 @@ impl ArchitectureGraph {
 
     /// Adds a functional resource (processor, ASIC, …) with the given
     /// allocation cost.
-    pub fn add_resource(
-        &mut self,
-        scope: Scope,
-        name: impl Into<String>,
-        cost: Cost,
-    ) -> VertexId {
+    pub fn add_resource(&mut self, scope: Scope, name: impl Into<String>, cost: Cost) -> VertexId {
         self.graph
             .add_vertex(scope, name, ResourceAttrs::functional(cost))
     }
@@ -144,12 +139,13 @@ impl ArchitectureGraph {
         cost: Cost,
     ) -> Result<Design, HgraphError> {
         let cluster = self.graph.add_cluster(device, cluster_name);
-        let design = self
-            .graph
-            .add_vertex(cluster.into(), design_name, ResourceAttrs::functional(cost));
+        let design =
+            self.graph
+                .add_vertex(cluster.into(), design_name, ResourceAttrs::functional(cost));
         let ports: Vec<PortId> = self.graph.ports_of(device).to_vec();
         for p in ports {
-            self.graph.map_port(cluster, p, PortTarget::vertex(design))?;
+            self.graph
+                .map_port(cluster, p, PortTarget::vertex(design))?;
         }
         Ok(Design { cluster, design })
     }
@@ -443,7 +439,9 @@ mod tests {
         assert!(a.validate().is_ok());
         let sel = Selection::new().with(fpga, d2.cluster);
         let alloc = all_vertices(&a);
-        assert!(a.comm_reachable(&sel, &alloc, d2.design, d2.design).unwrap());
+        assert!(a
+            .comm_reachable(&sel, &alloc, d2.design, d2.design)
+            .unwrap());
         assert_eq!(a.cluster_cost(d1.cluster), Cost::new(30));
     }
 }

@@ -60,7 +60,10 @@ impl SpecificationGraph {
         // Mapping edges, dotted with latency labels.
         for m in self.mapping_ids() {
             let mapping = self.mapping(m);
-            let from = format!("\"P:{}\"", escape(self.problem().process_name(mapping.process)));
+            let from = format!(
+                "\"P:{}\"",
+                escape(self.problem().process_name(mapping.process))
+            );
             let to = format!(
                 "\"A:{}\"",
                 escape(self.architecture().resource_name(mapping.resource))
@@ -131,11 +134,19 @@ fn write_side(out: &mut String, side: SideView<'_>, scope: Scope, depth: usize) 
     let indent = "  ".repeat(depth);
     let (vertices, interfaces): (Vec<NodeRef>, Vec<_>) = match side {
         SideView::Problem(s) => (
-            s.problem().graph().vertices_in(scope).map(NodeRef::Vertex).collect(),
+            s.problem()
+                .graph()
+                .vertices_in(scope)
+                .map(NodeRef::Vertex)
+                .collect(),
             s.problem().graph().interfaces_in(scope).collect(),
         ),
         SideView::Architecture(s) => (
-            s.architecture().graph().vertices_in(scope).map(NodeRef::Vertex).collect(),
+            s.architecture()
+                .graph()
+                .vertices_in(scope)
+                .map(NodeRef::Vertex)
+                .collect(),
             s.architecture().graph().interfaces_in(scope).collect(),
         ),
     };

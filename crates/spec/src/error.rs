@@ -114,17 +114,27 @@ impl fmt::Display for BindingViolation {
                 mapping,
                 problem_side,
             } => {
-                let side = if *problem_side { "problem" } else { "architecture" };
+                let side = if *problem_side {
+                    "problem"
+                } else {
+                    "architecture"
+                };
                 write!(f, "mapping {mapping} has an inactive {side}-side endpoint")
             }
             BindingViolation::UnboundProcess { process } => {
-                write!(f, "activated process {process} is not bound to any resource")
+                write!(
+                    f,
+                    "activated process {process} is not bound to any resource"
+                )
             }
             BindingViolation::MultipleBindings { process } => {
                 write!(f, "activated process {process} is bound more than once")
             }
             BindingViolation::ForeignMapping { process, mapping } => {
-                write!(f, "binding entry for {process} uses foreign mapping {mapping}")
+                write!(
+                    f,
+                    "binding entry for {process} uses foreign mapping {mapping}"
+                )
             }
             BindingViolation::NoCommunicationPath {
                 edge,

@@ -162,9 +162,12 @@ impl SpecificationGraph {
             if from_res == to_res {
                 continue;
             }
-            let reachable = self
-                .architecture()
-                .comm_reachable(&arch_selection, &active_resources, from_res, to_res)?;
+            let reachable = self.architecture().comm_reachable(
+                &arch_selection,
+                &active_resources,
+                from_res,
+                to_res,
+            )?;
             if !reachable {
                 return Err(BindingViolation::NoCommunicationPath {
                     edge: e.id,

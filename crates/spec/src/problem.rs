@@ -26,7 +26,6 @@ impl std::fmt::Display for DataDep {
     }
 }
 
-
 /// Handle returned by [`ProblemGraph::add_alternative_stage`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlternativeStage {
@@ -149,7 +148,6 @@ impl ProblemGraph {
     ) -> Result<flexplore_hgraph::EdgeId, HgraphError> {
         self.graph.add_edge(from, to, DataDep)
     }
-
 
     /// Convenience builder for the ubiquitous "stage with alternatives"
     /// pattern: adds an interface with one `in` and one `out` port and one
@@ -337,7 +335,8 @@ mod tests {
         let mut p = ProblemGraph::new("p");
         let src = p.add_process(Scope::Top, "src");
         let stage = p.add_alternative_stage(Scope::Top, "I", &["a", "b"]);
-        p.add_dependence(src, (stage.interface, stage.input)).unwrap();
+        p.add_dependence(src, (stage.interface, stage.input))
+            .unwrap();
         assert!(p.validate().is_ok());
         assert_eq!(stage.alternatives.len(), 2);
         // Flatten through each alternative.

@@ -17,9 +17,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a mapping edge (`e ∈ E_M`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MappingId(u32);
 
 impl MappingId {
@@ -165,7 +163,6 @@ impl Mode {
         }
     }
 }
-
 
 /// Size summary of a specification graph (see
 /// [`SpecificationGraph::statistics`]).
@@ -400,7 +397,6 @@ impl SpecificationGraph {
             + a.interface_count()
             + a.cluster_count()
     }
-
 
     /// A summary of the specification's size for reports and tooling.
     #[must_use]

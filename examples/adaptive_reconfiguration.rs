@@ -125,12 +125,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Exact static schedule of the mode (the paper's future-work item):
         // one non-preemptive execution per period, critical-path ordered.
-        let schedule = flexplore::schedule_mode(
-            spec,
-            eca,
-            &mode.binding,
-            flexplore::CommDelay::Zero,
-        )?;
+        let schedule =
+            flexplore::schedule_mode(spec, eca, &mode.binding, flexplore::CommDelay::Zero)?;
         for line in schedule
             .gantt(
                 |r| spec.architecture().resource_name(r).to_owned(),

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let comm = CommGraph::new(spec.architecture(), &available);
     let eca = Selection::new()
         .with(model.interfaces["I_filter"], model.clusters["filter_acc"])
-        .with(model.interfaces["I_compress"], model.clusters["compress_acc"]);
+        .with(
+            model.interfaces["I_compress"],
+            model.clusters["compress_acc"],
+        );
     let (mode, _) = solve_mode(spec, &allocation, &comm, &eca, &BindOptions::default());
     let mode = mode.expect("doubly-accelerated mode is feasible");
 

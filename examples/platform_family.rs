@@ -88,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An impossible ask returns None instead of a wrong answer.
     assert!(min_cost_for_flexibility(spec, family_max + 1, &options)?.is_none());
-    println!("\nflexibility {} is not implementable on any platform", family_max + 1);
+    println!(
+        "\nflexibility {} is not implementable on any platform",
+        family_max + 1
+    );
 
     // Year two: the entry SKU (µP2) has shipped; its cost is sunk. Which
     // upgrades keep the deployed board and add flexibility?

@@ -13,8 +13,7 @@
 //! ```
 
 use flexplore::{
-    explore, ArchitectureGraph, Cost, ExploreOptions, ProblemGraph, Scope, SpecificationGraph,
-    Time,
+    explore, ArchitectureGraph, Cost, ExploreOptions, ProblemGraph, Scope, SpecificationGraph, Time,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

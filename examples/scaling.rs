@@ -22,11 +22,25 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:<8} {:>6} {:>10} {:>8} {:>8} {:>9} {:>11} {:>11} {:>9}",
-        "size", "|V_S|", "subsets", "possible", "attempts", "pareto", "explore", "exhaustive", "moea-hv"
+        "size",
+        "|V_S|",
+        "subsets",
+        "possible",
+        "attempts",
+        "pareto",
+        "explore",
+        "exhaustive",
+        "moea-hv"
     );
     for (label, config) in [
         ("small", SyntheticConfig::small(11)),
-        ("default", SyntheticConfig { seed: 11, ..SyntheticConfig::default() }),
+        (
+            "default",
+            SyntheticConfig {
+                seed: 11,
+                ..SyntheticConfig::default()
+            },
+        ),
         ("medium", SyntheticConfig::medium(11)),
         ("large", SyntheticConfig::large(11)),
     ] {

@@ -46,9 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elapsed = started.elapsed();
 
     println!("\nPareto-optimal solutions (paper's Section 5 table):");
-    println!("  {:<28} {:<42} {:>6} {:>3}", "Resources", "Clusters", "c", "f");
+    println!(
+        "  {:<28} {:<42} {:>6} {:>3}",
+        "Resources", "Clusters", "c", "f"
+    );
     for point in &result.front {
-        let implementation = point.implementation.as_ref().expect("explore retains impls");
+        let implementation = point
+            .implementation
+            .as_ref()
+            .expect("explore retains impls");
         let resources = implementation.allocation.display_names(spec.architecture());
         let mut clusters: Vec<&str> = implementation
             .covered_clusters
@@ -97,11 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the paper's coverage example: the modes realizing the $290
     // point and the FPGA configuration each holds.
-    if let Some(point) = result
-        .front
-        .iter()
-        .find(|p| p.cost.dollars() == 290)
-    {
+    if let Some(point) = result.front.iter().find(|p| p.cost.dollars() == 290) {
         let implementation = point.implementation.as_ref().expect("retained");
         println!("\nmode coverage of the $290 design point:");
         for mode in implementation.covering_modes() {

@@ -56,7 +56,10 @@ fn e6_extreme_points_resources() {
         .allocation
         .display_names(arch);
     for required in ["uP2", "A1", "D3", "C1", "C2"] {
-        assert!(names.contains(required), "max point must contain {required}");
+        assert!(
+            names.contains(required),
+            "max point must contain {required}"
+        );
     }
     assert_eq!(last.flexibility, 8, "maximal flexibility is implemented");
 }
@@ -146,7 +149,10 @@ fn e7_reduction_statistics_shape() {
     // Possible allocations are a fraction of the subsets...
     assert!(stats.allocations.kept < stats.allocations.subsets / 2);
     // ...and the flexibility estimation skips almost all of them.
-    assert!(stats.implement_attempts < 100, "paper: 'typically less than 100'");
+    assert!(
+        stats.implement_attempts < 100,
+        "paper: 'typically less than 100'"
+    );
     assert!(stats.estimate_skipped > stats.allocations.kept / 2);
     assert_eq!(stats.pareto_points, 6);
 }

@@ -10,18 +10,27 @@ use flexplore::{
 use proptest::prelude::*;
 
 fn small_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
-    (0u64..200, 1usize..3, 1usize..3, 1usize..3, 1usize..3, 0usize..2, 0usize..3).prop_map(
-        |(seed, apps, stages, alts, cpus, asics, designs)| SyntheticConfig {
-            seed,
-            applications: apps,
-            interfaces_per_app: stages,
-            alternatives: alts,
-            processors: cpus,
-            asics,
-            fpga_designs: designs,
-            constrained_fraction: 0.5,
-        },
+    (
+        0u64..200,
+        1usize..3,
+        1usize..3,
+        1usize..3,
+        1usize..3,
+        0usize..2,
+        0usize..3,
     )
+        .prop_map(
+            |(seed, apps, stages, alts, cpus, asics, designs)| SyntheticConfig {
+                seed,
+                applications: apps,
+                interfaces_per_app: stages,
+                alternatives: alts,
+                processors: cpus,
+                asics,
+                fpga_designs: designs,
+                constrained_fraction: 0.5,
+            },
+        )
 }
 
 proptest! {
@@ -128,8 +137,7 @@ fn allocation_growth_is_monotone() {
     ];
     let mut last = 0;
     for allocation in &steps {
-        let implementation =
-            implement_default(&stb.spec, allocation).expect("all steps feasible");
+        let implementation = implement_default(&stb.spec, allocation).expect("all steps feasible");
         assert!(
             implementation.flexibility >= last,
             "flexibility dropped from {last} to {} at [{}]",

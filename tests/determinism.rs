@@ -4,10 +4,12 @@
 //! round-trips. Reproducibility is a first-class requirement for a
 //! reproduction repository.
 
+use flexplore::adaptive::{generate_trace, RandomFaultConfig, TraceConfig};
 use flexplore::models::{spec_from_json, spec_to_json};
 use flexplore::{
-    explore, moea_explore, set_top_box, synthetic_spec, AllocationOptions, ExploreOptions,
-    MoeaOptions, SyntheticConfig,
+    explore, implement_default, moea_explore, run_with_faults, set_top_box, synthetic_spec,
+    AdaptiveSystem, AllocationOptions, ExploreOptions, FaultPlan, FaultScenario, MoeaOptions,
+    ReconfigCost, ResourceAllocation, SyntheticConfig, Time, VertexId,
 };
 
 #[test]
@@ -55,6 +57,94 @@ fn json_round_trip_preserves_exploration() {
         assert_eq!(a.front.objectives(), b.front.objectives());
         assert_eq!(a.stats, b.stats);
     }
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_the_faultless_baseline() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new()
+        .with_vertex(stb.resource("uP2"))
+        .with_vertex(stb.resource("C1"))
+        .with_cluster(stb.design("D3"))
+        .with_cluster(stb.design("U2"))
+        .with_cluster(stb.design("G1"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    let trace = generate_trace(
+        &stb.spec,
+        &TraceConfig {
+            seed: 7,
+            length: 100,
+            skewed: false,
+        },
+    );
+    let reconfig = ReconfigCost::Uniform(Time::from_ns(1_000));
+
+    let report = run_with_faults(
+        &stb.spec,
+        &implementation,
+        reconfig,
+        &trace,
+        &FaultScenario::default(), // empty plan
+    )
+    .unwrap();
+    assert!(report.fault_timeline.is_empty());
+    assert_eq!(report.surviving_flexibility, report.baseline_flexibility);
+
+    // The switch timeline must be byte-identical to a plain trace replay
+    // with no fault machinery in the loop.
+    let mut baseline = AdaptiveSystem::new(&stb.spec, &implementation, reconfig);
+    for request in &trace {
+        let _ = baseline.switch_to(request);
+    }
+    let with_faults = serde_json::to_string(&report.switch_timeline).unwrap();
+    let without = serde_json::to_string(&baseline.timeline().to_vec()).unwrap();
+    assert_eq!(with_faults, without);
+}
+
+#[test]
+fn fault_scenarios_are_seed_deterministic() {
+    let stb = set_top_box();
+    let allocation = ResourceAllocation::new()
+        .with_vertex(stb.resource("uP2"))
+        .with_vertex(stb.resource("C1"))
+        .with_cluster(stb.design("D3"))
+        .with_cluster(stb.design("U2"))
+        .with_cluster(stb.design("G1"));
+    let implementation = implement_default(&stb.spec, &allocation).unwrap();
+    let trace = generate_trace(
+        &stb.spec,
+        &TraceConfig {
+            seed: 7,
+            length: 50,
+            skewed: false,
+        },
+    );
+    let candidates: Vec<VertexId> = allocation
+        .available_vertices(stb.spec.architecture())
+        .into_iter()
+        .collect();
+    let config = RandomFaultConfig {
+        faults: 3,
+        ..RandomFaultConfig::default()
+    };
+    let run = |seed: u64| {
+        let scenario = FaultScenario {
+            plan: FaultPlan::randomized(seed, &candidates, &config),
+            ..FaultScenario::default()
+        };
+        let report = run_with_faults(
+            &stb.spec,
+            &implementation,
+            ReconfigCost::Uniform(Time::from_ns(1_000)),
+            &trace,
+            &scenario,
+        )
+        .unwrap();
+        serde_json::to_string(&report).unwrap()
+    };
+    // Same seed: the full report (both timelines included) is identical.
+    assert_eq!(run(3), run(3));
+    assert_eq!(run(11), run(11));
 }
 
 #[test]

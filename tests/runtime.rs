@@ -18,9 +18,13 @@ fn every_front_mode_schedules_within_its_period() {
     for point in &result.front {
         let implementation = point.implementation.as_ref().unwrap();
         for mode in &implementation.modes {
-            let schedule =
-                schedule_mode(&stb.spec, &mode.mode.problem, &mode.binding, CommDelay::Zero)
-                    .expect("front modes schedule");
+            let schedule = schedule_mode(
+                &stb.spec,
+                &mode.mode.problem,
+                &mode.binding,
+                CommDelay::Zero,
+            )
+            .expect("front modes schedule");
             assert!(
                 schedule.meets_periods(&stb.spec),
                 "mode violates its period with makespan {}",

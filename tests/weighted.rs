@@ -65,9 +65,13 @@ fn worthless_game_removes_game_only_upgrades() {
     let result = explore_weighted(&stb.spec, &weights, &ExploreOptions::paper()).unwrap();
     // µP1's only edge over µP2 is the game: with the game worthless the
     // $120 point disappears from the weighted front.
-    assert!(result
-        .front
-        .iter()
-        .all(|p| p.cost.dollars() != 120), "µP1 point must vanish: {:?}",
-        result.front.iter().map(|p| (p.cost.dollars(), p.weighted_flexibility)).collect::<Vec<_>>());
+    assert!(
+        result.front.iter().all(|p| p.cost.dollars() != 120),
+        "µP1 point must vanish: {:?}",
+        result
+            .front
+            .iter()
+            .map(|p| (p.cost.dollars(), p.weighted_flexibility))
+            .collect::<Vec<_>>()
+    );
 }

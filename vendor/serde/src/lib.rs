@@ -1,0 +1,508 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework with the same *spelling* as
+//! serde (`Serialize` / `Deserialize` traits, `#[derive(Serialize,
+//! Deserialize)]`) but a radically simpler contract: values convert to and
+//! from a self-describing [`Value`] tree, and `serde_json` (also vendored)
+//! renders that tree as JSON text.
+//!
+//! Representation choices (stable, relied on by the vendored
+//! `serde_json`):
+//!
+//! * structs with named fields -> [`Value::Map`] keyed by field name;
+//! * newtype structs -> the inner value, transparently;
+//! * tuple structs and tuples -> [`Value::Seq`];
+//! * unit structs -> [`Value::Null`];
+//! * unit enum variants -> [`Value::Str`] of the variant name;
+//! * data-carrying variants -> a one-entry [`Value::Map`] keyed by the
+//!   variant name (externally tagged, like real serde);
+//! * maps and sets -> [`Value::Seq`] (maps as `[key, value]` pairs), which
+//!   sidesteps JSON's string-keys-only restriction for the id-keyed maps
+//!   used throughout flexplore.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every serializable value converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (produced by parsing negative JSON numbers).
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the entries when this value is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements when this value is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience: "expected X, found Y" against a concrete value.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserialization support matching serde's module layout.
+pub mod de {
+    /// Error types deserialization can fail with; mirrors
+    /// `serde::de::Error` so call sites can build custom errors
+    /// (`map_err(serde::de::Error::custom)`).
+    pub trait Error: Sized {
+        /// Creates an error from an arbitrary display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the tree does not encode a `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name; missing fields read as null so that
+/// `Option` fields tolerate elided entries.
+///
+/// # Errors
+///
+/// Never fails itself; the caller's field deserialization reports type
+/// mismatches (including non-optional fields finding null).
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(&Value::Null, |(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::Str(s) => s.parse().map_err(|_| DeError::expected("integer", v)),
+                    _ => Err(DeError::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::Str(s) => s.parse().map_err(|_| DeError::expected("integer", v)),
+                    _ => Err(DeError::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences and collections
+// ---------------------------------------------------------------------------
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Seq(items.map(Serialize::to_value).collect())
+}
+
+fn value_to_seq<T: Deserialize>(v: &Value) -> Result<Vec<T>, DeError> {
+    let items = v.as_seq().ok_or_else(|| DeError::expected("sequence", v))?;
+    items.iter().map(T::from_value).collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_seq(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_seq(v).map(Vec::into_iter).map(Iterator::collect)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_seq(v).map(Vec::into_iter).map(Iterator::collect)
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Stable output order regardless of hasher state.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_seq(v).map(Vec::into_iter).map(Iterator::collect)
+    }
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn value_to_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    let items = v
+        .as_seq()
+        .ok_or_else(|| DeError::expected("sequence of pairs", v))?;
+    items
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_seq()
+                .filter(|s| s.len() == 2)
+                .ok_or_else(|| DeError::expected("[key, value] pair", pair))?;
+            Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_pairs(v).map(Vec::into_iter).map(Iterator::collect)
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        value_to_pairs(v).map(Vec::into_iter).map(Iterator::collect)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_seq()
+                    .filter(|s| s.len() == $len)
+                    .ok_or_else(|| DeError::expected(
+                        concat!("sequence of length ", $len), v))?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4),
+    (A.0, B.1, C.2, D.3, E.4; 5),
+    (A.0, B.1, C.2, D.3, E.4, F.5; 6),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert((1usize, 2usize), "x".to_owned());
+        m.insert((3, 4), "y".to_owned());
+        let v = m.to_value();
+        let back: BTreeMap<(usize, usize), String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn options_tolerate_missing_fields() {
+        let entries: Vec<(String, Value)> = vec![];
+        let v = field(&entries, "absent");
+        let x: Option<u64> = Deserialize::from_value(v).unwrap();
+        assert_eq!(x, None);
+    }
+}

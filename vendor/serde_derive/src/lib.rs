@@ -1,0 +1,525 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's [`Value`]-based data model, with no
+//! dependency on `syn`/`quote`: the input item is parsed with a small
+//! hand-rolled token cursor and the impl is emitted as source text.
+//!
+//! Supported shapes (everything flexplore derives on):
+//!
+//! * structs with named fields, tuple structs (newtypes serialize
+//!   transparently), unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * type generics (each parameter gets a `Serialize` / `Deserialize`
+//!   bound, like real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                // inner attribute `#!`
+                if p.as_char() == '!' {
+                    self.pos += 1;
+                }
+            }
+            self.next(); // the [...] group
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive parser: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes a `<...>` generic parameter list (cursor already past `<`)
+    /// and returns the type parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        let mut in_const = false;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => {
+                        at_param_start = true;
+                        in_const = false;
+                    }
+                    '\'' => {
+                        // Lifetime parameter: consume its identifier, stay
+                        // before the next comma.
+                        self.next();
+                        at_param_start = false;
+                    }
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(id)) => {
+                    let text = id.to_string();
+                    if at_param_start && depth == 1 {
+                        if text == "const" {
+                            in_const = true;
+                        } else {
+                            if !in_const {
+                                params.push(text);
+                            }
+                            at_param_start = false;
+                        }
+                    }
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("derive parser: unterminated generic parameter list"),
+            }
+        }
+        params
+    }
+
+    /// Skips a type (a field's or a where-clause's), stopping after the
+    /// separating top-level comma or at the end of the stream.
+    fn skip_type(&mut self) {
+        let mut angle: usize = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle = angle.saturating_sub(1);
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+fn parse_fields_group(group: &TokenTree) -> Fields {
+    let TokenTree::Group(g) = group else {
+        panic!("derive parser: expected a fields group");
+    };
+    match g.delimiter() {
+        Delimiter::Parenthesis => Fields::Tuple(count_top_level_chunks(g.stream())),
+        Delimiter::Brace => {
+            let mut cursor = Cursor {
+                tokens: g.stream().into_iter().collect(),
+                pos: 0,
+            };
+            let mut names = Vec::new();
+            while cursor.peek().is_some() {
+                cursor.skip_attributes();
+                cursor.skip_visibility();
+                if cursor.peek().is_none() {
+                    break;
+                }
+                names.push(cursor.expect_ident());
+                match cursor.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("derive parser: expected ':' after field, found {other:?}"),
+                }
+                cursor.skip_type();
+            }
+            Fields::Named(names)
+        }
+        other => panic!("derive parser: unexpected fields delimiter {other:?}"),
+    }
+}
+
+/// Counts comma-separated non-empty chunks at angle-depth zero.
+fn count_top_level_chunks(stream: TokenStream) -> usize {
+    let mut chunks = 0usize;
+    let mut in_chunk = false;
+    let mut angle = 0usize;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    in_chunk = false;
+                } else {
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle = angle.saturating_sub(1);
+                    }
+                    if !in_chunk {
+                        chunks += 1;
+                        in_chunk = true;
+                    }
+                }
+            }
+            _ => {
+                if !in_chunk {
+                    chunks += 1;
+                    in_chunk = true;
+                }
+            }
+        }
+    }
+    chunks
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor {
+        tokens: input.into_iter().collect(),
+        pos: 0,
+    };
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident();
+    let name = cursor.expect_ident();
+
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            cursor.pos += 1;
+            generics = cursor.parse_generics();
+        }
+    }
+
+    // Skip an optional where-clause: everything up to the body group or the
+    // terminating semicolon.
+    while let Some(tok) = cursor.peek() {
+        match tok {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => cursor.pos += 1,
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match cursor.peek() {
+            None | Some(TokenTree::Punct(_)) => Body::Struct(Fields::Unit),
+            Some(tok @ TokenTree::Group(_)) => {
+                let fields = parse_fields_group(tok);
+                Body::Struct(fields)
+            }
+            other => panic!("derive parser: unexpected struct body {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = cursor.next() else {
+                panic!("derive parser: enum without body");
+            };
+            let mut inner = Cursor {
+                tokens: g.stream().into_iter().collect(),
+                pos: 0,
+            };
+            let mut variants = Vec::new();
+            while inner.peek().is_some() {
+                inner.skip_attributes();
+                if inner.peek().is_none() {
+                    break;
+                }
+                let vname = inner.expect_ident();
+                let fields = match inner.peek() {
+                    Some(tok @ TokenTree::Group(_)) => {
+                        let f = parse_fields_group(tok);
+                        inner.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional discriminant, then the separating comma.
+                while let Some(tok) = inner.peek() {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == ',' => {
+                            inner.pos += 1;
+                            break;
+                        }
+                        _ => inner.pos += 1,
+                    }
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("derive parser: expected struct or enum, found {other}"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(Fields::Unit) => body.push_str("::serde::Value::Null"),
+        Body::Struct(Fields::Tuple(1)) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            body.push_str("::serde::Value::Seq(::std::vec![");
+            for k in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{k}),");
+            }
+            body.push_str("])");
+        }
+        Body::Struct(Fields::Named(names)) => {
+            body.push_str("::serde::Value::Map(::std::vec![");
+            for f in names {
+                let _ = write!(
+                    body,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            body.push_str("])");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                let ty = &item.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            body,
+                            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            body,
+                            "{ty}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), {payload})]),",
+                            binders.join(",")
+                        );
+                    }
+                    Fields::Named(names) => {
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            body,
+                            "{ty}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(::std::vec![{}]))]),",
+                            names.join(","),
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived] {} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn emit_fields_constructor(type_path: &str, fields: &Fields, source: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {source} {{ ::serde::Value::Null | ::serde::Value::Str(_) => ::std::result::Result::Ok({type_path}), other => ::std::result::Result::Err(::serde::DeError::expected(\"unit\", other)) }}"
+        ),
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({type_path}(::serde::Deserialize::from_value({source})?))"
+        ),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__seq[{k}])?"))
+                .collect();
+            format!(
+                "{{ let __v = {source}; let __seq = __v.as_seq().filter(|s| s.len() == {n}).ok_or_else(|| ::serde::DeError::expected(\"sequence of length {n}\", __v))?; ::std::result::Result::Ok({type_path}({})) }}",
+                gets.join(",")
+            )
+        }
+        Fields::Named(names) => {
+            let gets: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__map, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __v = {source}; let __map = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", __v))?; ::std::result::Result::Ok({type_path} {{ {} }}) }}",
+                gets.join(",")
+            )
+        }
+    }
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => emit_fields_constructor(name, fields, "__value"),
+        Body::Enum(variants) => {
+            // Unit variants arrive as Value::Str(name); data variants as a
+            // one-entry map keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    fields => {
+                        let ctor =
+                            emit_fields_constructor(&format!("{name}::{vn}"), fields, "_payload");
+                        let _ = write!(data_arms, "{vn:?} => {ctor},");
+                    }
+                }
+            }
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant {{__other}} of {name}\"))) }}, \
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, _payload) = (&__entries[0].0, &__entries[0].1); \
+                     match __tag.as_str() {{ {data_arms} {unit_arms} __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant {{__other}} of {name}\"))) }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __other)) \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {} {{ fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
