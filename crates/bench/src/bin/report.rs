@@ -29,6 +29,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e8()?;
     e9()?;
     e12()?;
+    e13()?;
+    Ok(())
+}
+
+/// E13 — sequential vs parallel EXPLORE; also writes `BENCH_explore.json`.
+///
+/// Every run is asserted byte-identical in its front, so the numbers
+/// measure pure engine overhead/speedup. Wall times are whatever this
+/// machine delivers — on a single hardware thread the parallel engine is
+/// expected to cost a little extra, not to speed up.
+fn e13() -> Result<(), Box<dyn std::error::Error>> {
+    let all = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&all) {
+        thread_counts.push(all);
+    }
+    println!("## E13 — deterministic parallel EXPLORE\n");
+    println!("Hardware threads available: {all}. `threads = 1` is the sequential engine.\n");
+    println!("| model | threads | wall | candidates | solver calls | chunks speculated | wasted |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut entries = Vec::new();
+    for (name, spec) in [
+        ("set_top_box", set_top_box().spec),
+        ("tv_decoder", tv_decoder().spec),
+    ] {
+        let mut runs = Vec::new();
+        let mut baseline = None;
+        let mut candidates = 0;
+        let mut attempts = 0;
+        for &threads in &thread_counts {
+            let options = ExploreOptions {
+                allocation: AllocationOptions {
+                    threads,
+                    ..AllocationOptions::default()
+                },
+                ..ExploreOptions::paper()
+            }
+            .with_threads(threads);
+            let started = Instant::now();
+            let result = explore(&spec, &options)?;
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            match &baseline {
+                None => baseline = Some(result.front.objectives()),
+                Some(expected) => assert_eq!(&result.front.objectives(), expected),
+            }
+            candidates = result.stats.allocations.kept;
+            attempts = result.stats.implement_attempts;
+            println!(
+                "| {name} | {threads} | {wall_ms:.1} ms | {candidates} | {attempts} | {} | {} |",
+                result.stats.chunks_speculated, result.stats.speculative_waste
+            );
+            runs.push(format!(
+                "        {{ \"threads\": {threads}, \"wall_ms\": {wall_ms:.3}, \
+                 \"chunks_speculated\": {}, \"speculative_waste\": {} }}",
+                result.stats.chunks_speculated, result.stats.speculative_waste
+            ));
+        }
+        entries.push(format!(
+            "    {{\n      \"model\": \"{name}\",\n      \"candidates\": {candidates},\n      \
+             \"implement_attempts\": {attempts},\n      \"runs\": [\n{}\n      ]\n    }}",
+            runs.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"available_parallelism\": {all},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_explore.json", json)?;
+    println!("\n(Raw numbers written to `BENCH_explore.json`.)\n");
     Ok(())
 }
 

@@ -16,7 +16,7 @@
 //! answer for the resource pairs the solver asks about.
 
 use flexplore_hgraph::{NodeRef, VertexId};
-use flexplore_spec::ArchitectureGraph;
+use flexplore_spec::{ArchitectureGraph, CompiledSpec};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Precomputed communication reachability among the available vertices of a
@@ -68,6 +68,38 @@ impl CommGraph {
         }
         let comm = architecture
             .communication_resources()
+            .filter(|v| available.contains(v))
+            .collect();
+        CommGraph {
+            adjacency,
+            comm,
+            available: available.clone(),
+        }
+    }
+
+    /// Builds the potential adjacency from the precompiled edge-endpoint
+    /// tables of a [`CompiledSpec`], avoiding the per-edge graph walks of
+    /// [`CommGraph::new`].
+    ///
+    /// The compiled tables store the *unfiltered* candidates each endpoint
+    /// resolves to, in the same order `new` derives them; filtering by
+    /// `available` here therefore pushes the same adjacency entries in the
+    /// same order — the two constructors produce identical graphs.
+    #[must_use]
+    pub fn from_compiled(compiled: &CompiledSpec<'_>, available: &BTreeSet<VertexId>) -> Self {
+        let mut adjacency: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+        for (from, to) in compiled.arch_edge_endpoints() {
+            for &a in from.iter().filter(|v| available.contains(v)) {
+                for &b in to.iter().filter(|v| available.contains(v)) {
+                    adjacency.entry(a).or_default().push(b);
+                    adjacency.entry(b).or_default().push(a);
+                }
+            }
+        }
+        let comm = compiled
+            .comm_vertices()
+            .iter()
+            .copied()
             .filter(|v| available.contains(v))
             .collect();
         CommGraph {

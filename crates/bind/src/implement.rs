@@ -10,10 +10,10 @@
 //! it through.
 
 use crate::comm::CommGraph;
-use crate::solver::{solve_mode, BindOptions, ModeImplementation, SolveStats};
-use flexplore_flex::{estimate_with_available, flexibility, Flexibility};
+use crate::solver::{solve_mode_compiled, BindOptions, ModeImplementation, SolveStats};
+use flexplore_flex::{estimate_with_compiled, flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, VertexId};
-use flexplore_spec::{Cost, ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -161,12 +161,36 @@ pub fn implement_allocation(
     allocation: &ResourceAllocation,
     options: &ImplementOptions,
 ) -> Result<(Option<Implementation>, ImplementStats), BindError> {
+    let compiled = CompiledSpec::new(spec);
+    implement_allocation_compiled(&compiled, allocation, options)
+}
+
+/// [`implement_allocation`] over a precompiled specification context.
+///
+/// All per-candidate work reads the shared, immutable [`CompiledSpec`]
+/// tables (latency-sorted mappings, reachable-resource lists, cluster
+/// leaves and costs, resolved architecture-edge endpoints, cached
+/// activations); results and [`ImplementStats`] are identical to the
+/// uncompiled entry point. Build the compiled context once per
+/// specification and reuse it across every allocation — this is what the
+/// exploration engine does.
+///
+/// # Errors
+///
+/// Returns [`BindError::TooManyActivations`] if the ECA enumeration exceeds
+/// the configured bound.
+pub fn implement_allocation_compiled(
+    compiled: &CompiledSpec<'_>,
+    allocation: &ResourceAllocation,
+    options: &ImplementOptions,
+) -> Result<(Option<Implementation>, ImplementStats), BindError> {
+    let spec = compiled.spec();
     let mut stats = ImplementStats::default();
-    let mut available = allocation.available_vertices(spec.architecture());
+    let mut available = compiled.available_vertices(allocation);
     for v in &options.excluded_resources {
         available.remove(v);
     }
-    let estimate = estimate_with_available(spec, &available);
+    let estimate = estimate_with_compiled(compiled, &available);
     if !estimate.feasible {
         return Ok((None, stats));
     }
@@ -185,12 +209,13 @@ pub fn implement_allocation(
         });
     }
 
-    let comm = CommGraph::new(spec.architecture(), &available);
+    let comm = CommGraph::from_compiled(compiled, &available);
     let mut modes = Vec::new();
     let mut covered: BTreeSet<ClusterId> = BTreeSet::new();
     for eca in &ecas {
         stats.activations += 1;
-        let (solved, solve_stats) = solve_mode(spec, allocation, &comm, eca, &options.bind);
+        let (solved, solve_stats) =
+            solve_mode_compiled(compiled, allocation, &comm, eca, &options.bind);
         stats.solve.assignments += solve_stats.assignments;
         stats.solve.backtracks += solve_stats.backtracks;
         if let Some(mode) = solved {
@@ -215,7 +240,7 @@ pub fn implement_allocation(
         modes,
         covered_clusters: covered,
         flexibility: flex,
-        cost: allocation.cost(spec.architecture()),
+        cost: compiled.allocation_cost(allocation),
     };
     Ok((Some(implementation), stats))
 }

@@ -83,11 +83,12 @@ mod timing;
 
 pub use comm::{full_comm_graph, CommGraph};
 pub use implement::{
-    implement_allocation, implement_default, BindError, ImplementOptions, ImplementStats,
-    Implementation,
+    implement_allocation, implement_allocation_compiled, implement_default, BindError,
+    ImplementOptions, ImplementStats, Implementation,
 };
 pub use solver::{
-    mode_is_feasible, mode_timing_accepts, solve_mode, BindOptions, ModeImplementation, SolveStats,
+    mode_is_feasible, mode_timing_accepts, solve_mode, solve_mode_compiled, BindOptions,
+    ModeImplementation, SolveStats,
 };
 pub use timing::{inherited_periods, mode_meets_timing, resource_task_sets};
 

@@ -18,10 +18,13 @@
 //!   monotone: adding a task never helps).
 
 use crate::comm::CommGraph;
-use crate::timing::{inherited_periods, mode_meets_timing};
+use crate::timing::mode_meets_timing;
 use flexplore_hgraph::{ClusterId, InterfaceId, Selection, VertexId};
 use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
-use flexplore_spec::{Binding, MappingId, Mode, ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{
+    Binding, CompiledActivation, CompiledSpec, MappingId, Mode, ResourceAllocation,
+    SpecificationGraph,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -88,25 +91,58 @@ pub fn solve_mode(
     eca: &Selection,
     options: &BindOptions,
 ) -> (Option<ModeImplementation>, SolveStats) {
+    let compiled = CompiledSpec::new(spec);
+    solve_mode_compiled(&compiled, allocation, comm, eca, options)
+}
+
+/// [`solve_mode`] over a precompiled specification context: domains come
+/// from the latency-sorted mapping tables, periods from the dense
+/// inherited-period table of the (cached or on-demand) activation, and
+/// design bookkeeping from the cached cluster-leaf lists.
+///
+/// Produces the same result and the same [`SolveStats`] as [`solve_mode`]:
+/// the compiled tables are exact images of the queries the uncompiled path
+/// performs (see the `flexplore-spec` compiled-module invariants).
+pub fn solve_mode_compiled(
+    compiled: &CompiledSpec<'_>,
+    allocation: &ResourceAllocation,
+    comm: &CommGraph,
+    eca: &Selection,
+    options: &BindOptions,
+) -> (Option<ModeImplementation>, SolveStats) {
+    let spec = compiled.spec();
     let mut stats = SolveStats::default();
-    let Ok(flat) = spec.problem().flatten(eca) else {
-        return (None, stats);
+    let on_demand;
+    let activation: &CompiledActivation = match compiled.activation(eca) {
+        Some(cached) => cached,
+        None => match compiled.compile_activation(eca) {
+            Ok(fresh) => {
+                on_demand = fresh;
+                &on_demand
+            }
+            Err(_) => return (None, stats),
+        },
     };
+    let flat = &activation.flat;
     let available = comm.available();
 
     // Device bookkeeping: design vertex -> (device, cluster).
-    let device_of: BTreeMap<VertexId, (InterfaceId, ClusterId)> = design_index(spec, allocation);
+    let device_of: BTreeMap<VertexId, (InterfaceId, ClusterId)> =
+        design_index(compiled, allocation);
 
-    // Candidate mappings per process, fastest first.
+    // Candidate mappings per process, fastest first. The compiled table is
+    // already latency-stable-sorted, and filtering commutes with a stable
+    // sort, so the candidate order matches the previous on-the-fly sort.
     let mut domains: Vec<(VertexId, Vec<MappingId>)> = flat
         .vertices
         .iter()
         .map(|&v| {
-            let mut cands: Vec<MappingId> = spec
+            let cands: Vec<MappingId> = compiled
                 .mappings_of(v)
+                .iter()
+                .copied()
                 .filter(|&m| available.contains(&spec.mapping(m).resource))
                 .collect();
-            cands.sort_by_key(|&m| spec.mapping(m).latency);
             (v, cands)
         })
         .collect();
@@ -123,8 +159,6 @@ pub fn solve_mode(
         edges_of.entry(e.to).or_default().push((e.from, e.to));
     }
 
-    let periods = inherited_periods(spec, &flat);
-
     let mut binding = Binding::new();
     let mut configs: BTreeMap<InterfaceId, ClusterId> = BTreeMap::new();
     let found = backtrack(
@@ -133,7 +167,7 @@ pub fn solve_mode(
         options,
         &domains,
         &edges_of,
-        &periods,
+        &activation.periods,
         &device_of,
         0,
         &mut binding,
@@ -147,11 +181,11 @@ pub fn solve_mode(
     let mode = Mode::new(eca.clone(), arch_selection);
     let implementation = ModeImplementation { mode, binding };
     if options.verify {
-        let allocated = allocation.available_vertices(spec.architecture());
+        let allocated = compiled.available_vertices(allocation);
         if spec
             .check_binding(&implementation.mode, &allocated, &implementation.binding)
             .is_err()
-            || !mode_meets_timing(spec, &flat, &implementation.binding, options.policy)
+            || !mode_meets_timing(spec, flat, &implementation.binding, options.policy)
         {
             // The constructive search and the declarative checker disagree;
             // treat as infeasible rather than return an unverified mode.
@@ -164,14 +198,14 @@ pub fn solve_mode(
 /// Maps every available design vertex to its reconfigurable device and
 /// design cluster.
 fn design_index(
-    spec: &SpecificationGraph,
+    compiled: &CompiledSpec<'_>,
     allocation: &ResourceAllocation,
 ) -> BTreeMap<VertexId, (InterfaceId, ClusterId)> {
-    let graph = spec.architecture().graph();
+    let graph = compiled.spec().architecture().graph();
     let mut out = BTreeMap::new();
     for &c in &allocation.clusters {
         let device = graph.interface_of(c);
-        for v in graph.leaves_of_cluster(c) {
+        for &v in compiled.cluster_leaves(c) {
             out.insert(v, (device, c));
         }
     }
@@ -185,7 +219,7 @@ fn backtrack(
     options: &BindOptions,
     domains: &[(VertexId, Vec<MappingId>)],
     edges_of: &BTreeMap<VertexId, Vec<(VertexId, VertexId)>>,
-    periods: &BTreeMap<VertexId, Option<Time>>,
+    periods: &[Option<Time>],
     device_of: &BTreeMap<VertexId, (InterfaceId, ClusterId)>,
     depth: usize,
     binding: &mut Binding,
@@ -263,7 +297,7 @@ fn backtrack(
 
         // Undo.
         stats.backtracks += 1;
-        remove_binding(binding, *process);
+        binding.remove(*process);
         if let Some(device) = inserted_config {
             configs.remove(&device);
         }
@@ -278,7 +312,7 @@ fn backtrack(
 fn partial_timing_ok(
     spec: &SpecificationGraph,
     binding: &Binding,
-    periods: &BTreeMap<VertexId, Option<Time>>,
+    periods: &[Option<Time>],
     policy: SchedPolicy,
 ) -> bool {
     let mut sets: BTreeMap<VertexId, TaskSet> = BTreeMap::new();
@@ -286,14 +320,14 @@ fn partial_timing_ok(
         if spec.problem().is_negligible(process) {
             continue;
         }
-        let Some(Some(period)) = periods.get(&process) else {
+        let Some(period) = periods.get(process.index()).copied().flatten() else {
             continue;
         };
         let mapping = spec.mapping(m);
         let Ok(task) = Task::try_new(
             spec.problem().process_name(process),
             mapping.latency,
-            *period,
+            period,
         ) else {
             // A zero-period task admits no schedule: prune the assignment.
             return false;
@@ -301,14 +335,6 @@ fn partial_timing_ok(
         sets.entry(mapping.resource).or_default().push(task);
     }
     sets.values().all(|s| policy.accepts(s))
-}
-
-fn remove_binding(binding: &mut Binding, process: VertexId) {
-    // Binding has no remove; rebuild without the entry. Bindings are tiny
-    // (≤ #processes of one mode), so this stays cheap.
-    let entries: Vec<(VertexId, MappingId)> =
-        binding.iter().filter(|(p, _)| *p != process).collect();
-    *binding = entries.into_iter().collect();
 }
 
 /// Convenience wrapper: flattens the problem graph of `eca`, solves, and

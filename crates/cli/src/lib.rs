@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! flexplore explore <spec.json> [--csv] [--threads N]   Pareto front of a specification
+//! flexplore resilience <spec.json> [--k K] [--threads N]  cost/flexibility/resilience front
 //! flexplore flexibility <spec.json>                     flexibility metric + per-cluster profile
 //! flexplore query <spec.json> (--min-flex K | --budget D)
 //! flexplore dot <spec.json>                             Graphviz export (Fig. 2 view)
@@ -20,12 +21,13 @@
 use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
 use flexplore::models::spec_from_json;
 use flexplore::{
-    explore, flexibility_profile, k_resilient_flexibility, max_flexibility_under_budget,
-    min_cost_for_flexibility, run_with_faults, set_top_box, AllocationOptions, Cost,
-    DegradationPolicy, ExploreOptions, FaultKind, FaultPlan, FaultScenario, ImplementOptions,
-    ReconfigCost, Selection, SpecificationGraph, Time, VertexId,
+    explore, explore_resilient, flexibility_profile, k_resilient_flexibility_threaded,
+    max_flexibility_under_budget, min_cost_for_flexibility, run_with_faults, set_top_box,
+    AllocationOptions, Cost, DegradationPolicy, ExploreOptions, FaultKind, FaultPlan,
+    FaultScenario, ImplementOptions, ReconfigCost, Selection, SpecificationGraph, Time, VertexId,
 };
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Error type of the CLI: a user-facing message plus the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +56,7 @@ flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 20
 
 USAGE:
     flexplore explore <spec.json> [--csv] [--threads N]
+    flexplore resilience <spec.json> [--k <K>] [--threads N]
     flexplore flexibility <spec.json>
     flexplore query <spec.json> --min-flex <K>
     flexplore query <spec.json> --budget <DOLLARS>
@@ -63,9 +66,15 @@ USAGE:
     flexplore faults <spec.json> [--kill <RESOURCE>@<NS>[+<OUTAGE>]]...
                      [--seed <N>] [--count <N>] [--policy <POLICY>]
                      [--budget <DOLLARS>] [--k <K>] [--trace <N>]
+                     [--threads <N>]
 
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
+                  (--threads N runs the deterministic parallel engine;
+                  0 = all cores; output is identical for every N)
+    resilience    print the three-objective cost / flexibility /
+                  k-resilient-flexibility front (--k bounds the failures,
+                  default 1; --threads as for explore)
     flexibility   print the flexibility metric and the per-cluster profile
     query         answer a single design question (cheapest-for-target or
                   best-under-budget)
@@ -80,7 +89,8 @@ COMMANDS:
                   --kill a seeded-random plan is used (--seed, --count).
                   --policy is fail-fast, best-effort (default) or retry;
                   --budget picks the platform (most flexible one affordable),
-                  --k bounds the k-resilience analysis (default 1)
+                  --k bounds the k-resilience analysis (default 1),
+                  --threads parallelizes the kill-set sweep (same result)
 ";
 
 /// Runs one CLI invocation; `args` excludes the program name.
@@ -93,6 +103,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut args = args.iter().map(String::as_str);
     match args.next() {
         Some("explore") => cmd_explore(&args.collect::<Vec<_>>()),
+        Some("resilience") => cmd_resilience(&args.collect::<Vec<_>>()),
         Some("flexibility") => cmd_flexibility(&args.collect::<Vec<_>>()),
         Some("query") => cmd_query(&args.collect::<Vec<_>>()),
         Some("dot") => cmd_dot(&args.collect::<Vec<_>>()),
@@ -128,14 +139,10 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         }
     }
     let spec = load_spec(path)?;
-    let options = ExploreOptions {
-        allocation: AllocationOptions {
-            threads,
-            ..AllocationOptions::default()
-        },
-        ..ExploreOptions::paper()
-    };
+    let options = threaded_options(threads);
+    let started = Instant::now();
     let result = explore(&spec, &options).map_err(|e| err(e.to_string()))?;
+    let elapsed = started.elapsed();
     if csv {
         return Ok(result.front.to_csv());
     }
@@ -165,6 +172,78 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         "search: 2^{} raw, {} subsets, {} possible, {} solver calls",
         s.vertex_set_size, s.allocations.subsets, s.allocations.kept, s.implement_attempts
     );
+    let _ = writeln!(
+        out,
+        "threads: {threads} requested, {} chunks speculated, {} wasted attempts",
+        s.chunks_speculated, s.speculative_waste
+    );
+    let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(out)
+}
+
+/// Explore options with the requested thread count applied to both the
+/// candidate scan and the EXPLORE driver (0 = all cores; any value
+/// produces the same output).
+fn threaded_options(threads: usize) -> ExploreOptions {
+    ExploreOptions {
+        allocation: AllocationOptions {
+            threads,
+            ..AllocationOptions::default()
+        },
+        ..ExploreOptions::paper()
+    }
+    .with_threads(threads)
+}
+
+fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
+    let (path, rest) = split_path(args)?;
+    let mut k = 1usize;
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--k needs a non-negative integer"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+    let spec = load_spec(path)?;
+    let options = threaded_options(threads);
+    let started = Instant::now();
+    let front = explore_resilient(&spec, k, &options).map_err(|e| err(e.to_string()))?;
+    let elapsed = started.elapsed();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{k}-resilient front of {} ({} points):",
+        spec.name(),
+        front.len()
+    );
+    for point in &front {
+        let _ = writeln!(
+            out,
+            "  {:>8}  f={:<3} r={:<3} [{}]",
+            point.cost.to_string(),
+            point.flexibility,
+            point.resilience,
+            point
+                .implementation
+                .allocation
+                .display_names(spec.architecture())
+        );
+    }
+    let _ = writeln!(out, "threads: {threads} requested");
+    let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(out)
 }
 
@@ -301,6 +380,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     let mut budget = u64::MAX;
     let mut k = 1usize;
     let mut trace_length = 20usize;
+    let mut threads = 1usize;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -349,6 +429,11 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
                 trace_length = value("--trace")?
                     .parse()
                     .map_err(|_| err("--trace needs an integer"))?;
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| err("--threads needs a positive integer"))?;
             }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
@@ -493,9 +578,17 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
         "flexibility: baseline {} surviving {}",
         report.baseline_flexibility, report.surviving_flexibility
     );
-    let resilience =
-        k_resilient_flexibility(&spec, &implementation, k, &ImplementOptions::default())
-            .map_err(|e| err(e.to_string()))?;
+    // The kill-set sweep is byte-identical for every thread count, so the
+    // seeded-run determinism of this command is unaffected (no timing is
+    // printed here for the same reason).
+    let resilience = k_resilient_flexibility_threaded(
+        &spec,
+        &implementation,
+        k,
+        &ImplementOptions::default(),
+        threads,
+    )
+    .map_err(|e| err(e.to_string()))?;
     let _ = writeln!(
         out,
         "{k}-resilient flexibility: {} (worst case: {})",
@@ -543,6 +636,16 @@ mod tests {
         run(&owned)
     }
 
+    /// Drops the wall-clock and thread-count lines, which legitimately
+    /// vary between runs and thread counts; everything else must be
+    /// byte-identical.
+    fn strip_runtime_lines(out: &str) -> String {
+        out.lines()
+            .filter(|line| !line.starts_with("time:") && !line.starts_with("threads:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     #[test]
     fn help_and_unknown_commands() {
         assert!(run_strs(&["--help"]).unwrap().contains("USAGE"));
@@ -571,13 +674,19 @@ mod tests {
         let out = run_strs(&["explore", path]).unwrap();
         assert!(out.contains("$430"));
         assert!(out.contains("solver calls"));
+        assert!(out.contains("time:"));
+        assert!(out.contains("chunks speculated"));
 
         let csv = run_strs(&["explore", path, "--csv"]).unwrap();
         assert!(csv.starts_with("cost,flexibility"));
         assert_eq!(csv.lines().count(), 7); // header + 6 points
 
         let threaded = run_strs(&["explore", path, "--threads", "4"]).unwrap();
-        assert_eq!(threaded, out, "threaded scan must be deterministic");
+        assert_eq!(
+            strip_runtime_lines(&threaded),
+            strip_runtime_lines(&out),
+            "threaded exploration must be deterministic"
+        );
 
         let flex = run_strs(&["flexibility", path]).unwrap();
         assert!(flex.contains("maximal flexibility"));
@@ -602,6 +711,31 @@ mod tests {
     }
 
     #[test]
+    fn resilience_front_is_printed_and_thread_invariant() {
+        let json = run_strs(&["demo", "--json"]).unwrap();
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stb-resilience.json");
+        std::fs::write(&path, &json).unwrap();
+        let path = path.to_str().unwrap();
+
+        let out = run_strs(&["resilience", path]).unwrap();
+        assert!(out.contains("1-resilient front"), "{out}");
+        assert!(out.contains("r="), "{out}");
+        assert!(out.contains("time:"), "{out}");
+
+        let threaded = run_strs(&["resilience", path, "--threads", "3"]).unwrap();
+        assert_eq!(
+            strip_runtime_lines(&threaded),
+            strip_runtime_lines(&out),
+            "threaded resilience sweep must be deterministic"
+        );
+
+        let e = run_strs(&["resilience", path, "--wat"]).unwrap_err();
+        assert!(e.message.contains("unknown flag"));
+    }
+
+    #[test]
     fn faults_prints_timeline_and_resilience() {
         let json = run_strs(&["demo", "--json"]).unwrap();
         let dir = std::env::temp_dir().join("flexplore-cli-test");
@@ -622,10 +756,23 @@ mod tests {
         assert!(out.contains("flexibility: baseline"), "{out}");
         assert!(out.contains("1-resilient flexibility: 0"), "{out}");
 
-        // Seeded plans are deterministic.
+        // Seeded plans are deterministic, and the thread count of the
+        // kill-set sweep never changes the output.
         let a = run_strs(&["faults", path, "--seed", "3", "--trace", "10"]).unwrap();
         let b = run_strs(&["faults", path, "--seed", "3", "--trace", "10"]).unwrap();
         assert_eq!(a, b);
+        let c = run_strs(&[
+            "faults",
+            path,
+            "--seed",
+            "3",
+            "--trace",
+            "10",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(a, c);
 
         // A transient kill recovers.
         let out = run_strs(&[

@@ -70,18 +70,20 @@ pub use flexplore_adaptive::{
     FaultScenario, ReconfigCost,
 };
 pub use flexplore_bind::{
-    implement_allocation, implement_default, BindOptions, ImplementOptions, Implementation,
+    implement_allocation, implement_allocation_compiled, implement_default, BindOptions,
+    ImplementOptions, Implementation,
 };
 pub use flexplore_explore::{
-    exhaustive_explore, explore, explore_resilient, explore_upgrades, explore_weighted,
-    k_resilient_flexibility, max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
-    possible_resource_allocations, remaining_flexibility, AllocationOptions, DesignPoint,
-    ExploreOptions, ExploreResult, MoeaOptions, ParetoFront, ResilienceReport,
-    ResilientDesignPoint,
+    exhaustive_explore, explore, explore_compiled, explore_resilient, explore_upgrades,
+    explore_weighted, k_resilient_flexibility, k_resilient_flexibility_threaded,
+    max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
+    possible_resource_allocations, possible_resource_allocations_compiled, remaining_flexibility,
+    remaining_flexibility_compiled, AllocationOptions, DesignPoint, ExploreOptions, ExploreResult,
+    ExploreStats, MoeaOptions, ParetoFront, ResilienceReport, ResilientDesignPoint,
 };
 pub use flexplore_flex::{
-    estimate_flexibility, flexibility, flexibility_profile, max_flexibility, weighted_flexibility,
-    Flexibility, FlexibilityWeights,
+    estimate_flexibility, estimate_with_compiled, flexibility, flexibility_profile,
+    max_flexibility, weighted_flexibility, Flexibility, FlexibilityWeights,
 };
 pub use flexplore_hgraph::{
     ClusterId, HierarchicalGraph, InterfaceId, PortDirection, PortTarget, Scope, Selection,
@@ -94,6 +96,6 @@ pub use flexplore_models::{
 pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
 pub use flexplore_schedule::{schedule_mode, CommDelay, StaticSchedule};
 pub use flexplore_spec::{
-    ArchitectureGraph, Binding, Cost, Mode, ProblemGraph, ProcessAttrs, ResourceAllocation,
-    SpecificationGraph,
+    ArchitectureGraph, Binding, CompiledSpec, Cost, Mode, ProblemGraph, ProcessAttrs,
+    ResourceAllocation, SpecificationGraph,
 };

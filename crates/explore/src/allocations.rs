@@ -11,9 +11,9 @@
 //! number of communication resources."*
 
 use crate::error::ExploreError;
-use flexplore_flex::{estimate_with_available, FlexibilityEstimate};
+use flexplore_flex::{estimate_with_compiled, FlexibilityEstimate};
 use flexplore_hgraph::{ClusterId, NodeRef, Scope, VertexId};
-use flexplore_spec::{Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -108,6 +108,25 @@ pub fn possible_resource_allocations(
     spec: &SpecificationGraph,
     options: &AllocationOptions,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
+    let compiled = CompiledSpec::new(spec);
+    possible_resource_allocations_compiled(&compiled, options)
+}
+
+/// [`possible_resource_allocations`] over a precompiled specification
+/// context: the per-subset feasibility estimate, availability expansion and
+/// cost use the shared [`CompiledSpec`] side tables instead of walking the
+/// graphs, and the compiled context can be reused for the implement stage
+/// that follows. Output is identical to the uncompiled entry point.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::TooManyUnits`] when the unit count exceeds
+/// `options.max_units`.
+pub fn possible_resource_allocations_compiled(
+    compiled: &CompiledSpec<'_>,
+    options: &AllocationOptions,
+) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
+    let spec = compiled.spec();
     let units = allocatable_units(spec);
     if units.len() > options.max_units {
         return Err(ExploreError::TooManyUnits {
@@ -133,7 +152,7 @@ pub fn possible_resource_allocations(
     let n = units.len();
     let total: u64 = 1u64 << n;
     let context = ScanContext {
-        spec,
+        compiled,
         units: &units,
         options,
         mapping_targets: &mapping_targets,
@@ -184,7 +203,7 @@ impl AllocationStats {
 
 /// Shared, read-only inputs of the subset scan.
 struct ScanContext<'a> {
-    spec: &'a SpecificationGraph,
+    compiled: &'a CompiledSpec<'a>,
     units: &'a [Unit],
     options: &'a AllocationOptions,
     mapping_targets: &'a BTreeSet<VertexId>,
@@ -197,8 +216,7 @@ fn scan_range(
     context: &ScanContext<'_>,
     range: std::ops::Range<u64>,
 ) -> (Vec<AllocationCandidate>, AllocationStats) {
-    let arch = context.spec.architecture();
-    let graph = arch.graph();
+    let arch = context.compiled.spec().architecture();
     let options = context.options;
     let mut stats = AllocationStats::default();
     let mut kept = Vec::new();
@@ -222,8 +240,9 @@ fn scan_range(
             let unusable = allocation.vertices.iter().any(|&v| {
                 arch.kind(v) == ResourceKind::Functional && !context.mapping_targets.contains(&v)
             }) || allocation.clusters.iter().any(|&c| {
-                graph
-                    .leaves_of_cluster(c)
+                context
+                    .compiled
+                    .cluster_leaves(c)
                     .iter()
                     .all(|v| !context.mapping_targets.contains(v))
             });
@@ -254,13 +273,13 @@ fn scan_range(
             }
         }
 
-        let available = allocation.available_vertices(arch);
-        let estimate = estimate_with_available(context.spec, &available);
+        let available = context.compiled.available_vertices(&allocation);
+        let estimate = estimate_with_compiled(context.compiled, &available);
         if !estimate.feasible {
             stats.infeasible += 1;
             continue;
         }
-        let cost = allocation.cost(arch);
+        let cost = context.compiled.allocation_cost(&allocation);
         stats.kept += 1;
         kept.push(AllocationCandidate {
             allocation,

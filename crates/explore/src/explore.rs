@@ -17,12 +17,24 @@
 //! Pareto-optimal, and the algorithm finds **all** Pareto-optimal points
 //! (the correctness property the `explore-vs-exhaustive` property tests
 //! assert).
+//!
+//! With [`ExploreOptions::threads`] > 1 the candidate scan runs on the
+//! speculative-chunk engine (see the crate's `parallel` module): batches of
+//! bound-surviving candidates are implemented concurrently against the
+//! shared [`CompiledSpec`], then merged in cost order with the pruning
+//! bound re-checked at its exact sequential value. The Pareto front and
+//! every pruning counter are **byte-identical** to the sequential run; only
+//! [`ExploreStats::chunks_speculated`] and
+//! [`ExploreStats::speculative_waste`] depend on the thread count.
 
-use crate::allocations::{possible_resource_allocations, AllocationOptions, AllocationStats};
+use crate::allocations::{
+    possible_resource_allocations_compiled, AllocationCandidate, AllocationOptions, AllocationStats,
+};
 use crate::error::ExploreError;
+use crate::parallel::{resolve_threads, run_chunk, SPECULATION_DEPTH};
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::{implement_allocation, ImplementOptions};
-use flexplore_spec::SpecificationGraph;
+use flexplore_bind::{implement_allocation_compiled, ImplementOptions};
+use flexplore_spec::{CompiledSpec, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 
 /// Options for [`explore`].
@@ -37,6 +49,10 @@ pub struct ExploreOptions {
     /// it turns EXPLORE into "implement every possible allocation" — the
     /// ablation baseline.
     pub flexibility_pruning: bool,
+    /// Worker threads for the candidate evaluation (`0` = all available
+    /// cores). Any value produces output byte-identical to `1`; see the
+    /// module documentation for the determinism argument.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -54,6 +70,7 @@ impl ExploreOptions {
             allocation: AllocationOptions::default(),
             implement: ImplementOptions::default(),
             flexibility_pruning: true,
+            threads: 1,
         }
     }
 
@@ -69,7 +86,16 @@ impl ExploreOptions {
             },
             implement: ImplementOptions::default(),
             flexibility_pruning: false,
+            threads: 1,
         }
+    }
+
+    /// Returns these options with the candidate evaluation running on
+    /// `threads` workers (`0` = all available cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -91,6 +117,13 @@ pub struct ExploreStats {
     pub feasible: u64,
     /// Pareto-optimal design points found.
     pub pareto_points: u64,
+    /// Speculative candidate chunks dispatched by the parallel driver
+    /// (0 on sequential runs). Varies with the thread count.
+    pub chunks_speculated: u64,
+    /// Candidates implemented speculatively but discarded by the exact
+    /// merge-time pruning re-check — wasted work, never wrong answers.
+    /// Varies with the thread count.
+    pub speculative_waste: u64,
 }
 
 /// Result of an exploration run.
@@ -113,29 +146,93 @@ pub fn explore(
     spec: &SpecificationGraph,
     options: &ExploreOptions,
 ) -> Result<ExploreResult, ExploreError> {
-    let (candidates, alloc_stats) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    explore_compiled(&compiled, options)
+}
+
+/// [`explore`] over a caller-provided [`CompiledSpec`] (build it with
+/// [`CompiledSpec::with_activation_cache`] to share the flattened
+/// activations across every candidate). Identical output to [`explore`].
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_compiled(
+    compiled: &CompiledSpec<'_>,
+    options: &ExploreOptions,
+) -> Result<ExploreResult, ExploreError> {
+    let (candidates, alloc_stats) =
+        possible_resource_allocations_compiled(compiled, &options.allocation)?;
     let mut stats = ExploreStats {
-        vertex_set_size: spec.vertex_set_size(),
+        vertex_set_size: compiled.spec().vertex_set_size(),
         allocations: alloc_stats,
         ..ExploreStats::default()
     };
     let mut front = ParetoFront::new();
     let mut f_cur = 0;
-    for candidate in &candidates {
-        if options.flexibility_pruning && candidate.estimate.value <= f_cur {
-            stats.estimate_skipped += 1;
-            continue;
+    let threads = resolve_threads(options.threads);
+    if threads <= 1 {
+        for candidate in &candidates {
+            if options.flexibility_pruning && candidate.estimate.value <= f_cur {
+                stats.estimate_skipped += 1;
+                continue;
+            }
+            stats.implement_attempts += 1;
+            let (implemented, _) =
+                implement_allocation_compiled(compiled, &candidate.allocation, &options.implement)?;
+            let Some(implementation) = implemented else {
+                continue;
+            };
+            stats.feasible += 1;
+            let flexibility = implementation.flexibility;
+            if front.insert(DesignPoint::from_implementation(implementation)) {
+                f_cur = f_cur.max(flexibility);
+            }
         }
-        stats.implement_attempts += 1;
-        let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
-        let Some(implementation) = implemented else {
-            continue;
-        };
-        stats.feasible += 1;
-        let flexibility = implementation.flexibility;
-        if front.insert(DesignPoint::from_implementation(implementation)) {
-            f_cur = f_cur.max(flexibility);
+    } else {
+        let chunk_target = threads.saturating_mul(SPECULATION_DEPTH);
+        let mut index = 0;
+        while index < candidates.len() {
+            // Collect the next chunk of candidates surviving the bound as
+            // known *now*; the bound only grows, so these skips are a
+            // subset of the sequential skips.
+            let mut chunk: Vec<&AllocationCandidate> = Vec::with_capacity(chunk_target);
+            while index < candidates.len() && chunk.len() < chunk_target {
+                let candidate = &candidates[index];
+                index += 1;
+                if options.flexibility_pruning && candidate.estimate.value <= f_cur {
+                    stats.estimate_skipped += 1;
+                    continue;
+                }
+                chunk.push(candidate);
+            }
+            if chunk.is_empty() {
+                continue;
+            }
+            stats.chunks_speculated += 1;
+            let results = run_chunk(&chunk, threads, |candidate| {
+                implement_allocation_compiled(compiled, &candidate.allocation, &options.implement)
+            });
+            // Merge in cost order, re-checking the bound at its exact
+            // sequential value; discarded results (including errors) are
+            // ones the sequential run never computed.
+            for (candidate, outcome) in chunk.iter().zip(results) {
+                if options.flexibility_pruning && candidate.estimate.value <= f_cur {
+                    stats.estimate_skipped += 1;
+                    stats.speculative_waste += 1;
+                    continue;
+                }
+                stats.implement_attempts += 1;
+                let (implemented, _) = outcome?;
+                let Some(implementation) = implemented else {
+                    continue;
+                };
+                stats.feasible += 1;
+                let flexibility = implementation.flexibility;
+                if front.insert(DesignPoint::from_implementation(implementation)) {
+                    f_cur = f_cur.max(flexibility);
+                }
+            }
         }
     }
     stats.pareto_points = front.len() as u64;
@@ -258,6 +355,27 @@ mod tests {
         assert!(with.stats.estimate_skipped > 0);
         assert_eq!(without.stats.estimate_skipped, 0);
         assert!(with.stats.implement_attempts < without.stats.implement_attempts);
+    }
+
+    #[test]
+    fn threaded_explore_is_byte_identical() {
+        let s = spec();
+        let sequential = explore(&s, &ExploreOptions::paper()).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = explore(&s, &ExploreOptions::paper().with_threads(threads)).unwrap();
+            assert_eq!(sequential.front.objectives(), parallel.front.objectives());
+            assert_eq!(
+                sequential.stats.estimate_skipped,
+                parallel.stats.estimate_skipped
+            );
+            assert_eq!(
+                sequential.stats.implement_attempts,
+                parallel.stats.implement_attempts
+            );
+            assert_eq!(sequential.stats.feasible, parallel.stats.feasible);
+            assert_eq!(sequential.stats.pareto_points, parallel.stats.pareto_points);
+            assert!(parallel.stats.chunks_speculated > 0);
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod allocations;
 mod error;
 mod explore;
 mod moea;
+mod parallel;
 mod pareto;
 mod queries;
 mod resilience;
@@ -62,17 +63,19 @@ mod upgrade;
 mod weighted;
 
 pub use allocations::{
-    allocatable_units, possible_resource_allocations, AllocationCandidate, AllocationOptions,
-    AllocationStats, Unit,
+    allocatable_units, possible_resource_allocations, possible_resource_allocations_compiled,
+    AllocationCandidate, AllocationOptions, AllocationStats, Unit,
 };
 pub use error::ExploreError;
-pub use explore::{exhaustive_explore, explore, ExploreOptions, ExploreResult, ExploreStats};
+pub use explore::{
+    exhaustive_explore, explore, explore_compiled, ExploreOptions, ExploreResult, ExploreStats,
+};
 pub use moea::{moea_explore, MoeaOptions, MoeaResult};
 pub use pareto::{exploration_order, DesignPoint, ParetoFront};
 pub use queries::{max_flexibility_under_budget, min_cost_for_flexibility};
 pub use resilience::{
-    explore_resilient, k_resilient_flexibility, remaining_flexibility, ResilienceReport,
-    ResilientDesignPoint,
+    explore_resilient, k_resilient_flexibility, k_resilient_flexibility_threaded,
+    remaining_flexibility, remaining_flexibility_compiled, ResilienceReport, ResilientDesignPoint,
 };
 pub use upgrade::explore_upgrades;
 pub use weighted::{explore_weighted, WeightedExploreResult, WeightedPoint};

@@ -12,9 +12,9 @@
 use crate::allocations::{allocatable_units, Unit};
 use crate::error::ExploreError;
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::{implement_allocation, ImplementOptions};
-use flexplore_flex::{estimate_with_available, Flexibility};
-use flexplore_spec::{Cost, ResourceAllocation, SpecificationGraph};
+use flexplore_bind::{implement_allocation_compiled, ImplementOptions};
+use flexplore_flex::{estimate_with_compiled, Flexibility};
+use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, SpecificationGraph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -94,6 +94,7 @@ pub fn moea_explore(
         });
     }
     let n = units.len();
+    let compiled = CompiledSpec::with_activation_cache(spec);
     let mutation = options.mutation_rate.unwrap_or(1.0 / (n.max(1) as f64));
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut cache: BTreeMap<u64, Objectives> = BTreeMap::new();
@@ -127,9 +128,9 @@ pub fn moea_explore(
             return Ok(cached);
         }
         let allocation = decode(mask);
-        let cost = allocation.cost(spec.architecture());
-        let available = allocation.available_vertices(spec.architecture());
-        let estimate = estimate_with_available(spec, &available);
+        let cost = compiled.allocation_cost(&allocation);
+        let available = compiled.available_vertices(&allocation);
+        let estimate = estimate_with_compiled(&compiled, &available);
         let objectives = if !estimate.feasible {
             Objectives {
                 cost,
@@ -137,7 +138,8 @@ pub fn moea_explore(
             }
         } else {
             *implement_attempts += 1;
-            let (implemented, _) = implement_allocation(spec, &allocation, &options.implement)?;
+            let (implemented, _) =
+                implement_allocation_compiled(&compiled, &allocation, &options.implement)?;
             match implemented {
                 None => Objectives {
                     cost,

@@ -1,0 +1,106 @@
+//! Deterministic fan-out primitives shared by the exploration engines.
+//!
+//! The EXPLORE engines evaluate candidates with an expensive, pure
+//! function (the binding construction). Parallelism here is *speculative
+//! chunking*: take the next batch of candidates that survive the pruning
+//! bound known so far, evaluate them concurrently, then merge the results
+//! **in candidate order**, re-checking the pruning bound with its exact
+//! sequential value before consuming each result.
+//!
+//! Determinism argument (the property tests assert this byte-for-byte):
+//!
+//! * The pruning bound `f_cur` is monotone non-decreasing along the
+//!   cost-ordered candidate sequence, and the collection-time bound is a
+//!   snapshot taken *before* the chunk's own results are merged — so it is
+//!   never larger than the exact sequential bound at any candidate of the
+//!   chunk. Collection-time skips are therefore a subset of sequential
+//!   skips: nothing the sequential algorithm would implement is lost.
+//! * At merge time the bound has caught up to its exact sequential value
+//!   for each candidate in turn, so the re-check reproduces the sequential
+//!   skip/attempt decision exactly. Results of re-check-skipped candidates
+//!   (including errors) are discarded unread — the sequential run never
+//!   computed them.
+//! * Merging in candidate order makes the archive insertions, the bound
+//!   updates, and error propagation follow the sequential schedule.
+//!
+//! Only the *amount of wasted work* (speculatively evaluated, then
+//! discarded) depends on the thread count; it is reported separately and
+//! excluded from the equality the engines guarantee.
+
+/// Candidates dispatched per worker thread in one speculative chunk.
+///
+/// Larger chunks amortize thread spawns but speculate further past the
+/// pruning bound; 4 keeps the waste small on the paper's workloads while
+/// giving every worker a few candidates to level out uneven solve times.
+pub(crate) const SPECULATION_DEPTH: usize = 4;
+
+/// Resolves a user-facing thread count: `0` means "all available cores".
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Evaluates `work` over `items` on up to `threads` scoped worker threads
+/// and returns the results **in item order**.
+///
+/// The split is deterministic (contiguous slices of `ceil(len/workers)`
+/// items) and the output vector is indexed like `items`, so the caller's
+/// in-order merge sees exactly the sequence a sequential map would
+/// produce. With one worker (or one item) the work runs inline on the
+/// caller's stack.
+pub(crate) fn run_chunk<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(work).collect();
+    }
+    let per = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slots, part) in results.chunks_mut(per).zip(items.chunks(per)) {
+            let work = &work;
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(part) {
+                    *slot = Some(work(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot of a chunk is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_chunk(&items, threads, |&i| i * 2);
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<usize> = Vec::new();
+        assert!(run_chunk(&items, 4, |&i| i).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

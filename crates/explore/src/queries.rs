@@ -7,13 +7,13 @@
 //! [`explore`](crate::explore) but terminate early, so they are cheaper
 //! than computing the full front and reading it off.
 
-use crate::allocations::possible_resource_allocations;
+use crate::allocations::possible_resource_allocations_compiled;
 use crate::error::ExploreError;
 use crate::explore::ExploreOptions;
 use crate::pareto::DesignPoint;
-use flexplore_bind::implement_allocation;
+use flexplore_bind::implement_allocation_compiled;
 use flexplore_flex::Flexibility;
-use flexplore_spec::{Cost, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, SpecificationGraph};
 
 /// Finds the cheapest implementation with flexibility at least `target`.
 ///
@@ -31,7 +31,8 @@ pub fn min_cost_for_flexibility(
     target: Flexibility,
     options: &ExploreOptions,
 ) -> Result<Option<DesignPoint>, ExploreError> {
-    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let (candidates, _) = possible_resource_allocations_compiled(&compiled, &options.allocation)?;
     for candidate in &candidates {
         // The estimate is an upper bound: candidates that cannot reach the
         // target are skipped without invoking the solver.
@@ -39,7 +40,7 @@ pub fn min_cost_for_flexibility(
             continue;
         }
         let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+            implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)?;
         if let Some(implementation) = implemented {
             if implementation.flexibility >= target {
                 return Ok(Some(DesignPoint::from_implementation(implementation)));
@@ -63,7 +64,8 @@ pub fn max_flexibility_under_budget(
     budget: Cost,
     options: &ExploreOptions,
 ) -> Result<Option<DesignPoint>, ExploreError> {
-    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let (candidates, _) = possible_resource_allocations_compiled(&compiled, &options.allocation)?;
     let mut best: Option<DesignPoint> = None;
     for candidate in &candidates {
         if candidate.cost > budget {
@@ -74,7 +76,7 @@ pub fn max_flexibility_under_budget(
             continue;
         }
         let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+            implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)?;
         if let Some(implementation) = implemented {
             if implementation.flexibility > incumbent {
                 best = Some(DesignPoint::from_implementation(implementation));

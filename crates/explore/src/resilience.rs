@@ -17,13 +17,14 @@
 //! [`ImplementOptions::with_excluded_resources`] — the same machinery the
 //! run-time manager uses for degraded rebinding.
 
-use crate::allocations::possible_resource_allocations;
+use crate::allocations::possible_resource_allocations_compiled;
 use crate::error::ExploreError;
 use crate::explore::ExploreOptions;
-use flexplore_bind::{implement_allocation, ImplementOptions, Implementation};
+use crate::parallel::{resolve_threads, run_chunk, SPECULATION_DEPTH};
+use flexplore_bind::{implement_allocation_compiled, ImplementOptions, Implementation};
 use flexplore_flex::Flexibility;
 use flexplore_hgraph::{ClusterId, VertexId};
-use flexplore_spec::{Cost, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -85,13 +86,29 @@ pub fn remaining_flexibility(
     dead: &BTreeSet<VertexId>,
     options: &ImplementOptions,
 ) -> Result<Flexibility, ExploreError> {
+    let compiled = CompiledSpec::new(spec);
+    remaining_flexibility_compiled(&compiled, implementation, dead, options)
+}
+
+/// [`remaining_flexibility`] over a precompiled specification context.
+///
+/// # Errors
+///
+/// Propagates binding-search bound violations as [`ExploreError::Bind`].
+pub fn remaining_flexibility_compiled(
+    compiled: &CompiledSpec<'_>,
+    implementation: &Implementation,
+    dead: &BTreeSet<VertexId>,
+    options: &ImplementOptions,
+) -> Result<Flexibility, ExploreError> {
     if dead.is_empty() {
         return Ok(implementation.flexibility);
     }
     let mut excluded = options.excluded_resources.clone();
     excluded.extend(dead.iter().copied());
     let masked = options.clone().with_excluded_resources(excluded);
-    let (implemented, _) = implement_allocation(spec, &implementation.allocation, &masked)?;
+    let (implemented, _) =
+        implement_allocation_compiled(compiled, &implementation.allocation, &masked)?;
     Ok(implemented.map_or(0, |i| i.flexibility))
 }
 
@@ -131,6 +148,41 @@ pub fn k_resilient_flexibility(
     k: usize,
     options: &ImplementOptions,
 ) -> Result<ResilienceReport, ExploreError> {
+    k_resilient_flexibility_threaded(spec, implementation, k, options, 1)
+}
+
+/// [`k_resilient_flexibility`] with the kill-set sweep fanned out over
+/// `threads` workers (`0` = all available cores).
+///
+/// Kill sets are enumerated in a canonical order (by size, then
+/// lexicographically) and evaluated in deterministic chunks whose results
+/// merge back in enumeration order, so the report — including the
+/// worst-case kill set, which ties break towards the earliest strict
+/// decrease — is identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates binding-search bound violations as [`ExploreError::Bind`].
+pub fn k_resilient_flexibility_threaded(
+    spec: &SpecificationGraph,
+    implementation: &Implementation,
+    k: usize,
+    options: &ImplementOptions,
+    threads: usize,
+) -> Result<ResilienceReport, ExploreError> {
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    k_resilient_compiled(&compiled, implementation, k, options, threads)
+}
+
+/// Shared core of the resilience sweep over a precompiled context.
+fn k_resilient_compiled(
+    compiled: &CompiledSpec<'_>,
+    implementation: &Implementation,
+    k: usize,
+    options: &ImplementOptions,
+    threads: usize,
+) -> Result<ResilienceReport, ExploreError> {
+    let spec = compiled.spec();
     let units = kill_units(implementation);
     let baseline = implementation.flexibility;
     let mut report = ResilienceReport {
@@ -141,62 +193,54 @@ pub fn k_resilient_flexibility(
         evaluations: 0,
     };
     let limit = k.min(units.len());
-    let mut chosen: Vec<usize> = Vec::new();
-    for size in 1..=limit {
-        chosen.clear();
-        evaluate_kill_sets(
-            spec,
-            implementation,
-            options,
-            &units,
-            size,
-            0,
-            &mut chosen,
-            &mut report,
-        )?;
+    let sets = enumerate_kill_sets(units.len(), limit);
+    let threads = resolve_threads(threads);
+    for batch in sets.chunks(threads.saturating_mul(SPECULATION_DEPTH).max(1)) {
+        let outcomes = run_chunk(batch, threads, |chosen| {
+            let dead: BTreeSet<VertexId> = chosen
+                .iter()
+                .flat_map(|&i| units[i].dead_vertices(spec))
+                .collect();
+            remaining_flexibility_compiled(compiled, implementation, &dead, options)
+        });
+        for (chosen, outcome) in batch.iter().zip(outcomes) {
+            let remaining = outcome?;
+            report.evaluations += 1;
+            if remaining < report.resilient_flexibility {
+                report.resilient_flexibility = remaining;
+                report.worst_case = chosen.iter().map(|&i| units[i].name(spec)).collect();
+            }
+        }
     }
     Ok(report)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn evaluate_kill_sets(
-    spec: &SpecificationGraph,
-    implementation: &Implementation,
-    options: &ImplementOptions,
-    units: &[KillUnit],
-    size: usize,
-    start: usize,
-    chosen: &mut Vec<usize>,
-    report: &mut ResilienceReport,
-) -> Result<(), ExploreError> {
-    if chosen.len() == size {
-        let dead: BTreeSet<VertexId> = chosen
-            .iter()
-            .flat_map(|&i| units[i].dead_vertices(spec))
-            .collect();
-        let remaining = remaining_flexibility(spec, implementation, &dead, options)?;
-        report.evaluations += 1;
-        if remaining < report.resilient_flexibility {
-            report.resilient_flexibility = remaining;
-            report.worst_case = chosen.iter().map(|&i| units[i].name(spec)).collect();
+/// All index subsets of `0..n` with 1 to `limit` elements, by size then
+/// lexicographically — the order the recursive sweep used to visit them.
+fn enumerate_kill_sets(n: usize, limit: usize) -> Vec<Vec<usize>> {
+    fn rec(
+        n: usize,
+        size: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if chosen.len() == size {
+            out.push(chosen.clone());
+            return;
         }
-        return Ok(());
+        for i in start..n {
+            chosen.push(i);
+            rec(n, size, i + 1, chosen, out);
+            chosen.pop();
+        }
     }
-    for i in start..units.len() {
-        chosen.push(i);
-        evaluate_kill_sets(
-            spec,
-            implementation,
-            options,
-            units,
-            size,
-            i + 1,
-            chosen,
-            report,
-        )?;
-        chosen.pop();
+    let mut out = Vec::new();
+    let mut chosen = Vec::new();
+    for size in 1..=limit {
+        rec(n, size, 0, &mut chosen, &mut out);
     }
-    Ok(())
+    out
 }
 
 /// A point of the three-objective front: allocation cost (minimized),
@@ -245,27 +289,37 @@ pub fn explore_resilient(
     k: usize,
     options: &ExploreOptions,
 ) -> Result<Vec<ResilientDesignPoint>, ExploreError> {
-    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let (candidates, _) = possible_resource_allocations_compiled(&compiled, &options.allocation)?;
+    let threads = resolve_threads(options.threads);
     let mut front: Vec<ResilientDesignPoint> = Vec::new();
-    for candidate in &candidates {
-        let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
-        let Some(implementation) = implemented else {
-            continue;
-        };
-        let resilience = k_resilient_flexibility(spec, &implementation, k, &options.implement)?
-            .resilient_flexibility;
-        let point = ResilientDesignPoint {
-            cost: implementation.cost,
-            flexibility: implementation.flexibility,
-            resilience,
-            implementation,
-        };
-        if front.iter().any(|p| p.dominates(&point)) {
-            continue;
+    // First fan-out: implement candidate batches concurrently, merge in
+    // cost order (no pruning bound here, so no speculation is wasted).
+    for batch in candidates.chunks(threads.saturating_mul(SPECULATION_DEPTH).max(1)) {
+        let outcomes = run_chunk(batch, threads, |candidate| {
+            implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)
+        });
+        for outcome in outcomes {
+            let (implemented, _) = outcome?;
+            let Some(implementation) = implemented else {
+                continue;
+            };
+            // Second fan-out: the kill-set sweep of this implementation.
+            let resilience =
+                k_resilient_compiled(&compiled, &implementation, k, &options.implement, threads)?
+                    .resilient_flexibility;
+            let point = ResilientDesignPoint {
+                cost: implementation.cost,
+                flexibility: implementation.flexibility,
+                resilience,
+                implementation,
+            };
+            if front.iter().any(|p| p.dominates(&point)) {
+                continue;
+            }
+            front.retain(|p| !point.dominates(p));
+            front.push(point);
         }
-        front.retain(|p| !point.dominates(p));
-        front.push(point);
     }
     front.sort_by_key(|p| (p.cost, p.flexibility, p.resilience));
     Ok(front)
@@ -328,6 +382,19 @@ mod tests {
             remaining_flexibility(&stb.spec, &implementation, &dead, &options).unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn threaded_sweep_matches_sequential_exactly() {
+        let (stb, implementation) = platform();
+        let options = ImplementOptions::default();
+        let sequential = k_resilient_flexibility(&stb.spec, &implementation, 1, &options).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                k_resilient_flexibility_threaded(&stb.spec, &implementation, 1, &options, threads)
+                    .unwrap();
+            assert_eq!(sequential, parallel);
+        }
     }
 
     #[test]

@@ -10,12 +10,12 @@
 //! implementable (supersets never lose feasible modes; see the
 //! monotonicity property tests).
 
-use crate::allocations::possible_resource_allocations;
+use crate::allocations::possible_resource_allocations_compiled;
 use crate::error::ExploreError;
 use crate::explore::{ExploreOptions, ExploreResult, ExploreStats};
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::implement_allocation;
-use flexplore_spec::{ResourceAllocation, SpecificationGraph};
+use flexplore_bind::implement_allocation_compiled;
+use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph};
 
 /// Explores the flexibility/cost front over all allocations that contain
 /// `base`.
@@ -31,7 +31,9 @@ pub fn explore_upgrades(
     base: &ResourceAllocation,
     options: &ExploreOptions,
 ) -> Result<ExploreResult, ExploreError> {
-    let (candidates, alloc_stats) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let (candidates, alloc_stats) =
+        possible_resource_allocations_compiled(&compiled, &options.allocation)?;
     let mut stats = ExploreStats {
         vertex_set_size: spec.vertex_set_size(),
         allocations: alloc_stats,
@@ -49,7 +51,7 @@ pub fn explore_upgrades(
         }
         stats.implement_attempts += 1;
         let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
+            implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)?;
         let Some(implementation) = implemented else {
             continue;
         };

@@ -14,12 +14,13 @@
 //! activatable clusters is still an upper bound on any implementation's
 //! weighted flexibility.
 
-use crate::allocations::possible_resource_allocations;
+use crate::allocations::{possible_resource_allocations_compiled, AllocationCandidate};
 use crate::error::ExploreError;
 use crate::explore::ExploreOptions;
-use flexplore_bind::{implement_allocation, Implementation};
+use crate::parallel::{resolve_threads, run_chunk, SPECULATION_DEPTH};
+use flexplore_bind::{implement_allocation_compiled, Implementation};
 use flexplore_flex::{weighted_flexibility, FlexibilityWeights};
-use flexplore_spec::{Cost, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 
 /// A design point in `(cost, weighted flexibility)` space.
@@ -62,36 +63,81 @@ pub fn explore_weighted(
     weights: &FlexibilityWeights,
     options: &ExploreOptions,
 ) -> Result<WeightedExploreResult, ExploreError> {
-    let (candidates, _) = possible_resource_allocations(spec, &options.allocation)?;
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let (candidates, _) = possible_resource_allocations_compiled(&compiled, &options.allocation)?;
     let graph = spec.problem().graph();
     let mut front: Vec<WeightedPoint> = Vec::new();
     let mut f_cur = 0.0f64;
     let mut implement_attempts = 0;
-    for candidate in &candidates {
-        if options.flexibility_pruning {
-            let bound = weighted_flexibility(graph, weights, |c| {
-                candidate.estimate.activatable.contains(&c)
+    let threads = resolve_threads(options.threads);
+    let bound_of = |candidate: &AllocationCandidate| {
+        weighted_flexibility(graph, weights, |c| {
+            candidate.estimate.activatable.contains(&c)
+        })
+    };
+    // Accepts one merged (in cost order) implement outcome; shared between
+    // the sequential loop and the speculative merge so the bound updates
+    // identically.
+    let consume =
+        |implemented: Option<Implementation>, f_cur: &mut f64, front: &mut Vec<WeightedPoint>| {
+            let Some(implementation) = implemented else {
+                return;
+            };
+            let value = weighted_flexibility(graph, weights, |c| {
+                implementation.covered_clusters.contains(&c)
             });
-            if bound <= f_cur {
+            if value > *f_cur {
+                *f_cur = value;
+                front.push(WeightedPoint {
+                    cost: implementation.cost,
+                    weighted_flexibility: value,
+                    implementation,
+                });
+            }
+        };
+    if threads <= 1 {
+        for candidate in &candidates {
+            if options.flexibility_pruning && bound_of(candidate) <= f_cur {
                 continue;
             }
+            implement_attempts += 1;
+            let (implemented, _) = implement_allocation_compiled(
+                &compiled,
+                &candidate.allocation,
+                &options.implement,
+            )?;
+            consume(implemented, &mut f_cur, &mut front);
         }
-        implement_attempts += 1;
-        let (implemented, _) =
-            implement_allocation(spec, &candidate.allocation, &options.implement)?;
-        let Some(implementation) = implemented else {
-            continue;
-        };
-        let value = weighted_flexibility(graph, weights, |c| {
-            implementation.covered_clusters.contains(&c)
-        });
-        if value > f_cur {
-            f_cur = value;
-            front.push(WeightedPoint {
-                cost: implementation.cost,
-                weighted_flexibility: value,
-                implementation,
+    } else {
+        // Speculative chunks, as in `explore`: the collection-time bound is
+        // a lower snapshot of the sequential bound (it only grows), and the
+        // merge-time re-check reproduces the sequential decision exactly.
+        let chunk_target = threads.saturating_mul(SPECULATION_DEPTH);
+        let mut index = 0;
+        while index < candidates.len() {
+            let mut chunk: Vec<&AllocationCandidate> = Vec::with_capacity(chunk_target);
+            while index < candidates.len() && chunk.len() < chunk_target {
+                let candidate = &candidates[index];
+                index += 1;
+                if options.flexibility_pruning && bound_of(candidate) <= f_cur {
+                    continue;
+                }
+                chunk.push(candidate);
+            }
+            if chunk.is_empty() {
+                continue;
+            }
+            let results = run_chunk(&chunk, threads, |candidate| {
+                implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)
             });
+            for (candidate, outcome) in chunk.iter().zip(results) {
+                if options.flexibility_pruning && bound_of(candidate) <= f_cur {
+                    continue;
+                }
+                implement_attempts += 1;
+                let (implemented, _) = outcome?;
+                consume(implemented, &mut f_cur, &mut front);
+            }
         }
     }
     // Candidates arrive cost-ordered with strict improvement required, so

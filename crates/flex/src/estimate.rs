@@ -12,7 +12,7 @@
 
 use crate::metric::{flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, InterfaceId, Scope, VertexId};
-use flexplore_spec::{ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -98,7 +98,32 @@ pub fn estimate_with_available(
 ) -> FlexibilityEstimate {
     let graph = spec.problem().graph();
     let bindable = |v: VertexId| -> bool { !spec.reachable_resources(v).is_disjoint(available) };
+    estimate_with_bindable(graph, &bindable)
+}
 
+/// Variant of [`estimate_with_available`] answering bindability from the
+/// precompiled reachable-resource tables of a [`CompiledSpec`] — no
+/// per-process `BTreeSet` construction in the hot loop. Produces the same
+/// estimate as [`estimate_with_available`] on the compiled specification.
+#[must_use]
+pub fn estimate_with_compiled(
+    compiled: &CompiledSpec<'_>,
+    available: &BTreeSet<VertexId>,
+) -> FlexibilityEstimate {
+    let graph = compiled.spec().problem().graph();
+    let bindable = |v: VertexId| -> bool {
+        compiled
+            .reachable_resources(v)
+            .iter()
+            .any(|r| available.contains(r))
+    };
+    estimate_with_bindable(graph, &bindable)
+}
+
+fn estimate_with_bindable<NB: Fn(VertexId) -> bool, N, E>(
+    graph: &flexplore_hgraph::HierarchicalGraph<N, E>,
+    bindable: &NB,
+) -> FlexibilityEstimate {
     let mut activatable: BTreeSet<ClusterId> = BTreeSet::new();
     // Process clusters bottom-up: a cluster can only be judged once its
     // nested interfaces' clusters are judged. Cluster ids are created
@@ -137,7 +162,7 @@ pub fn estimate_with_available(
         let mut any = false;
         let clusters: Vec<ClusterId> = graph.clusters_of(i).to_vec();
         for c in clusters {
-            if cluster_ok(graph, &bindable, &mut activatable, c) {
+            if cluster_ok(graph, bindable, &mut activatable, c) {
                 activatable.insert(c);
                 any = true;
             }
@@ -264,5 +289,23 @@ mod tests {
         let a = estimate_flexibility(&s, &alloc);
         let b = estimate_with_available(&s, &alloc.available_vertices(s.architecture()));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_estimate_matches_uncompiled_on_every_sub_allocation() {
+        let (s, cpu, asic, _) = spec();
+        let compiled = CompiledSpec::new(&s);
+        for alloc in [
+            ResourceAllocation::new(),
+            ResourceAllocation::new().with_vertex(cpu),
+            ResourceAllocation::new().with_vertex(asic),
+            ResourceAllocation::new().with_vertex(cpu).with_vertex(asic),
+        ] {
+            let available = alloc.available_vertices(s.architecture());
+            assert_eq!(
+                estimate_with_compiled(&compiled, &available),
+                estimate_with_available(&s, &available)
+            );
+        }
     }
 }

@@ -47,7 +47,9 @@ mod estimate;
 mod metric;
 mod profile;
 
-pub use estimate::{estimate_flexibility, estimate_with_available, FlexibilityEstimate};
+pub use estimate::{
+    estimate_flexibility, estimate_with_available, estimate_with_compiled, FlexibilityEstimate,
+};
 pub use metric::{
     cluster_flexibility, flexibility, flexibility_def4_raw, max_flexibility, weighted_flexibility,
     Flexibility, FlexibilityWeights,

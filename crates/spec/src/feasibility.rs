@@ -49,6 +49,11 @@ impl Binding {
         self
     }
 
+    /// Removes the entry for `process`, returning the mapping it used.
+    pub fn remove(&mut self, process: VertexId) -> Option<MappingId> {
+        self.entries.remove(&process)
+    }
+
     /// Returns the mapping edge used for `process`, if bound.
     #[must_use]
     pub fn mapping_for(&self, process: VertexId) -> Option<MappingId> {

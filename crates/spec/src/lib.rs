@@ -60,6 +60,7 @@
 
 mod architecture;
 mod attrs;
+mod compiled;
 mod dot;
 mod error;
 mod feasibility;
@@ -68,6 +69,7 @@ mod spec;
 
 pub use architecture::{ArchitectureGraph, Design, Link};
 pub use attrs::{Cost, ProcessAttrs, ResourceAttrs, ResourceKind};
+pub use compiled::{CompiledActivation, CompiledSpec};
 pub use error::{BindingViolation, SpecError};
 pub use feasibility::Binding;
 pub use problem::{AlternativeStage, DataDep, ProblemGraph};

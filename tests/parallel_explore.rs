@@ -1,0 +1,154 @@
+//! Parallel EXPLORE determinism: for every bundled model and every
+//! option variant, the speculative-chunk engine must reproduce the
+//! sequential front and pruning statistics **exactly** — only the
+//! speculation accounting (`chunks_speculated`, `speculative_waste`)
+//! may depend on the thread count, because it measures scheduling
+//! overhead, not search decisions.
+
+use flexplore::{
+    explore, explore_resilient, explore_weighted, set_top_box, synthetic_spec, tv_decoder,
+    AllocationOptions, ExploreOptions, ExploreStats, FlexibilityWeights, SyntheticConfig,
+};
+
+/// The base options with `threads` applied to both the candidate scan and
+/// the EXPLORE driver.
+fn threaded(base: &ExploreOptions, threads: usize) -> ExploreOptions {
+    ExploreOptions {
+        allocation: AllocationOptions {
+            threads,
+            ..base.allocation
+        },
+        ..base.clone()
+    }
+    .with_threads(threads)
+}
+
+/// Every counter that reflects a search decision must match; the two
+/// speculation counters are excluded by design.
+fn assert_pruning_stats_match(sequential: &ExploreStats, parallel: &ExploreStats) {
+    assert_eq!(sequential.vertex_set_size, parallel.vertex_set_size);
+    assert_eq!(sequential.allocations, parallel.allocations);
+    assert_eq!(sequential.estimate_skipped, parallel.estimate_skipped);
+    assert_eq!(sequential.implement_attempts, parallel.implement_attempts);
+    assert_eq!(sequential.feasible, parallel.feasible);
+    assert_eq!(sequential.pareto_points, parallel.pareto_points);
+}
+
+fn option_variants() -> Vec<(&'static str, ExploreOptions)> {
+    vec![
+        ("paper", ExploreOptions::paper()),
+        (
+            "no flexibility pruning",
+            ExploreOptions {
+                flexibility_pruning: false,
+                ..ExploreOptions::paper()
+            },
+        ),
+        (
+            "no structural pruning",
+            ExploreOptions {
+                allocation: AllocationOptions {
+                    prune_useless_buses: false,
+                    prune_unusable: false,
+                    ..AllocationOptions::default()
+                },
+                ..ExploreOptions::paper()
+            },
+        ),
+        ("exhaustive", ExploreOptions::exhaustive()),
+    ]
+}
+
+#[test]
+fn tv_decoder_matches_for_every_option_variant_and_thread_count() {
+    let tv = tv_decoder();
+    for (label, options) in option_variants() {
+        let sequential = explore(&tv.spec, &options).unwrap();
+        for threads in 1..=8 {
+            let parallel = explore(&tv.spec, &threaded(&options, threads)).unwrap();
+            assert!(
+                sequential.front.same_objectives(&parallel.front),
+                "front diverged: {label}, {threads} threads"
+            );
+            assert_pruning_stats_match(&sequential.stats, &parallel.stats);
+        }
+    }
+}
+
+#[test]
+fn set_top_box_front_and_stats_are_thread_invariant() {
+    let stb = set_top_box();
+    let sequential = explore(&stb.spec, &ExploreOptions::paper()).unwrap();
+    for threads in [2, 5, 8] {
+        let parallel = explore(&stb.spec, &threaded(&ExploreOptions::paper(), threads)).unwrap();
+        assert!(sequential.front.same_objectives(&parallel.front));
+        assert_pruning_stats_match(&sequential.stats, &parallel.stats);
+        // The engine really speculated (the case study has enough
+        // candidates to fill chunks) and still changed nothing.
+        assert!(parallel.stats.chunks_speculated > 0);
+        // Even the realizing allocations match, point by point.
+        for (s, p) in sequential.front.iter().zip(parallel.front.iter()) {
+            assert_eq!(
+                s.implementation.as_ref().unwrap().allocation,
+                p.implementation.as_ref().unwrap().allocation
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_synthetic_models_are_thread_invariant() {
+    for seed in [1, 7, 23] {
+        let spec = synthetic_spec(&SyntheticConfig::medium(seed));
+        let sequential = explore(&spec, &ExploreOptions::paper()).unwrap();
+        for threads in [2, 8] {
+            let parallel = explore(&spec, &threaded(&ExploreOptions::paper(), threads)).unwrap();
+            assert!(
+                sequential.front.same_objectives(&parallel.front),
+                "front diverged: seed {seed}, {threads} threads"
+            );
+            assert_pruning_stats_match(&sequential.stats, &parallel.stats);
+        }
+    }
+}
+
+#[test]
+fn weighted_exploration_is_thread_invariant() {
+    let stb = set_top_box();
+    let weights = FlexibilityWeights::new();
+    let sequential = explore_weighted(&stb.spec, &weights, &ExploreOptions::paper()).unwrap();
+    for threads in [2, 8] {
+        let parallel = explore_weighted(
+            &stb.spec,
+            &weights,
+            &threaded(&ExploreOptions::paper(), threads),
+        )
+        .unwrap();
+        assert_eq!(sequential.implement_attempts, parallel.implement_attempts);
+        assert_eq!(sequential.front.len(), parallel.front.len());
+        for (s, p) in sequential.front.iter().zip(parallel.front.iter()) {
+            assert_eq!(s.cost, p.cost);
+            assert!((s.weighted_flexibility - p.weighted_flexibility).abs() < 1e-12);
+            assert_eq!(s.implementation.allocation, p.implementation.allocation);
+        }
+    }
+}
+
+#[test]
+fn resilient_exploration_is_thread_invariant() {
+    let tv = tv_decoder();
+    let sequential = explore_resilient(&tv.spec, 1, &ExploreOptions::paper()).unwrap();
+    assert!(!sequential.is_empty());
+    for threads in [2, 4, 8] {
+        let parallel =
+            explore_resilient(&tv.spec, 1, &threaded(&ExploreOptions::paper(), threads)).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(
+                (s.cost, s.flexibility, s.resilience),
+                (p.cost, p.flexibility, p.resilience)
+            );
+            assert_eq!(s.implementation.allocation, p.implementation.allocation);
+        }
+    }
+}
