@@ -13,9 +13,9 @@ use flexplore::adaptive::{evaluate_platform, generate_trace, ReconfigCost, Trace
 use flexplore::bind::{BindOptions, ImplementOptions};
 use flexplore::flex::{flexibility, max_flexibility};
 use flexplore::{
-    exhaustive_explore, explore, moea_explore, paper_pareto_table, possible_resource_allocations,
-    set_top_box, synthetic_spec, tv_decoder, AllocationOptions, Cost, ExploreOptions, MoeaOptions,
-    SchedPolicy, SyntheticConfig, Time,
+    exhaustive_explore, explore, lint_spec, moea_explore, paper_pareto_table,
+    possible_resource_allocations, set_top_box, synthetic_spec, tv_decoder, AllocationOptions,
+    Cost, ExploreOptions, MoeaOptions, SchedPolicy, SyntheticConfig, Time,
 };
 use std::time::Instant;
 
@@ -30,6 +30,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e9()?;
     e12()?;
     e13()?;
+    e14()?;
+    Ok(())
+}
+
+/// E14 — flexlint static-analysis wall-clock; also writes `BENCH_lint.json`.
+///
+/// The lint pre-flight runs before every exploration, so its cost must be
+/// negligible next to the search itself. Every bundled model must come
+/// out clean — the CI self-lint step (`--deny warnings`) enforces the
+/// same invariant.
+fn e14() -> Result<(), Box<dyn std::error::Error>> {
+    println!("## E14 — flexlint static analysis\n");
+    println!("| model | diagnostics | wall |");
+    println!("|---|---|---|");
+    let mut entries = Vec::new();
+    for (name, spec) in [
+        ("set_top_box", set_top_box().spec),
+        ("tv_decoder", tv_decoder().spec),
+        (
+            "synthetic_large",
+            synthetic_spec(&SyntheticConfig::large(11)),
+        ),
+    ] {
+        let started = Instant::now();
+        let report = lint_spec(&spec);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.is_clean(),
+            "{name} must lint clean: {}",
+            report.render_text()
+        );
+        println!(
+            "| {name} | {} | {wall_ms:.2} ms |",
+            report.diagnostics.len()
+        );
+        entries.push(format!(
+            "    {{ \"model\": \"{name}\", \"diagnostics\": {}, \"wall_ms\": {wall_ms:.3} }}",
+            report.diagnostics.len()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_lint.json", json)?;
+    println!("\n(Raw numbers written to `BENCH_lint.json`.)\n");
     Ok(())
 }
 

@@ -204,6 +204,12 @@ fn design_index(
     let graph = compiled.spec().architecture().graph();
     let mut out = BTreeMap::new();
     for &c in &allocation.clusters {
+        // Allocations built from user input can name clusters the
+        // architecture does not have; such clusters contribute nothing
+        // rather than panicking (flexlint reports them as F003/F005).
+        if c.index() >= graph.cluster_count() {
+            continue;
+        }
         let device = graph.interface_of(c);
         for &v in compiled.cluster_leaves(c) {
             out.insert(v, (device, c));
@@ -403,6 +409,22 @@ mod tests {
             .with_vertex(c1)
             .with_cluster(g1.cluster);
         (spec, up_only, with_fpga)
+    }
+
+    #[test]
+    fn allocation_with_unknown_cluster_does_not_panic() {
+        let (spec, _, with_fpga) = offload_spec();
+        let forged = with_fpga
+            .clone()
+            .with_cluster(flexplore_hgraph::ClusterId::from_index(999));
+        // The unknown cluster is ignored; the mode stays solvable through
+        // the real resources.
+        assert!(mode_is_feasible(
+            &spec,
+            &forged,
+            &Selection::new(),
+            &BindOptions::default()
+        ));
     }
 
     #[test]

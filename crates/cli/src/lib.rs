@@ -13,27 +13,45 @@
 //! flexplore info <spec.json>                            size statistics
 //! flexplore demo [--json]                               built-in Set-Top box case study
 //! flexplore faults <spec.json> [--kill R@NS[+NS]]...    fault-injection scenario + resilience
+//! flexplore lint <spec.json> [--format json] [--deny ..] static analysis (codes F001–F012)
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
-use flexplore::models::spec_from_json;
+use flexplore::models::{spec_from_json, spec_from_json_unvalidated};
 use flexplore::{
-    explore, explore_resilient, flexibility_profile, k_resilient_flexibility_threaded,
-    max_flexibility_under_budget, min_cost_for_flexibility, run_with_faults, set_top_box,
+    dual_slot_fpga, explore, explore_resilient, flexibility_profile,
+    k_resilient_flexibility_threaded, lint_spec, max_flexibility_under_budget,
+    min_cost_for_flexibility, run_with_faults, set_top_box, synthetic_spec, tv_decoder,
     AllocationOptions, Cost, DegradationPolicy, ExploreOptions, FaultKind, FaultPlan,
-    FaultScenario, ImplementOptions, ReconfigCost, Selection, SpecificationGraph, Time, VertexId,
+    FaultScenario, ImplementOptions, ReconfigCost, Selection, SpecificationGraph, SyntheticConfig,
+    Time, VertexId,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Error type of the CLI: a user-facing message plus the exit code.
+///
+/// The exit-code scheme is machine-readable:
+///
+/// | code | meaning |
+/// |---|---|
+/// | 0 | success (the `Ok` path; never carried by a `CliError`) |
+/// | 1 | lint findings denied by `--deny` |
+/// | 2 | errors: bad arguments, defective specifications, infeasible queries |
+/// | 3 | internal fault of the `lint` command (unreadable/unparsable input) |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
     /// The message printed to stderr.
     pub message: String,
+    /// Machine-readable payload (a rendered lint report) printed to stdout
+    /// before exiting, so `--format json` consumers can parse findings even
+    /// on failure.
+    pub output: Option<String>,
+    /// The process exit code.
+    pub code: u8,
 }
 
 impl std::fmt::Display for CliError {
@@ -47,6 +65,8 @@ impl std::error::Error for CliError {}
 fn err(message: impl Into<String>) -> CliError {
     CliError {
         message: message.into(),
+        output: None,
+        code: 2,
     }
 }
 
@@ -67,6 +87,8 @@ USAGE:
                      [--seed <N>] [--count <N>] [--policy <POLICY>]
                      [--budget <DOLLARS>] [--k <K>] [--trace <N>]
                      [--threads <N>]
+    flexplore lint (<spec.json> | --builtin <MODEL>) [--format text|json]
+                   [--deny (warnings|<CODE>)]...
 
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
@@ -91,6 +113,18 @@ COMMANDS:
                   --budget picks the platform (most flexible one affordable),
                   --k bounds the k-resilience analysis (default 1),
                   --threads parallelizes the kill-set sweep (same result)
+    lint          statically analyze a specification without running any
+                  exploration; print diagnostics with stable codes
+                  F001..F012 (the file is loaded unvalidated so structural
+                  defects are reported as findings, not parse errors).
+                  --format json emits a machine-readable report;
+                  --deny warnings / --deny <CODE> make those findings
+                  fatal; --builtin lints a bundled model (set_top_box,
+                  tv_decoder, dual_slot_fpga, synthetic-small,
+                  synthetic-medium, synthetic-large).
+                  exit codes: 0 clean (or findings not denied), 1 findings
+                  denied by --deny, 2 error-level findings, 3 internal
+                  fault (unreadable file, malformed JSON, bad flags)
 ";
 
 /// Runs one CLI invocation; `args` excludes the program name.
@@ -110,6 +144,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("info") => cmd_info(&args.collect::<Vec<_>>()),
         Some("demo") => cmd_demo(&args.collect::<Vec<_>>()),
         Some("faults") => cmd_faults(&args.collect::<Vec<_>>()),
+        Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -119,6 +154,148 @@ fn load_spec(path: &str) -> Result<SpecificationGraph, CliError> {
     let json =
         std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     spec_from_json(&json).map_err(|e| err(format!("invalid specification {path}: {e}")))
+}
+
+/// Pre-flight lint gate run by the expensive commands (`explore`,
+/// `resilience`, `faults`) before any enumeration starts.
+///
+/// Error-level findings abort the run (exit code 2) with the full report
+/// on stderr — a degenerate specification would otherwise only manifest as
+/// a silently empty front. Warning/note findings are surfaced as a banner
+/// line the command prepends to its output; clean specifications get an
+/// empty banner so their output is unchanged.
+fn preflight_lint(spec: &SpecificationGraph) -> Result<String, CliError> {
+    let report = lint_spec(spec);
+    if report.has_errors() {
+        return Err(err(format!(
+            "specification rejected by pre-flight lint:\n{}",
+            report.render_text()
+        )));
+    }
+    if report.is_clean() {
+        Ok(String::new())
+    } else {
+        Ok(format!(
+            "lint: {} warning(s), {} note(s) — run `flexplore lint` for details\n",
+            report.warnings(),
+            report.notes()
+        ))
+    }
+}
+
+/// A bundled model by CLI name, for `lint --builtin`.
+fn builtin_spec(name: &str) -> Option<SpecificationGraph> {
+    Some(match name {
+        "set_top_box" => set_top_box().spec,
+        "tv_decoder" => tv_decoder().spec,
+        "dual_slot_fpga" => dual_slot_fpga().spec,
+        "synthetic-small" => synthetic_spec(&SyntheticConfig::small(7)),
+        "synthetic-medium" => synthetic_spec(&SyntheticConfig::medium(11)),
+        "synthetic-large" => synthetic_spec(&SyntheticConfig::large(11)),
+        _ => return None,
+    })
+}
+
+fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
+    // Internal faults of the lint command itself (bad flags, unreadable
+    // or unparsable input) exit with 3 so scripts can tell "the tool
+    // broke" from "the specification has defects" (2) or "findings were
+    // denied" (1).
+    let fault = |message: String| CliError {
+        message,
+        output: None,
+        code: 3,
+    };
+    let mut path: Option<&str> = None;
+    let mut builtin: Option<&str> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut deny_codes: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--format" => match it.next().copied() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => return Err(fault(format!("--format needs text or json, got {other:?}"))),
+            },
+            "--deny" => match it.next().copied() {
+                Some("warnings") => deny_warnings = true,
+                Some(code) if code.starts_with('F') => deny_codes.push(code),
+                other => {
+                    return Err(fault(format!(
+                        "--deny needs `warnings` or a diagnostic code (F001..F012), got {other:?}"
+                    )))
+                }
+            },
+            "--builtin" => {
+                builtin = Some(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| fault("--builtin needs a model name".to_owned()))?,
+                );
+            }
+            flag if flag.starts_with('-') => return Err(fault(format!("unknown flag {flag:?}"))),
+            positional if path.is_none() && builtin.is_none() => path = Some(positional),
+            positional => return Err(fault(format!("unexpected argument {positional:?}"))),
+        }
+    }
+    let spec = match (path, builtin) {
+        (Some(path), None) => {
+            // Deliberately unvalidated: structural defects become lint
+            // findings with stable codes instead of a load-time rejection.
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| fault(format!("cannot read {path}: {e}")))?;
+            spec_from_json_unvalidated(&text)
+                .map_err(|e| fault(format!("cannot parse {path}: {e}")))?
+        }
+        (None, Some(name)) => builtin_spec(name).ok_or_else(|| {
+            fault(format!(
+                "unknown builtin model {name:?} (set_top_box, tv_decoder, dual_slot_fpga, \
+                 synthetic-small, synthetic-medium, synthetic-large)"
+            ))
+        })?,
+        _ => {
+            return Err(fault(format!(
+                "lint needs a <spec.json> path or --builtin <MODEL>\n\n{USAGE}"
+            )))
+        }
+    };
+
+    let report = lint_spec(&spec);
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    if report.has_errors() {
+        return Err(CliError {
+            message: format!(
+                "lint found {} error(s) in {}",
+                report.errors(),
+                report.spec_name
+            ),
+            output: Some(rendered),
+            code: 2,
+        });
+    }
+    let denied_code = deny_codes.iter().find(|c| report.has_code(c)).copied();
+    if (deny_warnings && !report.is_clean()) || denied_code.is_some() {
+        let message = match denied_code {
+            Some(code) => format!("lint: {code} denied by --deny {code}"),
+            None => format!(
+                "lint: {} warning(s), {} note(s) denied by --deny warnings",
+                report.warnings(),
+                report.notes()
+            ),
+        };
+        return Err(CliError {
+            message,
+            output: Some(rendered),
+            code: 1,
+        });
+    }
+    Ok(rendered)
 }
 
 fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
@@ -139,14 +316,17 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         }
     }
     let spec = load_spec(path)?;
+    let banner = preflight_lint(&spec)?;
     let options = threaded_options(threads);
     let started = Instant::now();
     let result = explore(&spec, &options).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
     if csv {
+        // CSV stays machine-readable: the lint banner is omitted (errors
+        // still abort above).
         return Ok(result.front.to_csv());
     }
-    let mut out = String::new();
+    let mut out = banner;
     let _ = writeln!(
         out,
         "Pareto front of {} ({} points):",
@@ -218,11 +398,12 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
         }
     }
     let spec = load_spec(path)?;
+    let banner = preflight_lint(&spec)?;
     let options = threaded_options(threads);
     let started = Instant::now();
     let front = explore_resilient(&spec, k, &options).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
-    let mut out = String::new();
+    let mut out = banner;
     let _ = writeln!(
         out,
         "{k}-resilient front of {} ({} points):",
@@ -440,6 +621,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     }
 
     let spec = load_spec(path)?;
+    let banner = preflight_lint(&spec)?;
     let point = max_flexibility_under_budget(&spec, Cost::new(budget), &ExploreOptions::paper())
         .map_err(|e| err(e.to_string()))?
         .ok_or_else(|| err("no feasible platform within the budget"))?;
@@ -508,7 +690,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    let mut out = String::new();
+    let mut out = banner;
     let _ = writeln!(
         out,
         "platform [{}] cost {} flexibility {}",
@@ -814,5 +996,150 @@ mod tests {
         std::fs::write(&bad, "{").unwrap();
         let e = run_strs(&["explore", bad.to_str().unwrap()]).unwrap_err();
         assert!(e.message.contains("invalid specification"));
+        assert_eq!(e.code, 2);
+    }
+
+    use flexplore::models::spec_to_json;
+    use flexplore::{ArchitectureGraph, ProblemGraph, Scope};
+
+    fn write_spec(file: &str, spec: &SpecificationGraph) -> String {
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(file);
+        std::fs::write(&path, spec_to_json(spec).unwrap()).unwrap();
+        path.to_str().unwrap().to_owned()
+    }
+
+    /// A top-level process with no mapping edge: lint error F004.
+    fn orphan_spec() -> SpecificationGraph {
+        let mut p = ProblemGraph::new("p");
+        p.add_process(Scope::Top, "orphan");
+        SpecificationGraph::new("orphaned", p, ArchitectureGraph::new("a"))
+    }
+
+    /// An exact duplicate mapping edge: lint note F006, nothing worse.
+    fn noted_spec() -> SpecificationGraph {
+        let mut p = ProblemGraph::new("p");
+        let t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+        let mut spec = SpecificationGraph::new("noted", p, a);
+        spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+        spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+        spec
+    }
+
+    #[test]
+    fn lint_clean_spec_and_builtins() {
+        let json = run_strs(&["demo", "--json"]).unwrap();
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stb-lint.json");
+        std::fs::write(&path, &json).unwrap();
+        let path = path.to_str().unwrap();
+
+        let out = run_strs(&["lint", path]).unwrap();
+        assert!(out.contains(": clean"), "{out}");
+        let out = run_strs(&["lint", path, "--format", "json", "--deny", "warnings"]).unwrap();
+        assert!(out.contains("\"diagnostics\": []"), "{out}");
+        assert!(out.contains("\"errors\": 0"), "{out}");
+
+        for name in [
+            "set_top_box",
+            "tv_decoder",
+            "dual_slot_fpga",
+            "synthetic-small",
+            "synthetic-medium",
+            "synthetic-large",
+        ] {
+            let out = run_strs(&["lint", "--builtin", name, "--deny", "warnings"]).unwrap();
+            assert!(out.contains(": clean"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn lint_error_specs_exit_2_and_preflight_rejects_them() {
+        let path = write_spec("orphan.json", &orphan_spec());
+        let e = run_strs(&["lint", &path]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(
+            e.message.contains("lint found 1 error(s) in orphaned"),
+            "{}",
+            e.message
+        );
+        let report = e.output.expect("failing lint still renders the report");
+        assert!(report.contains("error[F004]"), "{report}");
+
+        let e = run_strs(&["lint", &path, "--format", "json"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        let report = e.output.unwrap();
+        assert!(report.contains("\"code\": \"F004\""), "{report}");
+
+        // The expensive commands refuse the same specification up front.
+        for cmd in ["explore", "resilience", "faults"] {
+            let e = run_strs(&[cmd, &path]).unwrap_err();
+            assert_eq!(e.code, 2, "{cmd}");
+            assert!(
+                e.message.contains("pre-flight lint"),
+                "{cmd}: {}",
+                e.message
+            );
+            assert!(e.message.contains("F004"), "{cmd}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn lint_deny_exits_1_and_banner_surfaces_findings() {
+        let path = write_spec("noted.json", &noted_spec());
+
+        // Not denied: findings are printed but the run succeeds (exit 0).
+        let out = run_strs(&["lint", &path]).unwrap();
+        assert!(out.contains("note[F006]"), "{out}");
+        assert!(out.contains("1 note(s)"), "{out}");
+
+        let e = run_strs(&["lint", &path, "--deny", "warnings"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.output.unwrap().contains("note[F006]"));
+        let e = run_strs(&["lint", &path, "--deny", "F006"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("F006"), "{}", e.message);
+        // Denying an absent code changes nothing.
+        assert!(run_strs(&["lint", &path, "--deny", "F001"]).is_ok());
+
+        // Warning-level findings surface as a banner on explore output.
+        let out = run_strs(&["explore", &path]).unwrap();
+        assert!(
+            out.starts_with("lint: 0 warning(s), 1 note(s)"),
+            "missing banner: {out}"
+        );
+        assert!(out.contains("Pareto front"), "{out}");
+        // CSV output stays machine-readable (no banner).
+        let csv = run_strs(&["explore", &path, "--csv"]).unwrap();
+        assert!(csv.starts_with("cost,flexibility"), "{csv}");
+    }
+
+    #[test]
+    fn lint_internal_faults_exit_3() {
+        assert_eq!(run_strs(&["lint"]).unwrap_err().code, 3);
+        assert_eq!(
+            run_strs(&["lint", "/nonexistent.json"]).unwrap_err().code,
+            3
+        );
+        assert_eq!(
+            run_strs(&["lint", "--builtin", "nope"]).unwrap_err().code,
+            3
+        );
+        assert_eq!(run_strs(&["lint", "--wat"]).unwrap_err().code, 3);
+        assert_eq!(run_strs(&["lint", "--format", "yaml"]).unwrap_err().code, 3);
+        assert_eq!(run_strs(&["lint", "--deny", "nope"]).unwrap_err().code, 3);
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad-lint.json");
+        std::fs::write(&bad, "{").unwrap();
+        let e = run_strs(&["lint", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 3);
+        assert!(e.message.contains("cannot parse"), "{}", e.message);
+        // Every non-lint failure keeps the historical exit code 2.
+        assert_eq!(run_strs(&["frobnicate"]).unwrap_err().code, 2);
     }
 }

@@ -6,8 +6,14 @@ fn main() {
     match flexplore_cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(error) => {
+            // A failing `lint` run still prints its rendered report to
+            // stdout so `--format json` consumers can parse the findings;
+            // the short human-facing message goes to stderr.
+            if let Some(report) = &error.output {
+                print!("{report}");
+            }
             eprintln!("error: {error}");
-            std::process::exit(2);
+            std::process::exit(error.code.into());
         }
     }
 }

@@ -1,0 +1,74 @@
+//! Process-level checks of the machine-readable exit-code scheme:
+//! 0 clean, 1 findings denied by `--deny`, 2 errors, 3 internal fault.
+//!
+//! The in-process unit tests cover the same mapping through `CliError`;
+//! this test spawns the real binary so the `main.rs` wiring (payload to
+//! stdout, message to stderr, `std::process::exit` code) is covered too.
+
+use flexplore::models::spec_to_json;
+use flexplore::{ArchitectureGraph, Cost, ProblemGraph, Scope, SpecificationGraph, Time};
+use std::process::{Command, Output};
+
+fn flexplore_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flexplore"))
+        .args(args)
+        .output()
+        .expect("the flexplore binary runs")
+}
+
+fn write_spec(file: &str, spec: &SpecificationGraph) -> String {
+    let dir = std::env::temp_dir().join("flexplore-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(file);
+    std::fs::write(&path, spec_to_json(spec).unwrap()).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+#[test]
+fn exit_code_scheme_is_stable() {
+    // 0 — a clean specification, even under --deny warnings.
+    let out = flexplore_bin(&["lint", "--builtin", "set_top_box", "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains(": clean"));
+
+    // 1 — warning/note findings denied by --deny; report on stdout.
+    let mut p = ProblemGraph::new("p");
+    let t = p.add_process(Scope::Top, "t");
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut noted = SpecificationGraph::new("noted", p, a);
+    noted.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+    noted.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+    let path = write_spec("noted.json", &noted);
+    let out = flexplore_bin(&["lint", &path, "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("note[F006]"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("denied"));
+    // ... but without --deny the same findings exit 0.
+    let out = flexplore_bin(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // 2 — error-level findings; the JSON report still lands on stdout.
+    let mut p = ProblemGraph::new("p");
+    p.add_process(Scope::Top, "orphan");
+    let orphaned = SpecificationGraph::new("orphaned", p, ArchitectureGraph::new("a"));
+    let path = write_spec("orphan.json", &orphaned);
+    let out = flexplore_bin(&["lint", &path, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"code\": \"F004\""));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    // The pre-flight gate turns the same defect into an explore refusal.
+    let out = flexplore_bin(&["explore", &path]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pre-flight lint"));
+
+    // 3 — internal faults of the lint command itself.
+    let out = flexplore_bin(&["lint", "/nonexistent.json"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = flexplore_bin(&["lint", "--builtin", "nope"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    // Non-lint failures keep the historical exit code 2.
+    let out = flexplore_bin(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -20,6 +20,7 @@
 //! | [`bind`] | backtracking binding solver, per-mode timing validation |
 //! | [`explore`] | EXPLORE branch-and-bound, exhaustive and NSGA-II baselines, Pareto fronts (Section 4) |
 //! | [`models`] | the TV decoder (Figs. 1–2), the Set-Top box case study (Fig. 3/5 + Table 1), synthetic generators |
+//! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F012` over specification graphs |
 //! | [`schedule`] | static list scheduling of bound modes — the paper's future-work item |
 //! | [`adaptive`] | run-time mode management with reconfiguration accounting, fault injection, and graceful degradation |
 //!
@@ -59,6 +60,7 @@ pub use flexplore_bind as bind;
 pub use flexplore_explore as explore_crate;
 pub use flexplore_flex as flex;
 pub use flexplore_hgraph as hgraph;
+pub use flexplore_lint as lint;
 pub use flexplore_models as models;
 pub use flexplore_sched as sched;
 pub use flexplore_schedule as schedule;
@@ -89,6 +91,7 @@ pub use flexplore_hgraph::{
     ClusterId, HierarchicalGraph, InterfaceId, PortDirection, PortTarget, Scope, Selection,
     VertexId,
 };
+pub use flexplore_lint::{lint_spec, Diagnostic, LintReport, Severity};
 pub use flexplore_models::{
     dual_slot_fpga, paper_pareto_table, set_top_box, synthetic_spec, tv_decoder, SetTopBox,
     SyntheticConfig,

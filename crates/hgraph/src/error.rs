@@ -103,6 +103,22 @@ pub enum HgraphError {
         /// The duplicated name.
         name: String,
     },
+    /// A stored id references an arena slot that does not exist. The
+    /// construction API cannot produce this; it only appears in hand-edited
+    /// serialized graphs.
+    DanglingReference {
+        /// The entity holding the dangling id (rendered, e.g. `gamma3`).
+        owner: String,
+        /// The dangling id (rendered, e.g. `v17`).
+        target: String,
+    },
+    /// A cluster's containment chain re-enters itself instead of reaching
+    /// the top level, so the cluster (and everything inside it) can never
+    /// be activated. Only hand-edited serialized graphs can contain this.
+    ContainmentCycle {
+        /// A cluster on the cycle.
+        cluster: ClusterId,
+    },
 }
 
 impl fmt::Display for HgraphError {
@@ -170,6 +186,12 @@ impl fmt::Display for HgraphError {
             }
             HgraphError::DuplicateName { scope, name } => {
                 write!(f, "duplicate name {name:?} in scope {scope}")
+            }
+            HgraphError::DanglingReference { owner, target } => {
+                write!(f, "{owner} references {target}, which does not exist")
+            }
+            HgraphError::ContainmentCycle { cluster } => {
+                write!(f, "containment chain of cluster {cluster} re-enters itself")
             }
         }
     }

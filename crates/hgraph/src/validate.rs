@@ -8,7 +8,7 @@
 
 use crate::error::HgraphError;
 use crate::graph::HierarchicalGraph;
-use crate::ids::Scope;
+use crate::ids::{NodeRef, Scope};
 use std::collections::BTreeSet;
 
 impl<N, E> HierarchicalGraph<N, E> {
@@ -16,17 +16,22 @@ impl<N, E> HierarchicalGraph<N, E> {
     ///
     /// Checks, in order:
     ///
-    /// 1. every interface has at least one alternative cluster (otherwise
+    /// 1. every stored id references an existing arena slot and no
+    ///    containment chain is cyclic (hand-edited serialized graphs are
+    ///    the only way to violate either);
+    /// 2. every interface has at least one alternative cluster (otherwise
     ///    activation rule 1 is unsatisfiable);
-    /// 2. every cluster maps every port of its interface (otherwise some
+    /// 3. every cluster maps every port of its interface (otherwise some
     ///    selection would fail to flatten);
-    /// 3. names are unique per scope (vertices and interfaces share a
+    /// 4. names are unique per scope (vertices and interfaces share a
     ///    namespace), and cluster names are unique per interface.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant as an [`HgraphError`].
     pub fn validate(&self) -> Result<(), HgraphError> {
+        self.validate_references()?;
+        self.validate_containment()?;
         for i in self.interface_ids() {
             if self.clusters_of(i).is_empty() {
                 return Err(HgraphError::InterfaceWithoutClusters { interface: i });
@@ -69,6 +74,155 @@ impl<N, E> HierarchicalGraph<N, E> {
                         name: name.to_owned(),
                     });
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every id stored anywhere in the arenas references an
+    /// existing slot. The construction API can only store valid ids; this
+    /// guards against hand-edited serialized graphs, whose dangling ids
+    /// would otherwise panic (or hang) deep inside flattening or
+    /// exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::DanglingReference`] naming the referencing
+    /// entity and the missing id.
+    pub fn validate_references(&self) -> Result<(), HgraphError> {
+        let dangle = |owner: String, target: String| -> Result<(), HgraphError> {
+            Err(HgraphError::DanglingReference { owner, target })
+        };
+        let check_scope = |owner: String, scope: Scope| -> Result<(), HgraphError> {
+            match scope {
+                Scope::Cluster(c) if c.index() >= self.clusters.len() => {
+                    dangle(owner, c.to_string())
+                }
+                _ => Ok(()),
+            }
+        };
+        let check_node = |owner: String, node: NodeRef| -> Result<(), HgraphError> {
+            match node {
+                NodeRef::Vertex(v) if v.index() >= self.vertices.len() => {
+                    dangle(owner, v.to_string())
+                }
+                NodeRef::Interface(i) if i.index() >= self.interfaces.len() => {
+                    dangle(owner, i.to_string())
+                }
+                _ => Ok(()),
+            }
+        };
+        for v in self.vertex_ids() {
+            check_scope(v.to_string(), self.vertices[v.index()].scope)?;
+        }
+        for i in self.interface_ids() {
+            let data = &self.interfaces[i.index()];
+            check_scope(i.to_string(), data.scope)?;
+            for &p in &data.ports {
+                if p.index() >= self.ports.len() {
+                    return dangle(i.to_string(), p.to_string());
+                }
+            }
+            for &c in &data.clusters {
+                if c.index() >= self.clusters.len() {
+                    return dangle(i.to_string(), c.to_string());
+                }
+            }
+        }
+        for c in self.cluster_ids() {
+            let data = &self.clusters[c.index()];
+            if data.interface.index() >= self.interfaces.len() {
+                return dangle(c.to_string(), data.interface.to_string());
+            }
+            for &v in &data.vertices {
+                if v.index() >= self.vertices.len() {
+                    return dangle(c.to_string(), v.to_string());
+                }
+            }
+            for &i in &data.interfaces {
+                if i.index() >= self.interfaces.len() {
+                    return dangle(c.to_string(), i.to_string());
+                }
+            }
+            for &e in &data.edges {
+                if e.index() >= self.edges.len() {
+                    return dangle(c.to_string(), e.to_string());
+                }
+            }
+            for (&p, target) in &data.port_map {
+                if p.index() >= self.ports.len() {
+                    return dangle(c.to_string(), p.to_string());
+                }
+                check_node(c.to_string(), target.node)?;
+                if let Some(inner) = target.port {
+                    if inner.index() >= self.ports.len() {
+                        return dangle(c.to_string(), inner.to_string());
+                    }
+                }
+            }
+        }
+        for e in self.edge_ids() {
+            let data = &self.edges[e.index()];
+            check_scope(e.to_string(), data.scope)?;
+            for endpoint in [&data.from, &data.to] {
+                check_node(e.to_string(), endpoint.node)?;
+                if let Some(p) = endpoint.port {
+                    if p.index() >= self.ports.len() {
+                        return dangle(e.to_string(), p.to_string());
+                    }
+                }
+            }
+        }
+        for (idx, data) in self.ports.iter().enumerate() {
+            if data.interface.index() >= self.interfaces.len() {
+                return dangle(
+                    crate::ids::PortId(idx as u32).to_string(),
+                    data.interface.to_string(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every cluster's containment chain terminates at the top
+    /// level. A cyclic chain (only constructible in hand-edited serialized
+    /// graphs) would send [`leaves_of_cluster`](Self::leaves_of_cluster)
+    /// and [`enclosing_clusters`](Self::enclosing_clusters) into infinite
+    /// loops.
+    ///
+    /// Call after [`validate_references`](Self::validate_references): the
+    /// walk indexes the arenas by the stored ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HgraphError::ContainmentCycle`] naming a cluster on the
+    /// first cycle found.
+    pub fn validate_containment(&self) -> Result<(), HgraphError> {
+        // 0 = unknown, 1 = on the current walk, 2 = proven to reach Top.
+        let mut state = vec![0u8; self.clusters.len()];
+        for start in self.cluster_ids() {
+            if state[start.index()] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut current = start;
+            loop {
+                match state[current.index()] {
+                    1 => return Err(HgraphError::ContainmentCycle { cluster: current }),
+                    2 => break,
+                    _ => {}
+                }
+                state[current.index()] = 1;
+                path.push(current);
+                let parent =
+                    self.interfaces[self.clusters[current.index()].interface.index()].scope;
+                match parent {
+                    Scope::Top => break,
+                    Scope::Cluster(next) => current = next,
+                }
+            }
+            for c in path {
+                state[c.index()] = 2;
             }
         }
         Ok(())
@@ -150,6 +304,63 @@ mod tests {
         assert!(matches!(
             g.validate(),
             Err(HgraphError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_cluster_member_is_rejected() {
+        // Only hand-edited serialized graphs can hold dangling ids; the
+        // in-crate test mutates the arena directly to simulate one.
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let c = g.add_cluster(i, "c");
+        g.add_vertex(c.into(), "v", ());
+        g.clusters[0].vertices.push(crate::ids::VertexId(99));
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_scope_is_rejected() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        g.add_vertex(Scope::Top, "v", ());
+        g.vertices[0].scope = Scope::Cluster(crate::ids::ClusterId(7));
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn containment_cycle_is_rejected() {
+        // I refined by c, then I's scope forged to sit inside c: the chain
+        // c -> I -> c never reaches the top level.
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i = g.add_interface(Scope::Top, "I");
+        let c = g.add_cluster(i, "c");
+        g.add_vertex(c.into(), "v", ());
+        g.interfaces[0].scope = Scope::Cluster(c);
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::ContainmentCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn two_cluster_containment_cycle_is_rejected() {
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let i1 = g.add_interface(Scope::Top, "I1");
+        let c1 = g.add_cluster(i1, "c1");
+        let i2 = g.add_interface(c1.into(), "I2");
+        let c2 = g.add_cluster(i2, "c2");
+        g.add_vertex(c1.into(), "v1", ());
+        g.add_vertex(c2.into(), "v2", ());
+        g.interfaces[0].scope = Scope::Cluster(c2);
+        assert!(matches!(
+            g.validate(),
+            Err(HgraphError::ContainmentCycle { .. })
         ));
     }
 

@@ -1,0 +1,393 @@
+//! The diagnostics framework: stable codes, severities, structured
+//! locations, and renderable reports.
+//!
+//! Every defect flexlint can detect has a **stable code** (`F001`–`F012`,
+//! catalogued in DESIGN.md §10) that tools and tests may match on, a
+//! [`Severity`], and a [`Location`] naming the offending element of the
+//! specification graph. A [`LintReport`] collects the diagnostics of one
+//! run and renders them as human-readable text or as JSON for machine
+//! consumption.
+
+use flexplore_hgraph::{ClusterId, EdgeId, InterfaceId, VertexId};
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// *Errors* make the specification unusable (the exploration entry points
+/// refuse to run); *warnings* flag constructs that are almost certainly
+/// mistakes but do not break the algorithms; *notes* point out redundancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The specification violates a structural rule; results would be
+    /// meaningless.
+    Error,
+    /// Suspicious but not fatal; `--deny warnings` upgrades these.
+    Warning,
+    /// Redundant or informational.
+    Note,
+}
+
+impl Severity {
+    /// The lowercase keyword used in rendered output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The element of the specification graph a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// The specification as a whole.
+    Spec,
+    /// The problem graph as a whole (used when only a rendered owner name
+    /// is known, e.g. for dangling references).
+    Problem,
+    /// The architecture graph as a whole.
+    Architecture,
+    /// A problem-graph process.
+    ProblemVertex(VertexId),
+    /// A problem-graph interface.
+    ProblemInterface(InterfaceId),
+    /// A problem-graph alternative cluster.
+    ProblemCluster(ClusterId),
+    /// A problem-graph data dependence.
+    ProblemEdge(EdgeId),
+    /// An architecture-graph resource.
+    ArchVertex(VertexId),
+    /// An architecture-graph reconfigurable device.
+    ArchInterface(InterfaceId),
+    /// An architecture-graph design cluster.
+    ArchCluster(ClusterId),
+    /// A mapping edge, by index into the mapping arena.
+    Mapping(usize),
+}
+
+impl Location {
+    /// A stable kebab-case kind keyword (`problem-vertex`, `mapping`, …).
+    #[must_use]
+    pub fn kind(self) -> &'static str {
+        match self {
+            Location::Spec => "spec",
+            Location::Problem => "problem-graph",
+            Location::Architecture => "architecture-graph",
+            Location::ProblemVertex(_) => "problem-vertex",
+            Location::ProblemInterface(_) => "problem-interface",
+            Location::ProblemCluster(_) => "problem-cluster",
+            Location::ProblemEdge(_) => "problem-edge",
+            Location::ArchVertex(_) => "arch-vertex",
+            Location::ArchInterface(_) => "arch-interface",
+            Location::ArchCluster(_) => "arch-cluster",
+            Location::Mapping(_) => "mapping",
+        }
+    }
+
+    /// The rendered id of the element (`v3`, `psi0`, `gamma2`, `m4`), or
+    /// `-` for whole-graph locations.
+    #[must_use]
+    pub fn id(self) -> String {
+        match self {
+            Location::Spec | Location::Problem | Location::Architecture => "-".to_string(),
+            Location::ProblemVertex(v) | Location::ArchVertex(v) => v.to_string(),
+            Location::ProblemInterface(i) | Location::ArchInterface(i) => i.to_string(),
+            Location::ProblemCluster(c) | Location::ArchCluster(c) => c.to_string(),
+            Location::ProblemEdge(e) => e.to_string(),
+            Location::Mapping(m) => format!("m{m}"),
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, a location, the element's
+/// human-readable name, and a message explaining the defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`F001`–`F012`).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// The offending element.
+    pub location: Location,
+    /// The element's display name (empty for whole-spec diagnostics).
+    pub element: String,
+    /// Human-readable explanation, lowercase sentence fragment.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} {}",
+            self.severity,
+            self.code,
+            self.location.kind(),
+            self.location.id()
+        )?;
+        if !self.element.is_empty() {
+            write!(f, " ({})", self.element)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All diagnostics of one `lint_spec` run, in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Name of the analyzed specification.
+    pub spec_name: String,
+    /// The findings, sorted by severity, code, location, message.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Creates an empty report for the named specification.
+    #[must_use]
+    pub fn new(spec_name: impl Into<String>) -> Self {
+        LintReport {
+            spec_name: spec_name.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Sorts the diagnostics into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (
+                a.severity,
+                a.code,
+                a.location.kind(),
+                a.location.id(),
+                &a.message,
+            )
+                .cmp(&(
+                    b.severity,
+                    b.code,
+                    b.location.kind(),
+                    b.location.id(),
+                    &b.message,
+                ))
+        });
+    }
+
+    /// Number of error-level diagnostics.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-level diagnostics.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of note-level diagnostics.
+    #[must_use]
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` if the report contains at least one error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// `true` if the report is empty.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` if the report contains a diagnostic with the given code.
+    #[must_use]
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report as human-readable text: one line per diagnostic
+    /// followed by a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str(&format!("{}: clean\n", self.spec_name));
+        } else {
+            out.push_str(&format!(
+                "{}: {} error(s), {} warning(s), {} note(s)\n",
+                self.spec_name,
+                self.errors(),
+                self.warnings(),
+                self.notes()
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object with `spec`, `diagnostics`,
+    /// and severity counters.
+    ///
+    /// The JSON is hand-rendered (no serializer dependency); field order
+    /// is fixed so output is byte-stable across runs.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"spec\": \"{}\",\n",
+            json_escape(&self.spec_name)
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (idx, d) in self.diagnostics.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": \"{}\", ", d.code));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
+            out.push_str(&format!("\"location\": \"{}\", ", d.location.kind()));
+            out.push_str(&format!("\"id\": \"{}\", ", d.location.id()));
+            out.push_str(&format!("\"element\": \"{}\", ", json_escape(&d.element)));
+            out.push_str(&format!("\"message\": \"{}\"", json_escape(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!("  \"notes\": {}\n", self.notes()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            code: "F004",
+            severity: Severity::Warning,
+            location: Location::ProblemVertex(VertexId::from_index(3)),
+            element: "P_U1".to_string(),
+            message: "process has no mapping edge".to_string(),
+        }
+    }
+
+    #[test]
+    fn diagnostic_display_names_everything() {
+        let msg = sample().to_string();
+        assert_eq!(
+            msg,
+            "warning[F004] problem-vertex v3 (P_U1): process has no mapping edge"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_flags() {
+        let mut r = LintReport::new("s");
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.push(sample());
+        r.push(Diagnostic {
+            code: "F002",
+            severity: Severity::Error,
+            location: Location::ProblemCluster(ClusterId::from_index(0)),
+            element: String::new(),
+            message: "containment cycle".to_string(),
+        });
+        r.sort();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.notes(), 0);
+        assert!(r.has_errors());
+        assert!(r.has_code("F002"));
+        assert!(!r.has_code("F001"));
+        // Errors sort first.
+        assert_eq!(r.diagnostics[0].code, "F002");
+    }
+
+    #[test]
+    fn text_rendering_has_summary_line() {
+        let mut r = LintReport::new("s");
+        r.push(sample());
+        let text = r.render_text();
+        assert!(text.contains("warning[F004]"));
+        assert!(text.ends_with("s: 0 error(s), 1 warning(s), 0 note(s)\n"));
+        assert!(LintReport::new("t").render_text().contains("t: clean"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let mut r = LintReport::new("quote\"name");
+        r.push(sample());
+        let json = r.render_json();
+        assert!(json.contains("\"spec\": \"quote\\\"name\""));
+        assert!(json.contains("\"code\": \"F004\""));
+        assert!(json.contains("\"severity\": \"warning\""));
+        assert!(json.contains("\"location\": \"problem-vertex\""));
+        assert!(json.contains("\"id\": \"v3\""));
+        assert!(json.contains("\"warnings\": 1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("a\nb\t\"c\"\\"), "a\\nb\\t\\\"c\\\"\\\\");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let json = LintReport::new("s").render_json();
+        assert!(json.contains("\"diagnostics\": [],"));
+        assert!(json.contains("\"errors\": 0"));
+    }
+}

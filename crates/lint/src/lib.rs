@@ -1,0 +1,58 @@
+//! **flexlint** — static analysis over specification graphs.
+//!
+//! The flexibility metric of the paper (Definition 4) and the EXPLORE
+//! algorithm (Section 4) assume a well-formed specification graph: every
+//! interface refinable, every problem leaf mappable, every data dependence
+//! routable. When those assumptions break, the algorithms do not crash —
+//! they silently report zero flexibility or an empty Pareto front, which is
+//! far harder to debug. This crate finds such defects **statically**,
+//! before any enumeration starts, and reports them with stable diagnostic
+//! codes, severities, and locations naming the offending element.
+//!
+//! The analysis runs as a sequence of passes over the
+//! [`SpecificationGraph`](flexplore_spec::SpecificationGraph) and its
+//! [`CompiledSpec`](flexplore_spec::CompiledSpec) side tables:
+//!
+//! 1. **Structural integrity** — dangling arena references (`F003`) and
+//!    cluster containment cycles (`F002`). Later passes index and recurse
+//!    by stored ids, so any error here stops the analysis.
+//! 2. **Hierarchy well-formedness** — interfaces with no alternative
+//!    clusters (`F001`).
+//! 3. **Mapping soundness** — malformed mapping endpoints (`F005`),
+//!    problem leaves with no mapping edge (`F004`; an *error* at the top
+//!    level, where every activation needs the process), duplicate mappings
+//!    (`F006`).
+//! 4. **Activation-period sanity** — zero periods (`F010`) and processes
+//!    whose fastest mapping already exceeds their period (`F011`).
+//! 5. **Semantic degeneracy** (only on error-free specs) — data
+//!    dependences with no routable resource pair even under the full
+//!    allocation (`F007`), clusters provably dead on every allocation
+//!    (`F008`), interfaces whose alternatives all bind to the identical
+//!    resource set (`F009`), and specifications with no bindable complete
+//!    activation at all (`F012`).
+//!
+//! The full catalog with the paper rule each code enforces lives in
+//! DESIGN.md §10.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexplore_lint::lint_spec;
+//! use flexplore_spec::{ArchitectureGraph, ProblemGraph, SpecificationGraph};
+//! use flexplore_hgraph::Scope;
+//!
+//! let mut p = ProblemGraph::new("p");
+//! p.add_process(Scope::Top, "orphan"); // no mapping edge
+//! let a = ArchitectureGraph::new("a");
+//! let spec = SpecificationGraph::new("s", p, a);
+//!
+//! let report = lint_spec(&spec);
+//! assert!(report.has_code("F004"));
+//! assert!(report.has_errors()); // top-level orphan escalates to error
+//! ```
+
+mod diagnostics;
+mod passes;
+
+pub use diagnostics::{Diagnostic, LintReport, Location, Severity};
+pub use passes::lint_spec;

@@ -33,6 +33,21 @@ pub fn spec_from_json(json: &str) -> Result<SpecificationGraph, serde_json::Erro
     Ok(spec)
 }
 
+/// Deserializes a specification graph from JSON **without** re-validating.
+///
+/// `flexplore lint` wants to load structurally defective files (dangling
+/// ids, containment cycles, out-of-range mapping endpoints) and report the
+/// defects itself with stable diagnostic codes instead of rejecting the
+/// file at parse time. Everything else should keep using
+/// [`spec_from_json`], which validates eagerly.
+///
+/// # Errors
+///
+/// Returns a `serde_json` error for malformed JSON only.
+pub fn spec_from_json_unvalidated(json: &str) -> Result<SpecificationGraph, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@ mod set_top_box;
 mod synthetic;
 mod tv_decoder;
 
-pub use json::{spec_from_json, spec_to_json};
+pub use json::{spec_from_json, spec_from_json_unvalidated, spec_to_json};
 pub use partial_reconfig::{dual_slot_fpga, DualSlot};
 pub use set_top_box::{paper_pareto_table, set_top_box, set_top_box_problem, SetTopBox};
 pub use synthetic::{synthetic_spec, SyntheticConfig};

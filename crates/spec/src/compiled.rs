@@ -158,7 +158,12 @@ impl<'a> CompiledSpec<'a> {
 
         let mut mappings_by_process: Vec<Vec<MappingId>> = vec![Vec::new(); problem.vertex_count()];
         for m in spec.mapping_ids() {
-            mappings_by_process[spec.mapping(m).process.index()].push(m);
+            // Deserialized specs can hold out-of-range endpoints; skip them
+            // here instead of panicking — `try_new` rejects such specs with
+            // a typed error, and flexlint reports them as F005.
+            if let Some(list) = mappings_by_process.get_mut(spec.mapping(m).process.index()) {
+                list.push(m);
+            }
         }
         for list in &mut mappings_by_process {
             // Stable, so ties keep id order — exactly what the solver's
@@ -215,6 +220,21 @@ impl<'a> CompiledSpec<'a> {
             comm_vertices,
             activations: BTreeMap::new(),
         }
+    }
+
+    /// Validates `spec`, then compiles the structural side tables.
+    ///
+    /// Prefer this over [`CompiledSpec::new`] for specifications from
+    /// untrusted sources (hand-edited JSON): the accessor methods index by
+    /// stored ids and would panic on dangling references.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect
+    /// [`SpecificationGraph::validate`] finds.
+    pub fn try_new(spec: &'a SpecificationGraph) -> Result<Self, crate::error::SpecError> {
+        spec.validate()?;
+        Ok(CompiledSpec::new(spec))
     }
 
     /// Compiles the side tables **and** eagerly flattens every elementary
@@ -304,28 +324,36 @@ impl<'a> CompiledSpec<'a> {
     /// The available vertices of an allocation: its top-level vertices plus
     /// the cached leaves of each allocated design cluster. Equals
     /// [`ResourceAllocation::available_vertices`].
+    /// Unknown cluster ids contribute no leaves, matching
+    /// [`ResourceAllocation::available_vertices`].
     #[must_use]
     pub fn available_vertices(&self, allocation: &ResourceAllocation) -> BTreeSet<VertexId> {
         let mut out = allocation.vertices.clone();
         for &c in &allocation.clusters {
-            out.extend(self.cluster_leaves(c).iter().copied());
+            if let Some(leaves) = self.arch_cluster_leaves.get(c.index()) {
+                out.extend(leaves.iter().copied());
+            }
         }
         out
     }
 
     /// The allocation cost, summed from cached per-cluster costs. Equals
     /// [`ResourceAllocation::cost`].
+    /// Unknown ids contribute nothing, matching [`ResourceAllocation::cost`].
     #[must_use]
     pub fn allocation_cost(&self, allocation: &ResourceAllocation) -> Cost {
+        let arch_vertices = self.spec.architecture().graph().vertex_count();
         let vertex_cost: Cost = allocation
             .vertices
             .iter()
+            .filter(|v| v.index() < arch_vertices)
             .map(|&v| self.spec.architecture().cost(v))
             .sum();
         let cluster_cost: Cost = allocation
             .clusters
             .iter()
-            .map(|&c| self.cluster_cost(c))
+            .filter_map(|c| self.arch_cluster_costs.get(c.index()))
+            .copied()
             .sum();
         vertex_cost + cluster_cost
     }

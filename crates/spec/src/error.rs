@@ -25,6 +25,30 @@ pub enum SpecError {
     },
 }
 
+impl SpecError {
+    /// The `flexlint` diagnostic code that statically predicts this error,
+    /// if one exists (see the diagnostics catalog in DESIGN.md §10).
+    ///
+    /// Solver and loader call sites include the code in their messages so
+    /// users can jump from a runtime failure to `flexplore lint` output.
+    #[must_use]
+    pub fn lint_code(&self) -> Option<&'static str> {
+        match self {
+            SpecError::Problem(e) | SpecError::Architecture(e) => hgraph_lint_code(e),
+            SpecError::MappingEndpoint { .. } => Some("F005"),
+        }
+    }
+}
+
+fn hgraph_lint_code(e: &HgraphError) -> Option<&'static str> {
+    match e {
+        HgraphError::InterfaceWithoutClusters { .. } => Some("F001"),
+        HgraphError::ContainmentCycle { .. } => Some("F002"),
+        HgraphError::DanglingReference { .. } => Some("F003"),
+        _ => None,
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -107,6 +131,21 @@ pub enum BindingViolation {
     InvalidMode(HgraphError),
 }
 
+impl BindingViolation {
+    /// The `flexlint` diagnostic code that statically predicts this
+    /// violation, if one exists (see the diagnostics catalog in DESIGN.md
+    /// §10).
+    #[must_use]
+    pub fn lint_code(&self) -> Option<&'static str> {
+        match self {
+            BindingViolation::UnboundProcess { .. } => Some("F004"),
+            BindingViolation::NoCommunicationPath { .. } => Some("F007"),
+            BindingViolation::InvalidMode(e) => hgraph_lint_code(e),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for BindingViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -183,6 +222,33 @@ mod tests {
         let msg = v.to_string();
         assert!(msg.contains("v3"));
         assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn lint_codes_match_the_catalog() {
+        let iface = flexplore_hgraph::InterfaceId::from_index(0);
+        let err = SpecError::Problem(HgraphError::InterfaceWithoutClusters { interface: iface });
+        assert_eq!(err.lint_code(), Some("F001"));
+        let err = SpecError::MappingEndpoint {
+            process: VertexId::from_index(0),
+            resource: VertexId::from_index(1),
+            reason: "x",
+        };
+        assert_eq!(err.lint_code(), Some("F005"));
+        let v = BindingViolation::UnboundProcess {
+            process: VertexId::from_index(0),
+        };
+        assert_eq!(v.lint_code(), Some("F004"));
+        let v = BindingViolation::NoCommunicationPath {
+            edge: EdgeId::from_index(0),
+            from_resource: VertexId::from_index(0),
+            to_resource: VertexId::from_index(1),
+        };
+        assert_eq!(v.lint_code(), Some("F007"));
+        let v = BindingViolation::MultipleBindings {
+            process: VertexId::from_index(0),
+        };
+        assert_eq!(v.lint_code(), None);
     }
 
     #[test]

@@ -88,12 +88,22 @@ impl ResourceAllocation {
     ///
     /// This is the paper's *allocation cost model*
     /// `c_impl(α) = Σ realization costs of resources in α`.
+    /// Ids the architecture does not have (possible in allocations built
+    /// from untrusted input) contribute nothing; `flexplore lint` reports
+    /// the underlying defect.
     #[must_use]
     pub fn cost(&self, architecture: &ArchitectureGraph) -> Cost {
-        let vertex_cost: Cost = self.vertices.iter().map(|&v| architecture.cost(v)).sum();
+        let graph = architecture.graph();
+        let vertex_cost: Cost = self
+            .vertices
+            .iter()
+            .filter(|v| v.index() < graph.vertex_count())
+            .map(|&v| architecture.cost(v))
+            .sum();
         let cluster_cost: Cost = self
             .clusters
             .iter()
+            .filter(|c| c.index() < graph.cluster_count())
             .map(|&c| architecture.cluster_cost(c))
             .sum();
         vertex_cost + cluster_cost
@@ -102,11 +112,15 @@ impl ResourceAllocation {
     /// The set of concrete architecture vertices available somewhere in
     /// time under this allocation: the allocated top-level vertices plus
     /// the leaves of every allocated design cluster.
+    /// Unknown cluster ids contribute no leaves (see [`Self::cost`]).
     #[must_use]
     pub fn available_vertices(&self, architecture: &ArchitectureGraph) -> BTreeSet<VertexId> {
+        let graph = architecture.graph();
         let mut out = self.vertices.clone();
         for &c in &self.clusters {
-            out.extend(architecture.graph().leaves_of_cluster(c));
+            if c.index() < graph.cluster_count() {
+                out.extend(graph.leaves_of_cluster(c));
+            }
         }
         out
     }
@@ -127,13 +141,18 @@ impl ResourceAllocation {
     /// architecture graph for names.
     #[must_use]
     pub fn display_names(&self, architecture: &ArchitectureGraph) -> String {
+        let graph = architecture.graph();
         let mut names: Vec<&str> = self
             .vertices
             .iter()
+            .filter(|v| v.index() < graph.vertex_count())
             .map(|&v| architecture.resource_name(v))
             .collect();
         for &c in &self.clusters {
-            for v in architecture.graph().leaves_of_cluster(c) {
+            if c.index() >= graph.cluster_count() {
+                continue;
+            }
+            for v in graph.leaves_of_cluster(c) {
                 names.push(architecture.resource_name(v));
             }
         }
@@ -428,6 +447,20 @@ impl SpecificationGraph {
             .validate()
             .map_err(SpecError::Architecture)?;
         for m in &self.mappings {
+            if m.process.index() >= self.problem.graph().vertex_count() {
+                return Err(SpecError::MappingEndpoint {
+                    process: m.process,
+                    resource: m.resource,
+                    reason: "process is not a vertex of the problem graph",
+                });
+            }
+            if m.resource.index() >= self.architecture.graph().vertex_count() {
+                return Err(SpecError::MappingEndpoint {
+                    process: m.process,
+                    resource: m.resource,
+                    reason: "resource is not a vertex of the architecture graph",
+                });
+            }
             if self.architecture.kind(m.resource) != ResourceKind::Functional {
                 return Err(SpecError::MappingEndpoint {
                     process: m.process,
@@ -487,6 +520,54 @@ mod tests {
         let (mut spec, _, _, r1) = small_spec();
         let bogus = VertexId::from_index(999);
         assert!(spec.add_mapping(bogus, r1, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_forged_out_of_range_endpoints() {
+        // `add_mapping` bounds-checks, so only deserialized specs can hold
+        // out-of-range endpoints; push directly to simulate one.
+        let (mut spec, t1, _, r1) = small_spec();
+        spec.mappings.push(Mapping {
+            process: t1,
+            resource: VertexId::from_index(999),
+            latency: Time::from_ns(1),
+        });
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::MappingEndpoint { .. })
+        ));
+        spec.mappings.pop();
+        spec.mappings.push(Mapping {
+            process: VertexId::from_index(999),
+            resource: r1,
+            latency: Time::from_ns(1),
+        });
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::MappingEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn compiling_a_forged_spec_does_not_panic() {
+        let (mut spec, _, _, r1) = small_spec();
+        spec.mappings.push(Mapping {
+            process: VertexId::from_index(999),
+            resource: r1,
+            latency: Time::from_ns(1),
+        });
+        let compiled = crate::compiled::CompiledSpec::new(&spec);
+        // The forged edge is simply absent from the tables.
+        let total: usize = spec
+            .problem()
+            .graph()
+            .vertex_ids()
+            .map(|v| compiled.mappings_of(v).len())
+            .sum();
+        assert_eq!(total, 2);
+        assert!(crate::compiled::CompiledSpec::try_new(&spec).is_err());
+        spec.mappings.pop();
+        assert!(crate::compiled::CompiledSpec::try_new(&spec).is_ok());
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Integration tests of the flexlint static analyzer.
+//!
+//! Exercises every diagnostic code `F001`–`F012` on purpose-built
+//! defective specifications, checks the bundled case-study models pass
+//! clean, and property-tests the contract the exploration pre-flight
+//! relies on: a specification without error-level findings never makes
+//! the explorer fail structurally.
+//!
+//! Defects the public builder API refuses to construct (dangling ids,
+//! containment cycles, out-of-range mapping endpoints) are forged by
+//! editing the JSON form and reloading it **unvalidated** — exactly the
+//! path `flexplore lint` uses on files from disk.
+
+use flexplore::models::{spec_from_json_unvalidated, spec_to_json};
+use flexplore::{
+    dual_slot_fpga, explore, lint_spec, set_top_box, synthetic_spec, tv_decoder, ArchitectureGraph,
+    Cost, ExploreOptions, ProblemGraph, ProcessAttrs, Scope, Severity, SpecificationGraph,
+    SyntheticConfig, Time,
+};
+use proptest::prelude::*;
+
+fn codes(spec: &SpecificationGraph) -> Vec<&'static str> {
+    lint_spec(spec).diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// One clustered process mapped to one cpu — the smallest specification
+/// with every arena populated, used as the substrate for JSON forging.
+fn clustered_spec() -> SpecificationGraph {
+    let mut p = ProblemGraph::new("p");
+    let i = p.add_interface(Scope::Top, "I");
+    let c = p.add_cluster(i, "c");
+    let v = p.add_process(c.into(), "v");
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(v, cpu, Time::from_ns(1)).unwrap();
+    spec
+}
+
+/// Serializes the spec, rewrites the first occurrence of `from`, and
+/// reloads without validation — the defect survives into the lint run.
+fn forge(spec: &SpecificationGraph, from: &str, to: &str) -> SpecificationGraph {
+    let json = spec_to_json(spec).unwrap();
+    let forged = json.replacen(from, to, 1);
+    assert_ne!(json, forged, "forge pattern {from:?} not found");
+    spec_from_json_unvalidated(&forged).unwrap()
+}
+
+#[test]
+fn f001_unrefinable_interfaces_in_both_graphs() {
+    let mut p = ProblemGraph::new("p");
+    p.add_interface(Scope::Top, "I_empty");
+    let report = lint_spec(&SpecificationGraph::new(
+        "s",
+        p,
+        ArchitectureGraph::new("a"),
+    ));
+    assert!(report.has_code("F001"));
+    assert!(report.has_errors());
+
+    let mut a = ArchitectureGraph::new("a");
+    a.add_interface(Scope::Top, "FPGA");
+    let report = lint_spec(&SpecificationGraph::new("s", ProblemGraph::new("p"), a));
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F001")
+        .unwrap();
+    assert_eq!(d.location.kind(), "arch-interface");
+    assert!(d.message.contains("loadable designs"), "{}", d.message);
+}
+
+#[test]
+fn f002_containment_cycle_is_reported_not_crashed() {
+    // The owning interface of cluster 0 is moved inside cluster 0: the
+    // containment chain re-enters itself.
+    let spec = forge(
+        &clustered_spec(),
+        "\"scope\": \"Top\"",
+        "\"scope\": {\"Cluster\": 0}",
+    );
+    let report = lint_spec(&spec);
+    assert!(report.has_code("F002"), "{}", report.render_text());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn f003_dangling_reference_is_reported_not_crashed() {
+    // The process's scope points at cluster 7, which does not exist.
+    let spec = forge(&clustered_spec(), "\"Cluster\": 0", "\"Cluster\": 7");
+    let report = lint_spec(&spec);
+    assert!(report.has_code("F003"), "{}", report.render_text());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn f004_unmapped_leaves_escalate_at_top_level() {
+    let mut p = ProblemGraph::new("p");
+    p.add_process(Scope::Top, "orphan");
+    let report = lint_spec(&SpecificationGraph::new(
+        "s",
+        p,
+        ArchitectureGraph::new("a"),
+    ));
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F004")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+
+    let mut p = ProblemGraph::new("p");
+    let i = p.add_interface(Scope::Top, "I");
+    let c1 = p.add_cluster(i, "c1");
+    let v1 = p.add_process(c1.into(), "v1");
+    let c2 = p.add_cluster(i, "c2");
+    p.add_process(c2.into(), "v2"); // unmapped, but only one alternative dies
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(v1, cpu, Time::from_ns(1)).unwrap();
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F004")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    // ... and the dead alternative is flagged as such.
+    assert!(report.has_code("F008"));
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn f005_malformed_mapping_endpoints() {
+    let spec = forge(&clustered_spec(), "\"process\": 0", "\"process\": 99");
+    assert!(codes(&spec).contains(&"F005"));
+
+    let spec = forge(&clustered_spec(), "\"resource\": 0", "\"resource\": 99");
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F005")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location.kind(), "mapping");
+}
+
+#[test]
+fn f006_duplicate_mappings_note_and_warning() {
+    let mut p = ProblemGraph::new("p");
+    let t = p.add_process(Scope::Top, "t");
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+    spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F006")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Note);
+
+    spec.add_mapping(t, cpu, Time::from_ns(5)).unwrap();
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F006")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn f007_unroutable_dependence() {
+    let mut p = ProblemGraph::new("p");
+    let t1 = p.add_process(Scope::Top, "t1");
+    let t2 = p.add_process(Scope::Top, "t2");
+    p.add_dependence(t1, t2).unwrap();
+    let mut a = ArchitectureGraph::new("a");
+    let r1 = a.add_resource(Scope::Top, "r1", Cost::new(1));
+    let r2 = a.add_resource(Scope::Top, "r2", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(t1, r1, Time::from_ns(1)).unwrap();
+    spec.add_mapping(t2, r2, Time::from_ns(1)).unwrap();
+    let report = lint_spec(&spec);
+    assert!(report.has_code("F007"));
+    assert!(report.has_errors());
+}
+
+#[test]
+fn f009_identical_alternatives() {
+    let mut p = ProblemGraph::new("p");
+    let i = p.add_interface(Scope::Top, "I");
+    let c1 = p.add_cluster(i, "c1");
+    let v1 = p.add_process(c1.into(), "v1");
+    let c2 = p.add_cluster(i, "c2");
+    let v2 = p.add_process(c2.into(), "v2");
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(v1, cpu, Time::from_ns(1)).unwrap();
+    spec.add_mapping(v2, cpu, Time::from_ns(1)).unwrap();
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F009")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn f010_f011_period_sanity() {
+    let mut p = ProblemGraph::new("p");
+    let t = p.add_process_with(Scope::Top, "t", ProcessAttrs::new().with_period(Time::ZERO));
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+    assert!(codes(&spec).contains(&"F010"));
+
+    let mut p = ProblemGraph::new("p");
+    let t = p.add_process_with(
+        Scope::Top,
+        "t",
+        ProcessAttrs::new().with_period(Time::from_ns(10)),
+    );
+    let mut a = ArchitectureGraph::new("a");
+    let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let mut spec = SpecificationGraph::new("s", p, a);
+    spec.add_mapping(t, cpu, Time::from_ns(20)).unwrap();
+    let report = lint_spec(&spec);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "F011")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn f012_no_bindable_activation() {
+    let mut p = ProblemGraph::new("p");
+    let i = p.add_interface(Scope::Top, "I");
+    let c1 = p.add_cluster(i, "c1");
+    p.add_process(c1.into(), "v1");
+    let c2 = p.add_cluster(i, "c2");
+    p.add_process(c2.into(), "v2");
+    let mut a = ArchitectureGraph::new("a");
+    a.add_resource(Scope::Top, "cpu", Cost::new(1));
+    let report = lint_spec(&SpecificationGraph::new("s", p, a));
+    assert!(report.has_code("F012"));
+    assert!(report.has_errors());
+}
+
+#[test]
+fn bundled_case_studies_lint_clean() {
+    for (name, spec) in [
+        ("set_top_box", set_top_box().spec),
+        ("tv_decoder", tv_decoder().spec),
+        ("dual_slot_fpga", dual_slot_fpga().spec),
+    ] {
+        let report = lint_spec(&spec);
+        assert!(report.is_clean(), "{name}: {}", report.render_text());
+    }
+}
+
+#[test]
+fn reports_are_deterministic_and_renderable() {
+    let spec = forge(&clustered_spec(), "\"Cluster\": 0", "\"Cluster\": 7");
+    let a = lint_spec(&spec);
+    let b = lint_spec(&spec);
+    assert_eq!(a, b);
+    assert_eq!(a.render_json(), b.render_json());
+    assert!(a.render_text().contains("error(s)"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The contract the CLI pre-flight gate is built on: a specification
+    /// with no error-level lint findings always explores successfully —
+    /// the solver may find few (or zero-flexibility) points, but it never
+    /// fails structurally.
+    #[test]
+    fn lint_error_free_specs_explore_cleanly(seed in 0u64..500) {
+        let spec = synthetic_spec(&SyntheticConfig::small(seed));
+        let report = lint_spec(&spec);
+        prop_assert!(
+            !report.has_errors(),
+            "seed {}: {}", seed, report.render_text()
+        );
+        let result = explore(&spec, &ExploreOptions::paper());
+        prop_assert!(result.is_ok(), "seed {}: {:?}", seed, result.err());
+    }
+}
