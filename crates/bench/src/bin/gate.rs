@@ -1,0 +1,131 @@
+//! Bench-regression gate: compares current `BENCH_*.json` measurements
+//! against a committed baseline and fails on regressions.
+//!
+//! ```text
+//! gate --baseline BENCH_baseline.json <current.json>...
+//!      [--tolerance <PCT>] [--min-wall-ms <MS>]
+//! gate --write-baseline BENCH_baseline.json <current.json>...
+//! ```
+//!
+//! Two kinds of check, matching what the numbers mean:
+//!
+//! * counter totals (candidates, solver calls, Pareto points, lint
+//!   findings) are deterministic — any drift fails, however fast the run;
+//! * wall-clock fails only when more than `--tolerance` percent slower
+//!   (default 25), and baseline entries under `--min-wall-ms` (default
+//!   1.0) are exempt from the timing check entirely.
+//!
+//! Setting `BENCH_GATE_INJECT_SLOWDOWN=<factor>` multiplies the current
+//! wall-clock numbers before comparing — CI uses factor 2 to prove the
+//! gate actually fails on a regression.
+//!
+//! Exit codes: 0 pass, 1 regression, 2 usage/IO error.
+
+use flexplore_bench::{compare, BenchFile, GateOptions};
+use std::process::ExitCode;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("gate: {message}");
+    ExitCode::from(2)
+}
+
+fn read_bench(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchFile::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut current_paths: Vec<String> = Vec::new();
+    let mut options = GateOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(path) => baseline_path = Some(path),
+                None => return fail("--baseline needs a file path"),
+            },
+            "--write-baseline" => match it.next() {
+                Some(path) => write_baseline = Some(path),
+                None => return fail("--write-baseline needs a file path"),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => options.tolerance_pct = pct,
+                None => return fail("--tolerance needs a percentage"),
+            },
+            "--min-wall-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => options.min_wall_ms = ms,
+                None => return fail("--min-wall-ms needs a duration in ms"),
+            },
+            flag if flag.starts_with('-') => {
+                return fail(&format!("unknown flag {flag:?}"));
+            }
+            path => current_paths.push(path.to_owned()),
+        }
+    }
+    if current_paths.is_empty() {
+        return fail(
+            "usage: gate (--baseline <file> | --write-baseline <file>) <current.json>... \
+             [--tolerance <PCT>] [--min-wall-ms <MS>]",
+        );
+    }
+    let mut currents = Vec::new();
+    for path in &current_paths {
+        match read_bench(path) {
+            Ok(file) => currents.push(file),
+            Err(message) => return fail(&message),
+        }
+    }
+    let mut current = BenchFile::merged(&currents);
+
+    if let Some(out) = write_baseline {
+        let json = match current.to_json() {
+            Ok(json) => json,
+            Err(e) => return fail(&format!("cannot render baseline: {e}")),
+        };
+        if let Err(e) = std::fs::write(&out, json) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!(
+            "gate: wrote baseline {out} ({} entries)",
+            current.reports.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return fail("--baseline <file> is required (or use --write-baseline)");
+    };
+    let baseline = match read_bench(&baseline_path) {
+        Ok(file) => file,
+        Err(message) => return fail(&message),
+    };
+
+    if let Ok(factor) = std::env::var("BENCH_GATE_INJECT_SLOWDOWN") {
+        match factor.parse::<f64>() {
+            Ok(factor) if factor > 0.0 => {
+                eprintln!("gate: self-test — injecting a {factor}x slowdown into current numbers");
+                current.slow_down(factor);
+            }
+            _ => return fail("BENCH_GATE_INJECT_SLOWDOWN must be a positive number"),
+        }
+    }
+
+    let outcome = compare(&baseline, &current, &options);
+    print!("{}", outcome.table);
+    if outcome.passed() {
+        println!(
+            "gate: PASS ({} entries within {:.0}% of {baseline_path})",
+            baseline.reports.len(),
+            options.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("gate: FAIL {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

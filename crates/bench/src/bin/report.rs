@@ -13,10 +13,11 @@ use flexplore::adaptive::{evaluate_platform, generate_trace, ReconfigCost, Trace
 use flexplore::bind::{BindOptions, ImplementOptions};
 use flexplore::flex::{flexibility, max_flexibility};
 use flexplore::{
-    exhaustive_explore, explore, lint_spec, moea_explore, paper_pareto_table,
-    possible_resource_allocations, set_top_box, synthetic_spec, tv_decoder, AllocationOptions,
-    Cost, ExploreOptions, MoeaOptions, SchedPolicy, SyntheticConfig, Time,
+    exhaustive_explore, explore, moea_explore, paper_pareto_table, possible_resource_allocations,
+    set_top_box, synthetic_spec, tv_decoder, AllocationOptions, Cost, ExploreOptions, MoeaOptions,
+    SchedPolicy, SyntheticConfig, Time,
 };
+use flexplore_bench::{available_parallelism, entry_id, explore_suite, lint_suite, out_path};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,44 +39,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 ///
 /// The lint pre-flight runs before every exploration, so its cost must be
 /// negligible next to the search itself. Every bundled model must come
-/// out clean — the CI self-lint step (`--deny warnings`) enforces the
-/// same invariant.
+/// out clean — [`flexplore_bench::measured_lint`] asserts it, and the CI
+/// self-lint step (`--deny warnings`) enforces the same invariant.
 fn e14() -> Result<(), Box<dyn std::error::Error>> {
     println!("## E14 — flexlint static analysis\n");
-    println!("| model | diagnostics | wall |");
+    println!("| model | findings | wall (best of 3) |");
     println!("|---|---|---|");
-    let mut entries = Vec::new();
-    for (name, spec) in [
-        ("set_top_box", set_top_box().spec),
-        ("tv_decoder", tv_decoder().spec),
-        (
-            "synthetic_large",
-            synthetic_spec(&SyntheticConfig::large(11)),
-        ),
-    ] {
-        let started = Instant::now();
-        let report = lint_spec(&spec);
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        assert!(
-            report.is_clean(),
-            "{name} must lint clean: {}",
-            report.render_text()
-        );
+    let suite = lint_suite();
+    for report in &suite.reports {
+        let findings = report.counter("lint_errors").unwrap_or(0)
+            + report.counter("lint_warnings").unwrap_or(0)
+            + report.counter("lint_notes").unwrap_or(0);
         println!(
-            "| {name} | {} | {wall_ms:.2} ms |",
-            report.diagnostics.len()
+            "| {} | {findings} | {:.2} ms |",
+            report.spec,
+            report.wall_ns as f64 / 1e6
         );
-        entries.push(format!(
-            "    {{ \"model\": \"{name}\", \"diagnostics\": {}, \"wall_ms\": {wall_ms:.3} }}",
-            report.diagnostics.len()
-        ));
     }
-    let json = format!(
-        "{{\n  \"experiments\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write("BENCH_lint.json", json)?;
-    println!("\n(Raw numbers written to `BENCH_lint.json`.)\n");
+    let path = out_path("BENCH_lint.json")?;
+    std::fs::write(&path, suite.to_json()?)?;
+    println!("\n(Raw run reports written to `{}`.)\n", path.display());
     Ok(())
 }
 
@@ -86,64 +69,43 @@ fn e14() -> Result<(), Box<dyn std::error::Error>> {
 /// machine delivers — on a single hardware thread the parallel engine is
 /// expected to cost a little extra, not to speed up.
 fn e13() -> Result<(), Box<dyn std::error::Error>> {
-    let all = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut thread_counts = vec![1usize, 2, 4];
-    if !thread_counts.contains(&all) {
-        thread_counts.push(all);
-    }
     println!("## E13 — deterministic parallel EXPLORE\n");
-    println!("Hardware threads available: {all}. `threads = 1` is the sequential engine.\n");
-    println!("| model | threads | wall | candidates | solver calls | chunks speculated | wasted |");
-    println!("|---|---|---|---|---|---|---|");
-    let mut entries = Vec::new();
-    for (name, spec) in [
-        ("set_top_box", set_top_box().spec),
-        ("tv_decoder", tv_decoder().spec),
-    ] {
-        let mut runs = Vec::new();
-        let mut baseline = None;
-        let mut candidates = 0;
-        let mut attempts = 0;
-        for &threads in &thread_counts {
-            let options = ExploreOptions {
-                allocation: AllocationOptions {
-                    threads,
-                    ..AllocationOptions::default()
-                },
-                ..ExploreOptions::paper()
-            }
-            .with_threads(threads);
-            let started = Instant::now();
-            let result = explore(&spec, &options)?;
-            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-            match &baseline {
-                None => baseline = Some(result.front.objectives()),
-                Some(expected) => assert_eq!(&result.front.objectives(), expected),
-            }
-            candidates = result.stats.allocations.kept;
-            attempts = result.stats.implement_attempts;
-            println!(
-                "| {name} | {threads} | {wall_ms:.1} ms | {candidates} | {attempts} | {} | {} |",
-                result.stats.chunks_speculated, result.stats.speculative_waste
-            );
-            runs.push(format!(
-                "        {{ \"threads\": {threads}, \"wall_ms\": {wall_ms:.3}, \
-                 \"chunks_speculated\": {}, \"speculative_waste\": {} }}",
-                result.stats.chunks_speculated, result.stats.speculative_waste
-            ));
-        }
-        entries.push(format!(
-            "    {{\n      \"model\": \"{name}\",\n      \"candidates\": {candidates},\n      \
-             \"implement_attempts\": {attempts},\n      \"runs\": [\n{}\n      ]\n    }}",
-            runs.join(",\n")
-        ));
-    }
-    let json = format!(
-        "{{\n  \"available_parallelism\": {all},\n  \"experiments\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+    println!(
+        "Hardware threads available: {}. `threads = 1` is the sequential engine.\n",
+        available_parallelism()
     );
-    std::fs::write("BENCH_explore.json", json)?;
-    println!("\n(Raw numbers written to `BENCH_explore.json`.)\n");
+    println!(
+        "| entry | wall (best of 3) | candidates | solver calls | chunks speculated | wasted |"
+    );
+    println!("|---|---|---|---|---|---|");
+    let suite = explore_suite();
+    for report in &suite.reports {
+        println!(
+            "| {} | {:.1} ms | {} | {} | {} | {} |",
+            entry_id(report),
+            report.wall_ns as f64 / 1e6,
+            report.counter("possible_allocations").unwrap_or(0),
+            report.counter("implement_attempts").unwrap_or(0),
+            report.speculation.chunks_speculated,
+            report.speculation.speculative_waste
+        );
+    }
+    // The determinism contract the parallel engine ships with: the
+    // counter section is byte-identical for every thread count.
+    for model in suite.reports.chunks(flexplore_bench::THREAD_COUNTS.len()) {
+        let expected = model[0].counters_json()?;
+        for report in model {
+            assert_eq!(
+                report.counters_json()?,
+                expected,
+                "{}: thread-variant counters",
+                entry_id(report)
+            );
+        }
+    }
+    let path = out_path("BENCH_explore.json")?;
+    std::fs::write(&path, suite.to_json()?)?;
+    println!("\n(Raw run reports written to `{}`.)\n", path.display());
     Ok(())
 }
 

@@ -13,6 +13,7 @@ use crate::comm::CommGraph;
 use crate::solver::{solve_mode_compiled, BindOptions, ModeImplementation, SolveStats};
 use flexplore_flex::{estimate_with_compiled, flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, VertexId};
+use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -184,13 +185,39 @@ pub fn implement_allocation_compiled(
     allocation: &ResourceAllocation,
     options: &ImplementOptions,
 ) -> Result<(Option<Implementation>, ImplementStats), BindError> {
+    implement_allocation_obs(compiled, allocation, options, &ObsSink::disabled())
+}
+
+/// [`implement_allocation_compiled`] with per-stage observability: records
+/// busy time of the feasibility estimate (`bind.estimate`), the
+/// communication-graph construction (`bind.comm`), the backtracking
+/// binding search (`bind.solve`, one call per elementary
+/// cluster-activation) and the implemented-flexibility evaluation
+/// (`bind.flex`) into `obs`. With a disabled sink this is exactly
+/// [`implement_allocation_compiled`] — no clocks are read.
+///
+/// Safe to call from worker threads sharing one sink: only dotted
+/// sub-phases are recorded, which aggregate order-free.
+///
+/// # Errors
+///
+/// Returns [`BindError::TooManyActivations`] if the ECA enumeration exceeds
+/// the configured bound.
+pub fn implement_allocation_obs(
+    compiled: &CompiledSpec<'_>,
+    allocation: &ResourceAllocation,
+    options: &ImplementOptions,
+    obs: &ObsSink,
+) -> Result<(Option<Implementation>, ImplementStats), BindError> {
     let spec = compiled.spec();
     let mut stats = ImplementStats::default();
     let mut available = compiled.available_vertices(allocation);
     for v in &options.excluded_resources {
         available.remove(v);
     }
+    let timer = obs.start();
     let estimate = estimate_with_compiled(compiled, &available);
+    obs.finish(phase::BIND_ESTIMATE, timer);
     if !estimate.feasible {
         return Ok((None, stats));
     }
@@ -209,13 +236,17 @@ pub fn implement_allocation_compiled(
         });
     }
 
+    let timer = obs.start();
     let comm = CommGraph::from_compiled(compiled, &available);
+    obs.finish(phase::BIND_COMM, timer);
     let mut modes = Vec::new();
     let mut covered: BTreeSet<ClusterId> = BTreeSet::new();
     for eca in &ecas {
         stats.activations += 1;
+        let timer = obs.start();
         let (solved, solve_stats) =
             solve_mode_compiled(compiled, allocation, &comm, eca, &options.bind);
+        obs.finish(phase::BIND_SOLVE, timer);
         stats.solve.assignments += solve_stats.assignments;
         stats.solve.backtracks += solve_stats.backtracks;
         if let Some(mode) = solved {
@@ -234,7 +265,9 @@ pub fn implement_allocation_compiled(
     if !top_ok {
         return Ok((None, stats));
     }
+    let timer = obs.start();
     let flex = flexibility(spec.problem().graph(), |c| covered.contains(&c));
+    obs.finish(phase::BIND_FLEX, timer);
     let implementation = Implementation {
         allocation: allocation.clone(),
         modes,

@@ -14,20 +14,28 @@
 //! flexplore demo [--json]                               built-in Set-Top box case study
 //! flexplore faults <spec.json> [--kill R@NS[+NS]]...    fault-injection scenario + resilience
 //! flexplore lint <spec.json> [--format json] [--deny ..] static analysis (codes F001–F012)
+//! flexplore profile <spec.json|MODEL> [--top K]         instrumented EXPLORE, hottest phases
 //! ```
+//!
+//! The long-running commands (`explore`, `resilience`, `faults`, `lint`)
+//! also accept `--profile [text|json]`, which runs the same engine with
+//! the observability sink enabled: `text` appends a phase/counter table
+//! to the normal output, `json` replaces the output with the aggregated
+//! [`RunReport`](flexplore::RunReport).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
 use flexplore::models::{spec_from_json, spec_from_json_unvalidated};
+use flexplore::obs::phase;
 use flexplore::{
-    dual_slot_fpga, explore, explore_resilient, flexibility_profile,
-    k_resilient_flexibility_threaded, lint_spec, max_flexibility_under_budget,
+    dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs, flexibility_profile,
+    k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
     min_cost_for_flexibility, run_with_faults, set_top_box, synthetic_spec, tv_decoder,
     AllocationOptions, Cost, DegradationPolicy, ExploreOptions, FaultKind, FaultPlan,
-    FaultScenario, ImplementOptions, ReconfigCost, Selection, SpecificationGraph, SyntheticConfig,
-    Time, VertexId,
+    FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection, SpecificationGraph,
+    SyntheticConfig, Time, VertexId,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -75,8 +83,8 @@ pub const USAGE: &str = "\
 flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 2002)
 
 USAGE:
-    flexplore explore <spec.json> [--csv] [--threads N]
-    flexplore resilience <spec.json> [--k <K>] [--threads N]
+    flexplore explore <spec.json> [--csv] [--threads N] [--profile [text|json]]
+    flexplore resilience <spec.json> [--k <K>] [--threads N] [--profile [text|json]]
     flexplore flexibility <spec.json>
     flexplore query <spec.json> --min-flex <K>
     flexplore query <spec.json> --budget <DOLLARS>
@@ -86,9 +94,11 @@ USAGE:
     flexplore faults <spec.json> [--kill <RESOURCE>@<NS>[+<OUTAGE>]]...
                      [--seed <N>] [--count <N>] [--policy <POLICY>]
                      [--budget <DOLLARS>] [--k <K>] [--trace <N>]
-                     [--threads <N>]
+                     [--threads <N>] [--profile [text|json]]
     flexplore lint (<spec.json> | --builtin <MODEL>) [--format text|json]
-                   [--deny (warnings|<CODE>)]...
+                   [--deny (warnings|<CODE>)]... [--profile [text|json]]
+    flexplore profile (<spec.json> | <MODEL>) [--top <K>] [--threads <N>]
+                      [--format text|json] [--events <PATH>]
 
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
@@ -125,6 +135,17 @@ COMMANDS:
                   exit codes: 0 clean (or findings not denied), 1 findings
                   denied by --deny, 2 error-level findings, 3 internal
                   fault (unreadable file, malformed JSON, bad flags)
+    profile       run an instrumented EXPLORE of a file or bundled model
+                  and print the hottest phases (--top K, default 8).
+                  --format json dumps the full run report, --events PATH
+                  writes the JSON-lines event log to a file
+
+PROFILING:
+    explore, resilience, faults and lint accept --profile [text|json]:
+    text appends a phase/counter table to the normal output; json
+    replaces the output with the aggregated run report. Counter totals
+    are byte-identical for every --threads value; only *_ns durations
+    and the speculation section vary between runs.
 ";
 
 /// Runs one CLI invocation; `args` excludes the program name.
@@ -145,6 +166,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("demo") => cmd_demo(&args.collect::<Vec<_>>()),
         Some("faults") => cmd_faults(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
+        Some("profile") => cmd_profile(&args.collect::<Vec<_>>()),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -156,6 +178,86 @@ fn load_spec(path: &str) -> Result<SpecificationGraph, CliError> {
     spec_from_json(&json).map_err(|e| err(format!("invalid specification {path}: {e}")))
 }
 
+/// How `--profile` reports the observability data collected by a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    /// Instrumentation disabled — the sink records nothing and the hot
+    /// paths pay a single branch per probe.
+    Off,
+    /// Append the human-readable phase/counter table to the normal output.
+    Text,
+    /// Replace the normal output with the aggregated run report as JSON.
+    Json,
+}
+
+impl ProfileMode {
+    /// The sink matching the mode: disabled for [`ProfileMode::Off`],
+    /// enabled (clock starts now) otherwise.
+    fn sink(self) -> ObsSink {
+        if self == ProfileMode::Off {
+            ObsSink::disabled()
+        } else {
+            ObsSink::enabled()
+        }
+    }
+}
+
+/// Splits `--profile [text|json]` out of an argument list so every
+/// command shares one syntax; the value is optional and defaults to
+/// `text` (a bare `--profile` before another flag does what it looks
+/// like it does).
+fn take_profile<'a>(args: &[&'a str]) -> (ProfileMode, Vec<&'a str>) {
+    let mut mode = ProfileMode::Off;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter().copied().peekable();
+    while let Some(arg) = it.next() {
+        if arg == "--profile" {
+            mode = match it.peek().copied() {
+                Some("json") => {
+                    it.next();
+                    ProfileMode::Json
+                }
+                Some("text") => {
+                    it.next();
+                    ProfileMode::Text
+                }
+                _ => ProfileMode::Text,
+            };
+        } else {
+            rest.push(arg);
+        }
+    }
+    (mode, rest)
+}
+
+/// Renders a command's final output under its profile mode: untouched
+/// when off, with the report table appended for `text`, replaced by the
+/// report JSON for `json` (machine-readable, like `--csv`).
+fn profiled_output(
+    mode: ProfileMode,
+    obs: &ObsSink,
+    run: &str,
+    spec_name: &str,
+    threads: usize,
+    normal: String,
+) -> Result<String, CliError> {
+    match mode {
+        ProfileMode::Off => Ok(normal),
+        ProfileMode::Text => {
+            let report = obs.report(run, spec_name, threads);
+            Ok(format!("{normal}{}", report.render_text(8)))
+        }
+        ProfileMode::Json => {
+            let report = obs.report(run, spec_name, threads);
+            let mut json = report
+                .to_json()
+                .map_err(|e| err(format!("cannot render run report: {e}")))?;
+            json.push('\n');
+            Ok(json)
+        }
+    }
+}
+
 /// Pre-flight lint gate run by the expensive commands (`explore`,
 /// `resilience`, `faults`) before any enumeration starts.
 ///
@@ -164,8 +266,10 @@ fn load_spec(path: &str) -> Result<SpecificationGraph, CliError> {
 /// a silently empty front. Warning/note findings are surfaced as a banner
 /// line the command prepends to its output; clean specifications get an
 /// empty banner so their output is unchanged.
-fn preflight_lint(spec: &SpecificationGraph) -> Result<String, CliError> {
-    let report = lint_spec(spec);
+fn preflight_lint(spec: &SpecificationGraph, obs: &ObsSink) -> Result<String, CliError> {
+    let timer = obs.start();
+    let report = lint_spec_obs(spec, obs);
+    obs.finish(phase::LINT, timer);
     if report.has_errors() {
         return Err(err(format!(
             "specification rejected by pre-flight lint:\n{}",
@@ -206,6 +310,7 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
         output: None,
         code: 3,
     };
+    let (profile, args) = take_profile(args);
     let mut path: Option<&str> = None;
     let mut builtin: Option<&str> = None;
     let mut json = false;
@@ -240,6 +345,8 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
             positional => return Err(fault(format!("unexpected argument {positional:?}"))),
         }
     }
+    let obs = profile.sink();
+    let timer = obs.start();
     let spec = match (path, builtin) {
         (Some(path), None) => {
             // Deliberately unvalidated: structural defects become lint
@@ -261,8 +368,11 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
             )))
         }
     };
+    obs.finish(phase::PARSE, timer);
 
-    let report = lint_spec(&spec);
+    let timer = obs.start();
+    let report = lint_spec_obs(&spec, &obs);
+    obs.finish(phase::LINT, timer);
     let rendered = if json {
         report.render_json()
     } else {
@@ -295,11 +405,89 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
             code: 1,
         });
     }
-    Ok(rendered)
+    // Failure paths above keep their rendered-report payload untouched:
+    // the profile only decorates successful runs.
+    profiled_output(profile, &obs, "lint", spec.name(), 1, rendered)
+}
+
+/// `flexplore profile <target>` — run a fully instrumented EXPLORE of a
+/// specification file or bundled model and print where the time went.
+fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
+    let (target, rest) = split_path(args)?;
+    let mut top = 8usize;
+    let mut threads = 1usize;
+    let mut json = false;
+    let mut events_path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--top needs a positive integer"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            "--format" => match it.next().copied() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => return Err(err(format!("--format needs text or json, got {other:?}"))),
+            },
+            "--events" => {
+                events_path = Some(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| err("--events needs a file path"))?,
+                );
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let obs = ObsSink::enabled();
+    let timer = obs.start();
+    // A file if one exists at the path, else a bundled model name — so
+    // `flexplore profile set_top_box` works without shipping a JSON file.
+    let spec = if std::path::Path::new(target).exists() {
+        load_spec(target)?
+    } else {
+        builtin_spec(target).ok_or_else(|| {
+            err(format!(
+                "{target:?} is neither a readable file nor a bundled model \
+                 (set_top_box, tv_decoder, dual_slot_fpga, synthetic-small, \
+                 synthetic-medium, synthetic-large)"
+            ))
+        })?
+    };
+    obs.finish(phase::PARSE, timer);
+    preflight_lint(&spec, &obs)?;
+
+    let options = threaded_options(threads);
+    explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
+    let report = obs.report("explore", spec.name(), threads);
+    if let Some(path) = events_path {
+        std::fs::write(path, obs.events_jsonl(&report))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    if json {
+        let mut out = report
+            .to_json()
+            .map_err(|e| err(format!("cannot render run report: {e}")))?;
+        out.push('\n');
+        Ok(out)
+    } else {
+        Ok(report.render_text(top))
+    }
 }
 
 fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let (path, rest) = split_path(args)?;
+    let (profile, rest) = take_profile(rest);
     let mut csv = false;
     let mut threads = 1usize;
     let mut it = rest.iter();
@@ -315,15 +503,18 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    let obs = profile.sink();
+    let timer = obs.start();
     let spec = load_spec(path)?;
-    let banner = preflight_lint(&spec)?;
+    obs.finish(phase::PARSE, timer);
+    let banner = preflight_lint(&spec, &obs)?;
     let options = threaded_options(threads);
     let started = Instant::now();
-    let result = explore(&spec, &options).map_err(|e| err(e.to_string()))?;
+    let result = explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
-    if csv {
+    if csv && profile != ProfileMode::Json {
         // CSV stays machine-readable: the lint banner is omitted (errors
-        // still abort above).
+        // still abort above) and a text profile table would corrupt it.
         return Ok(result.front.to_csv());
     }
     let mut out = banner;
@@ -358,7 +549,7 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         s.chunks_speculated, s.speculative_waste
     );
     let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-    Ok(out)
+    profiled_output(profile, &obs, "explore", spec.name(), threads, out)
 }
 
 /// Explore options with the requested thread count applied to both the
@@ -377,6 +568,7 @@ fn threaded_options(threads: usize) -> ExploreOptions {
 
 fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
     let (path, rest) = split_path(args)?;
+    let (profile, rest) = take_profile(rest);
     let mut k = 1usize;
     let mut threads = 1usize;
     let mut it = rest.iter();
@@ -397,11 +589,14 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    let obs = profile.sink();
+    let timer = obs.start();
     let spec = load_spec(path)?;
-    let banner = preflight_lint(&spec)?;
+    obs.finish(phase::PARSE, timer);
+    let banner = preflight_lint(&spec, &obs)?;
     let options = threaded_options(threads);
     let started = Instant::now();
-    let front = explore_resilient(&spec, k, &options).map_err(|e| err(e.to_string()))?;
+    let front = explore_resilient_obs(&spec, k, &options, &obs).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
     let mut out = banner;
     let _ = writeln!(
@@ -425,7 +620,7 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
     }
     let _ = writeln!(out, "threads: {threads} requested");
     let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-    Ok(out)
+    profiled_output(profile, &obs, "resilience", spec.name(), threads, out)
 }
 
 fn cmd_flexibility(args: &[&str]) -> Result<String, CliError> {
@@ -554,6 +749,7 @@ fn cmd_demo(args: &[&str]) -> Result<String, CliError> {
 
 fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     let (path, rest) = split_path(args)?;
+    let (profile, rest) = take_profile(rest);
     let mut kills: Vec<(String, Time, Option<Time>)> = Vec::new();
     let mut seed = 1u64;
     let mut count = 2usize;
@@ -620,11 +816,16 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
         }
     }
 
+    let obs = profile.sink();
+    let timer = obs.start();
     let spec = load_spec(path)?;
-    let banner = preflight_lint(&spec)?;
+    obs.finish(phase::PARSE, timer);
+    let banner = preflight_lint(&spec, &obs)?;
+    let timer = obs.start();
     let point = max_flexibility_under_budget(&spec, Cost::new(budget), &ExploreOptions::paper())
         .map_err(|e| err(e.to_string()))?
         .ok_or_else(|| err("no feasible platform within the budget"))?;
+    obs.finish(phase::SELECT, timer);
     let implementation = point
         .implementation
         .ok_or_else(|| err("the selected design point carries no implementation"))?;
@@ -661,6 +862,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
         plan
     };
 
+    let timer = obs.start();
     let trace = generate_trace(
         &spec,
         &TraceConfig {
@@ -669,11 +871,13 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
             skewed: false,
         },
     );
+    obs.finish(phase::TRACE, timer);
     let scenario = FaultScenario {
         plan,
         policy,
         dwell: Time::from_ns(1_000),
     };
+    let timer = obs.start();
     let report = run_with_faults(
         &spec,
         &implementation,
@@ -682,6 +886,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
         &scenario,
     )
     .map_err(|e| err(e.to_string()))?;
+    obs.finish(phase::REPLAY, timer);
 
     let behavior_names = |s: &Selection| -> String {
         let g = spec.problem().graph();
@@ -763,12 +968,13 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     // The kill-set sweep is byte-identical for every thread count, so the
     // seeded-run determinism of this command is unaffected (no timing is
     // printed here for the same reason).
-    let resilience = k_resilient_flexibility_threaded(
+    let resilience = k_resilient_flexibility_obs(
         &spec,
         &implementation,
         k,
         &ImplementOptions::default(),
         threads,
+        &obs,
     )
     .map_err(|e| err(e.to_string()))?;
     let _ = writeln!(
@@ -781,7 +987,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
             resilience.worst_case.join(" + ")
         }
     );
-    Ok(out)
+    profiled_output(profile, &obs, "faults", spec.name(), threads, out)
 }
 
 /// Parses `NAME@AT` or `NAME@AT+OUTAGE` (times in ns).
@@ -1141,5 +1347,155 @@ mod tests {
         assert!(e.message.contains("cannot parse"), "{}", e.message);
         // Every non-lint failure keeps the historical exit code 2.
         assert_eq!(run_strs(&["frobnicate"]).unwrap_err().code, 2);
+    }
+
+    use flexplore::RunReport;
+
+    fn stb_path(file: &str) -> String {
+        let json = run_strs(&["demo", "--json"]).unwrap();
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(file);
+        std::fs::write(&path, &json).unwrap();
+        path.to_str().unwrap().to_owned()
+    }
+
+    fn phase_names(report: &RunReport) -> Vec<&str> {
+        report.phases.iter().map(|p| p.phase.as_str()).collect()
+    }
+
+    #[test]
+    fn profile_text_appends_and_json_replaces_output() {
+        let path = stb_path("stb-profile.json");
+
+        // Bare --profile (before another flag) defaults to text: the
+        // normal output survives with the table appended.
+        let out = run_strs(&["explore", &path, "--profile", "--threads", "1"]).unwrap();
+        assert!(out.contains("Pareto front"), "{out}");
+        assert!(out.contains("profile: explore on set-top-box"), "{out}");
+        assert!(out.contains("counters (thread-invariant):"), "{out}");
+
+        let out = run_strs(&["explore", &path, "--profile", "json"]).unwrap();
+        let report = RunReport::from_json(&out).expect("--profile json must parse");
+        assert_eq!(report.run, "explore");
+        assert_eq!(report.spec, "set-top-box");
+        assert_eq!(report.counter("pareto_points"), Some(6));
+        let names = phase_names(&report);
+        for needle in ["parse", "lint", "compile", "enumerate", "bind", "pareto"] {
+            assert!(names.contains(&needle), "missing phase {needle}: {names:?}");
+        }
+        // The top-level phases tile the run: their sum accounts for (at
+        // least) half the wall-clock even on this fast model.
+        assert!(report.wall_ns > 0);
+        assert!(
+            report.top_level_wall_ns() <= report.wall_ns,
+            "phases cannot exceed wall-clock"
+        );
+
+        // --profile json beats --csv (both are machine-readable; json
+        // carries strictly more), --profile text yields to it.
+        let out = run_strs(&["explore", &path, "--csv", "--profile", "json"]).unwrap();
+        assert!(RunReport::from_json(&out).is_ok(), "{out}");
+        let out = run_strs(&["explore", &path, "--csv", "--profile", "text"]).unwrap();
+        assert!(out.starts_with("cost,flexibility"), "{out}");
+    }
+
+    #[test]
+    fn profile_counters_are_thread_invariant() {
+        let path = stb_path("stb-profile-threads.json");
+        let a = run_strs(&["explore", &path, "--profile", "json", "--threads", "1"]).unwrap();
+        let b = run_strs(&["explore", &path, "--profile", "json", "--threads", "4"]).unwrap();
+        let a = RunReport::from_json(&a).unwrap();
+        let b = RunReport::from_json(&b).unwrap();
+        assert_eq!(
+            a.counters_json().unwrap(),
+            b.counters_json().unwrap(),
+            "counter totals must be byte-identical across thread counts"
+        );
+        assert!(b.speculation.chunks_speculated > 0, "threads=4 speculates");
+    }
+
+    #[test]
+    fn profile_covers_resilience_faults_and_lint() {
+        let path = stb_path("stb-profile-cmds.json");
+
+        let out = run_strs(&["resilience", &path, "--profile", "json"]).unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.run, "resilience");
+        assert!(report.counter("kill_evaluations").is_some(), "{out}");
+        assert!(phase_names(&report).contains(&"resilience"), "{out}");
+
+        let out = run_strs(&[
+            "faults",
+            &path,
+            "--budget",
+            "290",
+            "--kill",
+            "D3@6500",
+            "--trace",
+            "10",
+            "--profile",
+            "json",
+        ])
+        .unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.run, "faults");
+        let names = phase_names(&report);
+        for needle in ["parse", "lint", "select", "trace", "replay", "resilience"] {
+            assert!(names.contains(&needle), "missing phase {needle}: {names:?}");
+        }
+
+        let out = run_strs(&["lint", &path, "--profile", "json"]).unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.run, "lint");
+        assert_eq!(report.counter("lint_errors"), Some(0));
+        let names = phase_names(&report);
+        for needle in ["parse", "lint", "lint.structural", "lint.semantic"] {
+            assert!(names.contains(&needle), "missing phase {needle}: {names:?}");
+        }
+        // Text mode appends the table to the normal lint report.
+        let out = run_strs(&["lint", &path, "--profile"]).unwrap();
+        assert!(out.contains(": clean"), "{out}");
+        assert!(out.contains("profile: lint on set-top-box"), "{out}");
+    }
+
+    #[test]
+    fn profile_subcommand_prints_hottest_phases() {
+        // A bundled model name works without any file on disk.
+        let out = run_strs(&["profile", "set_top_box"]).unwrap();
+        assert!(out.contains("profile: explore on set-top-box"), "{out}");
+        assert!(out.contains("bind"), "{out}");
+
+        // --top truncates the table and says how much is hidden.
+        let out = run_strs(&["profile", "set_top_box", "--top", "2"]).unwrap();
+        assert!(out.contains("more phase(s))"), "{out}");
+
+        // A spec file path works too, and --format json round-trips.
+        let path = stb_path("stb-profile-sub.json");
+        let out = run_strs(&["profile", &path, "--format", "json", "--threads", "2"]).unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.run, "explore");
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.counter("pareto_points"), Some(6));
+
+        // --events writes the JSON-lines log.
+        let dir = std::env::temp_dir().join("flexplore-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("stb-events.jsonl");
+        let events = events.to_str().unwrap();
+        run_strs(&["profile", "set_top_box", "--events", events]).unwrap();
+        let log = std::fs::read_to_string(events).unwrap();
+        assert!(log.starts_with("{\"ev\":\"run\""), "{log}");
+        assert!(log.contains("\"ev\":\"span\""), "{log}");
+        assert!(log.lines().last().unwrap().starts_with("{\"ev\":\"end\""));
+
+        let e = run_strs(&["profile", "no-such-model"]).unwrap_err();
+        assert!(
+            e.message.contains("neither a readable file"),
+            "{}",
+            e.message
+        );
+        let e = run_strs(&["profile", "set_top_box", "--wat"]).unwrap_err();
+        assert!(e.message.contains("unknown flag"));
     }
 }

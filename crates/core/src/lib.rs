@@ -21,6 +21,7 @@
 //! | [`explore`] | EXPLORE branch-and-bound, exhaustive and NSGA-II baselines, Pareto fronts (Section 4) |
 //! | [`models`] | the TV decoder (Figs. 1–2), the Set-Top box case study (Fig. 3/5 + Table 1), synthetic generators |
 //! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F012` over specification graphs |
+//! | [`obs`] | observability: span timers, deterministic counters, JSON-lines events, aggregated run reports |
 //! | [`schedule`] | static list scheduling of bound modes — the paper's future-work item |
 //! | [`adaptive`] | run-time mode management with reconfiguration accounting, fault injection, and graceful degradation |
 //!
@@ -62,6 +63,7 @@ pub use flexplore_flex as flex;
 pub use flexplore_hgraph as hgraph;
 pub use flexplore_lint as lint;
 pub use flexplore_models as models;
+pub use flexplore_obs as obs;
 pub use flexplore_sched as sched;
 pub use flexplore_schedule as schedule;
 pub use flexplore_spec as spec;
@@ -72,12 +74,13 @@ pub use flexplore_adaptive::{
     FaultScenario, ReconfigCost,
 };
 pub use flexplore_bind::{
-    implement_allocation, implement_allocation_compiled, implement_default, BindOptions,
-    ImplementOptions, Implementation,
+    implement_allocation, implement_allocation_compiled, implement_allocation_obs,
+    implement_default, BindOptions, ImplementOptions, Implementation,
 };
 pub use flexplore_explore::{
-    exhaustive_explore, explore, explore_compiled, explore_resilient, explore_upgrades,
-    explore_weighted, k_resilient_flexibility, k_resilient_flexibility_threaded,
+    exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_resilient,
+    explore_resilient_obs, explore_upgrades, explore_weighted, explore_with_obs,
+    k_resilient_flexibility, k_resilient_flexibility_obs, k_resilient_flexibility_threaded,
     max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
     possible_resource_allocations, possible_resource_allocations_compiled, remaining_flexibility,
     remaining_flexibility_compiled, AllocationOptions, DesignPoint, ExploreOptions, ExploreResult,
@@ -91,11 +94,12 @@ pub use flexplore_hgraph::{
     ClusterId, HierarchicalGraph, InterfaceId, PortDirection, PortTarget, Scope, Selection,
     VertexId,
 };
-pub use flexplore_lint::{lint_spec, Diagnostic, LintReport, Severity};
+pub use flexplore_lint::{lint_spec, lint_spec_obs, Diagnostic, LintReport, Severity};
 pub use flexplore_models::{
     dual_slot_fpga, paper_pareto_table, set_top_box, synthetic_spec, tv_decoder, SetTopBox,
     SyntheticConfig,
 };
+pub use flexplore_obs::{ObsSink, RunReport};
 pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
 pub use flexplore_schedule::{schedule_mode, CommDelay, StaticSchedule};
 pub use flexplore_spec::{

@@ -13,9 +13,11 @@
 use crate::error::ExploreError;
 use flexplore_flex::{estimate_with_compiled, FlexibilityEstimate};
 use flexplore_hgraph::{ClusterId, NodeRef, Scope, VertexId};
+use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 /// One allocatable unit: a top-level architecture resource or a whole
 /// design cluster of a reconfigurable device.
@@ -126,6 +128,24 @@ pub fn possible_resource_allocations_compiled(
     compiled: &CompiledSpec<'_>,
     options: &AllocationOptions,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
+    possible_resource_allocations_obs(compiled, options, &ObsSink::disabled())
+}
+
+/// [`possible_resource_allocations_compiled`] with observability: the
+/// per-subset flexibility-estimation busy time is recorded into `obs` as
+/// the `enumerate.estimate` sub-phase (accumulated locally per scan range
+/// and flushed once, so worker contention on the sink is negligible).
+/// Output is identical to the unobserved entry point.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::TooManyUnits`] when the unit count exceeds
+/// `options.max_units`.
+pub fn possible_resource_allocations_obs(
+    compiled: &CompiledSpec<'_>,
+    options: &AllocationOptions,
+    obs: &ObsSink,
+) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
     let spec = compiled.spec();
     let units = allocatable_units(spec);
     if units.len() > options.max_units {
@@ -162,7 +182,7 @@ pub fn possible_resource_allocations_compiled(
     let threads = options.threads.max(1).min(total as usize);
     let mut kept;
     if threads <= 1 {
-        let (k, partial) = scan_range(&context, 0..total);
+        let (k, partial) = scan_range(&context, 0..total, obs);
         kept = k;
         stats.merge(partial);
     } else {
@@ -174,7 +194,7 @@ pub fn possible_resource_allocations_compiled(
                         let context = &context;
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(total);
-                        scope.spawn(move || scan_range(context, lo..hi))
+                        scope.spawn(move || scan_range(context, lo..hi, obs))
                     })
                     .collect();
                 handles
@@ -215,9 +235,13 @@ struct ScanContext<'a> {
 fn scan_range(
     context: &ScanContext<'_>,
     range: std::ops::Range<u64>,
+    obs: &ObsSink,
 ) -> (Vec<AllocationCandidate>, AllocationStats) {
     let arch = context.compiled.spec().architecture();
     let options = context.options;
+    let observe = obs.is_enabled();
+    let mut estimate_calls = 0u64;
+    let mut estimate_wall = Duration::ZERO;
     let mut stats = AllocationStats::default();
     let mut kept = Vec::new();
     for mask in range {
@@ -274,7 +298,12 @@ fn scan_range(
         }
 
         let available = context.compiled.available_vertices(&allocation);
+        let started = observe.then(Instant::now);
         let estimate = estimate_with_compiled(context.compiled, &available);
+        if let Some(started) = started {
+            estimate_calls += 1;
+            estimate_wall += started.elapsed();
+        }
         if !estimate.feasible {
             stats.infeasible += 1;
             continue;
@@ -287,6 +316,7 @@ fn scan_range(
             estimate,
         });
     }
+    obs.add_time(phase::ENUMERATE_ESTIMATE, estimate_calls, estimate_wall);
     (kept, stats)
 }
 

@@ -28,12 +28,13 @@
 //! [`ExploreStats::speculative_waste`] depend on the thread count.
 
 use crate::allocations::{
-    possible_resource_allocations_compiled, AllocationCandidate, AllocationOptions, AllocationStats,
+    possible_resource_allocations_obs, AllocationCandidate, AllocationOptions, AllocationStats,
 };
 use crate::error::ExploreError;
-use crate::parallel::{resolve_threads, run_chunk, SPECULATION_DEPTH};
+use crate::parallel::{resolve_threads, run_chunk_obs, SPECULATION_DEPTH};
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::{implement_allocation_compiled, ImplementOptions};
+use flexplore_bind::{implement_allocation_obs, ImplementOptions};
+use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 
@@ -146,8 +147,26 @@ pub fn explore(
     spec: &SpecificationGraph,
     options: &ExploreOptions,
 ) -> Result<ExploreResult, ExploreError> {
+    explore_with_obs(spec, options, &ObsSink::disabled())
+}
+
+/// [`explore`] with observability: records the `compile` phase around the
+/// [`CompiledSpec`] construction, then delegates to
+/// [`explore_compiled_obs`]. Identical output to [`explore`]; with a
+/// disabled sink no clocks are read.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_with_obs(
+    spec: &SpecificationGraph,
+    options: &ExploreOptions,
+    obs: &ObsSink,
+) -> Result<ExploreResult, ExploreError> {
+    let timer = obs.start();
     let compiled = CompiledSpec::with_activation_cache(spec);
-    explore_compiled(&compiled, options)
+    obs.finish(phase::COMPILE, timer);
+    explore_compiled_obs(&compiled, options, obs)
 }
 
 /// [`explore`] over a caller-provided [`CompiledSpec`] (build it with
@@ -161,8 +180,30 @@ pub fn explore_compiled(
     compiled: &CompiledSpec<'_>,
     options: &ExploreOptions,
 ) -> Result<ExploreResult, ExploreError> {
+    explore_compiled_obs(compiled, options, &ObsSink::disabled())
+}
+
+/// [`explore_compiled`] with observability: allocation enumeration
+/// (`enumerate` + the `enumerate.estimate` sub-phase), binding checks
+/// (`bind` spans around each attempt or speculative chunk, plus the
+/// `bind.*` sub-phases of the implement pipeline), Pareto filtering
+/// (`pareto` spans around archive insertions) and per-worker speculation
+/// lanes are recorded into `obs`; the final [`ExploreStats`] are published
+/// as deterministic counters. Identical output to [`explore_compiled`];
+/// with a disabled sink no clocks are read.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_compiled_obs(
+    compiled: &CompiledSpec<'_>,
+    options: &ExploreOptions,
+    obs: &ObsSink,
+) -> Result<ExploreResult, ExploreError> {
+    let timer = obs.start();
     let (candidates, alloc_stats) =
-        possible_resource_allocations_compiled(compiled, &options.allocation)?;
+        possible_resource_allocations_obs(compiled, &options.allocation, obs)?;
+    obs.finish(phase::ENUMERATE, timer);
     let mut stats = ExploreStats {
         vertex_set_size: compiled.spec().vertex_set_size(),
         allocations: alloc_stats,
@@ -178,14 +219,19 @@ pub fn explore_compiled(
                 continue;
             }
             stats.implement_attempts += 1;
+            let timer = obs.start();
             let (implemented, _) =
-                implement_allocation_compiled(compiled, &candidate.allocation, &options.implement)?;
+                implement_allocation_obs(compiled, &candidate.allocation, &options.implement, obs)?;
+            obs.finish(phase::BIND, timer);
             let Some(implementation) = implemented else {
                 continue;
             };
             stats.feasible += 1;
             let flexibility = implementation.flexibility;
-            if front.insert(DesignPoint::from_implementation(implementation)) {
+            let timer = obs.start();
+            let inserted = front.insert(DesignPoint::from_implementation(implementation));
+            obs.finish(phase::PARETO, timer);
+            if inserted {
                 f_cur = f_cur.max(flexibility);
             }
         }
@@ -210,9 +256,11 @@ pub fn explore_compiled(
                 continue;
             }
             stats.chunks_speculated += 1;
-            let results = run_chunk(&chunk, threads, |candidate| {
-                implement_allocation_compiled(compiled, &candidate.allocation, &options.implement)
+            let timer = obs.start();
+            let results = run_chunk_obs(&chunk, threads, obs, |candidate| {
+                implement_allocation_obs(compiled, &candidate.allocation, &options.implement, obs)
             });
+            obs.finish(phase::BIND, timer);
             // Merge in cost order, re-checking the bound at its exact
             // sequential value; discarded results (including errors) are
             // ones the sequential run never computed.
@@ -229,14 +277,38 @@ pub fn explore_compiled(
                 };
                 stats.feasible += 1;
                 let flexibility = implementation.flexibility;
-                if front.insert(DesignPoint::from_implementation(implementation)) {
+                let timer = obs.start();
+                let inserted = front.insert(DesignPoint::from_implementation(implementation));
+                obs.finish(phase::PARETO, timer);
+                if inserted {
                     f_cur = f_cur.max(flexibility);
                 }
             }
         }
     }
     stats.pareto_points = front.len() as u64;
+    publish_stats(obs, &stats);
     Ok(ExploreResult { front, stats })
+}
+
+/// Publishes the run's [`ExploreStats`] into `obs`: the thread-invariant
+/// numbers as deterministic counters, the speculation numbers into the
+/// thread-variant speculation section.
+fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.set_count("vertex_set_size", stats.vertex_set_size as u64);
+    obs.set_count("units", stats.allocations.units as u64);
+    obs.set_count("subsets", stats.allocations.subsets);
+    obs.set_count("pruned_structurally", stats.allocations.pruned_structurally);
+    obs.set_count("infeasible", stats.allocations.infeasible);
+    obs.set_count("possible_allocations", stats.allocations.kept);
+    obs.set_count("estimate_skipped", stats.estimate_skipped);
+    obs.set_count("implement_attempts", stats.implement_attempts);
+    obs.set_count("feasible", stats.feasible);
+    obs.set_count("pareto_points", stats.pareto_points);
+    obs.speculation(stats.chunks_speculated, stats.speculative_waste);
 }
 
 /// Runs the exhaustive baseline: implement every allocation that supports a
@@ -376,6 +448,38 @@ mod tests {
             assert_eq!(sequential.stats.pareto_points, parallel.stats.pareto_points);
             assert!(parallel.stats.chunks_speculated > 0);
         }
+    }
+
+    #[test]
+    fn observed_explore_is_unchanged_and_counters_are_thread_invariant() {
+        let s = spec();
+        let plain = explore(&s, &ExploreOptions::paper()).unwrap();
+        let sink1 = ObsSink::enabled();
+        let observed = explore_with_obs(&s, &ExploreOptions::paper(), &sink1).unwrap();
+        assert_eq!(plain.front.objectives(), observed.front.objectives());
+        assert_eq!(plain.stats, observed.stats);
+        let report1 = sink1.report("explore", "s", 1);
+        let sink4 = ObsSink::enabled();
+        explore_with_obs(&s, &ExploreOptions::paper().with_threads(4), &sink4).unwrap();
+        let report4 = sink4.report("explore", "s", 4);
+        assert_eq!(
+            report1.counters_json().unwrap(),
+            report4.counters_json().unwrap(),
+            "deterministic counter section must be byte-identical across thread counts"
+        );
+        assert_eq!(report1.counter("pareto_points"), Some(2));
+        assert_eq!(
+            report1.counter("implement_attempts"),
+            Some(plain.stats.implement_attempts)
+        );
+        for expected in ["compile", "enumerate", "bind", "pareto"] {
+            assert!(
+                report1.phases.iter().any(|p| p.phase == expected),
+                "missing phase {expected}"
+            );
+        }
+        assert!(report4.speculation.chunks_speculated > 0);
+        assert!(!report4.speculation.workers.is_empty());
     }
 
     #[test]

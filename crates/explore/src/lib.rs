@@ -64,18 +64,21 @@ mod weighted;
 
 pub use allocations::{
     allocatable_units, possible_resource_allocations, possible_resource_allocations_compiled,
-    AllocationCandidate, AllocationOptions, AllocationStats, Unit,
+    possible_resource_allocations_obs, AllocationCandidate, AllocationOptions, AllocationStats,
+    Unit,
 };
 pub use error::ExploreError;
 pub use explore::{
-    exhaustive_explore, explore, explore_compiled, ExploreOptions, ExploreResult, ExploreStats,
+    exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_with_obs,
+    ExploreOptions, ExploreResult, ExploreStats,
 };
 pub use moea::{moea_explore, MoeaOptions, MoeaResult};
 pub use pareto::{exploration_order, DesignPoint, ParetoFront};
 pub use queries::{max_flexibility_under_budget, min_cost_for_flexibility};
 pub use resilience::{
-    explore_resilient, k_resilient_flexibility, k_resilient_flexibility_threaded,
-    remaining_flexibility, remaining_flexibility_compiled, ResilienceReport, ResilientDesignPoint,
+    explore_resilient, explore_resilient_obs, k_resilient_flexibility, k_resilient_flexibility_obs,
+    k_resilient_flexibility_threaded, remaining_flexibility, remaining_flexibility_compiled,
+    ResilienceReport, ResilientDesignPoint,
 };
 pub use upgrade::explore_upgrades;
 pub use weighted::{explore_weighted, WeightedExploreResult, WeightedPoint};

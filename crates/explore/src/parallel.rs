@@ -27,6 +27,9 @@
 //! discarded) depends on the thread count; it is reported separately and
 //! excluded from the equality the engines guarantee.
 
+use flexplore_obs::ObsSink;
+use std::time::Instant;
+
 /// Candidates dispatched per worker thread in one speculative chunk.
 ///
 /// Larger chunks amortize thread spawns but speculate further past the
@@ -79,6 +82,55 @@ where
         .collect()
 }
 
+/// [`run_chunk`] with per-worker-lane observability: records one chunk
+/// event plus each lane's item count and busy wall-clock into `obs`.
+/// With a disabled sink this *is* [`run_chunk`] — no timing, no extra
+/// allocation. Results are identical either way.
+pub(crate) fn run_chunk_obs<T, R, F>(items: &[T], threads: usize, obs: &ObsSink, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if !obs.is_enabled() {
+        return run_chunk(items, threads, work);
+    }
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        let started = Instant::now();
+        let out: Vec<R> = items.iter().map(&work).collect();
+        obs.chunk(&[(items.len() as u64, started.elapsed())]);
+        return out;
+    }
+    let per = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let lanes: Vec<(u64, std::time::Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = results
+            .chunks_mut(per)
+            .zip(items.chunks(per))
+            .map(|(slots, part)| {
+                let work = &work;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    for (slot, item) in slots.iter_mut().zip(part) {
+                        *slot = Some(work(item));
+                    }
+                    (part.len() as u64, started.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk worker"))
+            .collect()
+    });
+    obs.chunk(&lanes);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot of a chunk is filled by its worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +154,23 @@ mod tests {
     fn zero_threads_resolves_to_at_least_one() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn obs_variant_matches_plain_and_records_lanes() {
+        let items: Vec<usize> = (0..10).collect();
+        for threads in [1, 3] {
+            let sink = ObsSink::enabled();
+            let out = run_chunk_obs(&items, threads, &sink, |&i| i + 1);
+            assert_eq!(out, run_chunk(&items, threads, |&i| i + 1));
+            let report = sink.report("chunk", "t", threads);
+            let lane_items: u64 = report.speculation.workers.iter().map(|w| w.items).sum();
+            assert_eq!(lane_items, 10, "every item is attributed to a lane");
+        }
+        // Disabled sink: same results, nothing recorded.
+        let sink = ObsSink::disabled();
+        let out = run_chunk_obs(&items, 3, &sink, |&i| i + 1);
+        assert_eq!(out.len(), 10);
+        assert!(sink.report("chunk", "t", 3).speculation.workers.is_empty());
     }
 }

@@ -17,13 +17,14 @@
 //! [`ImplementOptions::with_excluded_resources`] — the same machinery the
 //! run-time manager uses for degraded rebinding.
 
-use crate::allocations::possible_resource_allocations_compiled;
+use crate::allocations::possible_resource_allocations_obs;
 use crate::error::ExploreError;
 use crate::explore::ExploreOptions;
-use crate::parallel::{resolve_threads, run_chunk, SPECULATION_DEPTH};
-use flexplore_bind::{implement_allocation_compiled, ImplementOptions, Implementation};
+use crate::parallel::{resolve_threads, run_chunk_obs, SPECULATION_DEPTH};
+use flexplore_bind::{implement_allocation_obs, ImplementOptions, Implementation};
 use flexplore_flex::Flexibility;
 use flexplore_hgraph::{ClusterId, VertexId};
+use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, Cost, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -101,15 +102,13 @@ pub fn remaining_flexibility_compiled(
     dead: &BTreeSet<VertexId>,
     options: &ImplementOptions,
 ) -> Result<Flexibility, ExploreError> {
-    if dead.is_empty() {
-        return Ok(implementation.flexibility);
-    }
-    let mut excluded = options.excluded_resources.clone();
-    excluded.extend(dead.iter().copied());
-    let masked = options.clone().with_excluded_resources(excluded);
-    let (implemented, _) =
-        implement_allocation_compiled(compiled, &implementation.allocation, &masked)?;
-    Ok(implemented.map_or(0, |i| i.flexibility))
+    remaining_flexibility_obs(
+        compiled,
+        implementation,
+        dead,
+        options,
+        &ObsSink::disabled(),
+    )
 }
 
 /// Result of a [`k_resilient_flexibility`] analysis.
@@ -170,17 +169,50 @@ pub fn k_resilient_flexibility_threaded(
     options: &ImplementOptions,
     threads: usize,
 ) -> Result<ResilienceReport, ExploreError> {
-    let compiled = CompiledSpec::with_activation_cache(spec);
-    k_resilient_compiled(&compiled, implementation, k, options, threads)
+    k_resilient_flexibility_obs(
+        spec,
+        implementation,
+        k,
+        options,
+        threads,
+        &ObsSink::disabled(),
+    )
 }
 
-/// Shared core of the resilience sweep over a precompiled context.
+/// [`k_resilient_flexibility_threaded`] with observability: records the
+/// `compile` phase, a `resilience` span around the kill-set sweep, the
+/// `bind.*` sub-phases of every degraded re-implementation and the
+/// deterministic `kill_evaluations` counter into `obs`. Identical output;
+/// with a disabled sink no clocks are read.
+///
+/// # Errors
+///
+/// Propagates binding-search bound violations as [`ExploreError::Bind`].
+pub fn k_resilient_flexibility_obs(
+    spec: &SpecificationGraph,
+    implementation: &Implementation,
+    k: usize,
+    options: &ImplementOptions,
+    threads: usize,
+    obs: &ObsSink,
+) -> Result<ResilienceReport, ExploreError> {
+    let timer = obs.start();
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    obs.finish(phase::COMPILE, timer);
+    let report = k_resilient_compiled(&compiled, implementation, k, options, threads, obs)?;
+    obs.set_count("kill_evaluations", report.evaluations as u64);
+    Ok(report)
+}
+
+/// Shared core of the resilience sweep over a precompiled context. Records
+/// one `resilience` span covering the whole sweep into `obs`.
 fn k_resilient_compiled(
     compiled: &CompiledSpec<'_>,
     implementation: &Implementation,
     k: usize,
     options: &ImplementOptions,
     threads: usize,
+    obs: &ObsSink,
 ) -> Result<ResilienceReport, ExploreError> {
     let spec = compiled.spec();
     let units = kill_units(implementation);
@@ -195,13 +227,14 @@ fn k_resilient_compiled(
     let limit = k.min(units.len());
     let sets = enumerate_kill_sets(units.len(), limit);
     let threads = resolve_threads(threads);
+    let timer = obs.start();
     for batch in sets.chunks(threads.saturating_mul(SPECULATION_DEPTH).max(1)) {
-        let outcomes = run_chunk(batch, threads, |chosen| {
+        let outcomes = run_chunk_obs(batch, threads, obs, |chosen| {
             let dead: BTreeSet<VertexId> = chosen
                 .iter()
                 .flat_map(|&i| units[i].dead_vertices(spec))
                 .collect();
-            remaining_flexibility_compiled(compiled, implementation, &dead, options)
+            remaining_flexibility_obs(compiled, implementation, &dead, options, obs)
         });
         for (chosen, outcome) in batch.iter().zip(outcomes) {
             let remaining = outcome?;
@@ -212,7 +245,28 @@ fn k_resilient_compiled(
             }
         }
     }
+    obs.finish(phase::RESILIENCE, timer);
     Ok(report)
+}
+
+/// [`remaining_flexibility_compiled`] recording the masked binding search's
+/// `bind.*` sub-phases into `obs`.
+fn remaining_flexibility_obs(
+    compiled: &CompiledSpec<'_>,
+    implementation: &Implementation,
+    dead: &BTreeSet<VertexId>,
+    options: &ImplementOptions,
+    obs: &ObsSink,
+) -> Result<Flexibility, ExploreError> {
+    if dead.is_empty() {
+        return Ok(implementation.flexibility);
+    }
+    let mut excluded = options.excluded_resources.clone();
+    excluded.extend(dead.iter().copied());
+    let masked = options.clone().with_excluded_resources(excluded);
+    let (implemented, _) =
+        implement_allocation_obs(compiled, &implementation.allocation, &masked, obs)?;
+    Ok(implemented.map_or(0, |i| i.flexibility))
 }
 
 /// All index subsets of `0..n` with 1 to `limit` elements, by size then
@@ -289,39 +343,85 @@ pub fn explore_resilient(
     k: usize,
     options: &ExploreOptions,
 ) -> Result<Vec<ResilientDesignPoint>, ExploreError> {
+    explore_resilient_obs(spec, k, options, &ObsSink::disabled())
+}
+
+/// [`explore_resilient`] with observability: the `compile`, `enumerate`,
+/// `bind` (implement fan-out), `resilience` (kill sweeps) and `pareto`
+/// phases plus deterministic counters (`possible_allocations`,
+/// `implement_attempts`, `feasible`, `kill_evaluations`, `pareto_points`)
+/// are recorded into `obs`. Identical output; with a disabled sink no
+/// clocks are read.
+///
+/// # Errors
+///
+/// See [`explore_resilient`].
+pub fn explore_resilient_obs(
+    spec: &SpecificationGraph,
+    k: usize,
+    options: &ExploreOptions,
+    obs: &ObsSink,
+) -> Result<Vec<ResilientDesignPoint>, ExploreError> {
+    let timer = obs.start();
     let compiled = CompiledSpec::with_activation_cache(spec);
-    let (candidates, _) = possible_resource_allocations_compiled(&compiled, &options.allocation)?;
+    obs.finish(phase::COMPILE, timer);
+    let timer = obs.start();
+    let (candidates, _) = possible_resource_allocations_obs(&compiled, &options.allocation, obs)?;
+    obs.finish(phase::ENUMERATE, timer);
     let threads = resolve_threads(options.threads);
     let mut front: Vec<ResilientDesignPoint> = Vec::new();
+    let mut implement_attempts = 0u64;
+    let mut feasible = 0u64;
+    let mut kill_evaluations = 0u64;
     // First fan-out: implement candidate batches concurrently, merge in
     // cost order (no pruning bound here, so no speculation is wasted).
     for batch in candidates.chunks(threads.saturating_mul(SPECULATION_DEPTH).max(1)) {
-        let outcomes = run_chunk(batch, threads, |candidate| {
-            implement_allocation_compiled(&compiled, &candidate.allocation, &options.implement)
+        let timer = obs.start();
+        let outcomes = run_chunk_obs(batch, threads, obs, |candidate| {
+            implement_allocation_obs(&compiled, &candidate.allocation, &options.implement, obs)
         });
+        obs.finish(phase::BIND, timer);
         for outcome in outcomes {
+            implement_attempts += 1;
             let (implemented, _) = outcome?;
             let Some(implementation) = implemented else {
                 continue;
             };
+            feasible += 1;
             // Second fan-out: the kill-set sweep of this implementation.
-            let resilience =
-                k_resilient_compiled(&compiled, &implementation, k, &options.implement, threads)?
-                    .resilient_flexibility;
+            let sweep = k_resilient_compiled(
+                &compiled,
+                &implementation,
+                k,
+                &options.implement,
+                threads,
+                obs,
+            )?;
+            kill_evaluations += sweep.evaluations as u64;
+            let resilience = sweep.resilient_flexibility;
             let point = ResilientDesignPoint {
                 cost: implementation.cost,
                 flexibility: implementation.flexibility,
                 resilience,
                 implementation,
             };
-            if front.iter().any(|p| p.dominates(&point)) {
-                continue;
+            let timer = obs.start();
+            let dominated = front.iter().any(|p| p.dominates(&point));
+            if !dominated {
+                front.retain(|p| !point.dominates(p));
+                front.push(point);
             }
-            front.retain(|p| !point.dominates(p));
-            front.push(point);
+            obs.finish(phase::PARETO, timer);
         }
     }
     front.sort_by_key(|p| (p.cost, p.flexibility, p.resilience));
+    if obs.is_enabled() {
+        obs.set_count("possible_allocations", candidates.len() as u64);
+        obs.set_count("implement_attempts", implement_attempts);
+        obs.set_count("feasible", feasible);
+        obs.set_count("kill_evaluations", kill_evaluations);
+        obs.set_count("pareto_points", front.len() as u64);
+    }
     Ok(front)
 }
 

@@ -55,4 +55,4 @@ mod diagnostics;
 mod passes;
 
 pub use diagnostics::{Diagnostic, LintReport, Location, Severity};
-pub use passes::lint_spec;
+pub use passes::{lint_spec, lint_spec_obs};

@@ -5,6 +5,7 @@ use crate::diagnostics::{Diagnostic, LintReport, Location, Severity};
 use flexplore_bind::CommGraph;
 use flexplore_flex::estimate_with_compiled;
 use flexplore_hgraph::{NodeRef, Scope, VertexId};
+use flexplore_obs::{phase, ObsSink};
 use flexplore_sched::Time;
 use flexplore_spec::{CompiledSpec, ResourceKind, SpecificationGraph};
 use std::collections::{BTreeMap, BTreeSet};
@@ -16,23 +17,55 @@ use std::collections::{BTreeMap, BTreeSet};
 /// arbitrarily malformed (e.g. hand-edited) specifications.
 #[must_use]
 pub fn lint_spec(spec: &SpecificationGraph) -> LintReport {
+    lint_spec_obs(spec, &ObsSink::disabled())
+}
+
+/// [`lint_spec`] with observability: each pass's wall-clock is recorded
+/// into `obs` as a `lint.*` sub-phase, and the diagnostic totals
+/// (`diagnostics`, `lint_errors`, `lint_warnings`, `lint_notes`) as
+/// deterministic counters. Identical report; with a disabled sink no
+/// clocks are read.
+#[must_use]
+pub fn lint_spec_obs(spec: &SpecificationGraph, obs: &ObsSink) -> LintReport {
     let mut report = LintReport::new(spec.name());
 
+    let timer = obs.start();
     structural_pass(spec, &mut report);
+    obs.finish(phase::LINT_STRUCTURAL, timer);
     if report.has_errors() {
         report.sort();
+        publish_lint_counters(obs, &report);
         return report;
     }
 
+    let timer = obs.start();
     hierarchy_pass(spec, &mut report);
+    obs.finish(phase::LINT_HIERARCHY, timer);
+    let timer = obs.start();
     mapping_pass(spec, &mut report);
+    obs.finish(phase::LINT_MAPPING, timer);
+    let timer = obs.start();
     period_pass(spec, &mut report);
+    obs.finish(phase::LINT_PERIOD, timer);
     if !report.has_errors() {
+        let timer = obs.start();
         semantic_pass(spec, &mut report);
+        obs.finish(phase::LINT_SEMANTIC, timer);
     }
 
     report.sort();
+    publish_lint_counters(obs, &report);
     report
+}
+
+/// Publishes the report's diagnostic totals as deterministic counters.
+fn publish_lint_counters(obs: &ObsSink, report: &LintReport) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.set_count("lint_errors", report.errors() as u64);
+    obs.set_count("lint_warnings", report.warnings() as u64);
+    obs.set_count("lint_notes", report.notes() as u64);
 }
 
 /// F003 (dangling references) and F002 (containment cycles), per graph.

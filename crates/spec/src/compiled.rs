@@ -100,7 +100,7 @@ impl CompiledActivation {
 
 /// Immutable side tables compiled once per specification graph.
 ///
-/// See the [module docs](self) for the invariants. Build one per
+/// Build one per
 /// exploration with [`CompiledSpec::with_activation_cache`] (or
 /// [`CompiledSpec::new`] when the activation cache is not needed) and pass
 /// `&CompiledSpec` to the estimate/binding/exploration entry points.
