@@ -189,10 +189,16 @@ pub fn measured_lint(spec: &SpecificationGraph) -> RunReport {
         .expect("REPEATS > 0")
 }
 
-/// The models the explore suite measures.
+/// The models the explore suite measures. `synthetic-large` spans a
+/// 2^24-subset lattice: feasible only because the default branch-and-bound
+/// enumerator prunes it — the flat scan would need ~10^7 estimates.
 #[must_use]
 pub fn explore_models() -> Vec<SpecificationGraph> {
-    vec![set_top_box().spec, tv_decoder().spec]
+    vec![
+        set_top_box().spec,
+        tv_decoder().spec,
+        synthetic_spec(&SyntheticConfig::large(11)),
+    ]
 }
 
 /// The models the lint suite measures.

@@ -33,7 +33,7 @@ use flexplore::{
     dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs, flexibility_profile,
     k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
     min_cost_for_flexibility, run_with_faults, set_top_box, synthetic_spec, tv_decoder,
-    AllocationOptions, Cost, DegradationPolicy, ExploreOptions, FaultKind, FaultPlan,
+    AllocationOptions, Cost, DegradationPolicy, Enumerator, ExploreOptions, FaultKind, FaultPlan,
     FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection, SpecificationGraph,
     SyntheticConfig, Time, VertexId,
 };
@@ -83,8 +83,10 @@ pub const USAGE: &str = "\
 flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 2002)
 
 USAGE:
-    flexplore explore <spec.json> [--csv] [--threads N] [--profile [text|json]]
-    flexplore resilience <spec.json> [--k <K>] [--threads N] [--profile [text|json]]
+    flexplore explore <spec.json> [--csv] [--json] [--threads N]
+                      [--enumerator flat|bnb] [--profile [text|json]]
+    flexplore resilience <spec.json> [--k <K>] [--threads N]
+                         [--enumerator flat|bnb] [--profile [text|json]]
     flexplore flexibility <spec.json>
     flexplore query <spec.json> --min-flex <K>
     flexplore query <spec.json> --budget <DOLLARS>
@@ -94,7 +96,8 @@ USAGE:
     flexplore faults <spec.json> [--kill <RESOURCE>@<NS>[+<OUTAGE>]]...
                      [--seed <N>] [--count <N>] [--policy <POLICY>]
                      [--budget <DOLLARS>] [--k <K>] [--trace <N>]
-                     [--threads <N>] [--profile [text|json]]
+                     [--threads <N>] [--enumerator flat|bnb]
+                     [--profile [text|json]]
     flexplore lint (<spec.json> | --builtin <MODEL>) [--format text|json]
                    [--deny (warnings|<CODE>)]... [--profile [text|json]]
     flexplore profile (<spec.json> | <MODEL>) [--top <K>] [--threads <N>]
@@ -103,7 +106,12 @@ USAGE:
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
                   (--threads N runs the deterministic parallel engine;
-                  0 = all cores; output is identical for every N)
+                  0 = all cores; output is identical for every N).
+                  --json dumps the front alone as JSON (byte-identical
+                  across enumerators and thread counts).
+                  --enumerator picks the subset engine: bnb (default,
+                  branch-and-bound lattice search) or flat (exhaustive
+                  scan oracle); both keep exactly the same candidates
     resilience    print the three-objective cost / flexibility /
                   k-resilient-flexibility front (--k bounds the failures,
                   default 1; --threads as for explore)
@@ -467,7 +475,7 @@ fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
     obs.finish(phase::PARSE, timer);
     preflight_lint(&spec, &obs)?;
 
-    let options = threaded_options(threads);
+    let options = threaded_options(threads, Enumerator::default());
     explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
     let report = obs.report("explore", spec.name(), threads);
     if let Some(path) = events_path {
@@ -489,16 +497,26 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let (path, rest) = split_path(args)?;
     let (profile, rest) = take_profile(rest);
     let mut csv = false;
+    let mut json = false;
     let mut threads = 1usize;
+    let mut enumerator = Enumerator::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match *flag {
             "--csv" => csv = true,
+            "--json" => json = true,
             "--threads" => {
                 threads = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            "--enumerator" => {
+                enumerator = parse_enumerator(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| err("--enumerator needs flat or bnb"))?,
+                )?;
             }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
@@ -508,10 +526,18 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let spec = load_spec(path)?;
     obs.finish(phase::PARSE, timer);
     let banner = preflight_lint(&spec, &obs)?;
-    let options = threaded_options(threads);
+    let options = threaded_options(threads, enumerator);
     let started = Instant::now();
     let result = explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
+    if json && profile != ProfileMode::Json {
+        // The front alone: enumerator- and thread-independent, so two runs
+        // with different engines can be diffed byte-for-byte.
+        let mut out = serde_json::to_string_pretty(&result.front)
+            .map_err(|e| err(format!("cannot render front: {e}")))?;
+        out.push('\n');
+        return Ok(out);
+    }
     if csv && profile != ProfileMode::Json {
         // CSV stays machine-readable: the lint banner is omitted (errors
         // still abort above) and a text profile table would corrupt it.
@@ -554,11 +580,12 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
 
 /// Explore options with the requested thread count applied to both the
 /// candidate scan and the EXPLORE driver (0 = all cores; any value
-/// produces the same output).
-fn threaded_options(threads: usize) -> ExploreOptions {
+/// produces the same output) and the chosen subset enumerator.
+fn threaded_options(threads: usize, enumerator: Enumerator) -> ExploreOptions {
     ExploreOptions {
         allocation: AllocationOptions {
             threads,
+            enumerator,
             ..AllocationOptions::default()
         },
         ..ExploreOptions::paper()
@@ -566,11 +593,24 @@ fn threaded_options(threads: usize) -> ExploreOptions {
     .with_threads(threads)
 }
 
+/// Parses the `--enumerator` value: `bnb` (the default branch-and-bound
+/// lattice search) or `flat` (the exhaustive subset-scan oracle).
+fn parse_enumerator(value: &str) -> Result<Enumerator, CliError> {
+    match value {
+        "flat" => Ok(Enumerator::Flat),
+        "bnb" => Ok(Enumerator::BranchAndBound),
+        other => Err(err(format!(
+            "--enumerator needs flat or bnb, got {other:?}"
+        ))),
+    }
+}
+
 fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
     let (path, rest) = split_path(args)?;
     let (profile, rest) = take_profile(rest);
     let mut k = 1usize;
     let mut threads = 1usize;
+    let mut enumerator = Enumerator::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match *flag {
@@ -586,6 +626,13 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| err("--threads needs a positive integer"))?;
             }
+            "--enumerator" => {
+                enumerator = parse_enumerator(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| err("--enumerator needs flat or bnb"))?,
+                )?;
+            }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
@@ -594,7 +641,7 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
     let spec = load_spec(path)?;
     obs.finish(phase::PARSE, timer);
     let banner = preflight_lint(&spec, &obs)?;
-    let options = threaded_options(threads);
+    let options = threaded_options(threads, enumerator);
     let started = Instant::now();
     let front = explore_resilient_obs(&spec, k, &options, &obs).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
@@ -758,6 +805,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     let mut k = 1usize;
     let mut trace_length = 20usize;
     let mut threads = 1usize;
+    let mut enumerator = Enumerator::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -812,6 +860,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
                     .parse()
                     .map_err(|_| err("--threads needs a positive integer"))?;
             }
+            "--enumerator" => enumerator = parse_enumerator(value("--enumerator")?)?,
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
@@ -822,9 +871,10 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     obs.finish(phase::PARSE, timer);
     let banner = preflight_lint(&spec, &obs)?;
     let timer = obs.start();
-    let point = max_flexibility_under_budget(&spec, Cost::new(budget), &ExploreOptions::paper())
-        .map_err(|e| err(e.to_string()))?
-        .ok_or_else(|| err("no feasible platform within the budget"))?;
+    let point =
+        max_flexibility_under_budget(&spec, Cost::new(budget), &threaded_options(1, enumerator))
+            .map_err(|e| err(e.to_string()))?
+            .ok_or_else(|| err("no feasible platform within the budget"))?;
     obs.finish(phase::SELECT, timer);
     let implementation = point
         .implementation
@@ -1457,6 +1507,50 @@ mod tests {
         let out = run_strs(&["lint", &path, "--profile"]).unwrap();
         assert!(out.contains(": clean"), "{out}");
         assert!(out.contains("profile: lint on set-top-box"), "{out}");
+    }
+
+    #[test]
+    fn enumerator_flag_selects_the_engine_and_json_fronts_diff_clean() {
+        let path = stb_path("stb-enumerator.json");
+
+        // The two engines emit a byte-identical JSON front.
+        let bnb = run_strs(&["explore", &path, "--enumerator", "bnb", "--json"]).unwrap();
+        let flat = run_strs(&["explore", &path, "--enumerator", "flat", "--json"]).unwrap();
+        assert_eq!(bnb, flat, "front JSON must not depend on the enumerator");
+        assert!(bnb.contains("\"flexibility\""), "{bnb}");
+
+        // Human-readable output agrees too (modulo runtime lines).
+        let b = run_strs(&["explore", &path]).unwrap();
+        let f = run_strs(&["explore", &path, "--enumerator", "flat"]).unwrap();
+        assert_eq!(strip_runtime_lines(&b), strip_runtime_lines(&f));
+
+        // The lattice counters surface in the text profile table.
+        let out = run_strs(&["explore", &path, "--profile", "text"]).unwrap();
+        for needle in ["nodes_visited", "subtrees_pruned", "estimate_memo_hits"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+
+        // And carry the expected values in the JSON report: the flat scan
+        // visits every subset, branch-and-bound prunes subtrees.
+        let out = run_strs(&["explore", &path, "--profile", "json"]).unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert!(report.counter("subtrees_pruned").unwrap() > 0, "{out}");
+        let out = run_strs(&[
+            "explore",
+            &path,
+            "--enumerator",
+            "flat",
+            "--profile",
+            "json",
+        ])
+        .unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.counter("subtrees_pruned"), Some(0));
+        assert_eq!(report.counter("estimate_memo_hits"), Some(0));
+        assert_eq!(report.counter("nodes_visited"), report.counter("subsets"));
+
+        let e = run_strs(&["explore", &path, "--enumerator", "breadth"]).unwrap_err();
+        assert!(e.message.contains("flat or bnb"), "{}", e.message);
     }
 
     #[test]

@@ -83,8 +83,8 @@ pub use flexplore_explore::{
     k_resilient_flexibility, k_resilient_flexibility_obs, k_resilient_flexibility_threaded,
     max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
     possible_resource_allocations, possible_resource_allocations_compiled, remaining_flexibility,
-    remaining_flexibility_compiled, AllocationOptions, DesignPoint, ExploreOptions, ExploreResult,
-    ExploreStats, MoeaOptions, ParetoFront, ResilienceReport, ResilientDesignPoint,
+    remaining_flexibility_compiled, AllocationOptions, DesignPoint, Enumerator, ExploreOptions,
+    ExploreResult, ExploreStats, MoeaOptions, ParetoFront, ResilienceReport, ResilientDesignPoint,
 };
 pub use flexplore_flex::{
     estimate_flexibility, estimate_with_compiled, flexibility, flexibility_profile,

@@ -12,28 +12,43 @@
 
 use crate::error::ExploreError;
 use flexplore_flex::{estimate_with_compiled, FlexibilityEstimate};
-use flexplore_hgraph::{ClusterId, NodeRef, Scope, VertexId};
+use flexplore_hgraph::{NodeRef, Scope, VertexId};
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
-/// One allocatable unit: a top-level architecture resource or a whole
-/// design cluster of a reconfigurable device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum Unit {
-    /// A top-level resource (functional or communication).
-    Vertex(VertexId),
-    /// A design cluster of a reconfigurable device.
-    Cluster(ClusterId),
+pub use flexplore_spec::Unit;
+
+/// Most units a `u64` subset mask can index while `2^units` still fits the
+/// subset counter; architectures beyond this are rejected with
+/// [`ExploreError::UnitOverflow`] whatever `max_units` says.
+pub(crate) const MAX_MASK_UNITS: usize = 63;
+
+/// Which engine enumerates the possible resource allocations. Both produce
+/// byte-identical candidate lists; they differ in how much of the subset
+/// lattice they touch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Enumerator {
+    /// Scan all `2^units` subset masks flat. Exhaustive and simple — kept
+    /// as the oracle for equivalence tests and as a fallback.
+    Flat,
+    /// Branch-and-bound DFS over the allocation lattice: monotone
+    /// feasibility bounds prune infeasible subtrees wholesale, uniformly
+    /// feasible subtrees are emitted without per-subset search, and a memo
+    /// keyed by the estimate-relevant submask deduplicates estimate calls.
+    #[default]
+    BranchAndBound,
 }
 
 /// Options controlling allocation enumeration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AllocationOptions {
-    /// Hard limit on the number of allocatable units (the enumeration is
-    /// `2^units`).
+    /// Hard limit on the number of allocatable units (the enumeration
+    /// lattice is `2^units`; the branch-and-bound enumerator visits only a
+    /// fraction of it, so counts well beyond the flat scan's comfort zone
+    /// are practical).
     pub max_units: usize,
     /// Drop allocations containing a communication resource with fewer than
     /// two allocated neighbors — the paper's "single functional component
@@ -43,19 +58,23 @@ pub struct AllocationOptions {
     /// no mapping edge (it can only add cost, so any allocation containing
     /// it is dominated).
     pub prune_unusable: bool,
-    /// Worker threads for the subset scan. The scan is embarrassingly
-    /// parallel (each subset is judged independently); results are merged
-    /// deterministically, so any thread count produces identical output.
+    /// Worker threads for the enumeration. Work is partitioned
+    /// deterministically (mask ranges for the flat scan, fixed-depth DFS
+    /// prefixes for branch-and-bound), so any thread count produces
+    /// identical output, counters included.
     pub threads: usize,
+    /// The enumeration engine.
+    pub enumerator: Enumerator,
 }
 
 impl Default for AllocationOptions {
     fn default() -> Self {
         AllocationOptions {
-            max_units: 26,
+            max_units: 48,
             prune_useless_buses: true,
             prune_unusable: true,
             threads: 1,
+            enumerator: Enumerator::default(),
         }
     }
 }
@@ -72,11 +91,19 @@ pub struct AllocationCandidate {
 }
 
 /// Counters from one enumeration run.
+///
+/// The sum invariant `pruned_structurally + infeasible + kept == subsets`
+/// holds for both enumerators, and `kept` (with the exact candidate list)
+/// is byte-identical between them. Per-category attribution of *pruned*
+/// subsets may differ at the margin: a subtree dropped wholesale by a
+/// monotone bound counts all its subsets under that bound's category, even
+/// ones the flat scan would have rejected for a different reason first.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AllocationStats {
     /// Number of allocatable units (`2^units` raw subsets).
     pub units: usize,
-    /// Subsets scanned (equals `2^units`).
+    /// Size of the subset lattice (equals `2^units` for both enumerators;
+    /// only the flat scan actually touches every element).
     pub subsets: u64,
     /// Subsets dropped by the useless-bus / unusable-unit prunings.
     pub pruned_structurally: u64,
@@ -85,6 +112,17 @@ pub struct AllocationStats {
     pub infeasible: u64,
     /// Possible resource allocations kept.
     pub kept: u64,
+    /// Decision nodes the enumerator expanded: every subset for the flat
+    /// scan, DFS nodes for branch-and-bound (subsets emitted by a
+    /// uniformly-feasible fill or dropped by a subtree bound are *not*
+    /// individually visited).
+    pub nodes_visited: u64,
+    /// Subtree-level prune events of the lattice search (0 for the flat
+    /// scan, which judges each subset on its own).
+    pub subtrees_pruned: u64,
+    /// Flexibility-estimate lookups answered by the submask memo instead of
+    /// a fresh evaluation (0 for the flat scan).
+    pub estimate_memo_hits: u64,
 }
 
 /// Returns the allocatable units of a specification: top-level architecture
@@ -146,14 +184,30 @@ pub fn possible_resource_allocations_obs(
     options: &AllocationOptions,
     obs: &ObsSink,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
-    let spec = compiled.spec();
-    let units = allocatable_units(spec);
+    let units = allocatable_units(compiled.spec());
+    if units.len() > MAX_MASK_UNITS {
+        return Err(ExploreError::UnitOverflow { units: units.len() });
+    }
     if units.len() > options.max_units {
         return Err(ExploreError::TooManyUnits {
             units: units.len(),
             max: options.max_units,
         });
     }
+    match options.enumerator {
+        Enumerator::Flat => Ok(flat_scan(compiled, &units, options, obs)),
+        Enumerator::BranchAndBound => Ok(crate::lattice::bnb_scan(compiled, units, options, obs)),
+    }
+}
+
+/// The flat oracle: judge every subset mask of the lattice independently.
+fn flat_scan(
+    compiled: &CompiledSpec<'_>,
+    units: &[Unit],
+    options: &AllocationOptions,
+    obs: &ObsSink,
+) -> (Vec<AllocationCandidate>, AllocationStats) {
+    let spec = compiled.spec();
     let mut stats = AllocationStats {
         units: units.len(),
         ..AllocationStats::default()
@@ -167,13 +221,13 @@ pub fn possible_resource_allocations_obs(
 
     // Potential neighbor lists for the useless-bus pruning, at unit
     // granularity (device clusters collapse onto their device's neighbors).
-    let neighbor_units: BTreeMap<VertexId, Vec<Unit>> = bus_neighbors(spec, &units);
+    let neighbor_units: BTreeMap<VertexId, Vec<Unit>> = bus_neighbors(spec, units);
 
     let n = units.len();
     let total: u64 = 1u64 << n;
     let context = ScanContext {
         compiled,
-        units: &units,
+        units,
         options,
         mapping_targets: &mapping_targets,
         neighbor_units: &neighbor_units,
@@ -209,7 +263,7 @@ pub fn possible_resource_allocations_obs(
         }
     }
     kept.sort_by_key(|c| (c.cost, std::cmp::Reverse(c.estimate.value)));
-    Ok((kept, stats))
+    (kept, stats)
 }
 
 impl AllocationStats {
@@ -218,6 +272,9 @@ impl AllocationStats {
         self.pruned_structurally += other.pruned_structurally;
         self.infeasible += other.infeasible;
         self.kept += other.kept;
+        self.nodes_visited += other.nodes_visited;
+        self.subtrees_pruned += other.subtrees_pruned;
+        self.estimate_memo_hits += other.estimate_memo_hits;
     }
 }
 
@@ -246,6 +303,7 @@ fn scan_range(
     let mut kept = Vec::new();
     for mask in range {
         stats.subsets += 1;
+        stats.nodes_visited += 1;
         let mut allocation = ResourceAllocation::new();
         for (k, unit) in context.units.iter().enumerate() {
             if mask & (1 << k) != 0 {
@@ -351,6 +409,12 @@ fn bus_neighbors(spec: &SpecificationGraph, units: &[Unit]) -> BTreeMap<VertexId
                 }
             }
         }
+    }
+    // A neighbor reachable through parallel links counts once, matching the
+    // OR-composed neighbor masks of the lattice search.
+    for list in out.values_mut() {
+        list.sort_unstable();
+        list.dedup();
     }
     out
 }
@@ -469,6 +533,61 @@ mod tests {
             assert_eq!(c.estimate.value, 1); // flat problem graph
         }
     }
+    #[test]
+    fn unit_overflow_is_rejected() {
+        let mut p = ProblemGraph::new("p");
+        let _t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        for i in 0..64 {
+            a.add_resource(Scope::Top, format!("r{i}"), Cost::new(10));
+        }
+        let s = SpecificationGraph::new("s", p, a);
+        // Even a generous `max_units` cannot widen the 64-bit subset mask.
+        let options = AllocationOptions {
+            max_units: 100,
+            ..AllocationOptions::default()
+        };
+        let err = possible_resource_allocations(&s, &options).unwrap_err();
+        assert!(matches!(err, ExploreError::UnitOverflow { units: 64 }));
+    }
+
+    #[test]
+    fn bnb_matches_the_flat_oracle() {
+        let (s, _, _, _, _) = spec();
+        let flat = possible_resource_allocations(
+            &s,
+            &AllocationOptions {
+                enumerator: Enumerator::Flat,
+                ..AllocationOptions::default()
+            },
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let bnb = possible_resource_allocations(
+                &s,
+                &AllocationOptions {
+                    threads,
+                    ..AllocationOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(flat.0.len(), bnb.0.len());
+            for (a, b) in flat.0.iter().zip(&bnb.0) {
+                assert_eq!(a.allocation, b.allocation);
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.estimate, b.estimate);
+            }
+            assert_eq!(flat.1.subsets, bnb.1.subsets);
+            assert_eq!(flat.1.kept, bnb.1.kept);
+            assert_eq!(
+                bnb.1.pruned_structurally + bnb.1.infeasible + bnb.1.kept,
+                bnb.1.subsets,
+                "every subset is accounted for exactly once"
+            );
+            assert!(bnb.1.nodes_visited <= flat.1.nodes_visited);
+        }
+    }
+
     #[test]
     fn parallel_scan_matches_sequential() {
         let (s, _, _, _, _) = spec();

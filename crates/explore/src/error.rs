@@ -16,6 +16,13 @@ pub enum ExploreError {
         /// Configured maximum.
         max: usize,
     },
+    /// The architecture has more allocatable units than the 63 the `u64`
+    /// subset masks can index; enumerating would silently overflow the
+    /// subset counter regardless of `max_units`.
+    UnitOverflow {
+        /// Allocatable units found.
+        units: usize,
+    },
     /// A per-allocation implementation attempt exceeded a bound.
     Bind(BindError),
 }
@@ -26,6 +33,12 @@ impl fmt::Display for ExploreError {
             ExploreError::TooManyUnits { units, max } => {
                 write!(f, "{units} allocatable units exceed the bound of {max}")
             }
+            ExploreError::UnitOverflow { units } => {
+                write!(
+                    f,
+                    "{units} allocatable units exceed the 63 a subset mask can index"
+                )
+            }
             ExploreError::Bind(e) => write!(f, "binding: {e}"),
         }
     }
@@ -35,7 +48,7 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Bind(e) => Some(e),
-            ExploreError::TooManyUnits { .. } => None,
+            ExploreError::TooManyUnits { .. } | ExploreError::UnitOverflow { .. } => None,
         }
     }
 }
@@ -58,6 +71,9 @@ mod tests {
         let b: ExploreError = BindError::TooManyActivations { limit: 7 }.into();
         assert!(b.source().is_some());
         assert!(b.to_string().contains('7'));
+        let o = ExploreError::UnitOverflow { units: 70 };
+        assert!(o.to_string().contains("70"));
+        assert!(o.source().is_none());
     }
 
     #[test]

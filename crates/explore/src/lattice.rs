@@ -1,0 +1,397 @@
+//! Branch-and-bound search over the allocation lattice.
+//!
+//! The flat scan judges every one of the `2^units` subset masks on its
+//! own. Both pruning criteria, however, are *monotone* over the subset
+//! lattice: adding units never decreases the Def.-4 flexibility estimate
+//! (more resources can only make more processes bindable) and never makes
+//! a feasible estimate infeasible. The DFS below exploits both directions
+//! of that monotonicity:
+//!
+//! * **Infeasible bound** — if the estimate of `current ∪ undecided` is
+//!   infeasible, every completion of the branch is infeasible: the whole
+//!   subtree is dropped after one estimate. (With the estimate's
+//!   flexibility bound at 0, the branch is Pareto-dominated at any cost —
+//!   the bi-objective dominance prune degenerates to this feasibility
+//!   test, because the enumeration must keep *every* feasible allocation
+//!   for the downstream implement stage, not just Pareto candidates.)
+//! * **Feasible fill** — if the estimate of `current` alone is feasible
+//!   and no undecided unit can invalidate the structural prunes, every
+//!   completion is a keeper: the subtree is emitted without visiting its
+//!   nodes.
+//!
+//! Units are visited in ascending-cost order (ties keep the original unit
+//! order), so each branch accumulates cost monotonically and sibling
+//! subtrees with mandatory units die immediately. Estimates are memoized
+//! per *estimate-relevant* submask ([`UnitMasks::estimate_relevant_mask`]):
+//! subsets differing only in buses or unusable units share one entry.
+//!
+//! # Determinism
+//!
+//! The search always runs in two phases regardless of the thread count: a
+//! sequential DFS down to [`BNB_PREFIX_DEPTH`] that collects deferred
+//! subtree roots and fill blocks, then an order-preserving fan-out of
+//! those items over [`run_chunk`]. Every deferred item is processed with a
+//! fresh memo, so all counters — including memo hits — depend only on the
+//! fixed decomposition, never on how items land on threads. The final
+//! candidate list is sorted by `(cost, estimate desc, original unit
+//! mask)`, which reproduces the flat scan's stable sort over
+//! mask-ascending insertion byte for byte.
+
+use crate::allocations::{AllocationCandidate, AllocationOptions, AllocationStats};
+use crate::parallel::run_chunk;
+use flexplore_flex::{estimate_with_unit_masks, FlexibilityEstimate};
+use flexplore_obs::{phase, ObsSink};
+use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, Unit, UnitMasks};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Depth of the sequential DFS prefix; subtrees rooted below it are
+/// deferred and fanned out over the worker threads. 6 yields at most 64
+/// deferred items — plenty of slack for load-balancing a handful of
+/// workers while keeping the sequential prefix negligible.
+pub(crate) const BNB_PREFIX_DEPTH: usize = 6;
+
+/// Work deferred by the phase-1 prefix walk for the phase-2 fan-out.
+enum Pending {
+    /// A subtree root at [`BNB_PREFIX_DEPTH`], to be expanded by a worker.
+    Expand {
+        mask: u64,
+        cost: Cost,
+        feasible: bool,
+    },
+    /// A uniformly-feasible block found above the prefix depth: every
+    /// completion of `mask` over the units from `depth` on is a keeper.
+    Fill { mask: u64, depth: usize, cost: Cost },
+}
+
+/// Shared, read-only inputs of the lattice search.
+struct Ctx<'a, 'b> {
+    compiled: &'a CompiledSpec<'b>,
+    masks: &'a UnitMasks,
+    /// Units in DFS (ascending-cost) order; mask bit `k` is `dfs_units[k]`.
+    dfs_units: &'a [Unit],
+    /// Original-order unit bit per DFS bit, for flat-identical tie-breaks.
+    orig_bits: &'a [u64],
+    n: usize,
+    /// Communication units subject to the useless-bus pruning (0 when the
+    /// pruning is disabled).
+    comm: u64,
+    /// Units subject to the unusable-unit pruning (0 when disabled).
+    unusable: u64,
+    observe: bool,
+}
+
+/// Per-walk mutable state; phase-2 items each get a fresh one so counters
+/// are independent of the thread partition.
+struct State {
+    kept: Vec<(u64, AllocationCandidate)>,
+    stats: AllocationStats,
+    memo: HashMap<u64, FlexibilityEstimate>,
+    estimate_calls: u64,
+    estimate_wall: Duration,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            kept: Vec::new(),
+            stats: AllocationStats::default(),
+            memo: HashMap::new(),
+            estimate_calls: 0,
+            estimate_wall: Duration::ZERO,
+        }
+    }
+
+    /// Folds a phase-2 item's results into the phase-1 accumulator.
+    fn absorb(&mut self, other: State) {
+        self.kept.extend(other.kept);
+        self.stats.pruned_structurally += other.stats.pruned_structurally;
+        self.stats.infeasible += other.stats.infeasible;
+        self.stats.kept += other.stats.kept;
+        self.stats.nodes_visited += other.stats.nodes_visited;
+        self.stats.subtrees_pruned += other.stats.subtrees_pruned;
+        self.stats.estimate_memo_hits += other.stats.estimate_memo_hits;
+        self.estimate_calls += other.estimate_calls;
+        self.estimate_wall += other.estimate_wall;
+    }
+}
+
+/// Enumerates the possible resource allocations by branch-and-bound.
+/// Candidate list and `kept` count are byte-identical to the flat scan's;
+/// see [`AllocationStats`] for how the prune counters are attributed.
+pub(crate) fn bnb_scan(
+    compiled: &CompiledSpec<'_>,
+    units: Vec<Unit>,
+    options: &AllocationOptions,
+    obs: &ObsSink,
+) -> (Vec<AllocationCandidate>, AllocationStats) {
+    let n = units.len();
+    let unit_cost = |u: &Unit| match *u {
+        Unit::Vertex(v) => compiled.spec().architecture().cost(v),
+        Unit::Cluster(c) => compiled.cluster_cost(c),
+    };
+    let costs: Vec<Cost> = units.iter().map(unit_cost).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&k| costs[k]); // stable: ties keep original order
+    let dfs_units: Vec<Unit> = order.iter().map(|&k| units[k]).collect();
+    let orig_bits: Vec<u64> = order.iter().map(|&k| 1u64 << k).collect();
+    let masks = compiled.unit_masks(&dfs_units);
+
+    let ctx = Ctx {
+        compiled,
+        masks: &masks,
+        dfs_units: &dfs_units,
+        orig_bits: &orig_bits,
+        n,
+        comm: if options.prune_useless_buses {
+            masks.comm_mask()
+        } else {
+            0
+        },
+        unusable: if options.prune_unusable {
+            masks.unusable_mask()
+        } else {
+            0
+        },
+        observe: obs.is_enabled(),
+    };
+
+    // Phase 1: sequential prefix walk, identical for every thread count.
+    let mut state = State::new();
+    state.stats.units = n;
+    state.stats.subsets = 1u64 << n;
+    let mut pending: Vec<Pending> = Vec::new();
+    dfs(
+        &ctx,
+        &mut state,
+        &mut pending,
+        BNB_PREFIX_DEPTH,
+        0,
+        0,
+        Cost::new(0),
+        false,
+    );
+
+    // Phase 2: deferred subtrees and fill blocks, fanned out in item order
+    // with a fresh memo per item.
+    let threads = options.threads.max(1);
+    let results: Vec<State> = run_chunk(&pending, threads, |item| {
+        let mut st = State::new();
+        match *item {
+            Pending::Expand {
+                mask,
+                cost,
+                feasible,
+            } => {
+                let mut no_defer = Vec::new();
+                dfs(
+                    &ctx,
+                    &mut st,
+                    &mut no_defer,
+                    usize::MAX,
+                    mask,
+                    BNB_PREFIX_DEPTH,
+                    cost,
+                    feasible,
+                );
+            }
+            Pending::Fill { mask, depth, cost } => fill(&ctx, &mut st, mask, depth, cost),
+        }
+        st
+    });
+    for st in results {
+        state.absorb(st);
+    }
+    obs.add_time(
+        phase::ENUMERATE_ESTIMATE,
+        state.estimate_calls,
+        state.estimate_wall,
+    );
+
+    let mut kept = state.kept;
+    kept.sort_by_key(|(orig, c)| (c.cost, std::cmp::Reverse(c.estimate.value), *orig));
+    (kept.into_iter().map(|(_, c)| c).collect(), state.stats)
+}
+
+/// The undecided-unit mask at `depth` (bits `depth..n`).
+fn rest_mask(n: usize, depth: usize) -> u64 {
+    if depth >= n {
+        0
+    } else {
+        (u64::MAX >> (64 - (n - depth))) << depth
+    }
+}
+
+/// Memoized flexibility estimate of a unit subset, keyed by its
+/// estimate-relevant bits.
+fn estimate(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64) -> FlexibilityEstimate {
+    let key = mask & ctx.masks.estimate_relevant_mask();
+    if let Some(found) = st.memo.get(&key) {
+        st.stats.estimate_memo_hits += 1;
+        return found.clone();
+    }
+    let started = ctx.observe.then(Instant::now);
+    let est = estimate_with_unit_masks(ctx.compiled, ctx.masks, key);
+    if let Some(started) = started {
+        st.estimate_calls += 1;
+        st.estimate_wall += started.elapsed();
+    }
+    st.memo.insert(key, est.clone());
+    est
+}
+
+/// `true` when some bus of `mask | rest` could end up with fewer than two
+/// allocated neighbors in a completion — branching must continue to sort
+/// those completions out.
+fn bus_hazard(ctx: &Ctx<'_, '_>, mask: u64, rest: u64) -> bool {
+    let mut buses = (mask | rest) & ctx.comm;
+    while buses != 0 {
+        let b = buses.trailing_zeros() as usize;
+        buses &= buses - 1;
+        if (ctx.masks.neighbors(b) & mask).count_ones() < 2 {
+            return true;
+        }
+    }
+    false
+}
+
+/// One DFS node over the decided prefix `mask` (units `0..depth`). Phase 1
+/// passes `limit == BNB_PREFIX_DEPTH` and collects deferred work in
+/// `pending`; phase 2 passes `limit == usize::MAX` and never defers.
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    ctx: &Ctx<'_, '_>,
+    st: &mut State,
+    pending: &mut Vec<Pending>,
+    limit: usize,
+    mask: u64,
+    depth: usize,
+    cost: Cost,
+    feasible_in: bool,
+) {
+    if depth == limit && depth < ctx.n {
+        pending.push(Pending::Expand {
+            mask,
+            cost,
+            feasible: feasible_in,
+        });
+        return;
+    }
+    st.stats.nodes_visited += 1;
+    let rest = rest_mask(ctx.n, depth);
+    let outcomes = 1u64 << (ctx.n - depth);
+
+    // Dead bus: an included bus that cannot reach two included-or-undecided
+    // neighbors stays useless in every completion.
+    let mut included_buses = mask & ctx.comm;
+    while included_buses != 0 {
+        let b = included_buses.trailing_zeros() as usize;
+        included_buses &= included_buses - 1;
+        if (ctx.masks.neighbors(b) & (mask | rest)).count_ones() < 2 {
+            st.stats.pruned_structurally += outcomes;
+            st.stats.subtrees_pruned += 1;
+            return;
+        }
+    }
+
+    let mut feasible = feasible_in;
+    if !feasible {
+        // Monotone bound: infeasible at `mask | rest` means infeasible for
+        // every completion.
+        let optimistic = estimate(ctx, st, mask | rest);
+        if !optimistic.feasible {
+            st.stats.infeasible += outcomes;
+            st.stats.subtrees_pruned += 1;
+            return;
+        }
+        if rest == 0 {
+            // Leaf: the optimistic estimate *is* the exact one.
+            emit(ctx, st, mask, cost, optimistic);
+            return;
+        }
+        feasible = estimate(ctx, st, mask).feasible;
+    } else if rest == 0 {
+        let exact = estimate(ctx, st, mask);
+        emit(ctx, st, mask, cost, exact);
+        return;
+    }
+
+    // Uniform fill: `mask` alone is feasible and no undecided unit can
+    // trip a structural prune, so every completion is a keeper.
+    if feasible && rest & ctx.unusable == 0 && !bus_hazard(ctx, mask, rest) {
+        if limit <= ctx.n {
+            pending.push(Pending::Fill { mask, depth, cost });
+        } else {
+            fill(ctx, st, mask, depth, cost);
+        }
+        return;
+    }
+
+    // Branch on the cheapest undecided unit.
+    let bit = 1u64 << depth;
+    if bit & ctx.unusable != 0 {
+        // Including an unusable unit only adds cost: the include half is
+        // structurally dominated wholesale.
+        st.stats.pruned_structurally += outcomes >> 1;
+        st.stats.subtrees_pruned += 1;
+        dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+    } else {
+        dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+        dfs(
+            ctx,
+            st,
+            pending,
+            limit,
+            mask | bit,
+            depth + 1,
+            cost + ctx.masks.cost(depth),
+            feasible,
+        );
+    }
+}
+
+/// Emits every completion of `mask` over the units from `depth` on — the
+/// whole subtree is known feasible and prune-clean, so no per-subset
+/// search is needed (only the memoized estimate for the candidate record).
+fn fill(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64, depth: usize, cost: Cost) {
+    let rest = rest_mask(ctx.n, depth);
+    let mut sub = rest;
+    loop {
+        let est = estimate(ctx, st, mask | sub);
+        emit(ctx, st, mask | sub, cost + ctx.masks.mask_cost(sub), est);
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & rest;
+    }
+}
+
+/// Records one kept allocation, tagged with its original-order unit mask
+/// for the flat-identical final sort.
+fn emit(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64, cost: Cost, estimate: FlexibilityEstimate) {
+    st.stats.kept += 1;
+    let mut allocation = ResourceAllocation::new();
+    let mut orig = 0u64;
+    let mut bits = mask;
+    while bits != 0 {
+        let k = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        orig |= ctx.orig_bits[k];
+        match ctx.dfs_units[k] {
+            Unit::Vertex(v) => {
+                allocation.vertices.insert(v);
+            }
+            Unit::Cluster(c) => {
+                allocation.clusters.insert(c);
+            }
+        }
+    }
+    st.kept.push((
+        orig,
+        AllocationCandidate {
+            allocation,
+            cost,
+            estimate,
+        },
+    ));
+}

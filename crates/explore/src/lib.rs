@@ -54,6 +54,7 @@
 mod allocations;
 mod error;
 mod explore;
+mod lattice;
 mod moea;
 mod parallel;
 mod pareto;
@@ -65,7 +66,7 @@ mod weighted;
 pub use allocations::{
     allocatable_units, possible_resource_allocations, possible_resource_allocations_compiled,
     possible_resource_allocations_obs, AllocationCandidate, AllocationOptions, AllocationStats,
-    Unit,
+    Enumerator, Unit,
 };
 pub use error::ExploreError;
 pub use explore::{

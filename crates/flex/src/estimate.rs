@@ -12,7 +12,7 @@
 
 use crate::metric::{flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, InterfaceId, Scope, VertexId};
-use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph, UnitMasks};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -117,6 +117,26 @@ pub fn estimate_with_compiled(
             .iter()
             .any(|r| available.contains(r))
     };
+    estimate_with_bindable(graph, &bindable)
+}
+
+/// Variant of [`estimate_with_compiled`] over a bitmask-compiled
+/// allocation: a process is bindable iff its coverage mask intersects the
+/// allocated unit mask. Produces the same estimate as
+/// [`estimate_with_compiled`] on the expanded available-vertex set of the
+/// same unit subset — the lattice search relies on this to reproduce the
+/// flat scan's candidates bit for bit.
+///
+/// Only the bits of [`UnitMasks::estimate_relevant_mask`] influence the
+/// result, so callers may memoize on `allocated & estimate_relevant_mask()`.
+#[must_use]
+pub fn estimate_with_unit_masks(
+    compiled: &CompiledSpec<'_>,
+    masks: &UnitMasks,
+    allocated: u64,
+) -> FlexibilityEstimate {
+    let graph = compiled.spec().problem().graph();
+    let bindable = |v: VertexId| -> bool { masks.coverage(v) & allocated != 0 };
     estimate_with_bindable(graph, &bindable)
 }
 
@@ -289,6 +309,31 @@ mod tests {
         let a = estimate_flexibility(&s, &alloc);
         let b = estimate_with_available(&s, &alloc.available_vertices(s.architecture()));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_mask_estimate_matches_compiled_on_every_subset() {
+        let (s, cpu, asic, _) = spec();
+        let compiled = CompiledSpec::new(&s);
+        let units = vec![
+            flexplore_spec::Unit::Vertex(cpu),
+            flexplore_spec::Unit::Vertex(asic),
+        ];
+        let masks = compiled.unit_masks(&units);
+        for mask in 0u64..4 {
+            let mut available = BTreeSet::new();
+            if mask & 0b01 != 0 {
+                available.insert(cpu);
+            }
+            if mask & 0b10 != 0 {
+                available.insert(asic);
+            }
+            assert_eq!(
+                estimate_with_unit_masks(&compiled, &masks, mask),
+                estimate_with_compiled(&compiled, &available),
+                "unit-mask estimate must agree with the set-based one"
+            );
+        }
     }
 
     #[test]

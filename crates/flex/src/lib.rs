@@ -48,7 +48,8 @@ mod metric;
 mod profile;
 
 pub use estimate::{
-    estimate_flexibility, estimate_with_available, estimate_with_compiled, FlexibilityEstimate,
+    estimate_flexibility, estimate_with_available, estimate_with_compiled,
+    estimate_with_unit_masks, FlexibilityEstimate,
 };
 pub use metric::{
     cluster_flexibility, flexibility, flexibility_def4_raw, max_flexibility, weighted_flexibility,

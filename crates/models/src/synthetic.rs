@@ -35,6 +35,13 @@ pub struct SyntheticConfig {
     pub fpga_designs: usize,
     /// Fraction of applications with a timing constraint (0.0–1.0).
     pub constrained_fraction: f64,
+    /// Number of always-active top-level tasks, each pinned to its own
+    /// dedicated resource. Every feasible allocation must contain all the
+    /// dedicated resources, so this widens the unit count (and the raw
+    /// `2^units` lattice) without exploding the number of possible
+    /// resource allocations — the workload shape that separates a
+    /// bound-driven lattice search from the flat subset scan.
+    pub dedicated_tasks: usize,
 }
 
 impl Default for SyntheticConfig {
@@ -48,6 +55,7 @@ impl Default for SyntheticConfig {
             asics: 1,
             fpga_designs: 2,
             constrained_fraction: 0.5,
+            dedicated_tasks: 0,
         }
     }
 }
@@ -65,6 +73,7 @@ impl SyntheticConfig {
             asics: 1,
             fpga_designs: 1,
             constrained_fraction: 0.5,
+            dedicated_tasks: 0,
         }
     }
 
@@ -80,21 +89,28 @@ impl SyntheticConfig {
             asics: 2,
             fpga_designs: 3,
             constrained_fraction: 0.6,
+            dedicated_tasks: 0,
         }
     }
 
-    /// A configuration beyond the paper's case study.
+    /// A configuration beyond the paper's case study: 24 allocatable units
+    /// (2 processors, 2 ASICs, 2 FPGA designs, 2 buses and 16 dedicated
+    /// task resources), for a raw lattice of `2^24 ≈ 1.7 × 10^7` subsets.
+    /// The flat scan would have to judge every one of them; the
+    /// branch-and-bound enumerator completes in well under a second because
+    /// the 16 mandatory dedicated resources collapse the feasible region.
     #[must_use]
     pub fn large(seed: u64) -> Self {
         SyntheticConfig {
             seed,
-            applications: 4,
-            interfaces_per_app: 3,
-            alternatives: 3,
+            applications: 3,
+            interfaces_per_app: 2,
+            alternatives: 2,
             processors: 2,
-            asics: 3,
-            fpga_designs: 4,
-            constrained_fraction: 0.7,
+            asics: 2,
+            fpga_designs: 2,
+            constrained_fraction: 0.5,
+            dedicated_tasks: 16,
         }
     }
 }
@@ -109,7 +125,10 @@ impl SyntheticConfig {
 /// * ASICs and FPGA designs carry faster mappings for random subsets of
 ///   the processes;
 /// * a shared bus connects all processors and ASICs; a dedicated bus links
-///   the first processor to the FPGA.
+///   the first processor to the FPGA;
+/// * each of the `dedicated_tasks` always-active top-level tasks maps only
+///   to its own dedicated resource (also on the shared bus), so those
+///   resources are mandatory in every possible allocation.
 #[must_use]
 pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -155,6 +174,17 @@ pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
         p.add_dependence(upstream, sink).expect("same scope");
         process_ids.push(sink);
     }
+    // Always-active top-level tasks; each will be pinned to a dedicated
+    // resource, making that resource mandatory in every allocation.
+    let task_ids: Vec<_> = (0..config.dedicated_tasks)
+        .map(|j| {
+            p.add_process_with(
+                Scope::Top,
+                format!("task{j}"),
+                ProcessAttrs::new().negligible(),
+            )
+        })
+        .collect();
 
     let mut a = ArchitectureGraph::new("synthetic-arch");
     let shared_bus = a.add_bus(Scope::Top, "B0", Cost::new(10));
@@ -177,6 +207,16 @@ pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
         );
         a.connect(shared_bus, asic).expect("same scope");
         asics.push(asic);
+    }
+    let mut dedicated = Vec::new();
+    for j in 0..config.dedicated_tasks {
+        let r = a.add_resource(
+            Scope::Top,
+            format!("DSP{j}"),
+            Cost::new(rng.random_range(60..=140)),
+        );
+        a.connect(shared_bus, r).expect("same scope");
+        dedicated.push(r);
     }
     let mut fpga_designs = Vec::new();
     if config.fpga_designs > 0 && !processors.is_empty() {
@@ -218,6 +258,11 @@ pub fn synthetic_spec(config: &SyntheticConfig) -> SpecificationGraph {
                     .expect("valid endpoints");
             }
         }
+    }
+    for (task, &resource) in task_ids.iter().zip(&dedicated) {
+        let latency = Time::from_ns(rng.random_range(10..=60));
+        spec.add_mapping(*task, resource, latency)
+            .expect("valid endpoints");
     }
     spec.validate()
         .expect("generated model is structurally valid");
@@ -287,6 +332,38 @@ mod tests {
             max_flexibility(spec.problem().graph()),
             (2 * per_app) as u64
         );
+    }
+
+    #[test]
+    fn large_config_explores_under_branch_and_bound() {
+        let spec = synthetic_spec(&SyntheticConfig::large(11));
+        let units = flexplore_explore::allocatable_units(&spec);
+        assert_eq!(
+            units.len(),
+            24,
+            "2 CPUs + 2 ASICs + 16 DSPs + 2 buses + 2 designs"
+        );
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        assert_eq!(result.stats.allocations.subsets, 1 << 24);
+        // The flat scan would expand all 2^24 subsets; the lattice search
+        // gets by on a vanishing fraction.
+        assert!(
+            result.stats.allocations.nodes_visited < 1 << 16,
+            "visited {} nodes",
+            result.stats.allocations.nodes_visited
+        );
+        assert!(result.stats.pareto_points >= 1);
+        // The dedicated resources are mandatory in every candidate.
+        let dsp0 = spec
+            .architecture()
+            .graph()
+            .vertex_by_name(Scope::Top, "DSP0")
+            .unwrap();
+        assert!(result.front.points().iter().all(|pt| {
+            pt.implementation
+                .as_ref()
+                .is_some_and(|i| i.allocation.vertices.contains(&dsp0))
+        }));
     }
 
     #[test]

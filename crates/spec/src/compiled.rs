@@ -32,16 +32,115 @@
 //! `CompiledSpec` holds only shared references and owned immutable data, so
 //! it is `Sync` and can be borrowed concurrently by worker threads.
 
-use crate::attrs::Cost;
+use crate::attrs::{Cost, ResourceKind};
 use crate::spec::{MappingId, ResourceAllocation, SpecificationGraph};
-use flexplore_hgraph::{FlatGraph, HgraphError, NodeRef, Selection, VertexId};
+use flexplore_hgraph::{ClusterId, FlatGraph, HgraphError, NodeRef, Selection, VertexId};
 use flexplore_sched::Time;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Upper bound on the number of elementary cluster-activations that are
 /// eagerly flattened by [`CompiledSpec::with_activation_cache`]; larger
 /// specifications fall back to on-demand compilation per activation.
 const MAX_CACHED_ACTIVATIONS: u128 = 4096;
+
+/// One allocatable unit: a top-level architecture resource or a whole
+/// design cluster of a reconfigurable device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Unit {
+    /// A top-level resource (functional or communication).
+    Vertex(VertexId),
+    /// A design cluster of a reconfigurable device.
+    Cluster(ClusterId),
+}
+
+/// Bitmask-compiled side tables over a fixed unit universe: every
+/// structural question the allocation lattice search asks per subset
+/// (coverage, bus neighborhood, unusability, cost) becomes an AND/POPCNT
+/// over `u64` masks whose bit `k` stands for `units[k]`.
+///
+/// Built once per enumeration by [`CompiledSpec::unit_masks`]; valid for at
+/// most 64 units (the enumeration layer rejects more before compiling).
+#[derive(Debug, Clone)]
+pub struct UnitMasks {
+    /// Number of units (occupied low bits of every mask).
+    unit_count: usize,
+    /// Per problem vertex (by `VertexId::index()`): the units contributing
+    /// at least one resource the vertex can be mapped onto.
+    coverage: Vec<u64>,
+    /// Per unit: the units a communication unit can link (zero for
+    /// functional units).
+    neighbors: Vec<u64>,
+    /// Units that are top-level communication resources.
+    comm: u64,
+    /// Units that cannot serve any mapping: functional vertices targeted by
+    /// no mapping edge, and clusters whose leaves are all untargeted.
+    unusable: u64,
+    /// Units contributing at least one mapping-target resource — the only
+    /// bits the flexibility estimate can depend on.
+    estimate_relevant: u64,
+    /// Per unit: its allocation cost.
+    costs: Vec<Cost>,
+}
+
+impl UnitMasks {
+    /// Number of units (every mask uses exactly the low `unit_count` bits).
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.unit_count
+    }
+
+    /// The units that can implement problem vertex `v` (empty for unknown
+    /// ids, matching an empty reachable-resource list).
+    #[must_use]
+    pub fn coverage(&self, v: VertexId) -> u64 {
+        self.coverage.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// The potential neighbor units of unit `k` (nonzero only for
+    /// communication units).
+    #[must_use]
+    pub fn neighbors(&self, k: usize) -> u64 {
+        self.neighbors[k]
+    }
+
+    /// Mask of top-level communication units.
+    #[must_use]
+    pub fn comm_mask(&self) -> u64 {
+        self.comm
+    }
+
+    /// Mask of units no mapping edge can use.
+    #[must_use]
+    pub fn unusable_mask(&self) -> u64 {
+        self.unusable
+    }
+
+    /// Mask of units the flexibility estimate can depend on; two subsets
+    /// agreeing on these bits have identical estimates.
+    #[must_use]
+    pub fn estimate_relevant_mask(&self) -> u64 {
+        self.estimate_relevant
+    }
+
+    /// Allocation cost of unit `k`.
+    #[must_use]
+    pub fn cost(&self, k: usize) -> Cost {
+        self.costs[k]
+    }
+
+    /// Summed allocation cost of every unit in `mask`.
+    #[must_use]
+    pub fn mask_cost(&self, mut mask: u64) -> Cost {
+        let mut total = Cost::new(0);
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            total += self.costs[k];
+        }
+        total
+    }
+}
 
 /// One precompiled elementary cluster-activation: the flattened problem
 /// graph and the dense inherited-period table.
@@ -358,6 +457,132 @@ impl<'a> CompiledSpec<'a> {
         vertex_cost + cluster_cost
     }
 
+    /// Compiles the bitmask side tables over the given unit universe: bit
+    /// `k` of every mask stands for `units[k]`. Coverage masks answer "can
+    /// this subset implement problem vertex `v`" with one AND; neighbor
+    /// masks answer the useless-bus pruning with AND/POPCNT; the
+    /// estimate-relevant mask keys the estimate memo of the lattice search.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `units` holds more than 64 entries or names a vertex
+    /// outside the architecture arena.
+    #[must_use]
+    pub fn unit_masks(&self, units: &[Unit]) -> UnitMasks {
+        assert!(units.len() <= 64, "unit masks index at most 64 units");
+        let spec = self.spec;
+        let arch = spec.architecture();
+        let graph = arch.graph();
+        let targets: BTreeSet<VertexId> = spec
+            .mapping_ids()
+            .map(|m| spec.mapping(m).resource)
+            .collect();
+
+        // Unit bit of each top-level vertex / design cluster, plus the
+        // unit bits contributing each concrete resource vertex.
+        let mut vertex_unit: BTreeMap<VertexId, usize> = BTreeMap::new();
+        let mut cluster_unit: BTreeMap<ClusterId, usize> = BTreeMap::new();
+        let mut resource_bits: Vec<u64> = vec![0; graph.vertex_count()];
+        let mut comm = 0u64;
+        let mut unusable = 0u64;
+        let mut estimate_relevant = 0u64;
+        let mut costs = Vec::with_capacity(units.len());
+        for (k, unit) in units.iter().enumerate() {
+            let bit = 1u64 << k;
+            match *unit {
+                Unit::Vertex(v) => {
+                    vertex_unit.insert(v, k);
+                    if let Some(slot) = resource_bits.get_mut(v.index()) {
+                        *slot |= bit;
+                    }
+                    match arch.kind(v) {
+                        ResourceKind::Communication => comm |= bit,
+                        ResourceKind::Functional if !targets.contains(&v) => unusable |= bit,
+                        ResourceKind::Functional => {}
+                    }
+                    if targets.contains(&v) {
+                        estimate_relevant |= bit;
+                    }
+                    costs.push(arch.cost(v));
+                }
+                Unit::Cluster(c) => {
+                    cluster_unit.insert(c, k);
+                    let leaves = self
+                        .arch_cluster_leaves
+                        .get(c.index())
+                        .map_or(&[][..], Vec::as_slice);
+                    for leaf in leaves {
+                        if let Some(slot) = resource_bits.get_mut(leaf.index()) {
+                            *slot |= bit;
+                        }
+                    }
+                    if leaves.iter().all(|v| !targets.contains(v)) {
+                        unusable |= bit;
+                    } else {
+                        estimate_relevant |= bit;
+                    }
+                    costs.push(
+                        self.arch_cluster_costs
+                            .get(c.index())
+                            .copied()
+                            .unwrap_or(Cost::new(0)),
+                    );
+                }
+            }
+        }
+
+        let coverage: Vec<u64> = self
+            .reachable
+            .iter()
+            .map(|rs| {
+                rs.iter()
+                    .map(|r| resource_bits.get(r.index()).copied().unwrap_or(0))
+                    .fold(0, |acc, bits| acc | bits)
+            })
+            .collect();
+
+        // Neighbor masks: the unit-granular mirror of the communication
+        // graph (links into a device interface denote its design clusters).
+        let mut neighbors = vec![0u64; units.len()];
+        for e in graph.edge_ids() {
+            let (from, to) = graph.edge_endpoints(e);
+            let ends = [from.node, to.node];
+            for (idx, end) in ends.iter().enumerate() {
+                let NodeRef::Vertex(v) = *end else { continue };
+                if arch.kind(v) != ResourceKind::Communication {
+                    continue;
+                }
+                let Some(&k) = vertex_unit.get(&v) else {
+                    continue;
+                };
+                match ends[1 - idx] {
+                    NodeRef::Vertex(o) => {
+                        if let Some(&j) = vertex_unit.get(&o) {
+                            neighbors[k] |= 1u64 << j;
+                        }
+                    }
+                    NodeRef::Interface(i) => {
+                        for c in graph.clusters_of(i) {
+                            if let Some(&j) = cluster_unit.get(c) {
+                                neighbors[k] |= 1u64 << j;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        UnitMasks {
+            unit_count: units.len(),
+            coverage,
+            neighbors,
+            comm,
+            unusable,
+            estimate_relevant,
+            costs,
+        }
+    }
+
     /// Looks up a precompiled activation by its selection.
     #[must_use]
     pub fn activation(&self, selection: &Selection) -> Option<&CompiledActivation> {
@@ -487,6 +712,32 @@ mod tests {
             .vertex_by_name(Scope::Top, "src")
             .unwrap();
         assert_eq!(activation.period(src), Some(Time::from_ns(100)));
+    }
+
+    #[test]
+    fn unit_masks_mirror_the_flat_queries() {
+        let spec = spec_with_fpga();
+        let compiled = CompiledSpec::new(&spec);
+        let graph = spec.architecture().graph();
+        let mut units: Vec<Unit> = graph.vertices_in(Scope::Top).map(Unit::Vertex).collect();
+        units.extend(graph.cluster_ids().map(Unit::Cluster));
+        // Units: [uP, C1 (bus), D1 design cluster].
+        assert_eq!(units.len(), 3);
+        let masks = compiled.unit_masks(&units);
+        assert_eq!(masks.unit_count(), 3);
+        assert_eq!(masks.comm_mask(), 0b010);
+        assert_eq!(masks.unusable_mask(), 0);
+        assert_eq!(masks.estimate_relevant_mask(), 0b101);
+        // The bus links uP directly and the design cluster through the
+        // device interface.
+        assert_eq!(masks.neighbors(1), 0b101);
+        let problem = spec.problem().graph();
+        let src = problem.vertex_by_name(Scope::Top, "src").unwrap();
+        let sink = problem.vertex_by_name(Scope::Top, "sink").unwrap();
+        assert_eq!(masks.coverage(src), 0b001);
+        assert_eq!(masks.coverage(sink), 0b101);
+        assert_eq!(masks.cost(1), Cost::new(10));
+        assert_eq!(masks.mask_cost(0b111), Cost::new(170));
     }
 
     #[test]

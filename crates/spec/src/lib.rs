@@ -69,7 +69,7 @@ mod spec;
 
 pub use architecture::{ArchitectureGraph, Design, Link};
 pub use attrs::{Cost, ProcessAttrs, ResourceAttrs, ResourceKind};
-pub use compiled::{CompiledActivation, CompiledSpec};
+pub use compiled::{CompiledActivation, CompiledSpec, Unit, UnitMasks};
 pub use error::{BindingViolation, SpecError};
 pub use feasibility::Binding;
 pub use problem::{AlternativeStage, DataDep, ProblemGraph};

@@ -29,6 +29,7 @@ fn small_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
                 asics,
                 fpga_designs: designs,
                 constrained_fraction: 0.5,
+                dedicated_tasks: 0,
             },
         )
 }

@@ -1,0 +1,163 @@
+//! Branch-and-bound lattice enumeration vs. the flat-scan oracle.
+//!
+//! The bound-driven search must keep **exactly** the candidate list of the
+//! exhaustive flat scan — same allocations, same costs, same estimates,
+//! same order — while visiting strictly fewer decision nodes, and it must
+//! be byte-identical to itself at any `--threads` setting (front, counters
+//! and observability report alike).
+
+use flexplore::explore_crate::possible_resource_allocations_obs;
+use flexplore::models::dual_slot_fpga;
+use flexplore::{
+    explore_with_obs, set_top_box, synthetic_spec, AllocationOptions, CompiledSpec, Enumerator,
+    ExploreOptions, ObsSink, SpecificationGraph, SyntheticConfig,
+};
+
+/// Bundled models small enough for the 2^units flat scan to finish fast.
+fn oracle_models() -> Vec<(&'static str, SpecificationGraph)> {
+    vec![
+        ("set-top-box", set_top_box().spec),
+        ("tv-decoder", flexplore::tv_decoder().spec),
+        ("dual-slot-fpga", dual_slot_fpga().spec),
+        (
+            "synthetic-small",
+            synthetic_spec(&SyntheticConfig::small(7)),
+        ),
+        (
+            "synthetic-medium",
+            synthetic_spec(&SyntheticConfig::medium(11)),
+        ),
+    ]
+}
+
+fn allocation_options(enumerator: Enumerator, threads: usize) -> AllocationOptions {
+    AllocationOptions {
+        enumerator,
+        threads,
+        ..AllocationOptions::default()
+    }
+}
+
+/// The flat scan and the lattice search keep the same candidate list —
+/// byte-for-byte, via the serialized form — and agree on the enumerator-
+/// independent counters, at every thread count.
+#[test]
+fn bnb_keeps_exactly_the_flat_scan_candidates() {
+    for (name, spec) in oracle_models() {
+        let compiled = CompiledSpec::new(&spec);
+        let (flat_candidates, flat_stats) = possible_resource_allocations_obs(
+            &compiled,
+            &allocation_options(Enumerator::Flat, 1),
+            &ObsSink::disabled(),
+        )
+        .unwrap();
+        let flat_json = serde_json::to_string(&flat_candidates).unwrap();
+        for threads in [1, 2, 4] {
+            let (bnb_candidates, bnb_stats) = possible_resource_allocations_obs(
+                &compiled,
+                &allocation_options(Enumerator::BranchAndBound, threads),
+                &ObsSink::disabled(),
+            )
+            .unwrap();
+            let bnb_json = serde_json::to_string(&bnb_candidates).unwrap();
+            assert_eq!(
+                flat_json, bnb_json,
+                "{name}: candidates diverged at {threads} threads"
+            );
+            assert_eq!(flat_stats.units, bnb_stats.units, "{name}");
+            assert_eq!(flat_stats.subsets, bnb_stats.subsets, "{name}");
+            assert_eq!(flat_stats.kept, bnb_stats.kept, "{name}");
+            assert_eq!(
+                bnb_stats.pruned_structurally + bnb_stats.infeasible + bnb_stats.kept,
+                bnb_stats.subsets,
+                "{name}: sum invariant broken at {threads} threads"
+            );
+            // A DFS over the subset lattice has at most 2^(n+1)-1 decision
+            // nodes; on tiny models with few pruning opportunities it may
+            // exceed the flat scan's 2^n, but never the structural bound.
+            assert!(
+                bnb_stats.nodes_visited < 2 * bnb_stats.subsets,
+                "{name}: lattice search exceeded the structural node bound"
+            );
+        }
+    }
+}
+
+/// The ISSUE acceptance bound: on the paper's Set-Top box case study the
+/// lattice search expands fewer than half of the flat scan's subsets while
+/// reproducing the published Pareto front exactly.
+#[test]
+fn set_top_box_visits_under_half_of_the_lattice() {
+    let stb = set_top_box();
+    let flat_options = ExploreOptions {
+        allocation: AllocationOptions {
+            enumerator: Enumerator::Flat,
+            ..AllocationOptions::default()
+        },
+        ..ExploreOptions::paper()
+    };
+    let bnb_options = ExploreOptions::paper();
+    let flat = flexplore::explore(&stb.spec, &flat_options).unwrap();
+    let bnb = flexplore::explore(&stb.spec, &bnb_options).unwrap();
+    assert_eq!(
+        serde_json::to_string(&flat.front).unwrap(),
+        serde_json::to_string(&bnb.front).unwrap(),
+        "the two enumerators must produce a byte-identical front"
+    );
+    assert!(
+        bnb.stats.allocations.nodes_visited < flat.stats.allocations.subsets / 2,
+        "expected < {} nodes, visited {}",
+        flat.stats.allocations.subsets / 2,
+        bnb.stats.allocations.nodes_visited
+    );
+    assert!(bnb.stats.allocations.subtrees_pruned > 0);
+}
+
+/// Full-pipeline thread invariance, including the 24-unit synthetic-large
+/// model (infeasible under the flat scan): front, search counters and the
+/// aggregated observability counters are byte-identical at 1/2/4 threads.
+#[test]
+fn bnb_front_counters_and_obs_are_thread_invariant() {
+    let mut models = oracle_models();
+    models.push((
+        "synthetic-large",
+        synthetic_spec(&SyntheticConfig::large(11)),
+    ));
+    for (name, spec) in models {
+        let mut baseline: Option<(String, String)> = None;
+        for threads in [1usize, 2, 4] {
+            let options = ExploreOptions {
+                allocation: AllocationOptions {
+                    threads,
+                    ..AllocationOptions::default()
+                },
+                ..ExploreOptions::paper()
+            }
+            .with_threads(threads);
+            let sink = ObsSink::enabled();
+            let result = explore_with_obs(&spec, &options, &sink).unwrap();
+            let report = sink.report("lattice-test", name, threads);
+            let fingerprint = (
+                format!(
+                    "{}|{:?}",
+                    serde_json::to_string(&result.front).unwrap(),
+                    result.stats.allocations
+                ),
+                report.counters_json().unwrap(),
+            );
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(expected) => {
+                    assert_eq!(
+                        expected.0, fingerprint.0,
+                        "{name}: front/stats diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        expected.1, fingerprint.1,
+                        "{name}: obs counters diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
