@@ -15,6 +15,7 @@
 //! flexplore faults <spec.json> [--kill R@NS[+NS]]...    fault-injection scenario + resilience
 //! flexplore lint <spec.json> [--format json] [--deny ..] static analysis (codes F001–F012)
 //! flexplore profile <spec.json|MODEL> [--top K]         instrumented EXPLORE, hottest phases
+//! flexplore fuzz [--seed S] [--iterations N] [--profile FAMILY] differential invariant fuzzing
 //! ```
 //!
 //! The long-running commands (`explore`, `resilience`, `faults`, `lint`)
@@ -37,6 +38,7 @@ use flexplore::{
     FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection, SpecificationGraph,
     SyntheticConfig, Time, VertexId,
 };
+use flexplore_fuzz::{replay_dir, run_fuzz, DomainProfile, FuzzOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -47,9 +49,9 @@ use std::time::Instant;
 /// | code | meaning |
 /// |---|---|
 /// | 0 | success (the `Ok` path; never carried by a `CliError`) |
-/// | 1 | lint findings denied by `--deny` |
+/// | 1 | lint findings denied by `--deny`, or fuzz invariant violations |
 /// | 2 | errors: bad arguments, defective specifications, infeasible queries |
-/// | 3 | internal fault of the `lint` command (unreadable/unparsable input) |
+/// | 3 | internal fault of `lint`/`fuzz` (unreadable/unparsable input) |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
     /// The message printed to stderr.
@@ -102,6 +104,9 @@ USAGE:
                    [--deny (warnings|<CODE>)]... [--profile [text|json]]
     flexplore profile (<spec.json> | <MODEL>) [--top <K>] [--threads <N>]
                       [--format text|json] [--events <PATH>]
+    flexplore fuzz [--seed <S>] [--iterations <N>] [--profile <FAMILY>]
+                   [--threads <N>] [--corpus-dir <DIR>]
+    flexplore fuzz --replay <DIR>
 
 COMMANDS:
     explore       print the Pareto-optimal flexibility/cost front
@@ -147,6 +152,21 @@ COMMANDS:
                   and print the hottest phases (--top K, default 8).
                   --format json dumps the full run report, --events PATH
                   writes the JSON-lines event log to a file
+    fuzz          seeded differential fuzzing: generate random small
+                  specifications and cross-check the pipeline invariants
+                  (lint/explore agreement, enumerator equivalence, MOEA
+                  and resilience subset, thread invariance, JSON round
+                  trip). Fully deterministic: equal --seed means a
+                  byte-identical report. --iterations is per profile
+                  (default 100); --profile picks the domain family (stb,
+                  automotive, baseband, cloud-fpga or all, the default);
+                  --corpus-dir writes minimized repros of any violation;
+                  --replay DIR re-checks every stored repro instead of
+                  generating. NOTE: unlike the other commands, fuzz's
+                  --profile selects the generator family, not the
+                  observability mode.
+                  exit codes: 0 clean, 1 invariant violations found,
+                  2 bad flags, 3 internal fault (unreadable corpus)
 
 PROFILING:
     explore, resilience, faults and lint accept --profile [text|json]:
@@ -175,6 +195,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("faults") => cmd_faults(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("profile") => cmd_profile(&args.collect::<Vec<_>>()),
+        Some("fuzz") => cmd_fuzz(&args.collect::<Vec<_>>()),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -1058,6 +1079,96 @@ fn parse_kill(arg: &str) -> Result<(String, Time, Option<Time>), CliError> {
     Ok((name.to_owned(), Time::from_ns(at), outage))
 }
 
+fn cmd_fuzz(args: &[&str]) -> Result<String, CliError> {
+    // Unlike the long-running analysis commands, `--profile` here selects
+    // the generator's domain family, so `take_profile` must NOT run first.
+    let mut options = FuzzOptions {
+        iterations: 100,
+        ..FuzzOptions::default()
+    };
+    let mut replay: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--seed" => {
+                options.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--seed needs an unsigned integer"))?;
+            }
+            "--iterations" => {
+                options.iterations = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--iterations needs an unsigned integer"))?;
+            }
+            "--threads" => {
+                options.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            "--profile" => {
+                let family = it.next().copied().ok_or_else(|| {
+                    err("--profile needs stb, automotive, baseband, cloud-fpga or all")
+                })?;
+                options.profiles = if family == "all" {
+                    DomainProfile::all().to_vec()
+                } else {
+                    vec![family.parse().map_err(err)?]
+                };
+            }
+            "--corpus-dir" => {
+                options.corpus_dir = Some(std::path::PathBuf::from(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| err("--corpus-dir needs a directory path"))?,
+                ));
+            }
+            "--replay" => {
+                replay = Some(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| err("--replay needs a corpus directory path"))?,
+                );
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    if let Some(dir) = replay {
+        let report = replay_dir(std::path::Path::new(dir)).map_err(|e| CliError {
+            message: format!("fuzz: corpus replay failed: {e}"),
+            output: None,
+            code: 3,
+        })?;
+        let text = report.render_text();
+        if report.is_clean() {
+            return Ok(text);
+        }
+        return Err(CliError {
+            message: "fuzz: corpus replay found invariant violations".to_owned(),
+            output: Some(text),
+            code: 1,
+        });
+    }
+
+    let report = run_fuzz(&options);
+    let text = report.render_text();
+    if report.is_clean() {
+        Ok(text)
+    } else {
+        Err(CliError {
+            message: format!(
+                "fuzz: {} invariant violation(s) found",
+                report.violations.len()
+            ),
+            output: Some(text),
+            code: 1,
+        })
+    }
+}
+
 fn split_path<'a>(args: &'a [&'a str]) -> Result<(&'a str, &'a [&'a str]), CliError> {
     match args.split_first() {
         Some((path, rest)) if !path.starts_with('-') => Ok((path, rest)),
@@ -1090,6 +1201,71 @@ mod tests {
         assert!(run_strs(&[]).unwrap().contains("USAGE"));
         let e = run_strs(&["frobnicate"]).unwrap_err();
         assert!(e.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn fuzz_small_campaign_is_clean_and_deterministic() {
+        let out = run_strs(&["fuzz", "--seed", "42", "--iterations", "2"]).unwrap();
+        assert!(out.contains("fuzzed 8 spec(s)"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let again = run_strs(&["fuzz", "--seed", "42", "--iterations", "2"]).unwrap();
+        assert_eq!(out, again, "fuzz reports must be byte-reproducible");
+        let threaded = run_strs(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--iterations",
+            "2",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(out, threaded, "thread count must not change the report");
+    }
+
+    #[test]
+    fn fuzz_profile_selects_the_domain_family() {
+        let out = run_strs(&["fuzz", "--iterations", "1", "--profile", "baseband"]).unwrap();
+        assert!(out.contains("fuzzed 1 spec(s)"), "{out}");
+        let out = run_strs(&["fuzz", "--iterations", "1", "--profile", "all"]).unwrap();
+        assert!(out.contains("fuzzed 4 spec(s)"), "{out}");
+        let e = run_strs(&["fuzz", "--profile", "mainframe"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown domain profile"), "{e:?}");
+    }
+
+    #[test]
+    fn fuzz_rejects_malformed_numeric_flags_with_exit_2() {
+        for args in [
+            ["fuzz", "--seed", "not-a-number"],
+            ["fuzz", "--iterations", "-3"],
+            ["fuzz", "--threads", "many"],
+        ] {
+            let e = run_strs(&args).unwrap_err();
+            assert_eq!(e.code, 2, "{args:?} -> {e:?}");
+            assert!(e.message.contains("needs"), "{e:?}");
+        }
+        let e = run_strs(&["fuzz", "--seed"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = run_strs(&["fuzz", "--frobnicate"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown flag"));
+    }
+
+    #[test]
+    fn fuzz_replay_of_missing_corpus_is_clean() {
+        let out = run_strs(&["fuzz", "--replay", "/nonexistent/fuzz-corpus"]).unwrap();
+        assert!(out.contains("replayed 0 corpus case(s)"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_replay_of_a_malformed_corpus_is_an_internal_fault() {
+        let dir = std::env::temp_dir().join("flexplore-cli-test-bad-corpus");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.json"), "not json").unwrap();
+        let e = run_strs(&["fuzz", "--replay", dir.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 3, "{e:?}");
+        assert!(e.message.contains("corpus replay failed"), "{e:?}");
     }
 
     #[test]

@@ -72,3 +72,26 @@ fn exit_code_scheme_is_stable() {
     let out = flexplore_bin(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+#[test]
+fn fuzz_exit_codes_mirror_the_lint_scheme() {
+    // 0 — a clean bounded campaign.
+    let out = flexplore_bin(&["fuzz", "--seed", "42", "--iterations", "1"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 violation(s)"));
+
+    // 2 — malformed numeric arguments report a clear message.
+    let out = flexplore_bin(&["fuzz", "--seed", "forty-two"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs an unsigned integer"));
+    let out = flexplore_bin(&["fuzz", "--iterations", "2.5"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // 3 — an unreadable corpus is an internal fault of the fuzz command.
+    let dir = std::env::temp_dir().join("flexplore-exit-codes-bad-corpus");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("broken.json"), "{").unwrap();
+    let out = flexplore_bin(&["fuzz", "--replay", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("corpus replay failed"));
+}

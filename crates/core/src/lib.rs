@@ -96,8 +96,9 @@ pub use flexplore_hgraph::{
 };
 pub use flexplore_lint::{lint_spec, lint_spec_obs, Diagnostic, LintReport, Severity};
 pub use flexplore_models::{
-    dual_slot_fpga, paper_pareto_table, set_top_box, synthetic_spec, tv_decoder, SetTopBox,
-    SyntheticConfig,
+    automotive_spec, baseband_spec, cloud_fpga_spec, dual_slot_fpga, paper_pareto_table,
+    set_top_box, synthetic_spec, tv_decoder, AutomotiveConfig, BasebandConfig, CloudFpgaConfig,
+    SetTopBox, SyntheticConfig,
 };
 pub use flexplore_obs::{ObsSink, RunReport};
 pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};

@@ -1,0 +1,77 @@
+//! Panic capture for oracle bodies.
+//!
+//! The whole workspace forbids `unsafe`, and most pipeline types are not
+//! [`std::panic::UnwindSafe`], so `catch_unwind` is out. Instead every
+//! oracle body runs on a freshly spawned, *named* thread: a panic unwinds
+//! that thread only and surfaces as the `Err` of [`std::thread::JoinHandle::join`],
+//! with the payload message recovered from the join error. A process-wide
+//! panic hook (installed once) suppresses the default stderr backtrace for
+//! exactly these threads, keeping fuzzer output byte-deterministic while
+//! leaving every other thread's panic reporting untouched.
+
+use std::panic;
+use std::sync::Once;
+use std::thread;
+
+/// Name of the sacrificial oracle threads; the panic hook keys on it.
+const ORACLE_THREAD: &str = "flexplore-fuzz-oracle";
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if thread::current().name() == Some(ORACLE_THREAD) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Runs `body` on a sacrificial thread; a panic becomes `Err(message)`.
+///
+/// The closure must own everything it touches (`'static`): callers clone
+/// the specification into it.
+pub fn capture<T, F>(body: F) -> Result<T, String>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    install_quiet_hook();
+    let handle = thread::Builder::new()
+        .name(ORACLE_THREAD.to_string())
+        .spawn(body)
+        .expect("spawn oracle thread");
+    handle.join().map_err(|payload| {
+        if let Some(message) = payload.downcast_ref::<&str>() {
+            (*message).to_string()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_the_value() {
+        assert_eq!(capture(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn recovers_the_panic_message() {
+        let err = capture(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+    }
+
+    #[test]
+    fn recovers_static_str_payloads() {
+        let err = capture(|| -> u32 { panic!("plain") }).unwrap_err();
+        assert_eq!(err, "plain");
+    }
+}

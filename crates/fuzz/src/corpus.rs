@@ -1,0 +1,249 @@
+//! The regression corpus: violating specifications, minimized and kept.
+//!
+//! Every violation the fuzzer finds is delta-debugged and written as a
+//! JSON repro file into a corpus directory (`tests/corpus/` in this
+//! repository). A replay run loads every file and re-checks **all**
+//! oracles — including the enumerator-equivalence oracle, which exercises
+//! both the flat and the branch-and-bound engine — so once a bug is fixed,
+//! its repro keeps guarding against regression forever.
+//!
+//! File format (one JSON object per file):
+//!
+//! ```json
+//! {
+//!   "fuzz_format": 1,
+//!   "profile": "automotive",
+//!   "seed": 1234,
+//!   "oracle": "lint-explore",
+//!   "detail": "panic: ...",
+//!   "spec": { ...a serialized SpecificationGraph... }
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::oracles::{check_all, Violation};
+use flexplore_models::spec_from_json;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Version tag of the repro file format.
+pub const FUZZ_FORMAT: u64 = 1;
+
+/// One repro case, as stored in a corpus file.
+#[derive(Debug, Clone)]
+pub struct ReproCase {
+    /// Domain-profile name that generated the spec (free-form for
+    /// hand-written cases).
+    pub profile: String,
+    /// The derived seed the violating iteration used.
+    pub seed: u64,
+    /// Name of the violated oracle.
+    pub oracle: String,
+    /// The violation's detail at discovery time.
+    pub detail: String,
+    /// The (minimized) specification, as compact JSON.
+    pub spec_json: String,
+}
+
+impl ReproCase {
+    /// The deterministic file name for this case.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}-seed{}-{}.json", self.profile, self.seed, self.oracle)
+    }
+
+    /// Renders the repro document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let spec = Json::parse(&self.spec_json).expect("repro spec is valid JSON");
+        Json::Object(vec![
+            ("fuzz_format".into(), Json::Number(FUZZ_FORMAT.to_string())),
+            ("profile".into(), Json::Str(self.profile.clone())),
+            ("seed".into(), Json::Number(self.seed.to_string())),
+            ("oracle".into(), Json::Str(self.oracle.clone())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+            ("spec".into(), spec),
+        ])
+        .render()
+    }
+
+    /// Writes the case into `dir` (created if missing); returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_into(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.render() + "\n")?;
+        Ok(path)
+    }
+
+    /// Parses a repro document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a missing/mistyped field or an
+    /// unsupported format version.
+    pub fn parse(text: &str) -> Result<ReproCase, String> {
+        let root = Json::parse(text)?;
+        let format = root
+            .get("fuzz_format")
+            .and_then(Json::as_u64)
+            .ok_or("missing numeric `fuzz_format`")?;
+        if format != FUZZ_FORMAT {
+            return Err(format!("unsupported fuzz_format {format}"));
+        }
+        let field = |name: &str| -> Result<String, String> {
+            root.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string `{name}`"))
+        };
+        Ok(ReproCase {
+            profile: field("profile")?,
+            seed: root
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric `seed`")?,
+            oracle: field("oracle")?,
+            detail: field("detail")?,
+            spec_json: root.get("spec").ok_or("missing `spec`")?.render(),
+        })
+    }
+}
+
+/// Result of replaying one corpus file.
+#[derive(Debug, Clone)]
+pub struct ReplayedCase {
+    /// File name (not the full path).
+    pub file: String,
+    /// Violations still present (empty once the bug is fixed — the
+    /// steady state the regression test asserts).
+    pub violations: Vec<Violation>,
+}
+
+/// Result of replaying a corpus directory.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Replayed cases, in file-name order.
+    pub cases: Vec<ReplayedCase>,
+}
+
+impl ReplayReport {
+    /// `true` when every replayed case passes every oracle.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.cases.iter().all(|case| case.violations.is_empty())
+    }
+
+    /// Deterministic text rendering (no timing, no paths beyond file
+    /// names).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for case in &self.cases {
+            if case.violations.is_empty() {
+                let _ = writeln!(out, "replay {}: ok", case.file);
+            } else {
+                for v in &case.violations {
+                    let _ = writeln!(out, "replay {}: {} {}", case.file, v.oracle, v.detail);
+                }
+            }
+        }
+        let broken = self
+            .cases
+            .iter()
+            .filter(|case| !case.violations.is_empty())
+            .count();
+        let _ = writeln!(
+            out,
+            "replayed {} corpus case(s), {} violating",
+            self.cases.len(),
+            broken
+        );
+        out
+    }
+}
+
+/// Replays every `*.json` file of `dir` (sorted by file name) through all
+/// oracles. A missing directory replays zero cases (a repository with an
+/// empty corpus is healthy).
+///
+/// # Errors
+///
+/// Returns a message naming the offending file for unreadable files,
+/// malformed repro documents, or embedded specs that fail validation.
+pub fn replay_dir(dir: &Path) -> Result<ReplayReport, String> {
+    let mut files: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    files.sort();
+    let mut report = ReplayReport::default();
+    for path in files {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = fs::read_to_string(&path).map_err(|e| format!("{file}: unreadable: {e}"))?;
+        let case = ReproCase::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        let spec = spec_from_json(&case.spec_json)
+            .map_err(|e| format!("{file}: embedded spec rejected: {e}"))?;
+        report.cases.push(ReplayedCase {
+            file,
+            violations: check_all(&spec, 1),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_models::spec_to_json;
+
+    #[test]
+    fn repro_documents_round_trip() {
+        let spec = flexplore_models::set_top_box().spec;
+        let case = ReproCase {
+            profile: "stb".into(),
+            seed: 7,
+            oracle: "lint-explore".into(),
+            detail: "panic: example".into(),
+            spec_json: spec_to_json(&spec).unwrap(),
+        };
+        let parsed = ReproCase::parse(&case.render()).unwrap();
+        assert_eq!(parsed.profile, "stb");
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.oracle, "lint-explore");
+        assert_eq!(parsed.file_name(), "stb-seed7-lint-explore.json");
+        let reloaded = spec_from_json(&parsed.spec_json).unwrap();
+        assert_eq!(
+            spec_to_json(&reloaded).unwrap(),
+            spec_to_json(&spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_directory_replays_nothing() {
+        let report = replay_dir(Path::new("/nonexistent/fuzz-corpus")).unwrap();
+        assert!(report.is_clean());
+        assert!(report.cases.is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(ReproCase::parse("{}").is_err());
+        assert!(ReproCase::parse("not json").is_err());
+        assert!(ReproCase::parse(
+            r#"{"fuzz_format":99,"profile":"x","seed":1,"oracle":"y","detail":"z","spec":{}}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The fuzzing campaign driver.
+
+use crate::corpus::ReproCase;
+use crate::minimize::minimize;
+use crate::oracles::{check_all, OracleKind};
+use crate::profile::{generate, DomainProfile};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Options of one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Base seed; per-iteration seeds are derived deterministically.
+    pub seed: u64,
+    /// Iterations **per profile**.
+    pub iterations: u64,
+    /// Profiles to draw from.
+    pub profiles: Vec<DomainProfile>,
+    /// Worker threads for the primary explore runs (output-invariant).
+    pub threads: usize,
+    /// Where to write minimized repros (`None` reports without writing).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 42,
+            iterations: 100,
+            profiles: DomainProfile::all().to_vec(),
+            threads: 1,
+            corpus_dir: None,
+        }
+    }
+}
+
+/// One recorded violation of a campaign.
+#[derive(Debug, Clone)]
+pub struct ViolationRecord {
+    /// The profile whose spec violated.
+    pub profile: DomainProfile,
+    /// The derived per-iteration seed (reproduce with
+    /// [`generate`]`(profile, seed)`).
+    pub seed: u64,
+    /// The violated oracle.
+    pub oracle: OracleKind,
+    /// The violation's evidence.
+    pub detail: String,
+    /// The minimized specification (compact JSON).
+    pub minimized_spec: String,
+    /// The corpus file written for this record, if any.
+    pub corpus_file: Option<String>,
+}
+
+/// Deterministic result of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Specifications generated (iterations × profiles).
+    pub specs: u64,
+    /// Oracle checks executed.
+    pub oracle_checks: u64,
+    /// All violations, in discovery order.
+    pub violations: Vec<ViolationRecord>,
+}
+
+impl FuzzReport {
+    /// `true` when no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic text rendering: no timing, no absolute paths — two
+    /// runs with equal options produce byte-identical output.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "violation [{}] profile {} seed {}: {}",
+                v.oracle, v.profile, v.seed, v.detail
+            );
+            if let Some(file) = &v.corpus_file {
+                let _ = writeln!(out, "  minimized repro: {file}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "fuzzed {} spec(s), {} oracle check(s), {} violation(s)",
+            self.specs,
+            self.oracle_checks,
+            self.violations.len()
+        );
+        out
+    }
+}
+
+/// SplitMix64: the per-iteration seed derivation (a bijective mixer, so
+/// distinct `(profile, iteration)` pairs cannot collide for a fixed base
+/// seed).
+#[must_use]
+pub fn derive_seed(base: u64, salt: u64, iteration: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(iteration.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs a fuzzing campaign: generate → all oracles → minimize → record
+/// (and optionally write a corpus repro) for every violation.
+#[must_use]
+pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for &profile in &options.profiles {
+        for iteration in 0..options.iterations {
+            let seed = derive_seed(options.seed, profile.salt(), iteration);
+            let spec = generate(profile, seed);
+            report.specs += 1;
+            report.oracle_checks += OracleKind::all().len() as u64;
+            for violation in check_all(&spec, options.threads) {
+                let minimized_spec = minimize(&spec, violation.oracle);
+                let mut record = ViolationRecord {
+                    profile,
+                    seed,
+                    oracle: violation.oracle,
+                    detail: violation.detail,
+                    minimized_spec,
+                    corpus_file: None,
+                };
+                if let Some(dir) = &options.corpus_dir {
+                    let case = ReproCase {
+                        profile: profile.name().to_string(),
+                        seed,
+                        oracle: record.oracle.name().to_string(),
+                        detail: record.detail.clone(),
+                        spec_json: record.minimized_spec.clone(),
+                    };
+                    match case.write_into(dir) {
+                        Ok(_) => record.corpus_file = Some(case.file_name()),
+                        Err(e) => record
+                            .detail
+                            .push_str(&format!(" (corpus write failed: {e})")),
+                    }
+                }
+                report.violations.push(record);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_stable() {
+        assert_eq!(derive_seed(42, 1, 0), derive_seed(42, 1, 0));
+        assert_ne!(derive_seed(42, 1, 0), derive_seed(42, 1, 1));
+        assert_ne!(derive_seed(42, 1, 0), derive_seed(42, 2, 0));
+        assert_ne!(derive_seed(42, 1, 0), derive_seed(43, 1, 0));
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let options = FuzzOptions {
+            seed: 42,
+            iterations: 3,
+            profiles: DomainProfile::all().to_vec(),
+            threads: 1,
+            corpus_dir: None,
+        };
+        let a = run_fuzz(&options);
+        let b = run_fuzz(&options);
+        assert!(a.is_clean(), "{}", a.render_text());
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.specs, 12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let mut options = FuzzOptions {
+            iterations: 2,
+            ..FuzzOptions::default()
+        };
+        options.threads = 1;
+        let one = run_fuzz(&options);
+        options.threads = 4;
+        let four = run_fuzz(&options);
+        assert_eq!(one.render_text(), four.render_text());
+    }
+}

@@ -1,0 +1,381 @@
+//! A minimal JSON tree for the minimizer and the corpus files.
+//!
+//! The vendored `serde_json` stand-in (de)serializes typed values only —
+//! it has no untyped `Value`. The delta-debugging minimizer, however,
+//! needs to drop elements from three arrays of a serialized specification
+//! *without* understanding the rest of the document, and the corpus files
+//! embed a specification subtree inside their own envelope. This module
+//! provides exactly that: parse, navigate, edit, render. Rendering is
+//! deterministic (object member order is preserved, numbers are kept as
+//! their source tokens), so minimizer output is byte-stable.
+
+use std::fmt::Write as _;
+
+/// An untyped JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source token so rendering never reformats.
+    Number(String),
+    /// A string (decoded).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `input` as a single JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (with a byte offset) on malformed
+    /// input or trailing garbage.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Renders the document compactly (no insignificant whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_into(self, &mut out);
+        out
+    }
+
+    /// Member lookup on objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follows a path of object members.
+    #[must_use]
+    pub fn at_path(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |node, key| node.get(key))
+    }
+
+    /// Mutable [`Json::at_path`].
+    pub fn at_path_mut(&mut self, path: &[&str]) -> Option<&mut Json> {
+        path.iter().try_fold(self, |node, key| match node {
+            Json::Object(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        })
+    }
+
+    /// The elements, when this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutable [`Json::as_array`].
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Json>> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The decoded string, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, when this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(token) => token.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Number),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-UTF8 number")?;
+    // Validate via the platform parser: every JSON number is a valid f64
+    // token (range loss does not matter — the token is kept verbatim).
+    token
+        .parse::<f64>()
+        .map_err(|_| format!("malformed number `{token}` at byte {start}"))?;
+    Ok(token.to_string())
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected `\"` at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // Surrogate pair: the low half must follow.
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                return Err("unpaired surrogate escape".to_string());
+                            }
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| "invalid unicode escape".to_string())?,
+                        );
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one UTF-8 sequence verbatim.
+                let len = match b {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let end = (*pos + len).min(bytes.len());
+                let chunk =
+                    std::str::from_utf8(&bytes[*pos..end]).map_err(|_| "non-UTF8 string")?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(token) => out.push_str(token),
+        Json::Str(s) => render_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(members) => {
+            out.push('{');
+            for (k, (key, member)) in members.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render_into(member, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_spec_document() {
+        let spec = flexplore_models::set_top_box().spec;
+        let text = flexplore_models::spec_to_json(&spec).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rendered = parsed.render();
+        // The re-rendered text must still be the same specification.
+        let reloaded = flexplore_models::spec_from_json(&rendered).unwrap();
+        assert_eq!(
+            flexplore_models::spec_to_json(&reloaded).unwrap(),
+            flexplore_models::spec_to_json(&spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn navigates_paths() {
+        let doc = Json::parse(r#"{"a":{"b":[1,2,3]},"s":"x\n"}"#).unwrap();
+        assert_eq!(
+            doc.at_path(&["a", "b"]).unwrap().as_array().unwrap().len(),
+            3
+        );
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x\n"));
+        assert_eq!(doc.at_path(&["a", "b"]).and_then(|v| v.get("c")), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn renders_escapes() {
+        let doc = Json::parse(r#"["a\"b\\c"]"#).unwrap();
+        let rendered = doc.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), doc);
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic delta-debugging of violating specifications.
+//!
+//! A violation's specification is minimized at the *serialized* level:
+//! the only reductions are dropping elements from the three positional-
+//! index-free arrays of the spec JSON — `mappings`, the problem graph's
+//! `edges` and the architecture graph's `edges`. (Dropping vertices,
+//! clusters or ports would shift the positional indices everything else
+//! references; dropping array elements from these three arrays cannot,
+//! because nothing references a mapping or an edge by index.)
+//!
+//! Reduction is ddmin-shaped: for each array, try removing chunks of
+//! geometrically shrinking size; keep a removal iff the reloaded
+//! specification still violates the *same* oracle. The procedure is fully
+//! deterministic — same violation in, same repro out.
+
+use crate::json::Json;
+use crate::oracles::{check_oracle, OracleKind};
+use flexplore_models::{spec_from_json, spec_to_json};
+use flexplore_spec::SpecificationGraph;
+
+/// The arrays the minimizer may shrink (paths into the spec JSON).
+const REDUCIBLE_ARRAYS: [&[&str]; 3] = [
+    &["mappings"],
+    &["problem", "graph", "edges"],
+    &["architecture", "graph", "edges"],
+];
+
+/// Minimizes `spec` while `kind` still reports a violation; returns the
+/// minimized specification's JSON (compact).
+///
+/// If `kind` does not actually fail on `spec` (a flaky violation — which
+/// the deterministic pipeline should make impossible), the input is
+/// returned unreduced.
+#[must_use]
+pub fn minimize(spec: &SpecificationGraph, kind: OracleKind) -> String {
+    let text = spec_to_json(spec).expect("spec serializes");
+    let mut root = Json::parse(&text).expect("serialized spec is valid JSON");
+    if !reproduces(&root, kind) {
+        return root.render();
+    }
+    loop {
+        let mut reduced = false;
+        for path in REDUCIBLE_ARRAYS {
+            reduced |= ddmin_array(&mut root, path, kind);
+        }
+        if !reduced {
+            return root.render();
+        }
+    }
+}
+
+/// Does the document still parse, validate and violate `kind`?
+fn reproduces(root: &Json, kind: OracleKind) -> bool {
+    match spec_from_json(&root.render()) {
+        Ok(candidate) => check_oracle(&candidate, kind, 1).is_some(),
+        Err(_) => false,
+    }
+}
+
+fn array_len(root: &Json, path: &[&str]) -> usize {
+    root.at_path(path)
+        .and_then(Json::as_array)
+        .map_or(0, Vec::len)
+}
+
+/// One ddmin sweep over the array at `path`: chunk sizes shrink from half
+/// the array down to 1; a successful removal re-tries the same position
+/// with the same chunk size. Returns whether anything was removed.
+fn ddmin_array(root: &mut Json, path: &[&str], kind: OracleKind) -> bool {
+    let mut changed = false;
+    let mut chunk = array_len(root, path).div_ceil(2).max(1);
+    loop {
+        let len = array_len(root, path);
+        if len == 0 {
+            break;
+        }
+        chunk = chunk.min(len);
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < array_len(root, path) {
+            let mut candidate = root.clone();
+            let items = candidate
+                .at_path_mut(path)
+                .and_then(Json::as_array_mut)
+                .expect("reducible array exists");
+            let end = (start + chunk).min(items.len());
+            items.drain(start..end);
+            if reproduces(&candidate, kind) {
+                *root = candidate;
+                changed = true;
+                removed_any = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_specs_come_back_unreduced() {
+        // No oracle fails on the case study, so minimize must return the
+        // document unchanged (same mapping/edge counts).
+        let spec = flexplore_models::set_top_box().spec;
+        let out = minimize(&spec, OracleKind::LintExplore);
+        let reloaded = spec_from_json(&out).expect("minimized output reloads");
+        assert_eq!(reloaded.mapping_count(), spec.mapping_count());
+        assert_eq!(
+            reloaded.problem().graph().edge_count(),
+            spec.problem().graph().edge_count()
+        );
+    }
+
+    #[test]
+    fn reduction_paths_exist_in_the_serde_shape() {
+        let spec = flexplore_models::set_top_box().spec;
+        let text = spec_to_json(&spec).unwrap();
+        let root = Json::parse(&text).unwrap();
+        for path in REDUCIBLE_ARRAYS {
+            assert!(
+                root.at_path(path).and_then(Json::as_array).is_some(),
+                "missing array at {path:?}"
+            );
+        }
+    }
+}

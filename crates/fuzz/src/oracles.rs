@@ -1,0 +1,308 @@
+//! The differential invariant oracles.
+//!
+//! Every oracle states a property the repo already proves elsewhere (unit
+//! tests, CI determinism diffs) — the fuzzer re-checks them on *generated*
+//! specifications, where a violation means a real pipeline bug rather than
+//! a bad test vector:
+//!
+//! | oracle | invariant |
+//! |---|---|
+//! | `lint-explore` | lint-error-free ⇒ `explore` returns `Ok`, and never panics |
+//! | `enumerator-equivalence` | flat and branch-and-bound enumerators produce byte-identical fronts |
+//! | `moea-subset` | every MOEA archive point is weakly dominated by the exact front |
+//! | `thread-invariance` | fronts and deterministic obs counters are identical for 1 and 4 threads |
+//! | `resilience-subset` | fault-degraded points are weakly dominated by the healthy front, and `resilience ≤ flexibility` |
+//! | `round-trip` | serialize → deserialize → compile → explore reproduces the front byte-identically |
+//!
+//! Each oracle body runs under [`capture`](crate::capture::capture), so a
+//! panic anywhere in hgraph/spec/bind/explore surfaces as a violation with
+//! the panic message as its detail — never as a crashed fuzzer.
+
+use crate::capture::capture;
+use flexplore_bind::ImplementOptions;
+use flexplore_explore::{
+    explore, explore_resilient, explore_with_obs, moea_explore, Enumerator, ExploreError,
+    ExploreOptions, ExploreResult, MoeaOptions,
+};
+use flexplore_lint::lint_spec;
+use flexplore_obs::ObsSink;
+use flexplore_spec::{CompiledSpec, SpecificationGraph};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which invariant an oracle checks. See the module table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Lint-error-free ⇒ explore succeeds; panics are always violations.
+    LintExplore,
+    /// Flat vs branch-and-bound enumerator fronts, byte-compared.
+    EnumeratorEquivalence,
+    /// MOEA archive ⊆ (weak dominance) exact front.
+    MoeaSubset,
+    /// Thread-count invariance of fronts and deterministic counters.
+    ThreadInvariance,
+    /// Fault-degraded fronts ⊆ healthy fronts.
+    ResilienceSubset,
+    /// JSON round-trip reproduces the front.
+    RoundTrip,
+}
+
+impl OracleKind {
+    /// All oracles, in canonical order.
+    #[must_use]
+    pub fn all() -> [OracleKind; 6] {
+        [
+            OracleKind::LintExplore,
+            OracleKind::EnumeratorEquivalence,
+            OracleKind::MoeaSubset,
+            OracleKind::ThreadInvariance,
+            OracleKind::ResilienceSubset,
+            OracleKind::RoundTrip,
+        ]
+    }
+
+    /// The canonical (report / corpus-file) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::LintExplore => "lint-explore",
+            OracleKind::EnumeratorEquivalence => "enumerator-equivalence",
+            OracleKind::MoeaSubset => "moea-subset",
+            OracleKind::ThreadInvariance => "thread-invariance",
+            OracleKind::ResilienceSubset => "resilience-subset",
+            OracleKind::RoundTrip => "round-trip",
+        }
+    }
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for OracleKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OracleKind::all()
+            .into_iter()
+            .find(|kind| kind.name() == s)
+            .ok_or_else(|| format!("unknown oracle `{s}`"))
+    }
+}
+
+/// One invariant violation on one specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated invariant.
+    pub oracle: OracleKind,
+    /// Deterministic human-readable evidence (front bytes, panic message,
+    /// typed-error display — never timing or addresses).
+    pub detail: String,
+}
+
+/// Runs every oracle against `spec`; `threads` is the worker count for the
+/// primary explore of the `lint-explore` oracle (output-invariant by the
+/// thread-determinism contract, so the fuzz report stays byte-identical
+/// across thread counts).
+#[must_use]
+pub fn check_all(spec: &SpecificationGraph, threads: usize) -> Vec<Violation> {
+    OracleKind::all()
+        .into_iter()
+        .filter_map(|kind| check_oracle(spec, kind, threads))
+        .collect()
+}
+
+/// Runs one oracle against `spec`. `None` means the invariant holds.
+#[must_use]
+pub fn check_oracle(
+    spec: &SpecificationGraph,
+    kind: OracleKind,
+    threads: usize,
+) -> Option<Violation> {
+    let s = spec.clone();
+    let outcome = match kind {
+        OracleKind::LintExplore => capture(move || lint_explore(&s, threads)),
+        OracleKind::EnumeratorEquivalence => capture(move || enumerator_equivalence(&s)),
+        OracleKind::MoeaSubset => capture(move || moea_subset(&s)),
+        OracleKind::ThreadInvariance => capture(move || thread_invariance(&s)),
+        OracleKind::ResilienceSubset => capture(move || resilience_subset(&s)),
+        OracleKind::RoundTrip => capture(move || round_trip(&s)),
+    };
+    match outcome {
+        Err(panic) => Some(Violation {
+            oracle: kind,
+            detail: format!("panic: {panic}"),
+        }),
+        Ok(Some(detail)) => Some(Violation {
+            oracle: kind,
+            detail,
+        }),
+        Ok(None) => None,
+    }
+}
+
+/// Renders an explore outcome to comparable deterministic bytes: the
+/// serialized front on success, the typed error's display on failure.
+fn render_outcome(result: Result<ExploreResult, ExploreError>) -> String {
+    match result {
+        Ok(result) => serde_json::to_string(&result.front).expect("front serializes"),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn lint_explore(spec: &SpecificationGraph, threads: usize) -> Option<String> {
+    let report = lint_spec(spec);
+    if report.has_errors() {
+        // Out of contract: exploring may fail (with a typed error), but the
+        // capture wrapper still turns any panic into a violation.
+        let _ = explore(spec, &ExploreOptions::paper());
+        return None;
+    }
+    match explore(spec, &ExploreOptions::paper().with_threads(threads)) {
+        Ok(_) => None,
+        Err(e) => Some(format!("lint-clean specification failed explore: {e}")),
+    }
+}
+
+fn enumerator_equivalence(spec: &SpecificationGraph) -> Option<String> {
+    let mut flat = ExploreOptions::paper();
+    flat.allocation.enumerator = Enumerator::Flat;
+    let mut bnb = ExploreOptions::paper();
+    bnb.allocation.enumerator = Enumerator::BranchAndBound;
+    let a = render_outcome(explore(spec, &flat));
+    let b = render_outcome(explore(spec, &bnb));
+    (a != b).then(|| format!("flat {a} != branch-and-bound {b}"))
+}
+
+fn moea_subset(spec: &SpecificationGraph) -> Option<String> {
+    let Ok(exact) = explore(spec, &ExploreOptions::paper()) else {
+        return None;
+    };
+    let options = MoeaOptions {
+        population: 16,
+        generations: 8,
+        seed: 0x5eed_f00d,
+        mutation_rate: None,
+        implement: ImplementOptions::default(),
+    };
+    let Ok(moea) = moea_explore(spec, &options) else {
+        return None;
+    };
+    for p in moea.front.iter() {
+        let covered = exact
+            .front
+            .iter()
+            .any(|q| q.cost <= p.cost && q.flexibility >= p.flexibility);
+        if !covered {
+            return Some(format!(
+                "MOEA point (cost {:?}, flexibility {:?}) is not weakly dominated by the exact front {:?}",
+                p.cost,
+                p.flexibility,
+                exact.front.objectives()
+            ));
+        }
+    }
+    None
+}
+
+fn thread_invariance(spec: &SpecificationGraph) -> Option<String> {
+    let obs_one = ObsSink::enabled();
+    let obs_four = ObsSink::enabled();
+    let a = render_outcome(explore_with_obs(
+        spec,
+        &ExploreOptions::paper().with_threads(1),
+        &obs_one,
+    ));
+    let b = render_outcome(explore_with_obs(
+        spec,
+        &ExploreOptions::paper().with_threads(4),
+        &obs_four,
+    ));
+    if a != b {
+        return Some(format!("threads 1 front {a} != threads 4 front {b}"));
+    }
+    let ca = obs_one
+        .report("fuzz", spec.name(), 1)
+        .counters_json()
+        .expect("counters serialize");
+    let cb = obs_four
+        .report("fuzz", spec.name(), 4)
+        .counters_json()
+        .expect("counters serialize");
+    (ca != cb).then(|| format!("threads 1 counters {ca} != threads 4 counters {cb}"))
+}
+
+fn resilience_subset(spec: &SpecificationGraph) -> Option<String> {
+    let Ok(healthy) = explore(spec, &ExploreOptions::paper()) else {
+        return None;
+    };
+    let Ok(resilient) = explore_resilient(spec, 1, &ExploreOptions::paper()) else {
+        return None;
+    };
+    for p in &resilient {
+        if p.resilience > p.flexibility {
+            return Some(format!(
+                "resilience {:?} exceeds fault-free flexibility {:?} at cost {:?}",
+                p.resilience, p.flexibility, p.cost
+            ));
+        }
+        let covered = healthy
+            .front
+            .iter()
+            .any(|q| q.cost <= p.cost && q.flexibility >= p.flexibility);
+        if !covered {
+            return Some(format!(
+                "resilient point (cost {:?}, flexibility {:?}) is not weakly dominated by the healthy front {:?}",
+                p.cost,
+                p.flexibility,
+                healthy.front.objectives()
+            ));
+        }
+    }
+    None
+}
+
+fn round_trip(spec: &SpecificationGraph) -> Option<String> {
+    let json = flexplore_models::spec_to_json(spec).expect("spec serializes");
+    let reparsed = match flexplore_models::spec_from_json(&json) {
+        Ok(reparsed) => reparsed,
+        Err(e) => return Some(format!("serialized spec failed to reload: {e}")),
+    };
+    if let Err(e) = CompiledSpec::try_new(&reparsed) {
+        return Some(format!("reloaded spec failed compilation: {e}"));
+    }
+    let a = render_outcome(explore(spec, &ExploreOptions::paper()));
+    let b = render_outcome(explore(&reparsed, &ExploreOptions::paper()));
+    (a != b).then(|| format!("front changed across JSON round-trip: {a} != {b}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{generate, DomainProfile};
+
+    #[test]
+    fn bundled_case_study_passes_every_oracle() {
+        let spec = flexplore_models::set_top_box().spec;
+        assert_eq!(check_all(&spec, 1), Vec::new());
+    }
+
+    #[test]
+    fn generated_specs_pass_every_oracle() {
+        for profile in DomainProfile::all() {
+            let spec = generate(profile, 3);
+            let violations = check_all(&spec, 1);
+            assert!(violations.is_empty(), "{profile}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for kind in OracleKind::all() {
+            assert_eq!(kind.name().parse::<OracleKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<OracleKind>().is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Domain profiles: which generator family a fuzz iteration draws from.
+
+use flexplore_models::{
+    automotive_spec, baseband_spec, cloud_fpga_spec, synthetic_spec, AutomotiveConfig,
+    BasebandConfig, CloudFpgaConfig, SyntheticConfig,
+};
+use flexplore_spec::SpecificationGraph;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// A platform-domain generator family.
+///
+/// Each profile draws a *randomized small configuration* of its family's
+/// generator — sizes stay inside the flat enumerator's comfort zone so the
+/// differential oracles (which run the exhaustive engines) complete in
+/// milliseconds per specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainProfile {
+    /// Set-top-box-shaped synthetic specifications (the paper's case-study
+    /// family, via [`synthetic_spec`]).
+    SetTopBox,
+    /// Automotive zonal E/E architectures ([`automotive_spec`]).
+    Automotive,
+    /// 5G baseband processing platforms ([`baseband_spec`]).
+    Baseband,
+    /// Multi-tenant cloud FPGA platforms ([`cloud_fpga_spec`]).
+    CloudFpga,
+}
+
+impl DomainProfile {
+    /// All profiles, in canonical order.
+    #[must_use]
+    pub fn all() -> [DomainProfile; 4] {
+        [
+            DomainProfile::SetTopBox,
+            DomainProfile::Automotive,
+            DomainProfile::Baseband,
+            DomainProfile::CloudFpga,
+        ]
+    }
+
+    /// The canonical (CLI / corpus-file) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainProfile::SetTopBox => "stb",
+            DomainProfile::Automotive => "automotive",
+            DomainProfile::Baseband => "baseband",
+            DomainProfile::CloudFpga => "cloud-fpga",
+        }
+    }
+
+    /// A per-profile salt mixed into derived seeds, so equal iteration
+    /// indices of different profiles draw unrelated specifications.
+    #[must_use]
+    pub(crate) fn salt(self) -> u64 {
+        match self {
+            DomainProfile::SetTopBox => 0x005e_770b_b005,
+            DomainProfile::Automotive => 0x207a_1e07,
+            DomainProfile::Baseband => 0xba5e_ba4d,
+            DomainProfile::CloudFpga => 0xc10d_f69a,
+        }
+    }
+}
+
+impl fmt::Display for DomainProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DomainProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stb" | "set-top-box" | "settopbox" => Ok(DomainProfile::SetTopBox),
+            "automotive" | "zonal" => Ok(DomainProfile::Automotive),
+            "baseband" | "5g" => Ok(DomainProfile::Baseband),
+            "cloud-fpga" | "cloudfpga" | "cloud" => Ok(DomainProfile::CloudFpga),
+            other => Err(format!(
+                "unknown domain profile `{other}` (expected stb, automotive, baseband or cloud-fpga)"
+            )),
+        }
+    }
+}
+
+/// Generates one specification of `profile`'s family from `seed`.
+///
+/// Deterministic: equal `(profile, seed)` pairs produce byte-identical
+/// specifications. The seed drives both the drawn configuration (sizes,
+/// optional units, constraint density) and the generator's own RNG.
+#[must_use]
+pub fn generate(profile: DomainProfile, seed: u64) -> SpecificationGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fraction = f64::from(rng.random_range(0..=10u32)) / 10.0;
+    match profile {
+        DomainProfile::SetTopBox => {
+            let config = SyntheticConfig {
+                seed: rng.next_u64(),
+                applications: rng.random_range(1..=2),
+                interfaces_per_app: rng.random_range(1..=2),
+                alternatives: rng.random_range(1..=3),
+                processors: rng.random_range(1..=2),
+                asics: rng.random_range(0..=2),
+                fpga_designs: rng.random_range(0..=2),
+                constrained_fraction: fraction,
+                dedicated_tasks: rng.random_range(0..=2),
+            };
+            synthetic_spec(&config)
+        }
+        DomainProfile::Automotive => {
+            let config = AutomotiveConfig {
+                seed: rng.next_u64(),
+                zones: rng.random_range(1..=3),
+                functions: rng.random_range(1..=3),
+                alternatives: rng.random_range(1..=3),
+                central_units: rng.random_range(1..=2),
+                accelerator: rng.random_bool(0.5),
+                constrained_fraction: fraction,
+            };
+            automotive_spec(&config)
+        }
+        DomainProfile::Baseband => {
+            let config = BasebandConfig {
+                seed: rng.next_u64(),
+                carriers: rng.random_range(1..=2),
+                demod_alternatives: rng.random_range(1..=2),
+                decode_alternatives: rng.random_range(1..=3),
+                dsp_cores: rng.random_range(1..=2),
+                ldpc_accelerator: rng.random_bool(0.5),
+                fabric_designs: rng.random_range(0..=2),
+                constrained_fraction: fraction,
+            };
+            baseband_spec(&config)
+        }
+        DomainProfile::CloudFpga => {
+            let config = CloudFpgaConfig {
+                seed: rng.next_u64(),
+                tenants: rng.random_range(1..=2),
+                kernel_alternatives: rng.random_range(1..=3),
+                designs_per_slot: rng.random_range(1..=2),
+                host_cpus: rng.random_range(1..=2),
+                constrained_fraction: fraction,
+            };
+            cloud_fpga_spec(&config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_explore::allocatable_units;
+    use flexplore_models::spec_to_json;
+
+    #[test]
+    fn names_round_trip() {
+        for profile in DomainProfile::all() {
+            assert_eq!(profile.name().parse::<DomainProfile>().unwrap(), profile);
+        }
+        assert!("bogus".parse::<DomainProfile>().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_profile() {
+        for profile in DomainProfile::all() {
+            let a = spec_to_json(&generate(profile, 7)).unwrap();
+            let b = spec_to_json(&generate(profile, 7)).unwrap();
+            assert_eq!(a, b, "{profile}");
+        }
+    }
+
+    #[test]
+    fn drawn_specs_stay_small() {
+        for profile in DomainProfile::all() {
+            for seed in 0..10 {
+                let spec = generate(profile, seed);
+                let units = allocatable_units(&spec).len();
+                assert!(units <= 16, "{profile} seed {seed}: {units} units");
+            }
+        }
+    }
+}

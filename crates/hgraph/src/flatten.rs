@@ -61,12 +61,20 @@ impl FlatGraph {
     ///
     /// Useful for dependence-respecting traversals of problem graphs (which
     /// the paper requires to be partial orders).
+    ///
+    /// The fields of a [`FlatGraph`] are public (and deserializable), so a
+    /// hand-constructed graph may contain edges whose endpoints are not
+    /// member vertices; such edges are ignored — they constrain nothing.
+    /// Graphs produced by [`HierarchicalGraph::flatten`] are always
+    /// well-formed.
     #[must_use]
     pub fn topological_order(&self) -> Option<Vec<VertexId>> {
         let mut indeg: BTreeMap<VertexId, usize> = self.vertices.iter().map(|&v| (v, 0)).collect();
         for e in &self.edges {
-            if let Some(d) = indeg.get_mut(&e.to) {
-                *d += 1;
+            if indeg.contains_key(&e.from) {
+                if let Some(d) = indeg.get_mut(&e.to) {
+                    *d += 1;
+                }
             }
         }
         let mut queue: VecDeque<VertexId> = indeg
@@ -78,10 +86,11 @@ impl FlatGraph {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             for s in self.successors(v) {
-                let d = indeg.get_mut(&s).expect("edge targets are vertices");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push_back(s);
+                if let Some(d) = indeg.get_mut(&s) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(s);
+                    }
                 }
             }
         }
@@ -331,6 +340,43 @@ mod tests {
         let flat = g.flatten(&sel).unwrap();
         assert_eq!(flat.edges[0].from, a);
         assert_eq!(flat.edges[0].to, w);
+    }
+
+    #[test]
+    fn foreign_endpoint_edges_are_ignored_not_panicked_on() {
+        // FlatGraph fields are public: a hand-built (or deserialized) graph
+        // may reference vertices it does not contain. Ordering must not
+        // panic, and the phantom edges must not constrain the order.
+        let mut g: HierarchicalGraph<(), ()> = HierarchicalGraph::new("g");
+        let a = g.add_vertex(Scope::Top, "a", ());
+        let b = g.add_vertex(Scope::Top, "b", ());
+        let ghost = g.add_vertex(Scope::Top, "ghost", ());
+        let e1 = g.add_edge(a, b, ()).unwrap();
+        let e2 = g.add_edge(b, ghost, ()).unwrap();
+        let e3 = g.add_edge(ghost, a, ()).unwrap();
+        let flat = FlatGraph {
+            vertices: vec![a, b],
+            edges: vec![
+                FlatEdge {
+                    id: e1,
+                    from: a,
+                    to: b,
+                },
+                FlatEdge {
+                    id: e2,
+                    from: b,
+                    to: ghost,
+                },
+                FlatEdge {
+                    id: e3,
+                    from: ghost,
+                    to: a,
+                },
+            ],
+        };
+        let order = flat.topological_order().unwrap();
+        assert_eq!(order, vec![a, b]);
+        assert!(flat.is_acyclic());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Seeded generator family: 5G baseband processing platforms.
+//!
+//! A baseband unit runs one PHY pipeline per component carrier — channel
+//! estimation, demodulation, channel decoding — under hard per-slot
+//! deadlines. Each stage has alternative realizations (software on a DSP
+//! core vs. a hardened accelerator vs. a loadable FPGA design), and the
+//! platform question is the paper's: which mix of DSP cores, accelerators
+//! and reconfigurable fabric is the cheapest that keeps the carrier
+//! configurations flexible? The generator produces specifications of that
+//! shape:
+//!
+//! * one top-level interface of **component carriers**, each a channel →
+//!   demod (alternatives) → decode (alternatives) → MAC pipeline;
+//! * decode alternatives beyond the first map only to hardware (LDPC
+//!   accelerator or an FPGA design), so cheap platforms lose them — the
+//!   flexibility/cost trade-off has real structure;
+//! * an architecture of DSP cores and an LDPC accelerator on a fronthaul
+//!   bus, plus one reconfigurable fabric with loadable designs.
+//!
+//! Fully deterministic: equal [`BasebandConfig`]s produce byte-identical
+//! specifications.
+
+use flexplore_hgraph::{PortDirection, PortTarget, Scope};
+use flexplore_sched::Time;
+use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a generated baseband specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BasebandConfig {
+    /// RNG seed; equal configs produce identical specifications.
+    pub seed: u64,
+    /// Component carriers (top-level alternative clusters).
+    pub carriers: usize,
+    /// Demodulation alternatives per carrier (numerology variants).
+    pub demod_alternatives: usize,
+    /// Decoding alternatives per carrier; alternatives beyond the first
+    /// map only to hardware units.
+    pub decode_alternatives: usize,
+    /// DSP cores (run every software process).
+    pub dsp_cores: usize,
+    /// Generate a hardened LDPC accelerator.
+    pub ldpc_accelerator: bool,
+    /// Loadable designs on the reconfigurable fabric (0 omits the fabric).
+    pub fabric_designs: usize,
+    /// Fraction of carriers with a slot-deadline period constraint.
+    pub constrained_fraction: f64,
+}
+
+impl Default for BasebandConfig {
+    fn default() -> Self {
+        BasebandConfig {
+            seed: 42,
+            carriers: 2,
+            demod_alternatives: 2,
+            decode_alternatives: 2,
+            dsp_cores: 2,
+            ldpc_accelerator: true,
+            fabric_designs: 2,
+            constrained_fraction: 0.5,
+        }
+    }
+}
+
+impl BasebandConfig {
+    /// A small configuration (sub-second differential checks).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        BasebandConfig {
+            seed,
+            carriers: 1,
+            demod_alternatives: 2,
+            decode_alternatives: 2,
+            dsp_cores: 1,
+            ldpc_accelerator: true,
+            fabric_designs: 1,
+            constrained_fraction: 0.5,
+        }
+    }
+
+    /// A mid-size configuration (carrier aggregation).
+    #[must_use]
+    pub fn medium(seed: u64) -> Self {
+        BasebandConfig {
+            seed,
+            carriers: 3,
+            demod_alternatives: 2,
+            decode_alternatives: 3,
+            dsp_cores: 2,
+            ldpc_accelerator: true,
+            fabric_designs: 2,
+            constrained_fraction: 0.7,
+        }
+    }
+}
+
+/// Generates a 5G baseband specification from `config`.
+///
+/// Structural guarantees:
+///
+/// * channel/MAC processes and the first alternative of every stage map to
+///   every DSP core, so a DSP-only platform implements one full pipeline
+///   per carrier;
+/// * decode alternatives beyond the first map only to the LDPC accelerator
+///   and/or a fabric design (whichever the seed draws; at least one), so
+///   they price the hardware into the front;
+/// * period constraints leave headroom above the slowest mapped latency of
+///   any single process.
+#[must_use]
+pub fn baseband_spec(config: &BasebandConfig) -> SpecificationGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let name = format!("baseband-{}", config.seed);
+    let mut p = ProblemGraph::new(name.clone());
+
+    let carriers_interface = p.add_interface(Scope::Top, "I_carriers");
+    // (process, software: bool) — software processes map to DSP cores.
+    let mut software_processes = Vec::new();
+    let mut hardware_processes = Vec::new();
+    for cc in 0..config.carriers.max(1) {
+        let cluster = p.add_cluster(carriers_interface, format!("cc{cc}"));
+        let constrained = rng.random_bool(config.constrained_fraction.clamp(0.0, 1.0));
+        let deadline = Time::from_ns(rng.random_range(300..=600));
+        let channel = p.add_process_with(
+            cluster.into(),
+            format!("chest{cc}"),
+            ProcessAttrs::new().negligible(),
+        );
+        software_processes.push(channel);
+        let mut upstream: flexplore_hgraph::Endpoint = channel.into();
+        for (stage, alternatives) in [
+            ("demod", config.demod_alternatives.max(1)),
+            ("decode", config.decode_alternatives.max(1)),
+        ] {
+            let iface = p.add_interface(cluster.into(), format!("I_{stage}{cc}"));
+            let in_port = p.add_port(iface, "in", PortDirection::In);
+            let out_port = p.add_port(iface, "out", PortDirection::Out);
+            for alt in 0..alternatives {
+                let c = p.add_cluster(iface, format!("{stage}{cc}_{alt}"));
+                let v = p.add_process(
+                    c.into(),
+                    format!("{}{cc}_{alt}", &stage[..2].to_uppercase()),
+                );
+                p.map_port(c, in_port, PortTarget::vertex(v))
+                    .expect("member");
+                p.map_port(c, out_port, PortTarget::vertex(v))
+                    .expect("member");
+                if stage == "decode" && alt > 0 {
+                    hardware_processes.push(v);
+                } else {
+                    software_processes.push(v);
+                }
+            }
+            p.add_dependence(upstream, (iface, in_port))
+                .expect("same scope");
+            upstream = (iface, out_port).into();
+        }
+        let mac_attrs = if constrained {
+            ProcessAttrs::new().with_period(deadline)
+        } else {
+            ProcessAttrs::new()
+        };
+        let mac = p.add_process_with(cluster.into(), format!("mac{cc}"), mac_attrs);
+        p.add_dependence(upstream, mac).expect("same scope");
+        software_processes.push(mac);
+    }
+
+    let mut a = ArchitectureGraph::new(format!("{name}-arch"));
+    let fronthaul = a.add_bus(Scope::Top, "FH", Cost::new(20));
+    let mut dsps = Vec::new();
+    for k in 0..config.dsp_cores.max(1) {
+        let dsp = a.add_resource(
+            Scope::Top,
+            format!("DSP{k}"),
+            Cost::new(rng.random_range(100..=200)),
+        );
+        a.connect(dsp, fronthaul).expect("same scope");
+        dsps.push(dsp);
+    }
+    let ldpc = config.ldpc_accelerator.then(|| {
+        let acc = a.add_resource(Scope::Top, "LDPC", Cost::new(rng.random_range(150..=300)));
+        a.connect(fronthaul, acc).expect("same scope");
+        acc
+    });
+    let mut fabric_designs = Vec::new();
+    if config.fabric_designs > 0 {
+        let fabric_bus = a.add_bus(Scope::Top, "AXI", Cost::new(10));
+        a.connect(dsps[0], fabric_bus).expect("same scope");
+        let fabric = a.add_interface(Scope::Top, "FABRIC");
+        a.connect_through(fabric_bus, fabric).expect("device link");
+        for k in 0..config.fabric_designs {
+            let d = a
+                .add_design(
+                    fabric,
+                    format!("bit{k}"),
+                    format!("BF{k}"),
+                    Cost::new(rng.random_range(60..=120)),
+                )
+                .expect("fresh design");
+            fabric_designs.push(d.design);
+        }
+    }
+
+    let mut spec = SpecificationGraph::new(name, p, a);
+    for &process in &software_processes {
+        for &dsp in &dsps {
+            let latency = Time::from_ns(rng.random_range(40..=150));
+            spec.add_mapping(process, dsp, latency)
+                .expect("valid endpoints");
+        }
+        if let Some(acc) = ldpc {
+            if rng.random_bool(0.25) {
+                let latency = Time::from_ns(rng.random_range(10..=50));
+                spec.add_mapping(process, acc, latency)
+                    .expect("valid endpoints");
+            }
+        }
+    }
+    for &process in &hardware_processes {
+        // At least one hardware home, drawn deterministically.
+        let mut mapped = false;
+        if let Some(acc) = ldpc {
+            if rng.random_bool(0.7) {
+                let latency = Time::from_ns(rng.random_range(10..=50));
+                spec.add_mapping(process, acc, latency)
+                    .expect("valid endpoints");
+                mapped = true;
+            }
+        }
+        for &design in &fabric_designs {
+            if rng.random_bool(0.4) {
+                let latency = Time::from_ns(rng.random_range(15..=60));
+                spec.add_mapping(process, design, latency)
+                    .expect("valid endpoints");
+                mapped = true;
+            }
+        }
+        if !mapped {
+            // Fall back to the cheapest hardware unit (or a DSP when the
+            // config generates no hardware at all) so lint stays clean.
+            if let Some(acc) = ldpc {
+                spec.add_mapping(process, acc, Time::from_ns(rng.random_range(10..=50)))
+                    .expect("valid endpoints");
+            } else if let Some(&design) = fabric_designs.first() {
+                spec.add_mapping(process, design, Time::from_ns(rng.random_range(15..=60)))
+                    .expect("valid endpoints");
+            } else {
+                spec.add_mapping(process, dsps[0], Time::from_ns(rng.random_range(40..=150)))
+                    .expect("valid endpoints");
+            }
+        }
+    }
+    spec.validate()
+        .expect("generated model is structurally valid");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_explore::{allocatable_units, exhaustive_explore, explore, ExploreOptions};
+    use flexplore_lint::lint_spec;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = BasebandConfig::default();
+        let a = baseband_spec(&config);
+        let b = baseband_spec(&config);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn generated_specs_are_lint_clean() {
+        for seed in 0..5 {
+            let spec = baseband_spec(&BasebandConfig::small(seed));
+            let report = lint_spec(&spec);
+            assert!(report.is_clean(), "seed {seed}: {}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn hardware_prices_into_the_front() {
+        // With hardware-only decode alternatives, the maximally flexible
+        // point must allocate more than the DSP cores.
+        let spec = baseband_spec(&BasebandConfig::default());
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        assert!(result.front.len() >= 2, "{:?}", result.front.objectives());
+    }
+
+    #[test]
+    fn unit_count_stays_in_the_flat_scan_comfort_zone() {
+        let spec = baseband_spec(&BasebandConfig::medium(4));
+        assert!(allocatable_units(&spec).len() <= 16);
+    }
+
+    #[test]
+    fn explore_agrees_with_exhaustive() {
+        for seed in 0..3 {
+            let spec = baseband_spec(&BasebandConfig::small(seed));
+            let fast = explore(&spec, &ExploreOptions::paper()).unwrap();
+            let slow = exhaustive_explore(&spec).unwrap();
+            assert!(
+                fast.front.same_objectives(&slow.front),
+                "seed {seed}: {:?} != {:?}",
+                fast.front.objectives(),
+                slow.front.objectives()
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Seeded generator family: multi-tenant cloud FPGA platforms.
+//!
+//! Cloud providers rent FPGA fabric by the slot: a shell handles PCIe and
+//! memory, and each tenant loads accelerator bitstreams into a partially
+//! reconfigurable region. A tenant workload runs either as plain software
+//! on host vCPUs or on one of its accelerator designs — the same
+//! alternative-refinement structure as the paper's reconfigurable
+//! set-top-box, scaled to several tenants sharing one device. The platform
+//! question: how many host CPUs and which slot designs make the cheapest
+//! deployment that keeps every tenant's workload flexible? The generator
+//! produces specifications of that shape:
+//!
+//! * one top-level interface of **tenants**, each an ingest → kernel
+//!   (alternatives: software / accelerated) → egress pipeline;
+//! * per-tenant accelerated kernels map only to that tenant's slot
+//!   designs (cloud isolation: no cross-tenant bitstream sharing);
+//! * an architecture of host CPUs on a PCIe bus and one reconfigurable
+//!   slot per tenant, each with its own design library.
+//!
+//! Fully deterministic: equal [`CloudFpgaConfig`]s produce byte-identical
+//! specifications.
+
+use flexplore_hgraph::{PortDirection, PortTarget, Scope};
+use flexplore_sched::Time;
+use flexplore_spec::{ArchitectureGraph, Cost, ProblemGraph, ProcessAttrs, SpecificationGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a generated multi-tenant cloud-FPGA specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudFpgaConfig {
+    /// RNG seed; equal configs produce identical specifications.
+    pub seed: u64,
+    /// Tenants (each gets one reconfigurable slot of its own).
+    pub tenants: usize,
+    /// Kernel alternatives per tenant, **including** the software one
+    /// (values ≤ 1 generate software-only tenants).
+    pub kernel_alternatives: usize,
+    /// Designs in each tenant's slot library.
+    pub designs_per_slot: usize,
+    /// Host vCPUs (run every software process).
+    pub host_cpus: usize,
+    /// Fraction of tenants with a service-level period constraint.
+    pub constrained_fraction: f64,
+}
+
+impl Default for CloudFpgaConfig {
+    fn default() -> Self {
+        CloudFpgaConfig {
+            seed: 42,
+            tenants: 2,
+            kernel_alternatives: 2,
+            designs_per_slot: 2,
+            host_cpus: 2,
+            constrained_fraction: 0.5,
+        }
+    }
+}
+
+impl CloudFpgaConfig {
+    /// A small configuration (sub-second differential checks).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        CloudFpgaConfig {
+            seed,
+            tenants: 2,
+            kernel_alternatives: 2,
+            designs_per_slot: 1,
+            host_cpus: 1,
+            constrained_fraction: 0.5,
+        }
+    }
+
+    /// A mid-size configuration (a busier device).
+    #[must_use]
+    pub fn medium(seed: u64) -> Self {
+        CloudFpgaConfig {
+            seed,
+            tenants: 3,
+            kernel_alternatives: 3,
+            designs_per_slot: 2,
+            host_cpus: 2,
+            constrained_fraction: 0.6,
+        }
+    }
+}
+
+/// Generates a multi-tenant cloud-FPGA specification from `config`.
+///
+/// Structural guarantees:
+///
+/// * ingest/egress and the software kernel of every tenant map to every
+///   host CPU, so a CPU-only deployment implements each tenant's software
+///   path;
+/// * accelerated kernel alternatives map only to designs of **their**
+///   tenant's slot (at least one mapping each);
+/// * period constraints leave headroom above the slowest mapped latency of
+///   any single process.
+#[must_use]
+pub fn cloud_fpga_spec(config: &CloudFpgaConfig) -> SpecificationGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let name = format!("cloud-fpga-{}", config.seed);
+    let mut p = ProblemGraph::new(name.clone());
+
+    let tenants_interface = p.add_interface(Scope::Top, "I_tenants");
+    let mut software_processes = Vec::new();
+    // Per tenant: the accelerated kernel processes (map to slot designs).
+    let mut accelerated: Vec<Vec<flexplore_hgraph::VertexId>> = Vec::new();
+    for t in 0..config.tenants.max(1) {
+        let cluster = p.add_cluster(tenants_interface, format!("tenant{t}"));
+        let constrained = rng.random_bool(config.constrained_fraction.clamp(0.0, 1.0));
+        let sla = Time::from_ns(rng.random_range(300..=600));
+        let ingest = p.add_process_with(
+            cluster.into(),
+            format!("ingest{t}"),
+            ProcessAttrs::new().negligible(),
+        );
+        software_processes.push(ingest);
+        let kernel = p.add_interface(cluster.into(), format!("I_kernel{t}"));
+        let in_port = p.add_port(kernel, "in", PortDirection::In);
+        let out_port = p.add_port(kernel, "out", PortDirection::Out);
+        let mut tenant_accelerated = Vec::new();
+        for alt in 0..config.kernel_alternatives.max(1) {
+            let c = p.add_cluster(kernel, format!("kernel{t}_{alt}"));
+            let v = p.add_process(c.into(), format!("K{t}_{alt}"));
+            p.map_port(c, in_port, PortTarget::vertex(v))
+                .expect("member");
+            p.map_port(c, out_port, PortTarget::vertex(v))
+                .expect("member");
+            if alt == 0 {
+                software_processes.push(v);
+            } else {
+                tenant_accelerated.push(v);
+            }
+        }
+        accelerated.push(tenant_accelerated);
+        p.add_dependence(ingest, (kernel, in_port))
+            .expect("same scope");
+        let egress_attrs = if constrained {
+            ProcessAttrs::new().with_period(sla)
+        } else {
+            ProcessAttrs::new()
+        };
+        let egress = p.add_process_with(cluster.into(), format!("egress{t}"), egress_attrs);
+        p.add_dependence((kernel, out_port), egress)
+            .expect("same scope");
+        software_processes.push(egress);
+    }
+
+    let mut a = ArchitectureGraph::new(format!("{name}-arch"));
+    let pcie = a.add_bus(Scope::Top, "PCIE", Cost::new(25));
+    let mut cpus = Vec::new();
+    for k in 0..config.host_cpus.max(1) {
+        let cpu = a.add_resource(
+            Scope::Top,
+            format!("VCPU{k}"),
+            Cost::new(rng.random_range(80..=160)),
+        );
+        a.connect(cpu, pcie).expect("same scope");
+        cpus.push(cpu);
+    }
+    // One reconfigurable slot per tenant, each with its own designs.
+    let mut slot_designs: Vec<Vec<flexplore_hgraph::VertexId>> = Vec::new();
+    for t in 0..config.tenants.max(1) {
+        let slot = a.add_interface(Scope::Top, format!("SLOT{t}"));
+        a.connect_through(pcie, slot).expect("device link");
+        let mut designs = Vec::new();
+        for d in 0..config.designs_per_slot.max(1) {
+            let design = a
+                .add_design(
+                    slot,
+                    format!("bit{t}_{d}"),
+                    format!("ACC{t}_{d}"),
+                    Cost::new(rng.random_range(50..=110)),
+                )
+                .expect("fresh design");
+            designs.push(design.design);
+        }
+        slot_designs.push(designs);
+    }
+
+    let mut spec = SpecificationGraph::new(name, p, a);
+    for &process in &software_processes {
+        for &cpu in &cpus {
+            let latency = Time::from_ns(rng.random_range(40..=150));
+            spec.add_mapping(process, cpu, latency)
+                .expect("valid endpoints");
+        }
+    }
+    for (tenant, kernels) in accelerated.iter().enumerate() {
+        let designs = &slot_designs[tenant];
+        for &kernel in kernels {
+            let mut mapped = false;
+            for &design in designs {
+                if rng.random_bool(0.6) {
+                    let latency = Time::from_ns(rng.random_range(8..=45));
+                    spec.add_mapping(kernel, design, latency)
+                        .expect("valid endpoints");
+                    mapped = true;
+                }
+            }
+            if !mapped {
+                spec.add_mapping(kernel, designs[0], Time::from_ns(rng.random_range(8..=45)))
+                    .expect("valid endpoints");
+            }
+        }
+    }
+    spec.validate()
+        .expect("generated model is structurally valid");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexplore_explore::{allocatable_units, exhaustive_explore, explore, ExploreOptions};
+    use flexplore_lint::lint_spec;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CloudFpgaConfig::default();
+        let a = cloud_fpga_spec(&config);
+        let b = cloud_fpga_spec(&config);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn generated_specs_are_lint_clean() {
+        for seed in 0..5 {
+            let spec = cloud_fpga_spec(&CloudFpgaConfig::small(seed));
+            let report = lint_spec(&spec);
+            assert!(report.is_clean(), "seed {seed}: {}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn tenants_get_one_slot_each() {
+        let config = CloudFpgaConfig::default();
+        let spec = cloud_fpga_spec(&config);
+        assert_eq!(
+            spec.architecture().graph().interface_count(),
+            config.tenants
+        );
+    }
+
+    #[test]
+    fn unit_count_stays_in_the_flat_scan_comfort_zone() {
+        let spec = cloud_fpga_spec(&CloudFpgaConfig::medium(4));
+        assert!(allocatable_units(&spec).len() <= 16);
+    }
+
+    #[test]
+    fn explore_agrees_with_exhaustive() {
+        for seed in 0..3 {
+            let spec = cloud_fpga_spec(&CloudFpgaConfig::small(seed));
+            let fast = explore(&spec, &ExploreOptions::paper()).unwrap();
+            let slow = exhaustive_explore(&spec).unwrap();
+            assert!(
+                fast.front.same_objectives(&slow.front),
+                "seed {seed}: {:?} != {:?}",
+                fast.front.objectives(),
+                slow.front.objectives()
+            );
+        }
+    }
+}

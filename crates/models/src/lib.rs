@@ -9,6 +9,10 @@
 //!   reference values.
 //! * [`synthetic_spec`] — seeded random specifications of the same shape
 //!   for scaling experiments.
+//! * [`automotive_spec`], [`baseband_spec`], [`cloud_fpga_spec`] — seeded
+//!   generator families for three further platform domains (automotive
+//!   zonal E/E, 5G baseband, multi-tenant cloud FPGA), used by the
+//!   differential fuzzer in `flexplore-fuzz`.
 //!
 //! # Examples
 //!
@@ -25,12 +29,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod automotive;
+mod baseband;
+mod cloud_fpga;
 mod json;
 mod partial_reconfig;
 mod set_top_box;
 mod synthetic;
 mod tv_decoder;
 
+pub use automotive::{automotive_spec, AutomotiveConfig};
+pub use baseband::{baseband_spec, BasebandConfig};
+pub use cloud_fpga::{cloud_fpga_spec, CloudFpgaConfig};
 pub use json::{spec_from_json, spec_from_json_unvalidated, spec_to_json};
 pub use partial_reconfig::{dual_slot_fpga, DualSlot};
 pub use set_top_box::{paper_pareto_table, set_top_box, set_top_box_problem, SetTopBox};

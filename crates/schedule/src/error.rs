@@ -1,6 +1,6 @@
 //! Error type of the static scheduler.
 
-use flexplore_hgraph::{HgraphError, VertexId};
+use flexplore_hgraph::{EdgeId, HgraphError, VertexId};
 use std::error::Error;
 use std::fmt;
 
@@ -18,6 +18,16 @@ pub enum ScheduleError {
     CyclicDependences,
     /// The problem graph could not be flattened under the given selection.
     Flatten(HgraphError),
+    /// An edge of the flattened graph references a vertex that is not one
+    /// of its member vertices. Only reachable with hand-constructed (or
+    /// deserialized) [`flexplore_hgraph::FlatGraph`] values — flattening a
+    /// hierarchical graph always produces well-formed output.
+    ForeignEndpoint {
+        /// The offending edge (id in the originating hierarchical graph).
+        edge: EdgeId,
+        /// The endpoint that is not a member vertex.
+        vertex: VertexId,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -30,6 +40,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "dependences contain a cycle; no partial order exists")
             }
             ScheduleError::Flatten(e) => write!(f, "flattening: {e}"),
+            ScheduleError::ForeignEndpoint { edge, vertex } => write!(
+                f,
+                "edge {edge} references {vertex}, which is not a vertex of the flattened graph"
+            ),
         }
     }
 }

@@ -187,13 +187,29 @@ pub fn schedule_mode(
 ///
 /// # Errors
 ///
-/// See [`schedule_mode`].
+/// See [`schedule_mode`] — plus [`ScheduleError::ForeignEndpoint`] when a
+/// hand-constructed `flat` contains an edge referencing a vertex that is
+/// not one of its member vertices ([`flexplore_hgraph::FlatGraph`] fields
+/// are public and deserializable; flattening never produces such a graph).
 pub fn schedule_flat(
     spec: &SpecificationGraph,
     flat: &FlatGraph,
     binding: &Binding,
     comm: CommDelay,
 ) -> Result<StaticSchedule, ScheduleError> {
+    // Reject malformed inputs up front so the maps below are total over
+    // every endpoint the scheduling loops touch.
+    for e in &flat.edges {
+        for endpoint in [e.from, e.to] {
+            if !flat.vertices.contains(&endpoint) {
+                return Err(ScheduleError::ForeignEndpoint {
+                    edge: e.id,
+                    vertex: endpoint,
+                });
+            }
+        }
+    }
+
     // Latency and resource per process.
     let mut latency: BTreeMap<VertexId, Time> = BTreeMap::new();
     let mut resource: BTreeMap<VertexId, VertexId> = BTreeMap::new();
@@ -224,7 +240,7 @@ pub fn schedule_flat(
     // Event-driven list scheduling.
     let mut indegree: BTreeMap<VertexId, usize> = flat.vertices.iter().map(|&v| (v, 0)).collect();
     for e in &flat.edges {
-        *indegree.get_mut(&e.to).expect("endpoint in map") += 1;
+        *indegree.entry(e.to).or_insert(0) += 1;
     }
     let mut ready_at: BTreeMap<VertexId, Time> = BTreeMap::new();
     let mut ready: Vec<VertexId> = indegree
@@ -260,10 +276,11 @@ pub fn schedule_flat(
             let arrival = finish + comm.between(r, resource[&e.to]);
             let slot = ready_at.entry(e.to).or_insert(Time::ZERO);
             *slot = (*slot).max(arrival);
-            let d = indegree.get_mut(&e.to).expect("endpoint in map");
-            *d -= 1;
-            if *d == 0 {
-                ready.push(e.to);
+            if let Some(d) = indegree.get_mut(&e.to) {
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(e.to);
+                }
             }
         }
     }
@@ -372,6 +389,33 @@ mod tests {
         let partial: Binding = binding.iter().filter(|(p, _)| *p != a).collect();
         let err = schedule_mode(&spec, &Selection::new(), &partial, CommDelay::Zero).unwrap_err();
         assert_eq!(err, ScheduleError::Unbound { process: a });
+    }
+
+    #[test]
+    fn foreign_edge_endpoints_are_a_typed_error() {
+        use flexplore_hgraph::{FlatEdge, FlatGraph};
+        let (spec, [a, b, _, d], binding) = diamond();
+        let flat = spec.problem().flatten(&Selection::new()).unwrap();
+        let edge_id = flat.edges[0].id;
+        // An edge pointing at a vertex the flat graph does not contain:
+        // reachable through the public/deserializable FlatGraph fields.
+        let malformed = FlatGraph {
+            vertices: vec![a, b],
+            edges: vec![FlatEdge {
+                id: edge_id,
+                from: a,
+                to: d,
+            }],
+        };
+        let err = schedule_flat(&spec, &malformed, &binding, CommDelay::Zero).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::ForeignEndpoint {
+                edge: edge_id,
+                vertex: d
+            }
+        );
+        assert!(err.to_string().contains("not a vertex"));
     }
 
     #[test]
