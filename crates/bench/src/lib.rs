@@ -190,14 +190,16 @@ pub fn measured_lint(spec: &SpecificationGraph) -> RunReport {
 }
 
 /// The models the explore suite measures. `synthetic-large` spans a
-/// 2^24-subset lattice: feasible only because the default branch-and-bound
-/// enumerator prunes it — the flat scan would need ~10^7 estimates.
+/// 2^24-subset lattice and `synthetic-wide` a 2^102 one: feasible only
+/// because the default branch-and-bound enumerator prunes them — the flat
+/// scan would need ~10^7 (resp. ~10^30) estimates.
 #[must_use]
 pub fn explore_models() -> Vec<SpecificationGraph> {
     vec![
         set_top_box().spec,
         tv_decoder().spec,
         synthetic_spec(&SyntheticConfig::large(11)),
+        synthetic_spec(&SyntheticConfig::wide(13)),
     ]
 }
 
@@ -208,6 +210,7 @@ pub fn lint_models() -> Vec<SpecificationGraph> {
         set_top_box().spec,
         tv_decoder().spec,
         synthetic_spec(&SyntheticConfig::large(11)),
+        synthetic_spec(&SyntheticConfig::wide(13)),
     ]
 }
 

@@ -14,7 +14,10 @@ use crate::solver::{solve_mode_compiled, BindOptions, ModeImplementation, SolveS
 use flexplore_flex::{estimate_with_compiled, flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, VertexId};
 use flexplore_obs::{phase, ObsSink};
-use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{
+    allocation_from_units, CompiledSpec, Cost, ResourceAllocation, SpecificationGraph, Unit,
+    UnitMask,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -186,6 +189,30 @@ pub fn implement_allocation_compiled(
     options: &ImplementOptions,
 ) -> Result<(Option<Implementation>, ImplementStats), BindError> {
     implement_allocation_obs(compiled, allocation, options, &ObsSink::disabled())
+}
+
+/// [`implement_allocation_compiled`] addressed by a unit subset mask over
+/// a fixed unit universe instead of an expanded [`ResourceAllocation`]:
+/// bit `k` of `mask` allocates `units[k]`. This is the natural entry point
+/// for callers that already work in mask space (the lattice enumerator,
+/// the evolutionary genotypes, resilience sweeps toggling units off).
+///
+/// # Errors
+///
+/// Returns [`BindError::TooManyActivations`] if the ECA enumeration exceeds
+/// the configured bound.
+///
+/// # Panics
+///
+/// Panics when `mask` has a bit set at or beyond `units.len()`.
+pub fn implement_unit_mask_compiled(
+    compiled: &CompiledSpec<'_>,
+    units: &[Unit],
+    mask: UnitMask,
+    options: &ImplementOptions,
+) -> Result<(Option<Implementation>, ImplementStats), BindError> {
+    let allocation = allocation_from_units(units, mask);
+    implement_allocation_obs(compiled, &allocation, options, &ObsSink::disabled())
 }
 
 /// [`implement_allocation_compiled`] with per-stage observability: records
@@ -476,6 +503,42 @@ mod tests {
         for mode in &implementation.modes {
             for (_, m) in mode.binding.iter() {
                 assert_ne!(s.mapping(m).resource, asic);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_addressed_implement_matches_the_allocation_path() {
+        let (s, _, up_only, full) = spec();
+        let compiled = CompiledSpec::new(&s);
+        // Unit universe in architecture order: [uP, A, C].
+        let units: Vec<Unit> = s
+            .architecture()
+            .graph()
+            .vertices_in(Scope::Top)
+            .map(Unit::Vertex)
+            .collect();
+        for (mask, alloc) in [
+            (UnitMask::bit(0), up_only),
+            (UnitMask::full(3), full),
+            (UnitMask::empty(), ResourceAllocation::new()),
+        ] {
+            let (by_mask, mask_stats) =
+                implement_unit_mask_compiled(&compiled, &units, mask, &ImplementOptions::default())
+                    .unwrap();
+            let (by_alloc, alloc_stats) =
+                implement_allocation_compiled(&compiled, &alloc, &ImplementOptions::default())
+                    .unwrap();
+            assert_eq!(mask_stats, alloc_stats);
+            match (by_mask, by_alloc) {
+                (None, None) => {}
+                (Some(m), Some(a)) => {
+                    assert_eq!(m.allocation, a.allocation);
+                    assert_eq!(m.flexibility, a.flexibility);
+                    assert_eq!(m.cost, a.cost);
+                    assert_eq!(m.covered_clusters, a.covered_clusters);
+                }
+                other => panic!("feasibility must agree, got {other:?}"),
             }
         }
     }

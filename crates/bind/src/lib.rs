@@ -84,7 +84,8 @@ mod timing;
 pub use comm::{full_comm_graph, CommGraph};
 pub use implement::{
     implement_allocation, implement_allocation_compiled, implement_allocation_obs,
-    implement_default, BindError, ImplementOptions, ImplementStats, Implementation,
+    implement_default, implement_unit_mask_compiled, BindError, ImplementOptions, ImplementStats,
+    Implementation,
 };
 pub use solver::{
     mode_is_feasible, mode_timing_accepts, solve_mode, solve_mode_compiled, BindOptions,

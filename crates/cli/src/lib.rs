@@ -85,7 +85,7 @@ pub const USAGE: &str = "\
 flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 2002)
 
 USAGE:
-    flexplore explore <spec.json> [--csv] [--json] [--threads N]
+    flexplore explore (<spec.json> | <MODEL>) [--csv] [--json] [--threads N]
                       [--enumerator flat|bnb] [--profile [text|json]]
     flexplore resilience <spec.json> [--k <K>] [--threads N]
                          [--enumerator flat|bnb] [--profile [text|json]]
@@ -109,7 +109,8 @@ USAGE:
     flexplore fuzz --replay <DIR>
 
 COMMANDS:
-    explore       print the Pareto-optimal flexibility/cost front
+    explore       print the Pareto-optimal flexibility/cost front of a
+                  specification file or a bundled model name
                   (--threads N runs the deterministic parallel engine;
                   0 = all cores; output is identical for every N).
                   --json dumps the front alone as JSON (byte-identical
@@ -144,7 +145,7 @@ COMMANDS:
                   --deny warnings / --deny <CODE> make those findings
                   fatal; --builtin lints a bundled model (set_top_box,
                   tv_decoder, dual_slot_fpga, synthetic-small,
-                  synthetic-medium, synthetic-large).
+                  synthetic-medium, synthetic-large, synthetic-wide).
                   exit codes: 0 clean (or findings not denied), 1 findings
                   denied by --deny, 2 error-level findings, 3 internal
                   fault (unreadable file, malformed JSON, bad flags)
@@ -159,7 +160,8 @@ COMMANDS:
                   trip). Fully deterministic: equal --seed means a
                   byte-identical report. --iterations is per profile
                   (default 100); --profile picks the domain family (stb,
-                  automotive, baseband, cloud-fpga or all, the default);
+                  automotive, baseband, cloud-fpga, wide or all, the
+                  default);
                   --corpus-dir writes minimized repros of any violation;
                   --replay DIR re-checks every stored repro instead of
                   generating. NOTE: unlike the other commands, fuzz's
@@ -325,9 +327,14 @@ fn builtin_spec(name: &str) -> Option<SpecificationGraph> {
         "synthetic-small" => synthetic_spec(&SyntheticConfig::small(7)),
         "synthetic-medium" => synthetic_spec(&SyntheticConfig::medium(11)),
         "synthetic-large" => synthetic_spec(&SyntheticConfig::large(11)),
+        "synthetic-wide" => synthetic_spec(&SyntheticConfig::wide(13)),
         _ => return None,
     })
 }
+
+/// The bundled model names, for error messages and usage text.
+const BUILTIN_NAMES: &str = "set_top_box, tv_decoder, dual_slot_fpga, synthetic-small, \
+     synthetic-medium, synthetic-large, synthetic-wide";
 
 fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
     // Internal faults of the lint command itself (bad flags, unreadable
@@ -385,12 +392,8 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
             spec_from_json_unvalidated(&text)
                 .map_err(|e| fault(format!("cannot parse {path}: {e}")))?
         }
-        (None, Some(name)) => builtin_spec(name).ok_or_else(|| {
-            fault(format!(
-                "unknown builtin model {name:?} (set_top_box, tv_decoder, dual_slot_fpga, \
-                 synthetic-small, synthetic-medium, synthetic-large)"
-            ))
-        })?,
+        (None, Some(name)) => builtin_spec(name)
+            .ok_or_else(|| fault(format!("unknown builtin model {name:?} ({BUILTIN_NAMES})")))?,
         _ => {
             return Err(fault(format!(
                 "lint needs a <spec.json> path or --builtin <MODEL>\n\n{USAGE}"
@@ -487,9 +490,7 @@ fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
     } else {
         builtin_spec(target).ok_or_else(|| {
             err(format!(
-                "{target:?} is neither a readable file nor a bundled model \
-                 (set_top_box, tv_decoder, dual_slot_fpga, synthetic-small, \
-                 synthetic-medium, synthetic-large)"
+                "{target:?} is neither a readable file nor a bundled model ({BUILTIN_NAMES})"
             ))
         })?
     };
@@ -544,7 +545,16 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     }
     let obs = profile.sink();
     let timer = obs.start();
-    let spec = load_spec(path)?;
+    // A file if one exists at the path, else a bundled model name — so CI
+    // determinism diffs can run `flexplore explore synthetic-wide` without
+    // shipping a JSON file. Unknown names keep the file-load error.
+    let spec = if std::path::Path::new(path).exists() {
+        load_spec(path)?
+    } else if let Some(spec) = builtin_spec(path) {
+        spec
+    } else {
+        load_spec(path)?
+    };
     obs.finish(phase::PARSE, timer);
     let banner = preflight_lint(&spec, &obs)?;
     let options = threaded_options(threads, enumerator);
@@ -1110,7 +1120,7 @@ fn cmd_fuzz(args: &[&str]) -> Result<String, CliError> {
             }
             "--profile" => {
                 let family = it.next().copied().ok_or_else(|| {
-                    err("--profile needs stb, automotive, baseband, cloud-fpga or all")
+                    err("--profile needs stb, automotive, baseband, cloud-fpga, wide or all")
                 })?;
                 options.profiles = if family == "all" {
                     DomainProfile::all().to_vec()
@@ -1206,7 +1216,7 @@ mod tests {
     #[test]
     fn fuzz_small_campaign_is_clean_and_deterministic() {
         let out = run_strs(&["fuzz", "--seed", "42", "--iterations", "2"]).unwrap();
-        assert!(out.contains("fuzzed 8 spec(s)"), "{out}");
+        assert!(out.contains("fuzzed 10 spec(s)"), "{out}");
         assert!(out.contains("0 violation(s)"), "{out}");
         let again = run_strs(&["fuzz", "--seed", "42", "--iterations", "2"]).unwrap();
         assert_eq!(out, again, "fuzz reports must be byte-reproducible");
@@ -1228,7 +1238,7 @@ mod tests {
         let out = run_strs(&["fuzz", "--iterations", "1", "--profile", "baseband"]).unwrap();
         assert!(out.contains("fuzzed 1 spec(s)"), "{out}");
         let out = run_strs(&["fuzz", "--iterations", "1", "--profile", "all"]).unwrap();
-        assert!(out.contains("fuzzed 4 spec(s)"), "{out}");
+        assert!(out.contains("fuzzed 5 spec(s)"), "{out}");
         let e = run_strs(&["fuzz", "--profile", "mainframe"]).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("unknown domain profile"), "{e:?}");
@@ -1483,10 +1493,26 @@ mod tests {
             "synthetic-small",
             "synthetic-medium",
             "synthetic-large",
+            "synthetic-wide",
         ] {
             let out = run_strs(&["lint", "--builtin", name, "--deny", "warnings"]).unwrap();
             assert!(out.contains(": clean"), "{name}: {out}");
         }
+    }
+
+    #[test]
+    fn explore_accepts_bundled_model_names_and_wide_is_thread_invariant() {
+        // The 102-unit model is far past the one-word mask ceiling; the
+        // JSON front must be byte-identical for every worker count.
+        let one = run_strs(&["explore", "synthetic-wide", "--json", "--threads", "1"]).unwrap();
+        let two = run_strs(&["explore", "synthetic-wide", "--json", "--threads", "2"]).unwrap();
+        let four = run_strs(&["explore", "synthetic-wide", "--json", "--threads", "4"]).unwrap();
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+        assert!(one.contains("\"flexibility\""), "{one}");
+        // Unknown names still report the file-load error.
+        let e = run_strs(&["explore", "no-such-model.json"]).unwrap_err();
+        assert!(e.message.contains("cannot read"), "{}", e.message);
     }
 
     #[test]

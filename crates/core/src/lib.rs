@@ -20,7 +20,7 @@
 //! | [`bind`] | backtracking binding solver, per-mode timing validation |
 //! | [`explore`] | EXPLORE branch-and-bound, exhaustive and NSGA-II baselines, Pareto fronts (Section 4) |
 //! | [`models`] | the TV decoder (Figs. 1–2), the Set-Top box case study (Fig. 3/5 + Table 1), synthetic generators |
-//! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F012` over specification graphs |
+//! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F013` over specification graphs |
 //! | [`obs`] | observability: span timers, deterministic counters, JSON-lines events, aggregated run reports |
 //! | [`schedule`] | static list scheduling of bound modes — the paper's future-work item |
 //! | [`adaptive`] | run-time mode management with reconfiguration accounting, fault injection, and graceful degradation |
@@ -105,5 +105,5 @@ pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
 pub use flexplore_schedule::{schedule_mode, CommDelay, StaticSchedule};
 pub use flexplore_spec::{
     ArchitectureGraph, Binding, CompiledSpec, Cost, Mode, ProblemGraph, ProcessAttrs,
-    ResourceAllocation, SpecificationGraph,
+    ResourceAllocation, SpecificationGraph, UnitMask,
 };

@@ -21,10 +21,12 @@ use std::time::{Duration, Instant};
 
 pub use flexplore_spec::Unit;
 
-/// Most units a `u64` subset mask can index while `2^units` still fits the
-/// subset counter; architectures beyond this are rejected with
-/// [`ExploreError::UnitOverflow`] whatever `max_units` says.
-pub(crate) const MAX_MASK_UNITS: usize = 63;
+/// Most units the flat scan's `u64` subset counter can index; the flat
+/// enumerator rejects architectures beyond this with
+/// [`ExploreError::UnitOverflow`] whatever `max_units` says. The
+/// branch-and-bound enumerator walks [`flexplore_spec::UnitMask`] subsets
+/// and is bounded by [`flexplore_spec::MAX_UNITS`] instead.
+pub(crate) const MAX_FLAT_UNITS: usize = 63;
 
 /// Which engine enumerates the possible resource allocations. Both produce
 /// byte-identical candidate lists; they differ in how much of the subset
@@ -47,8 +49,8 @@ pub enum Enumerator {
 pub struct AllocationOptions {
     /// Hard limit on the number of allocatable units (the enumeration
     /// lattice is `2^units`; the branch-and-bound enumerator visits only a
-    /// fraction of it, so counts well beyond the flat scan's comfort zone
-    /// are practical).
+    /// fraction of it, so counts well past the flat scan's 63-unit mask
+    /// ceiling are practical).
     pub max_units: usize,
     /// Drop allocations containing a communication resource with fewer than
     /// two allocated neighbors — the paper's "single functional component
@@ -70,7 +72,7 @@ pub struct AllocationOptions {
 impl Default for AllocationOptions {
     fn default() -> Self {
         AllocationOptions {
-            max_units: 48,
+            max_units: 192,
             prune_useless_buses: true,
             prune_unusable: true,
             threads: 1,
@@ -93,11 +95,14 @@ pub struct AllocationCandidate {
 /// Counters from one enumeration run.
 ///
 /// The sum invariant `pruned_structurally + infeasible + kept == subsets`
-/// holds for both enumerators, and `kept` (with the exact candidate list)
-/// is byte-identical between them. Per-category attribution of *pruned*
-/// subsets may differ at the margin: a subtree dropped wholesale by a
-/// monotone bound counts all its subsets under that bound's category, even
-/// ones the flat scan would have rejected for a different reason first.
+/// holds for both enumerators below 64 units, and `kept` (with the exact
+/// candidate list) is byte-identical between them. At 64 units and beyond
+/// (branch-and-bound only), `subsets` and the per-subset prune counters
+/// saturate at `u64::MAX` — still deterministic, no longer exact.
+/// Per-category attribution of *pruned* subsets may differ at the margin:
+/// a subtree dropped wholesale by a monotone bound counts all its subsets
+/// under that bound's category, even ones the flat scan would have
+/// rejected for a different reason first.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AllocationStats {
     /// Number of allocatable units (`2^units` raw subsets).
@@ -123,6 +128,10 @@ pub struct AllocationStats {
     /// Flexibility-estimate lookups answered by the submask memo instead of
     /// a fresh evaluation (0 for the flat scan).
     pub estimate_memo_hits: u64,
+    /// Single-unit delta updates applied to the incremental estimate
+    /// trackers along the DFS path, tracker initialization included (0 for
+    /// the flat scan, which recomputes every estimate from scratch).
+    pub estimate_delta_pushes: u64,
 }
 
 /// Returns the allocatable units of a specification: top-level architecture
@@ -178,15 +187,25 @@ pub fn possible_resource_allocations_compiled(
 /// # Errors
 ///
 /// Returns [`ExploreError::TooManyUnits`] when the unit count exceeds
-/// `options.max_units`.
+/// `options.max_units`, and [`ExploreError::UnitOverflow`] when it exceeds
+/// the selected enumerator's representation ceiling (63 for the flat
+/// scan's `u64` counter, [`flexplore_spec::MAX_UNITS`] for
+/// branch-and-bound's multi-word subset masks).
 pub fn possible_resource_allocations_obs(
     compiled: &CompiledSpec<'_>,
     options: &AllocationOptions,
     obs: &ObsSink,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
     let units = allocatable_units(compiled.spec());
-    if units.len() > MAX_MASK_UNITS {
-        return Err(ExploreError::UnitOverflow { units: units.len() });
+    let limit = match options.enumerator {
+        Enumerator::Flat => MAX_FLAT_UNITS,
+        Enumerator::BranchAndBound => flexplore_spec::MAX_UNITS,
+    };
+    if units.len() > limit {
+        return Err(ExploreError::UnitOverflow {
+            units: units.len(),
+            limit,
+        });
     }
     if units.len() > options.max_units {
         return Err(ExploreError::TooManyUnits {
@@ -275,6 +294,7 @@ impl AllocationStats {
         self.nodes_visited += other.nodes_visited;
         self.subtrees_pruned += other.subtrees_pruned;
         self.estimate_memo_hits += other.estimate_memo_hits;
+        self.estimate_delta_pushes += other.estimate_delta_pushes;
     }
 }
 
@@ -534,21 +554,49 @@ mod tests {
         }
     }
     #[test]
-    fn unit_overflow_is_rejected() {
-        let mut p = ProblemGraph::new("p");
-        let _t = p.add_process(Scope::Top, "t");
-        let mut a = ArchitectureGraph::new("a");
-        for i in 0..64 {
-            a.add_resource(Scope::Top, format!("r{i}"), Cost::new(10));
-        }
-        let s = SpecificationGraph::new("s", p, a);
-        // Even a generous `max_units` cannot widen the 64-bit subset mask.
+    fn unit_overflow_is_per_enumerator() {
+        let wide = |count: usize| {
+            let mut p = ProblemGraph::new("p");
+            let _t = p.add_process(Scope::Top, "t");
+            let mut a = ArchitectureGraph::new("a");
+            for i in 0..count {
+                a.add_resource(Scope::Top, format!("r{i}"), Cost::new(10));
+            }
+            SpecificationGraph::new("s", p, a)
+        };
+        // The flat scan is bounded by its 64-bit subset counter, however
+        // generous `max_units` is.
         let options = AllocationOptions {
-            max_units: 100,
+            max_units: 1000,
+            enumerator: Enumerator::Flat,
             ..AllocationOptions::default()
         };
-        let err = possible_resource_allocations(&s, &options).unwrap_err();
-        assert!(matches!(err, ExploreError::UnitOverflow { units: 64 }));
+        let err = possible_resource_allocations(&wide(64), &options).unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::UnitOverflow {
+                units: 64,
+                limit: 63
+            }
+        ));
+        // Branch-and-bound accepts the same architecture (the units are
+        // all unusable here, so the scan is trivial)...
+        let options = AllocationOptions {
+            max_units: 1000,
+            ..AllocationOptions::default()
+        };
+        let (_, stats) = possible_resource_allocations(&wide(64), &options).unwrap();
+        assert_eq!(stats.units, 64);
+        // ...and is bounded by the multi-word mask capacity instead.
+        let err = possible_resource_allocations(&wide(flexplore_spec::MAX_UNITS + 1), &options)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::UnitOverflow {
+                units: 257,
+                limit: 256
+            }
+        ));
     }
 
     #[test]

@@ -16,12 +16,15 @@ pub enum ExploreError {
         /// Configured maximum.
         max: usize,
     },
-    /// The architecture has more allocatable units than the 63 the `u64`
-    /// subset masks can index; enumerating would silently overflow the
-    /// subset counter regardless of `max_units`.
+    /// The architecture has more allocatable units than the selected
+    /// enumerator can index (63 for the flat scan's `u64` subset counter,
+    /// [`flexplore_spec::MAX_UNITS`] for the branch-and-bound lattice
+    /// search), regardless of `max_units`.
     UnitOverflow {
         /// Allocatable units found.
         units: usize,
+        /// The enumerator's representation ceiling.
+        limit: usize,
     },
     /// A per-allocation implementation attempt exceeded a bound.
     Bind(BindError),
@@ -33,10 +36,10 @@ impl fmt::Display for ExploreError {
             ExploreError::TooManyUnits { units, max } => {
                 write!(f, "{units} allocatable units exceed the bound of {max}")
             }
-            ExploreError::UnitOverflow { units } => {
+            ExploreError::UnitOverflow { units, limit } => {
                 write!(
                     f,
-                    "{units} allocatable units exceed the 63 a subset mask can index"
+                    "{units} allocatable units exceed the {limit} the enumerator can index"
                 )
             }
             ExploreError::Bind(e) => write!(f, "binding: {e}"),
@@ -71,8 +74,12 @@ mod tests {
         let b: ExploreError = BindError::TooManyActivations { limit: 7 }.into();
         assert!(b.source().is_some());
         assert!(b.to_string().contains('7'));
-        let o = ExploreError::UnitOverflow { units: 70 };
-        assert!(o.to_string().contains("70"));
+        let o = ExploreError::UnitOverflow {
+            units: 300,
+            limit: 256,
+        };
+        assert!(o.to_string().contains("300"));
+        assert!(o.to_string().contains("256"));
         assert!(o.source().is_none());
     }
 

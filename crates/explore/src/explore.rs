@@ -307,6 +307,10 @@ fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
     obs.set_count("nodes_visited", stats.allocations.nodes_visited);
     obs.set_count("subtrees_pruned", stats.allocations.subtrees_pruned);
     obs.set_count("estimate_memo_hits", stats.allocations.estimate_memo_hits);
+    obs.set_count(
+        "estimate_delta_pushes",
+        stats.allocations.estimate_delta_pushes,
+    );
     obs.set_count("estimate_skipped", stats.estimate_skipped);
     obs.set_count("implement_attempts", stats.implement_attempts);
     obs.set_count("feasible", stats.feasible);

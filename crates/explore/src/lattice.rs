@@ -9,7 +9,7 @@
 //!
 //! * **Infeasible bound** — if the estimate of `current ∪ undecided` is
 //!   infeasible, every completion of the branch is infeasible: the whole
-//!   subtree is dropped after one estimate. (With the estimate's
+//!   subtree is dropped after one feasibility probe. (With the estimate's
 //!   flexibility bound at 0, the branch is Pareto-dominated at any cost —
 //!   the bi-objective dominance prune degenerates to this feasibility
 //!   test, because the enumeration must keep *every* feasible allocation
@@ -21,9 +21,24 @@
 //!
 //! Units are visited in ascending-cost order (ties keep the original unit
 //! order), so each branch accumulates cost monotonically and sibling
-//! subtrees with mandatory units die immediately. Estimates are memoized
-//! per *estimate-relevant* submask ([`UnitMasks::estimate_relevant_mask`]):
-//! subsets differing only in buses or unusable units share one entry.
+//! subtrees with mandatory units die immediately. Subsets are
+//! [`UnitMask`]s, so architectures past 64 units enumerate without any
+//! flat-scan fallback.
+//!
+//! # Incremental estimation
+//!
+//! Both feasibility questions of the DFS are answered in `O(1)` by two
+//! [`DeltaEstimator`]s updated along the path: `current` tracks the
+//! decided subset `mask`, `optimistic` tracks `mask ∪ undecided`.
+//! Descending into the exclude branch pops the branching unit from
+//! `optimistic` (and pushes it back on return); descending into the
+//! include branch pushes it onto `current`. A full
+//! [`FlexibilityEstimate`] is only *materialized* for emitted candidates,
+//! memoized per estimate-relevant submask
+//! ([`UnitMasks::estimate_relevant_mask`]): subsets differing only in
+//! buses or unusable units share one entry. Materialization reruns the
+//! same short-circuiting traversal as the non-incremental estimate, so
+//! candidates stay byte-identical to the flat scan's.
 //!
 //! # Determinism
 //!
@@ -31,17 +46,18 @@
 //! sequential DFS down to [`BNB_PREFIX_DEPTH`] that collects deferred
 //! subtree roots and fill blocks, then an order-preserving fan-out of
 //! those items over [`run_chunk`]. Every deferred item is processed with a
-//! fresh memo, so all counters — including memo hits — depend only on the
-//! fixed decomposition, never on how items land on threads. The final
-//! candidate list is sorted by `(cost, estimate desc, original unit
-//! mask)`, which reproduces the flat scan's stable sort over
+//! fresh memo and fresh trackers re-initialized from the item's `(mask,
+//! depth)` alone, so all counters — memo hits and delta pushes included —
+//! depend only on the fixed decomposition, never on how items land on
+//! threads. The final candidate list is sorted by `(cost, estimate desc,
+//! original unit mask)`, which reproduces the flat scan's stable sort over
 //! mask-ascending insertion byte for byte.
 
 use crate::allocations::{AllocationCandidate, AllocationOptions, AllocationStats};
 use crate::parallel::run_chunk;
-use flexplore_flex::{estimate_with_unit_masks, FlexibilityEstimate};
+use flexplore_flex::{DeltaEstimator, DeltaIndex, FlexibilityEstimate};
 use flexplore_obs::{phase, ObsSink};
-use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, Unit, UnitMasks};
+use flexplore_spec::{allocation_from_units, CompiledSpec, Cost, Unit, UnitMask, UnitMasks};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -51,68 +67,127 @@ use std::time::{Duration, Instant};
 /// workers while keeping the sequential prefix negligible.
 pub(crate) const BNB_PREFIX_DEPTH: usize = 6;
 
+/// Number of subsets of a `bits`-unit lattice, saturating at `u64::MAX`
+/// for 64 units and beyond. Per-subset counters lose exactness past the
+/// saturation point but stay deterministic and monotone.
+fn subset_count(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        1u64 << bits
+    }
+}
+
 /// Work deferred by the phase-1 prefix walk for the phase-2 fan-out.
 enum Pending {
     /// A subtree root at [`BNB_PREFIX_DEPTH`], to be expanded by a worker.
     Expand {
-        mask: u64,
+        mask: UnitMask,
         cost: Cost,
         feasible: bool,
     },
     /// A uniformly-feasible block found above the prefix depth: every
     /// completion of `mask` over the units from `depth` on is a keeper.
-    Fill { mask: u64, depth: usize, cost: Cost },
+    Fill {
+        mask: UnitMask,
+        depth: usize,
+        cost: Cost,
+    },
 }
 
 /// Shared, read-only inputs of the lattice search.
-struct Ctx<'a, 'b> {
-    compiled: &'a CompiledSpec<'b>,
+struct Ctx<'a> {
     masks: &'a UnitMasks,
+    index: &'a DeltaIndex<'a>,
     /// Units in DFS (ascending-cost) order; mask bit `k` is `dfs_units[k]`.
     dfs_units: &'a [Unit],
     /// Original-order unit bit per DFS bit, for flat-identical tie-breaks.
-    orig_bits: &'a [u64],
+    orig_bits: &'a [UnitMask],
     n: usize,
-    /// Communication units subject to the useless-bus pruning (0 when the
-    /// pruning is disabled).
-    comm: u64,
-    /// Units subject to the unusable-unit pruning (0 when disabled).
-    unusable: u64,
+    /// Communication units subject to the useless-bus pruning (empty when
+    /// the pruning is disabled).
+    comm: UnitMask,
+    /// Units subject to the unusable-unit pruning (empty when disabled).
+    unusable: UnitMask,
     observe: bool,
 }
 
 /// Per-walk mutable state; phase-2 items each get a fresh one so counters
 /// are independent of the thread partition.
-struct State {
-    kept: Vec<(u64, AllocationCandidate)>,
+struct State<'a> {
+    kept: Vec<(UnitMask, AllocationCandidate)>,
     stats: AllocationStats,
-    memo: HashMap<u64, FlexibilityEstimate>,
+    memo: HashMap<UnitMask, FlexibilityEstimate>,
+    /// Delta tracker of the decided subset `mask`.
+    current: DeltaEstimator<'a>,
+    /// Delta tracker of `mask | rest` — the monotone infeasibility bound.
+    optimistic: DeltaEstimator<'a>,
     estimate_calls: u64,
     estimate_wall: Duration,
 }
 
-impl State {
-    fn new() -> Self {
+impl<'a> State<'a> {
+    /// Fresh state positioned at DFS node `(mask, depth)`: `current`
+    /// tracks `mask`, `optimistic` tracks `mask | rest(depth)` when
+    /// `with_optimistic` (fill items never consult the bound, so they
+    /// skip its initialization pushes).
+    fn at(ctx: &Ctx<'a>, mask: UnitMask, depth: usize, with_optimistic: bool) -> Self {
+        let mut current = DeltaEstimator::new(ctx.index);
+        current.push_mask(mask);
+        let mut optimistic = DeltaEstimator::new(ctx.index);
+        if with_optimistic {
+            optimistic.push_mask(mask | rest_mask(ctx.n, depth));
+        }
         State {
             kept: Vec::new(),
             stats: AllocationStats::default(),
             memo: HashMap::new(),
+            current,
+            optimistic,
             estimate_calls: 0,
             estimate_wall: Duration::ZERO,
         }
     }
 
+    /// Records this walk's delta pushes into its stats; call once when the
+    /// walk is done, before absorbing.
+    fn seal(&mut self) {
+        self.stats.estimate_delta_pushes = self.current.pushes() + self.optimistic.pushes();
+    }
+
     /// Folds a phase-2 item's results into the phase-1 accumulator.
-    fn absorb(&mut self, other: State) {
+    fn absorb(&mut self, other: State<'_>) {
         self.kept.extend(other.kept);
-        self.stats.pruned_structurally += other.stats.pruned_structurally;
-        self.stats.infeasible += other.stats.infeasible;
-        self.stats.kept += other.stats.kept;
-        self.stats.nodes_visited += other.stats.nodes_visited;
-        self.stats.subtrees_pruned += other.stats.subtrees_pruned;
-        self.stats.estimate_memo_hits += other.stats.estimate_memo_hits;
+        let s = &mut self.stats;
+        let o = &other.stats;
+        s.pruned_structurally = s.pruned_structurally.saturating_add(o.pruned_structurally);
+        s.infeasible = s.infeasible.saturating_add(o.infeasible);
+        s.kept += o.kept;
+        s.nodes_visited += o.nodes_visited;
+        s.subtrees_pruned += o.subtrees_pruned;
+        s.estimate_memo_hits += o.estimate_memo_hits;
+        s.estimate_delta_pushes += o.estimate_delta_pushes;
         self.estimate_calls += other.estimate_calls;
         self.estimate_wall += other.estimate_wall;
+    }
+
+    /// Memoized full estimate for the subset the `current` tracker is at.
+    /// Materializes from the tracker on a miss — only those
+    /// materializations count into the `enumerate.estimate` phase.
+    fn estimate_here(&mut self, ctx: &Ctx<'_>, mask: UnitMask) -> FlexibilityEstimate {
+        let key = mask & ctx.masks.estimate_relevant_mask();
+        if let Some(found) = self.memo.get(&key) {
+            self.stats.estimate_memo_hits += 1;
+            return found.clone();
+        }
+        let started = ctx.observe.then(Instant::now);
+        let est = self.current.materialize();
+        if let Some(started) = started {
+            self.estimate_calls += 1;
+            self.estimate_wall += started.elapsed();
+        }
+        self.memo.insert(key, est.clone());
+        est
     }
 }
 
@@ -134,55 +209,58 @@ pub(crate) fn bnb_scan(
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&k| costs[k]); // stable: ties keep original order
     let dfs_units: Vec<Unit> = order.iter().map(|&k| units[k]).collect();
-    let orig_bits: Vec<u64> = order.iter().map(|&k| 1u64 << k).collect();
+    let orig_bits: Vec<UnitMask> = order.iter().map(|&k| UnitMask::bit(k)).collect();
     let masks = compiled.unit_masks(&dfs_units);
+    let index = DeltaIndex::new(compiled, &masks);
 
     let ctx = Ctx {
-        compiled,
         masks: &masks,
+        index: &index,
         dfs_units: &dfs_units,
         orig_bits: &orig_bits,
         n,
         comm: if options.prune_useless_buses {
             masks.comm_mask()
         } else {
-            0
+            UnitMask::empty()
         },
         unusable: if options.prune_unusable {
             masks.unusable_mask()
         } else {
-            0
+            UnitMask::empty()
         },
         observe: obs.is_enabled(),
     };
 
     // Phase 1: sequential prefix walk, identical for every thread count.
-    let mut state = State::new();
+    let mut state = State::at(&ctx, UnitMask::empty(), 0, true);
     state.stats.units = n;
-    state.stats.subsets = 1u64 << n;
+    state.stats.subsets = subset_count(n);
     let mut pending: Vec<Pending> = Vec::new();
     dfs(
         &ctx,
         &mut state,
         &mut pending,
         BNB_PREFIX_DEPTH,
-        0,
+        UnitMask::empty(),
         0,
         Cost::new(0),
         false,
     );
+    state.seal();
 
     // Phase 2: deferred subtrees and fill blocks, fanned out in item order
-    // with a fresh memo per item.
+    // with a fresh memo and fresh trackers per item.
     let threads = options.threads.max(1);
-    let results: Vec<State> = run_chunk(&pending, threads, |item| {
-        let mut st = State::new();
+    let results: Vec<State<'_>> = run_chunk(&pending, threads, |item| {
+        let mut st;
         match *item {
             Pending::Expand {
                 mask,
                 cost,
                 feasible,
             } => {
+                st = State::at(&ctx, mask, BNB_PREFIX_DEPTH, true);
                 let mut no_defer = Vec::new();
                 dfs(
                     &ctx,
@@ -195,8 +273,12 @@ pub(crate) fn bnb_scan(
                     feasible,
                 );
             }
-            Pending::Fill { mask, depth, cost } => fill(&ctx, &mut st, mask, depth, cost),
+            Pending::Fill { mask, depth, cost } => {
+                st = State::at(&ctx, mask, depth, false);
+                fill(&ctx, &mut st, mask, depth, cost);
+            }
         }
+        st.seal();
         st
     });
     for st in results {
@@ -214,40 +296,15 @@ pub(crate) fn bnb_scan(
 }
 
 /// The undecided-unit mask at `depth` (bits `depth..n`).
-fn rest_mask(n: usize, depth: usize) -> u64 {
-    if depth >= n {
-        0
-    } else {
-        (u64::MAX >> (64 - (n - depth))) << depth
-    }
-}
-
-/// Memoized flexibility estimate of a unit subset, keyed by its
-/// estimate-relevant bits.
-fn estimate(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64) -> FlexibilityEstimate {
-    let key = mask & ctx.masks.estimate_relevant_mask();
-    if let Some(found) = st.memo.get(&key) {
-        st.stats.estimate_memo_hits += 1;
-        return found.clone();
-    }
-    let started = ctx.observe.then(Instant::now);
-    let est = estimate_with_unit_masks(ctx.compiled, ctx.masks, key);
-    if let Some(started) = started {
-        st.estimate_calls += 1;
-        st.estimate_wall += started.elapsed();
-    }
-    st.memo.insert(key, est.clone());
-    est
+fn rest_mask(n: usize, depth: usize) -> UnitMask {
+    UnitMask::range(depth, n)
 }
 
 /// `true` when some bus of `mask | rest` could end up with fewer than two
 /// allocated neighbors in a completion — branching must continue to sort
 /// those completions out.
-fn bus_hazard(ctx: &Ctx<'_, '_>, mask: u64, rest: u64) -> bool {
-    let mut buses = (mask | rest) & ctx.comm;
-    while buses != 0 {
-        let b = buses.trailing_zeros() as usize;
-        buses &= buses - 1;
+fn bus_hazard(ctx: &Ctx<'_>, mask: UnitMask, rest: UnitMask) -> bool {
+    for b in ((mask | rest) & ctx.comm).iter_ones() {
         if (ctx.masks.neighbors(b) & mask).count_ones() < 2 {
             return true;
         }
@@ -257,14 +314,16 @@ fn bus_hazard(ctx: &Ctx<'_, '_>, mask: u64, rest: u64) -> bool {
 
 /// One DFS node over the decided prefix `mask` (units `0..depth`). Phase 1
 /// passes `limit == BNB_PREFIX_DEPTH` and collects deferred work in
-/// `pending`; phase 2 passes `limit == usize::MAX` and never defers.
+/// `pending`; phase 2 passes `limit == usize::MAX` and never defers. On
+/// entry and exit, `st.current` tracks `mask` and `st.optimistic` tracks
+/// `mask | rest_mask(n, depth)`.
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    ctx: &Ctx<'_, '_>,
-    st: &mut State,
+    ctx: &Ctx<'_>,
+    st: &mut State<'_>,
     pending: &mut Vec<Pending>,
     limit: usize,
-    mask: u64,
+    mask: UnitMask,
     depth: usize,
     cost: Cost,
     feasible_in: bool,
@@ -279,16 +338,13 @@ fn dfs(
     }
     st.stats.nodes_visited += 1;
     let rest = rest_mask(ctx.n, depth);
-    let outcomes = 1u64 << (ctx.n - depth);
+    let outcomes = subset_count(ctx.n - depth);
 
     // Dead bus: an included bus that cannot reach two included-or-undecided
     // neighbors stays useless in every completion.
-    let mut included_buses = mask & ctx.comm;
-    while included_buses != 0 {
-        let b = included_buses.trailing_zeros() as usize;
-        included_buses &= included_buses - 1;
+    for b in (mask & ctx.comm).iter_ones() {
         if (ctx.masks.neighbors(b) & (mask | rest)).count_ones() < 2 {
-            st.stats.pruned_structurally += outcomes;
+            st.stats.pruned_structurally = st.stats.pruned_structurally.saturating_add(outcomes);
             st.stats.subtrees_pruned += 1;
             return;
         }
@@ -298,27 +354,27 @@ fn dfs(
     if !feasible {
         // Monotone bound: infeasible at `mask | rest` means infeasible for
         // every completion.
-        let optimistic = estimate(ctx, st, mask | rest);
-        if !optimistic.feasible {
-            st.stats.infeasible += outcomes;
+        if !st.optimistic.feasible() {
+            st.stats.infeasible = st.stats.infeasible.saturating_add(outcomes);
             st.stats.subtrees_pruned += 1;
             return;
         }
-        if rest == 0 {
-            // Leaf: the optimistic estimate *is* the exact one.
-            emit(ctx, st, mask, cost, optimistic);
+        if rest.is_empty() {
+            // Leaf: the bound *is* the exact estimate.
+            let exact = st.estimate_here(ctx, mask);
+            emit(ctx, st, mask, cost, exact);
             return;
         }
-        feasible = estimate(ctx, st, mask).feasible;
-    } else if rest == 0 {
-        let exact = estimate(ctx, st, mask);
+        feasible = st.current.feasible();
+    } else if rest.is_empty() {
+        let exact = st.estimate_here(ctx, mask);
         emit(ctx, st, mask, cost, exact);
         return;
     }
 
     // Uniform fill: `mask` alone is feasible and no undecided unit can
     // trip a structural prune, so every completion is a keeper.
-    if feasible && rest & ctx.unusable == 0 && !bus_hazard(ctx, mask, rest) {
+    if feasible && !rest.intersects(ctx.unusable) && !bus_hazard(ctx, mask, rest) {
         if limit <= ctx.n {
             pending.push(Pending::Fill { mask, depth, cost });
         } else {
@@ -328,63 +384,85 @@ fn dfs(
     }
 
     // Branch on the cheapest undecided unit.
-    let bit = 1u64 << depth;
-    if bit & ctx.unusable != 0 {
+    if ctx.unusable.test(depth) {
         // Including an unusable unit only adds cost: the include half is
         // structurally dominated wholesale.
-        st.stats.pruned_structurally += outcomes >> 1;
+        st.stats.pruned_structurally = st
+            .stats
+            .pruned_structurally
+            .saturating_add(subset_count(ctx.n - depth - 1));
         st.stats.subtrees_pruned += 1;
+        st.optimistic.pop_unit(depth);
         dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+        st.optimistic.push_unit(depth);
     } else {
+        // Exclude branch: the unit leaves the undecided rest.
+        st.optimistic.pop_unit(depth);
         dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+        st.optimistic.push_unit(depth);
+        // Include branch: the unit moves from rest into the decided mask,
+        // so the optimistic union is unchanged.
+        st.current.push_unit(depth);
         dfs(
             ctx,
             st,
             pending,
             limit,
-            mask | bit,
+            mask | UnitMask::bit(depth),
             depth + 1,
             cost + ctx.masks.cost(depth),
             feasible,
         );
+        st.current.pop_unit(depth);
     }
 }
 
 /// Emits every completion of `mask` over the units from `depth` on — the
 /// whole subtree is known feasible and prune-clean, so no per-subset
 /// search is needed (only the memoized estimate for the candidate record).
-fn fill(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64, depth: usize, cost: Cost) {
+/// On entry, `st.current` tracks `mask`; restored on exit.
+fn fill(ctx: &Ctx<'_>, st: &mut State<'_>, mask: UnitMask, depth: usize, cost: Cost) {
     let rest = rest_mask(ctx.n, depth);
     let mut sub = rest;
     loop {
-        let est = estimate(ctx, st, mask | sub);
+        let key = (mask | sub) & ctx.masks.estimate_relevant_mask();
+        let est = if let Some(found) = st.memo.get(&key) {
+            st.stats.estimate_memo_hits += 1;
+            found.clone()
+        } else {
+            st.current.push_mask(sub);
+            let started = ctx.observe.then(Instant::now);
+            let est = st.current.materialize();
+            if let Some(started) = started {
+                st.estimate_calls += 1;
+                st.estimate_wall += started.elapsed();
+            }
+            st.current.pop_mask(sub);
+            st.memo.insert(key, est.clone());
+            est
+        };
         emit(ctx, st, mask | sub, cost + ctx.masks.mask_cost(sub), est);
-        if sub == 0 {
+        if sub.is_empty() {
             break;
         }
-        sub = (sub - 1) & rest;
+        sub = sub.wrapping_dec() & rest;
     }
 }
 
 /// Records one kept allocation, tagged with its original-order unit mask
 /// for the flat-identical final sort.
-fn emit(ctx: &Ctx<'_, '_>, st: &mut State, mask: u64, cost: Cost, estimate: FlexibilityEstimate) {
+fn emit(
+    ctx: &Ctx<'_>,
+    st: &mut State<'_>,
+    mask: UnitMask,
+    cost: Cost,
+    estimate: FlexibilityEstimate,
+) {
     st.stats.kept += 1;
-    let mut allocation = ResourceAllocation::new();
-    let mut orig = 0u64;
-    let mut bits = mask;
-    while bits != 0 {
-        let k = bits.trailing_zeros() as usize;
-        bits &= bits - 1;
+    let allocation = allocation_from_units(ctx.dfs_units, mask);
+    let mut orig = UnitMask::empty();
+    for k in mask.iter_ones() {
         orig |= ctx.orig_bits[k];
-        match ctx.dfs_units[k] {
-            Unit::Vertex(v) => {
-                allocation.vertices.insert(v);
-            }
-            Unit::Cluster(c) => {
-                allocation.clusters.insert(c);
-            }
-        }
     }
     st.kept.push((
         orig,

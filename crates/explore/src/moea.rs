@@ -9,12 +9,15 @@
 //! non-dominated sorting, crowding distance, binary tournaments, uniform
 //! crossover and bit-flip mutation over one-bit-per-unit genotypes.
 
-use crate::allocations::{allocatable_units, Unit};
+use crate::allocations::allocatable_units;
 use crate::error::ExploreError;
 use crate::pareto::{DesignPoint, ParetoFront};
 use flexplore_bind::{implement_allocation_compiled, ImplementOptions};
 use flexplore_flex::{estimate_with_compiled, Flexibility};
-use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, SpecificationGraph};
+use flexplore_spec::{
+    allocation_from_units, CompiledSpec, Cost, ResourceAllocation, SpecificationGraph, UnitMask,
+    MAX_UNITS, UNIT_MASK_WORDS,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -74,53 +77,57 @@ impl Objectives {
     }
 }
 
+/// Draws a uniform genotype of `n` unit bits. Below 64 units this is the
+/// single `u64` draw the genotype used before masks went multi-word, so
+/// seeded runs on such specs reproduce the historical populations; wider
+/// genotypes draw each occupied mask word independently.
+fn random_mask(rng: &mut StdRng, n: usize) -> UnitMask {
+    let caps = UnitMask::full(n).into_words();
+    if n <= 63 {
+        UnitMask::from_words([rng.random_range(0..=caps[0]), 0, 0, 0])
+    } else {
+        let mut words = [0u64; UNIT_MASK_WORDS];
+        for (w, &cap) in caps.iter().enumerate() {
+            if cap > 0 {
+                words[w] = rng.random_range(0..=cap);
+            }
+        }
+        UnitMask::from_words(words)
+    }
+}
+
 /// Runs the evolutionary baseline on `spec`.
 ///
 /// # Errors
 ///
 /// Returns [`ExploreError::Bind`] if an evaluation exceeds the
 /// per-allocation activation bound, and [`ExploreError::TooManyUnits`] if
-/// the architecture has more than 63 allocatable units (the genotype is a
-/// `u64` bitmask).
+/// the architecture has more than [`MAX_UNITS`] allocatable units (the
+/// genotype is a [`UnitMask`]).
 pub fn moea_explore(
     spec: &SpecificationGraph,
     options: &MoeaOptions,
 ) -> Result<MoeaResult, ExploreError> {
     let units = allocatable_units(spec);
-    if units.len() > 63 {
+    if units.len() > MAX_UNITS {
         return Err(ExploreError::TooManyUnits {
             units: units.len(),
-            max: 63,
+            max: MAX_UNITS,
         });
     }
     let n = units.len();
     let compiled = CompiledSpec::with_activation_cache(spec);
     let mutation = options.mutation_rate.unwrap_or(1.0 / (n.max(1) as f64));
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut cache: BTreeMap<u64, Objectives> = BTreeMap::new();
+    let mut cache: BTreeMap<UnitMask, Objectives> = BTreeMap::new();
     let mut front = ParetoFront::new();
     let mut implement_attempts: u64 = 0;
 
-    let decode = |mask: u64| -> ResourceAllocation {
-        let mut allocation = ResourceAllocation::new();
-        for (k, unit) in units.iter().enumerate() {
-            if mask & (1 << k) != 0 {
-                match unit {
-                    Unit::Vertex(v) => {
-                        allocation.vertices.insert(*v);
-                    }
-                    Unit::Cluster(c) => {
-                        allocation.clusters.insert(*c);
-                    }
-                }
-            }
-        }
-        allocation
-    };
+    let decode = |mask: UnitMask| -> ResourceAllocation { allocation_from_units(&units, mask) };
 
     // Evaluation with memoization; pushes feasible points into the archive.
-    let evaluate = |mask: u64,
-                    cache: &mut BTreeMap<u64, Objectives>,
+    let evaluate = |mask: UnitMask,
+                    cache: &mut BTreeMap<UnitMask, Objectives>,
                     front: &mut ParetoFront,
                     implement_attempts: &mut u64|
      -> Result<Objectives, ExploreError> {
@@ -161,15 +168,15 @@ pub fn moea_explore(
 
     // Initial population: uniform random masks (plus the full allocation,
     // which anchors the high-flexibility end).
-    let full_mask = if n == 0 { 0 } else { (1u64 << n) - 1 };
-    let mut population: Vec<u64> = (0..options.population.saturating_sub(1))
-        .map(|_| rng.random_range(0..=full_mask))
+    let full_mask = UnitMask::full(n);
+    let mut population: Vec<UnitMask> = (0..options.population.saturating_sub(1))
+        .map(|_| random_mask(&mut rng, n))
         .collect();
     population.push(full_mask);
 
     for _generation in 0..options.generations {
         // Evaluate current population.
-        let mut scored: Vec<(u64, Objectives)> = Vec::with_capacity(population.len());
+        let mut scored: Vec<(UnitMask, Objectives)> = Vec::with_capacity(population.len());
         for &mask in &population {
             let obj = evaluate(mask, &mut cache, &mut front, &mut implement_attempts)?;
             scored.push((mask, obj));
@@ -188,19 +195,19 @@ pub fn moea_explore(
             let p2 = tournament_winner(c, d, &ranks, &crowding);
             // Uniform crossover.
             let (g1, g2) = (population[p1], population[p2]);
-            let mix: u64 = rng.random_range(0..=full_mask);
-            let mut child = (g1 & mix) | (g2 & !mix);
+            let mix = random_mask(&mut rng, n);
+            let mut child = (g1 & mix) | g2.andnot(mix);
             // Bit-flip mutation.
             for bit in 0..n {
                 if rng.random_bool(mutation) {
-                    child ^= 1 << bit;
+                    child ^= UnitMask::bit(bit);
                 }
             }
             offspring.push(child & full_mask);
         }
 
         // (μ+λ) elitist environmental selection.
-        let mut combined: Vec<(u64, Objectives)> = scored;
+        let mut combined: Vec<(UnitMask, Objectives)> = scored;
         for &mask in &offspring {
             let obj = evaluate(mask, &mut cache, &mut front, &mut implement_attempts)?;
             combined.push((mask, obj));
@@ -231,7 +238,7 @@ pub fn moea_explore(
 
 /// Fast non-dominated sorting: rank 0 = non-dominated, rank k = dominated
 /// only by ranks < k.
-fn non_dominated_ranks(scored: &[(u64, Objectives)]) -> Vec<usize> {
+fn non_dominated_ranks(scored: &[(UnitMask, Objectives)]) -> Vec<usize> {
     let n = scored.len();
     let mut dominated_by: Vec<usize> = vec![0; n];
     let mut dominates: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -270,7 +277,7 @@ fn non_dominated_ranks(scored: &[(u64, Objectives)]) -> Vec<usize> {
 
 /// NSGA-II crowding distance within each rank (cost and flexibility
 /// normalized by the rank's spread; boundary points get `∞`).
-fn crowding_distances(scored: &[(u64, Objectives)], ranks: &[usize]) -> Vec<f64> {
+fn crowding_distances(scored: &[(UnitMask, Objectives)], ranks: &[usize]) -> Vec<f64> {
     let n = scored.len();
     let mut crowding = vec![0.0f64; n];
     let max_rank = ranks.iter().copied().filter(|&r| r != usize::MAX).max();
@@ -401,28 +408,28 @@ mod tests {
     fn ranks_and_crowding_basics() {
         let pts = [
             (
-                0u64,
+                UnitMask::empty(),
                 Objectives {
                     cost: Cost::new(10),
                     flexibility: 1,
                 },
             ),
             (
-                1u64,
+                UnitMask::bit(0),
                 Objectives {
                     cost: Cost::new(20),
                     flexibility: 2,
                 },
             ),
             (
-                2u64,
+                UnitMask::bit(1),
                 Objectives {
                     cost: Cost::new(30),
                     flexibility: 3,
                 },
             ),
             (
-                3u64,
+                UnitMask::full(2),
                 Objectives {
                     cost: Cost::new(30),
                     flexibility: 1,

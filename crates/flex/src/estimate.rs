@@ -12,7 +12,7 @@
 
 use crate::metric::{flexibility, Flexibility};
 use flexplore_hgraph::{ClusterId, InterfaceId, Scope, VertexId};
-use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph, UnitMasks};
+use flexplore_spec::{CompiledSpec, ResourceAllocation, SpecificationGraph, UnitMask, UnitMasks};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -133,14 +133,14 @@ pub fn estimate_with_compiled(
 pub fn estimate_with_unit_masks(
     compiled: &CompiledSpec<'_>,
     masks: &UnitMasks,
-    allocated: u64,
+    allocated: UnitMask,
 ) -> FlexibilityEstimate {
     let graph = compiled.spec().problem().graph();
-    let bindable = |v: VertexId| -> bool { masks.coverage(v) & allocated != 0 };
+    let bindable = |v: VertexId| -> bool { masks.coverage(v).intersects(allocated) };
     estimate_with_bindable(graph, &bindable)
 }
 
-fn estimate_with_bindable<NB: Fn(VertexId) -> bool, N, E>(
+pub(crate) fn estimate_with_bindable<NB: Fn(VertexId) -> bool, N, E>(
     graph: &flexplore_hgraph::HierarchicalGraph<N, E>,
     bindable: &NB,
 ) -> FlexibilityEstimate {
@@ -320,13 +320,16 @@ mod tests {
             flexplore_spec::Unit::Vertex(asic),
         ];
         let masks = compiled.unit_masks(&units);
-        for mask in 0u64..4 {
+        for bits in 0u64..4 {
             let mut available = BTreeSet::new();
-            if mask & 0b01 != 0 {
+            let mut mask = UnitMask::empty();
+            if bits & 0b01 != 0 {
                 available.insert(cpu);
+                mask.set(0);
             }
-            if mask & 0b10 != 0 {
+            if bits & 0b10 != 0 {
                 available.insert(asic);
+                mask.set(1);
             }
             assert_eq!(
                 estimate_with_unit_masks(&compiled, &masks, mask),

@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod estimate;
+mod incremental;
 mod metric;
 mod profile;
 
@@ -51,6 +52,7 @@ pub use estimate::{
     estimate_flexibility, estimate_with_available, estimate_with_compiled,
     estimate_with_unit_masks, FlexibilityEstimate,
 };
+pub use incremental::{DeltaEstimator, DeltaIndex};
 pub use metric::{
     cluster_flexibility, flexibility, flexibility_def4_raw, max_flexibility, weighted_flexibility,
     Flexibility, FlexibilityWeights,

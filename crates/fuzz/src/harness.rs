@@ -177,7 +177,7 @@ mod tests {
         let b = run_fuzz(&options);
         assert!(a.is_clean(), "{}", a.render_text());
         assert_eq!(a.render_text(), b.render_text());
-        assert_eq!(a.specs, 12);
+        assert_eq!(a.specs, 15);
     }
 
     #[test]

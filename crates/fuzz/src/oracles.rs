@@ -8,7 +8,7 @@
 //! | oracle | invariant |
 //! |---|---|
 //! | `lint-explore` | lint-error-free ⇒ `explore` returns `Ok`, and never panics |
-//! | `enumerator-equivalence` | flat and branch-and-bound enumerators produce byte-identical fronts |
+//! | `enumerator-equivalence` | flat and branch-and-bound enumerators produce byte-identical fronts (wide specs: branch-and-bound at 1 vs 4 threads, where the `2^n` flat scan is intractable) |
 //! | `moea-subset` | every MOEA archive point is weakly dominated by the exact front |
 //! | `thread-invariance` | fronts and deterministic obs counters are identical for 1 and 4 threads |
 //! | `resilience-subset` | fault-degraded points are weakly dominated by the healthy front, and `resilience ≤ flexibility` |
@@ -166,7 +166,21 @@ fn lint_explore(spec: &SpecificationGraph, threads: usize) -> Option<String> {
     }
 }
 
+/// Largest unit count the flat oracle is asked to judge exhaustively
+/// (`2^20 ≈ 10^6` subsets, milliseconds); wider specifications compare
+/// the branch-and-bound enumerator against itself across worker counts.
+const FLAT_ORACLE_MAX_UNITS: usize = 20;
+
 fn enumerator_equivalence(spec: &SpecificationGraph) -> Option<String> {
+    if flexplore_explore::allocatable_units(spec).len() > FLAT_ORACLE_MAX_UNITS {
+        let mut one = ExploreOptions::paper().with_threads(1);
+        one.allocation.enumerator = Enumerator::BranchAndBound;
+        let mut four = ExploreOptions::paper().with_threads(4);
+        four.allocation.enumerator = Enumerator::BranchAndBound;
+        let a = render_outcome(explore(spec, &one));
+        let b = render_outcome(explore(spec, &four));
+        return (a != b).then(|| format!("branch-and-bound threads 1 {a} != threads 4 {b}"));
+    }
     let mut flat = ExploreOptions::paper();
     flat.allocation.enumerator = Enumerator::Flat;
     let mut bnb = ExploreOptions::paper();

@@ -15,7 +15,12 @@ use std::str::FromStr;
 /// Each profile draws a *randomized small configuration* of its family's
 /// generator — sizes stay inside the flat enumerator's comfort zone so the
 /// differential oracles (which run the exhaustive engines) complete in
-/// milliseconds per specification.
+/// milliseconds per specification. The one exception is [`Wide`], which
+/// deliberately draws 64–128-unit specifications so every fuzz run
+/// exercises the multi-word mask path; its oracles fall back to
+/// branch-and-bound self-comparison where the flat scan is intractable.
+///
+/// [`Wide`]: DomainProfile::Wide
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DomainProfile {
     /// Set-top-box-shaped synthetic specifications (the paper's case-study
@@ -27,17 +32,22 @@ pub enum DomainProfile {
     Baseband,
     /// Multi-tenant cloud FPGA platforms ([`cloud_fpga_spec`]).
     CloudFpga,
+    /// Wide synthetic platforms with 64–128 allocatable units — past the
+    /// historical one-word mask ceiling (via [`synthetic_spec`] with many
+    /// dedicated task resources).
+    Wide,
 }
 
 impl DomainProfile {
     /// All profiles, in canonical order.
     #[must_use]
-    pub fn all() -> [DomainProfile; 4] {
+    pub fn all() -> [DomainProfile; 5] {
         [
             DomainProfile::SetTopBox,
             DomainProfile::Automotive,
             DomainProfile::Baseband,
             DomainProfile::CloudFpga,
+            DomainProfile::Wide,
         ]
     }
 
@@ -49,6 +59,7 @@ impl DomainProfile {
             DomainProfile::Automotive => "automotive",
             DomainProfile::Baseband => "baseband",
             DomainProfile::CloudFpga => "cloud-fpga",
+            DomainProfile::Wide => "wide",
         }
     }
 
@@ -61,6 +72,7 @@ impl DomainProfile {
             DomainProfile::Automotive => 0x207a_1e07,
             DomainProfile::Baseband => 0xba5e_ba4d,
             DomainProfile::CloudFpga => 0xc10d_f69a,
+            DomainProfile::Wide => 0x3186_1de5,
         }
     }
 }
@@ -80,8 +92,10 @@ impl FromStr for DomainProfile {
             "automotive" | "zonal" => Ok(DomainProfile::Automotive),
             "baseband" | "5g" => Ok(DomainProfile::Baseband),
             "cloud-fpga" | "cloudfpga" | "cloud" => Ok(DomainProfile::CloudFpga),
+            "wide" => Ok(DomainProfile::Wide),
             other => Err(format!(
-                "unknown domain profile `{other}` (expected stb, automotive, baseband or cloud-fpga)"
+                "unknown domain profile `{other}` (expected stb, automotive, baseband, \
+                 cloud-fpga or wide)"
             )),
         }
     }
@@ -147,6 +161,36 @@ pub fn generate(profile: DomainProfile, seed: u64) -> SpecificationGraph {
             };
             cloud_fpga_spec(&config)
         }
+        DomainProfile::Wide => {
+            let processors = rng.random_range(1..=2usize);
+            let asics = rng.random_range(0..=2usize);
+            let fpga_designs = rng.random_range(0..=2usize);
+            // Units = shared bus + processors + ASICs + dedicated
+            // resources, plus the FPGA bus and its designs when present;
+            // top the count up with dedicated tasks so every drawn
+            // specification lands past the one-word (64-unit) boundary.
+            let fixed = 1
+                + processors
+                + asics
+                + if fpga_designs > 0 {
+                    fpga_designs + 1
+                } else {
+                    0
+                };
+            let target = rng.random_range(64..=128usize);
+            let config = SyntheticConfig {
+                seed: rng.next_u64(),
+                applications: rng.random_range(1..=2),
+                interfaces_per_app: rng.random_range(1..=2),
+                alternatives: rng.random_range(1..=3),
+                processors,
+                asics,
+                fpga_designs,
+                constrained_fraction: fraction,
+                dedicated_tasks: target - fixed,
+            };
+            synthetic_spec(&config)
+        }
     }
 }
 
@@ -174,12 +218,19 @@ mod tests {
     }
 
     #[test]
-    fn drawn_specs_stay_small() {
+    fn drawn_specs_stay_inside_their_unit_band() {
         for profile in DomainProfile::all() {
             for seed in 0..10 {
                 let spec = generate(profile, seed);
                 let units = allocatable_units(&spec).len();
-                assert!(units <= 16, "{profile} seed {seed}: {units} units");
+                if profile == DomainProfile::Wide {
+                    assert!(
+                        (64..=128).contains(&units),
+                        "{profile} seed {seed}: {units} units"
+                    );
+                } else {
+                    assert!(units <= 16, "{profile} seed {seed}: {units} units");
+                }
             }
         }
     }

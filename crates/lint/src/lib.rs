@@ -17,7 +17,8 @@
 //!    cluster containment cycles (`F002`). Later passes index and recurse
 //!    by stored ids, so any error here stops the analysis.
 //! 2. **Hierarchy well-formedness** — interfaces with no alternative
-//!    clusters (`F001`).
+//!    clusters (`F001`), and more allocatable units than the exploration
+//!    layer's subset masks can index (`F013`).
 //! 3. **Mapping soundness** — malformed mapping endpoints (`F005`),
 //!    problem leaves with no mapping edge (`F004`; an *error* at the top
 //!    level, where every activation needs the process), duplicate mappings

@@ -7,7 +7,7 @@ use flexplore_flex::estimate_with_compiled;
 use flexplore_hgraph::{NodeRef, Scope, VertexId};
 use flexplore_obs::{phase, ObsSink};
 use flexplore_sched::Time;
-use flexplore_spec::{CompiledSpec, ResourceKind, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, ResourceKind, SpecificationGraph, MAX_UNITS};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Runs every analysis pass over `spec` and returns the sorted report.
@@ -40,6 +40,7 @@ pub fn lint_spec_obs(spec: &SpecificationGraph, obs: &ObsSink) -> LintReport {
 
     let timer = obs.start();
     hierarchy_pass(spec, &mut report);
+    capacity_pass(spec, &mut report);
     obs.finish(phase::LINT_HIERARCHY, timer);
     let timer = obs.start();
     mapping_pass(spec, &mut report);
@@ -142,6 +143,27 @@ fn hierarchy_pass(spec: &SpecificationGraph, report: &mut LintReport) {
                 message: "reconfigurable device has no loadable designs".to_string(),
             });
         }
+    }
+}
+
+/// F013: more allocatable units (top-level architecture vertices plus
+/// design clusters) than the enumeration layer's [`MAX_UNITS`]-bit subset
+/// masks can index. The specification itself is sound, but `explore()`
+/// will reject it with `UnitOverflow`, so flag it before any run starts.
+fn capacity_pass(spec: &SpecificationGraph, report: &mut LintReport) {
+    let a = spec.architecture().graph();
+    let units = a.vertices_in(Scope::Top).count() + a.cluster_ids().count();
+    if units > MAX_UNITS {
+        report.push(Diagnostic {
+            code: "F013",
+            severity: Severity::Warning,
+            location: Location::Architecture,
+            element: spec.name().to_string(),
+            message: format!(
+                "{units} allocatable units exceed the {MAX_UNITS}-unit subset-mask capacity; \
+                 design-space exploration will reject this specification"
+            ),
+        });
     }
 }
 
@@ -766,6 +788,27 @@ mod tests {
     }
 
     #[test]
+    fn f013_unit_capacity_overflow() {
+        let mut p = ProblemGraph::new("p");
+        let t = p.add_process(Scope::Top, "t");
+        let mut a = ArchitectureGraph::new("a");
+        let cpu = a.add_resource(Scope::Top, "cpu", Cost::new(1));
+        for k in 0..MAX_UNITS {
+            a.add_resource(Scope::Top, format!("r{k}"), Cost::new(1));
+        }
+        let mut spec = SpecificationGraph::new("s", p, a);
+        spec.add_mapping(t, cpu, Time::from_ns(1)).unwrap();
+        let report = lint_spec(&spec);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "F013")
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("257 allocatable units"));
+    }
+
+    #[test]
     fn report_order_is_deterministic() {
         let mut p = ProblemGraph::new("p");
         p.add_process(Scope::Top, "b_orphan");
@@ -792,6 +835,10 @@ mod tests {
             (
                 "synthetic_medium",
                 flexplore_models::synthetic_spec(&flexplore_models::SyntheticConfig::medium(11)),
+            ),
+            (
+                "synthetic_wide",
+                flexplore_models::synthetic_spec(&flexplore_models::SyntheticConfig::wide(13)),
             ),
         ];
         for (name, spec) in models {

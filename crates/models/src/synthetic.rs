@@ -113,6 +113,28 @@ impl SyntheticConfig {
             dedicated_tasks: 16,
         }
     }
+
+    /// A configuration past the historical one-word (64-unit) mask
+    /// ceiling: 102 allocatable units (2 processors, 2 ASICs, 2 FPGA
+    /// designs, 2 buses and 94 dedicated task resources), for a raw
+    /// lattice of `2^102 ≈ 5 × 10^30` subsets. Only the multi-word
+    /// branch-and-bound enumerator can index it; the 94 mandatory
+    /// dedicated resources collapse the feasible region so the search
+    /// still finishes in well under a second.
+    #[must_use]
+    pub fn wide(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            applications: 3,
+            interfaces_per_app: 2,
+            alternatives: 2,
+            processors: 2,
+            asics: 2,
+            fpga_designs: 2,
+            constrained_fraction: 0.5,
+            dedicated_tasks: 94,
+        }
+    }
 }
 
 /// Generates a random specification from `config`.
@@ -364,6 +386,52 @@ mod tests {
                 .as_ref()
                 .is_some_and(|i| i.allocation.vertices.contains(&dsp0))
         }));
+    }
+
+    #[test]
+    fn wide_config_breaks_the_one_word_ceiling() {
+        let spec = synthetic_spec(&SyntheticConfig::wide(13));
+        let units = flexplore_explore::allocatable_units(&spec);
+        assert_eq!(
+            units.len(),
+            102,
+            "2 CPUs + 2 ASICs + 94 DSPs + 2 buses + 2 designs"
+        );
+        let result = explore(&spec, &ExploreOptions::paper()).unwrap();
+        // Past 64 units the subset counters saturate rather than wrap.
+        assert_eq!(result.stats.allocations.subsets, u64::MAX);
+        assert!(
+            result.stats.allocations.nodes_visited < 1 << 16,
+            "visited {} nodes",
+            result.stats.allocations.nodes_visited
+        );
+        assert!(result.stats.pareto_points >= 1);
+        // The dedicated resources are mandatory in every candidate.
+        let dsp93 = spec
+            .architecture()
+            .graph()
+            .vertex_by_name(Scope::Top, "DSP93")
+            .unwrap();
+        assert!(result.front.points().iter().all(|pt| {
+            pt.implementation
+                .as_ref()
+                .is_some_and(|i| i.allocation.vertices.contains(&dsp93))
+        }));
+    }
+
+    #[test]
+    fn wide_config_is_deterministic() {
+        let a = explore(
+            &synthetic_spec(&SyntheticConfig::wide(13)),
+            &ExploreOptions::paper(),
+        )
+        .unwrap();
+        let b = explore(
+            &synthetic_spec(&SyntheticConfig::wide(13)),
+            &ExploreOptions::paper(),
+        )
+        .unwrap();
+        assert_eq!(a.front.objectives(), b.front.objectives());
     }
 
     #[test]

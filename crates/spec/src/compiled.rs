@@ -34,6 +34,7 @@
 
 use crate::attrs::{Cost, ResourceKind};
 use crate::spec::{MappingId, ResourceAllocation, SpecificationGraph};
+use crate::unitmask::{UnitMask, MAX_UNITS};
 use flexplore_hgraph::{ClusterId, FlatGraph, HgraphError, NodeRef, Selection, VertexId};
 use flexplore_sched::Time;
 use serde::{Deserialize, Serialize};
@@ -54,31 +55,56 @@ pub enum Unit {
     Cluster(ClusterId),
 }
 
+/// Expands a unit subset mask over its unit universe into the
+/// [`ResourceAllocation`] it denotes: bit `k` of `mask` allocates
+/// `units[k]`. The shared decode step between the enumerators, the
+/// evolutionary genotypes and mask-addressed implement entry points.
+///
+/// # Panics
+///
+/// Panics when `mask` has a bit set at or beyond `units.len()`.
+#[must_use]
+pub fn allocation_from_units(units: &[Unit], mask: UnitMask) -> ResourceAllocation {
+    let mut allocation = ResourceAllocation::new();
+    for k in mask.iter_ones() {
+        match units[k] {
+            Unit::Vertex(v) => {
+                allocation.vertices.insert(v);
+            }
+            Unit::Cluster(c) => {
+                allocation.clusters.insert(c);
+            }
+        }
+    }
+    allocation
+}
+
 /// Bitmask-compiled side tables over a fixed unit universe: every
 /// structural question the allocation lattice search asks per subset
 /// (coverage, bus neighborhood, unusability, cost) becomes an AND/POPCNT
-/// over `u64` masks whose bit `k` stands for `units[k]`.
+/// over [`UnitMask`]s whose bit `k` stands for `units[k]`.
 ///
 /// Built once per enumeration by [`CompiledSpec::unit_masks`]; valid for at
-/// most 64 units (the enumeration layer rejects more before compiling).
+/// most [`MAX_UNITS`] units (the enumeration layer rejects more before
+/// compiling).
 #[derive(Debug, Clone)]
 pub struct UnitMasks {
     /// Number of units (occupied low bits of every mask).
     unit_count: usize,
     /// Per problem vertex (by `VertexId::index()`): the units contributing
     /// at least one resource the vertex can be mapped onto.
-    coverage: Vec<u64>,
-    /// Per unit: the units a communication unit can link (zero for
+    coverage: Vec<UnitMask>,
+    /// Per unit: the units a communication unit can link (empty for
     /// functional units).
-    neighbors: Vec<u64>,
+    neighbors: Vec<UnitMask>,
     /// Units that are top-level communication resources.
-    comm: u64,
+    comm: UnitMask,
     /// Units that cannot serve any mapping: functional vertices targeted by
     /// no mapping edge, and clusters whose leaves are all untargeted.
-    unusable: u64,
+    unusable: UnitMask,
     /// Units contributing at least one mapping-target resource — the only
     /// bits the flexibility estimate can depend on.
-    estimate_relevant: u64,
+    estimate_relevant: UnitMask,
     /// Per unit: its allocation cost.
     costs: Vec<Cost>,
 }
@@ -93,33 +119,36 @@ impl UnitMasks {
     /// The units that can implement problem vertex `v` (empty for unknown
     /// ids, matching an empty reachable-resource list).
     #[must_use]
-    pub fn coverage(&self, v: VertexId) -> u64 {
-        self.coverage.get(v.index()).copied().unwrap_or(0)
+    pub fn coverage(&self, v: VertexId) -> UnitMask {
+        self.coverage
+            .get(v.index())
+            .copied()
+            .unwrap_or(UnitMask::empty())
     }
 
-    /// The potential neighbor units of unit `k` (nonzero only for
+    /// The potential neighbor units of unit `k` (nonempty only for
     /// communication units).
     #[must_use]
-    pub fn neighbors(&self, k: usize) -> u64 {
+    pub fn neighbors(&self, k: usize) -> UnitMask {
         self.neighbors[k]
     }
 
     /// Mask of top-level communication units.
     #[must_use]
-    pub fn comm_mask(&self) -> u64 {
+    pub fn comm_mask(&self) -> UnitMask {
         self.comm
     }
 
     /// Mask of units no mapping edge can use.
     #[must_use]
-    pub fn unusable_mask(&self) -> u64 {
+    pub fn unusable_mask(&self) -> UnitMask {
         self.unusable
     }
 
     /// Mask of units the flexibility estimate can depend on; two subsets
     /// agreeing on these bits have identical estimates.
     #[must_use]
-    pub fn estimate_relevant_mask(&self) -> u64 {
+    pub fn estimate_relevant_mask(&self) -> UnitMask {
         self.estimate_relevant
     }
 
@@ -131,11 +160,9 @@ impl UnitMasks {
 
     /// Summed allocation cost of every unit in `mask`.
     #[must_use]
-    pub fn mask_cost(&self, mut mask: u64) -> Cost {
+    pub fn mask_cost(&self, mask: UnitMask) -> Cost {
         let mut total = Cost::new(0);
-        while mask != 0 {
-            let k = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
+        for k in mask.iter_ones() {
             total += self.costs[k];
         }
         total
@@ -465,11 +492,14 @@ impl<'a> CompiledSpec<'a> {
     ///
     /// # Panics
     ///
-    /// Panics when `units` holds more than 64 entries or names a vertex
-    /// outside the architecture arena.
+    /// Panics when `units` holds more than [`MAX_UNITS`] entries or names a
+    /// vertex outside the architecture arena.
     #[must_use]
     pub fn unit_masks(&self, units: &[Unit]) -> UnitMasks {
-        assert!(units.len() <= 64, "unit masks index at most 64 units");
+        assert!(
+            units.len() <= MAX_UNITS,
+            "unit masks index at most {MAX_UNITS} units"
+        );
         let spec = self.spec;
         let arch = spec.architecture();
         let graph = arch.graph();
@@ -482,13 +512,13 @@ impl<'a> CompiledSpec<'a> {
         // unit bits contributing each concrete resource vertex.
         let mut vertex_unit: BTreeMap<VertexId, usize> = BTreeMap::new();
         let mut cluster_unit: BTreeMap<ClusterId, usize> = BTreeMap::new();
-        let mut resource_bits: Vec<u64> = vec![0; graph.vertex_count()];
-        let mut comm = 0u64;
-        let mut unusable = 0u64;
-        let mut estimate_relevant = 0u64;
+        let mut resource_bits: Vec<UnitMask> = vec![UnitMask::empty(); graph.vertex_count()];
+        let mut comm = UnitMask::empty();
+        let mut unusable = UnitMask::empty();
+        let mut estimate_relevant = UnitMask::empty();
         let mut costs = Vec::with_capacity(units.len());
         for (k, unit) in units.iter().enumerate() {
-            let bit = 1u64 << k;
+            let bit = UnitMask::bit(k);
             match *unit {
                 Unit::Vertex(v) => {
                     vertex_unit.insert(v, k);
@@ -531,19 +561,24 @@ impl<'a> CompiledSpec<'a> {
             }
         }
 
-        let coverage: Vec<u64> = self
+        let coverage: Vec<UnitMask> = self
             .reachable
             .iter()
             .map(|rs| {
                 rs.iter()
-                    .map(|r| resource_bits.get(r.index()).copied().unwrap_or(0))
-                    .fold(0, |acc, bits| acc | bits)
+                    .map(|r| {
+                        resource_bits
+                            .get(r.index())
+                            .copied()
+                            .unwrap_or(UnitMask::empty())
+                    })
+                    .fold(UnitMask::empty(), |acc, bits| acc | bits)
             })
             .collect();
 
         // Neighbor masks: the unit-granular mirror of the communication
         // graph (links into a device interface denote its design clusters).
-        let mut neighbors = vec![0u64; units.len()];
+        let mut neighbors = vec![UnitMask::empty(); units.len()];
         for e in graph.edge_ids() {
             let (from, to) = graph.edge_endpoints(e);
             let ends = [from.node, to.node];
@@ -558,13 +593,13 @@ impl<'a> CompiledSpec<'a> {
                 match ends[1 - idx] {
                     NodeRef::Vertex(o) => {
                         if let Some(&j) = vertex_unit.get(&o) {
-                            neighbors[k] |= 1u64 << j;
+                            neighbors[k].set(j);
                         }
                     }
                     NodeRef::Interface(i) => {
                         for c in graph.clusters_of(i) {
                             if let Some(&j) = cluster_unit.get(c) {
-                                neighbors[k] |= 1u64 << j;
+                                neighbors[k].set(j);
                             }
                         }
                     }
@@ -724,20 +759,59 @@ mod tests {
         // Units: [uP, C1 (bus), D1 design cluster].
         assert_eq!(units.len(), 3);
         let masks = compiled.unit_masks(&units);
+        let m = |bits: u64| UnitMask::from_words([bits, 0, 0, 0]);
         assert_eq!(masks.unit_count(), 3);
-        assert_eq!(masks.comm_mask(), 0b010);
-        assert_eq!(masks.unusable_mask(), 0);
-        assert_eq!(masks.estimate_relevant_mask(), 0b101);
+        assert_eq!(masks.comm_mask(), m(0b010));
+        assert_eq!(masks.unusable_mask(), UnitMask::empty());
+        assert_eq!(masks.estimate_relevant_mask(), m(0b101));
         // The bus links uP directly and the design cluster through the
         // device interface.
-        assert_eq!(masks.neighbors(1), 0b101);
+        assert_eq!(masks.neighbors(1), m(0b101));
         let problem = spec.problem().graph();
         let src = problem.vertex_by_name(Scope::Top, "src").unwrap();
         let sink = problem.vertex_by_name(Scope::Top, "sink").unwrap();
-        assert_eq!(masks.coverage(src), 0b001);
-        assert_eq!(masks.coverage(sink), 0b101);
+        assert_eq!(masks.coverage(src), m(0b001));
+        assert_eq!(masks.coverage(sink), m(0b101));
         assert_eq!(masks.cost(1), Cost::new(10));
-        assert_eq!(masks.mask_cost(0b111), Cost::new(170));
+        assert_eq!(masks.mask_cost(UnitMask::full(3)), Cost::new(170));
+    }
+
+    #[test]
+    fn unit_masks_scale_past_one_word() {
+        // A wide flat architecture: 70 processors, every one a mapping
+        // target, so coverage and relevance span two mask words.
+        let mut problem = ProblemGraph::new("p");
+        let task = problem.add_process(Scope::Top, "task");
+        let mut arch = ArchitectureGraph::new("a");
+        let cpus: Vec<VertexId> = (0..70)
+            .map(|i| arch.add_resource(Scope::Top, format!("cpu{i}"), Cost::new(i + 1)))
+            .collect();
+        let mut spec = SpecificationGraph::new("wide", problem, arch);
+        for &cpu in &cpus {
+            spec.add_mapping(task, cpu, Time::from_ns(1)).unwrap();
+        }
+        let compiled = CompiledSpec::new(&spec);
+        let units: Vec<Unit> = cpus.iter().copied().map(Unit::Vertex).collect();
+        let masks = compiled.unit_masks(&units);
+        assert_eq!(masks.unit_count(), 70);
+        assert_eq!(masks.estimate_relevant_mask(), UnitMask::full(70));
+        assert_eq!(masks.unusable_mask(), UnitMask::empty());
+        assert_eq!(masks.coverage(task), UnitMask::full(70));
+        // High-word bits count like low-word bits.
+        assert_eq!(masks.mask_cost(UnitMask::bit(69)), Cost::new(70));
+        // mask_cost over arbitrary subsets equals the naive per-bit sum.
+        let mut lcg = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..32 {
+            let mut mask = UnitMask::empty();
+            for k in 0..70 {
+                lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                if lcg >> 63 == 1 {
+                    mask.set(k);
+                }
+            }
+            let naive: Cost = mask.iter_ones().map(|k| masks.cost(k)).sum();
+            assert_eq!(masks.mask_cost(mask), naive);
+        }
     }
 
     #[test]

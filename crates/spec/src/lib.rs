@@ -66,11 +66,13 @@ mod error;
 mod feasibility;
 mod problem;
 mod spec;
+mod unitmask;
 
 pub use architecture::{ArchitectureGraph, Design, Link};
 pub use attrs::{Cost, ProcessAttrs, ResourceAttrs, ResourceKind};
-pub use compiled::{CompiledActivation, CompiledSpec, Unit, UnitMasks};
+pub use compiled::{allocation_from_units, CompiledActivation, CompiledSpec, Unit, UnitMasks};
 pub use error::{BindingViolation, SpecError};
 pub use feasibility::Binding;
 pub use problem::{AlternativeStage, DataDep, ProblemGraph};
 pub use spec::{Mapping, MappingId, Mode, ResourceAllocation, SpecStatistics, SpecificationGraph};
+pub use unitmask::{UnitMask, MAX_UNITS, UNIT_MASK_WORDS};

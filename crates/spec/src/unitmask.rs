@@ -1,0 +1,532 @@
+//! A fixed-stride multi-word bitset over allocatable units.
+//!
+//! PR 5's lattice search indexed subsets with a bare `u64`, capping every
+//! model at 63 units. [`UnitMask`] keeps the same O(1) word-wise
+//! operations (AND/OR/ANDNOT, popcount, set-bit iteration) over a fixed
+//! `[u64; UNIT_MASK_WORDS]` array, so every layer from `spec` to the CLI
+//! can address up to [`MAX_UNITS`] units without changing its algorithms.
+//!
+//! Invariants the exploration layers rely on:
+//!
+//! * **Numeric order.** `Ord` compares masks as the 256-bit integers they
+//!   encode (most-significant word first), so the flat enumerator's
+//!   mask-ascending scan order — and the stable final sort that reproduces
+//!   it byte-for-byte from the lattice search — survives the multi-word
+//!   representation.
+//! * **No stray high bits.** Constructors only set bits the caller names;
+//!   complement is only available as [`UnitMask::andnot`] against an
+//!   explicit universe, so bits at or above the unit count never appear.
+//! * **Stable text form.** [`Display`](fmt::Display) and serde render the
+//!   mask as lowercase hex of the encoded integer, byte-identical across
+//!   platforms and thread counts.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign};
+use std::str::FromStr;
+
+/// Number of `u64` words in a [`UnitMask`].
+pub const UNIT_MASK_WORDS: usize = 4;
+
+/// Maximum number of allocatable units a [`UnitMask`] can index.
+pub const MAX_UNITS: usize = UNIT_MASK_WORDS * 64;
+
+/// A subset of at most [`MAX_UNITS`] allocatable units, bit `k` standing
+/// for unit `k` of the enumeration's fixed unit universe.
+///
+/// # Examples
+///
+/// ```
+/// use flexplore_spec::UnitMask;
+///
+/// let all = UnitMask::full(70);
+/// assert_eq!(all.count_ones(), 70);
+/// let without_low = all.andnot(UnitMask::full(64));
+/// assert_eq!(without_low, UnitMask::range(64, 70));
+/// assert_eq!(without_low.iter_ones().next(), Some(64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UnitMask {
+    /// Little-endian words: bit `k` lives in `words[k / 64]`.
+    words: [u64; UNIT_MASK_WORDS],
+}
+
+impl UnitMask {
+    /// The empty subset.
+    #[must_use]
+    pub const fn empty() -> Self {
+        UnitMask {
+            words: [0; UNIT_MASK_WORDS],
+        }
+    }
+
+    /// `true` when no unit is set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The singleton mask of unit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= MAX_UNITS`.
+    #[must_use]
+    pub fn bit(k: usize) -> Self {
+        assert!(k < MAX_UNITS, "unit {k} exceeds the {MAX_UNITS}-unit cap");
+        let mut words = [0; UNIT_MASK_WORDS];
+        words[k / 64] = 1u64 << (k % 64);
+        UnitMask { words }
+    }
+
+    /// The mask of the `n` lowest units — the full universe of an
+    /// `n`-unit enumeration. Exact for every `n` including word
+    /// boundaries (`full(64)` occupies exactly one word).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > MAX_UNITS`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_UNITS, "{n} units exceed the {MAX_UNITS}-unit cap");
+        let mut words = [0; UNIT_MASK_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            let lo = i * 64;
+            if n >= lo + 64 {
+                *w = u64::MAX;
+            } else if n > lo {
+                *w = u64::MAX >> (64 - (n - lo));
+            }
+        }
+        UnitMask { words }
+    }
+
+    /// The mask of units `lo..hi` (empty when `lo >= hi`) — the safe
+    /// replacement for `(u64::MAX >> (64 - (hi - lo))) << lo`, which
+    /// breaks at word boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hi > MAX_UNITS`.
+    #[must_use]
+    pub fn range(lo: usize, hi: usize) -> Self {
+        if lo >= hi {
+            return UnitMask::empty();
+        }
+        UnitMask::full(hi).andnot(UnitMask::full(lo))
+    }
+
+    /// `true` when unit `k` is in the subset (`false` past the cap).
+    #[must_use]
+    pub fn test(self, k: usize) -> bool {
+        k < MAX_UNITS && self.words[k / 64] & (1u64 << (k % 64)) != 0
+    }
+
+    /// This subset with unit `k` added.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= MAX_UNITS`.
+    #[must_use]
+    pub fn with(self, k: usize) -> Self {
+        self | UnitMask::bit(k)
+    }
+
+    /// Adds unit `k` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= MAX_UNITS`.
+    pub fn set(&mut self, k: usize) {
+        *self |= UnitMask::bit(k);
+    }
+
+    /// Removes unit `k` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= MAX_UNITS`.
+    pub fn clear(&mut self, k: usize) {
+        *self = self.andnot(UnitMask::bit(k));
+    }
+
+    /// The units of `self` not in `other` (`self & !other` without ever
+    /// materializing a complement, which would set bits past the unit
+    /// count).
+    #[must_use]
+    pub fn andnot(self, other: Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w &= !o;
+        }
+        UnitMask { words }
+    }
+
+    /// Number of units in the subset.
+    #[must_use]
+    pub fn count_ones(self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` when the two subsets share at least one unit.
+    #[must_use]
+    pub fn intersects(self, other: Self) -> bool {
+        self.words.iter().zip(other.words).any(|(&w, o)| w & o != 0)
+    }
+
+    /// The encoded integer minus one, wrapping at zero — the multi-word
+    /// borrow chain behind the classic `sub = (sub - 1) & rest` submask
+    /// enumeration.
+    #[must_use]
+    pub fn wrapping_dec(self) -> Self {
+        let mut words = self.words;
+        for w in &mut words {
+            let (next, borrow) = w.overflowing_sub(1);
+            *w = next;
+            if !borrow {
+                break;
+            }
+        }
+        UnitMask { words }
+    }
+
+    /// Iterates the set units in ascending order.
+    pub fn iter_ones(self) -> impl Iterator<Item = usize> {
+        IterOnes {
+            words: self.words,
+            word: 0,
+        }
+    }
+
+    /// Builds a mask from raw little-endian words (bit `k` of word `i`
+    /// stands for unit `i * 64 + k`). The caller is responsible for
+    /// keeping bits within its unit universe.
+    #[must_use]
+    pub const fn from_words(words: [u64; UNIT_MASK_WORDS]) -> Self {
+        UnitMask { words }
+    }
+
+    /// The raw little-endian words.
+    #[must_use]
+    pub const fn into_words(self) -> [u64; UNIT_MASK_WORDS] {
+        self.words
+    }
+
+    /// The low 64 units as a bare `u64` — exact whenever the unit universe
+    /// fits one word (every pre-multi-word model).
+    #[must_use]
+    pub const fn low_word(self) -> u64 {
+        self.words[0]
+    }
+}
+
+/// Set-bit iterator of [`UnitMask::iter_ones`].
+struct IterOnes {
+    words: [u64; UNIT_MASK_WORDS],
+    word: usize,
+}
+
+impl Iterator for IterOnes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word < UNIT_MASK_WORDS {
+            let w = &mut self.words[self.word];
+            if *w != 0 {
+                let k = w.trailing_zeros() as usize;
+                *w &= *w - 1;
+                return Some(self.word * 64 + k);
+            }
+            self.word += 1;
+        }
+        None
+    }
+}
+
+impl Ord for UnitMask {
+    /// Numeric order of the encoded 256-bit integer: most-significant
+    /// word decides first. A derived order would compare `words[0]`
+    /// first and diverge from the flat scan's mask-ascending order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.words.iter().rev().cmp(other.words.iter().rev())
+    }
+}
+
+impl PartialOrd for UnitMask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl BitAnd for UnitMask {
+    type Output = UnitMask;
+
+    fn bitand(self, rhs: Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(rhs.words) {
+            *w &= o;
+        }
+        UnitMask { words }
+    }
+}
+
+impl BitOr for UnitMask {
+    type Output = UnitMask;
+
+    fn bitor(self, rhs: Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(rhs.words) {
+            *w |= o;
+        }
+        UnitMask { words }
+    }
+}
+
+impl BitXor for UnitMask {
+    type Output = UnitMask;
+
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(rhs.words) {
+            *w ^= o;
+        }
+        UnitMask { words }
+    }
+}
+
+impl BitAndAssign for UnitMask {
+    fn bitand_assign(&mut self, rhs: Self) {
+        *self = *self & rhs;
+    }
+}
+
+impl BitOrAssign for UnitMask {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+impl BitXorAssign for UnitMask {
+    fn bitxor_assign(&mut self, rhs: Self) {
+        *self = *self ^ rhs;
+    }
+}
+
+impl fmt::Display for UnitMask {
+    /// Lowercase hex of the encoded integer without leading zeros
+    /// (`"0"` for the empty mask) — the canonical text form used by
+    /// serde and diagnostics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let top = self.words.iter().rposition(|&w| w != 0).unwrap_or_default();
+        write!(f, "{:x}", self.words[top])?;
+        for w in self.words[..top].iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UnitMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UnitMask({self})")
+    }
+}
+
+impl FromStr for UnitMask {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let invalid = || format!("invalid unit mask {s:?} (expected up to 64 hex digits)");
+        if s.is_empty() || s.len() > UNIT_MASK_WORDS * 16 {
+            return Err(invalid());
+        }
+        let mut words = [0u64; UNIT_MASK_WORDS];
+        let bytes = s.as_bytes();
+        // Parse 16-digit chunks from the least-significant end.
+        for (i, w) in words.iter_mut().enumerate() {
+            let hi = bytes.len().saturating_sub(i * 16);
+            let lo = bytes.len().saturating_sub((i + 1) * 16);
+            if hi == lo {
+                break;
+            }
+            let chunk = std::str::from_utf8(&bytes[lo..hi]).map_err(|_| invalid())?;
+            *w = u64::from_str_radix(chunk, 16).map_err(|_| invalid())?;
+        }
+        Ok(UnitMask { words })
+    }
+}
+
+impl Serialize for UnitMask {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for UnitMask {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s.parse().map_err(DeError::new),
+            _ => Err(DeError::expected("unit-mask hex string", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        // The 63/64/65 edge: `1u64 << 64` and `u64::MAX >> (64 - 64)`
+        // panic or wrap on a bare u64; the mask helpers must not.
+        for n in [0, 1, 63, 64, 65, 127, 128, 129, 255, 256] {
+            let full = UnitMask::full(n);
+            assert_eq!(full.count_ones() as usize, n, "full({n})");
+            assert_eq!(full.iter_ones().count(), n, "iter full({n})");
+            if n < MAX_UNITS {
+                assert!(!full.test(n), "bit {n} must be clear in full({n})");
+                let bit = UnitMask::bit(n);
+                assert!(bit.test(n));
+                assert_eq!(bit.count_ones(), 1);
+                assert!(!full.intersects(bit));
+            }
+            if n > 0 {
+                assert!(full.test(n - 1));
+            }
+        }
+        assert_eq!(UnitMask::full(64).into_words(), [u64::MAX, 0, 0, 0]);
+        assert_eq!(UnitMask::full(65).into_words(), [u64::MAX, 1, 0, 0]);
+    }
+
+    #[test]
+    fn range_masks_the_top_word() {
+        // rest_mask(n, depth) = range(depth, n): correct at exactly
+        // 63/64/65 units where the old shift expression breaks.
+        for n in [63, 64, 65, 100] {
+            for depth in [0, 1, 62, 63, 64, 65] {
+                let depth = depth.min(n);
+                let rest = UnitMask::range(depth, n);
+                assert_eq!(rest.count_ones() as usize, n - depth, "range({depth},{n})");
+                assert_eq!(rest, UnitMask::full(n).andnot(UnitMask::full(depth)));
+                if depth < n {
+                    assert_eq!(rest.iter_ones().next(), Some(depth));
+                    assert_eq!(rest.iter_ones().last(), Some(n - 1));
+                }
+            }
+        }
+        assert!(UnitMask::range(5, 5).is_empty());
+        assert!(UnitMask::range(7, 3).is_empty());
+    }
+
+    #[test]
+    fn ord_is_numeric_not_lexicographic() {
+        // bit 64 encodes a larger integer than any single-word mask; the
+        // derived array order would say otherwise (words[0] first).
+        let high = UnitMask::bit(64);
+        let low = UnitMask::from_words([u64::MAX, 0, 0, 0]);
+        assert!(low < high);
+        assert!(UnitMask::empty() < low);
+        let mut masks = vec![high, UnitMask::empty(), low, UnitMask::bit(3)];
+        masks.sort();
+        assert_eq!(masks, vec![UnitMask::empty(), UnitMask::bit(3), low, high]);
+    }
+
+    #[test]
+    fn wrapping_dec_borrows_across_words() {
+        // 2^64 - 1 = all of word 0.
+        assert_eq!(
+            UnitMask::bit(64).wrapping_dec(),
+            UnitMask::from_words([u64::MAX, 0, 0, 0])
+        );
+        assert_eq!(UnitMask::bit(0).wrapping_dec(), UnitMask::empty());
+        // 0 - 1 wraps to all ones.
+        assert_eq!(
+            UnitMask::empty().wrapping_dec(),
+            UnitMask::from_words([u64::MAX; UNIT_MASK_WORDS])
+        );
+        // Submask enumeration over a cross-word rest visits 2^k subsets.
+        let rest = UnitMask::bit(2) | UnitMask::bit(63) | UnitMask::bit(64) | UnitMask::bit(130);
+        let mut seen = Vec::new();
+        let mut sub = rest;
+        loop {
+            seen.push(sub);
+            if sub.is_empty() {
+                break;
+            }
+            sub = sub.wrapping_dec() & rest;
+        }
+        assert_eq!(seen.len(), 16);
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn set_operations_match_per_bit_semantics() {
+        let a = UnitMask::bit(1) | UnitMask::bit(63) | UnitMask::bit(64) | UnitMask::bit(200);
+        let b = UnitMask::bit(63) | UnitMask::bit(65) | UnitMask::bit(200);
+        for k in 0..MAX_UNITS {
+            assert_eq!((a & b).test(k), a.test(k) && b.test(k));
+            assert_eq!((a | b).test(k), a.test(k) || b.test(k));
+            assert_eq!((a ^ b).test(k), a.test(k) != b.test(k));
+            assert_eq!(a.andnot(b).test(k), a.test(k) && !b.test(k));
+        }
+        assert!(a.intersects(b));
+        assert!(!a.andnot(b).intersects(b));
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 63, 64, 200]);
+        let mut c = a;
+        c.clear(64);
+        assert!(!c.test(64));
+        c.set(64);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        assert_eq!(UnitMask::empty().to_string(), "0");
+        assert_eq!(UnitMask::bit(4).to_string(), "10");
+        assert_eq!(UnitMask::bit(64).to_string(), "10000000000000000");
+        let samples = [
+            UnitMask::empty(),
+            UnitMask::bit(0),
+            UnitMask::full(63),
+            UnitMask::full(64),
+            UnitMask::full(65),
+            UnitMask::full(MAX_UNITS),
+            UnitMask::bit(64) | UnitMask::bit(1),
+            UnitMask::bit(255),
+        ];
+        for mask in samples {
+            let parsed: UnitMask = mask.to_string().parse().unwrap();
+            assert_eq!(parsed, mask, "{mask}");
+        }
+        assert!("".parse::<UnitMask>().is_err());
+        assert!("xyz".parse::<UnitMask>().is_err());
+        assert!("1".repeat(65).parse::<UnitMask>().is_err());
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let samples = [
+            UnitMask::empty(),
+            UnitMask::full(65),
+            UnitMask::bit(3) | UnitMask::bit(200),
+        ];
+        for mask in samples {
+            let json = serde_json::to_string(&mask).unwrap();
+            assert_eq!(json, format!("\"{mask}\""));
+            let back: UnitMask = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mask);
+        }
+        assert!(serde_json::from_str::<UnitMask>("\"not-hex\"").is_err());
+    }
+
+    #[test]
+    fn low_word_and_full_low_range_agree() {
+        for n in 0..=63 {
+            assert_eq!(UnitMask::full(n).low_word(), (1u64 << n) - 1);
+        }
+        assert_eq!(UnitMask::full(64).low_word(), u64::MAX);
+    }
+}

@@ -57,8 +57,8 @@ fn fuzz_smoke_every_profile_is_clean() {
         corpus_dir: None,
     });
     assert!(report.is_clean(), "{}", report.render_text());
-    assert_eq!(report.specs, 16);
-    assert_eq!(report.oracle_checks, 96);
+    assert_eq!(report.specs, 20);
+    assert_eq!(report.oracle_checks, 120);
 }
 
 #[test]

@@ -83,6 +83,53 @@ fn bnb_keeps_exactly_the_flat_scan_candidates() {
     }
 }
 
+/// Word-boundary regression: models with exactly 63, 64 and 65 allocatable
+/// units — straddling the one-word mask boundary where `1u64 << 64` or
+/// `u64::MAX >> (64 - n)` style shifts silently wrap or panic — explore
+/// under branch-and-bound with non-empty, thread-invariant fronts.
+#[test]
+fn word_boundary_unit_counts_explore_cleanly() {
+    for (dedicated, expected_units) in [(61usize, 63usize), (62, 64), (63, 65)] {
+        let config = SyntheticConfig {
+            seed: 5,
+            applications: 1,
+            interfaces_per_app: 1,
+            alternatives: 2,
+            processors: 1,
+            asics: 0,
+            fpga_designs: 0,
+            constrained_fraction: 0.0,
+            dedicated_tasks: dedicated,
+        };
+        let spec = synthetic_spec(&config);
+        assert_eq!(
+            flexplore::explore_crate::allocatable_units(&spec).len(),
+            expected_units
+        );
+        let mut fronts = Vec::new();
+        for threads in [1usize, 4] {
+            let options = ExploreOptions {
+                allocation: AllocationOptions {
+                    threads,
+                    ..AllocationOptions::default()
+                },
+                ..ExploreOptions::paper()
+            }
+            .with_threads(threads);
+            let result = flexplore::explore(&spec, &options).unwrap();
+            assert!(
+                !result.front.is_empty(),
+                "{expected_units} units: empty front"
+            );
+            fronts.push(serde_json::to_string(&result.front).unwrap());
+        }
+        assert_eq!(
+            fronts[0], fronts[1],
+            "{expected_units} units: fronts diverged across thread counts"
+        );
+    }
+}
+
 /// The ISSUE acceptance bound: on the paper's Set-Top box case study the
 /// lattice search expands fewer than half of the flat scan's subsets while
 /// reproducing the published Pareto front exactly.
@@ -114,7 +161,8 @@ fn set_top_box_visits_under_half_of_the_lattice() {
 }
 
 /// Full-pipeline thread invariance, including the 24-unit synthetic-large
-/// model (infeasible under the flat scan): front, search counters and the
+/// model (infeasible under the flat scan) and the 102-unit synthetic-wide
+/// model (past the one-word mask boundary): front, search counters and the
 /// aggregated observability counters are byte-identical at 1/2/4 threads.
 #[test]
 fn bnb_front_counters_and_obs_are_thread_invariant() {
@@ -123,6 +171,7 @@ fn bnb_front_counters_and_obs_are_thread_invariant() {
         "synthetic-large",
         synthetic_spec(&SyntheticConfig::large(11)),
     ));
+    models.push(("synthetic-wide", synthetic_spec(&SyntheticConfig::wide(13))));
     for (name, spec) in models {
         let mut baseline: Option<(String, String)> = None;
         for threads in [1usize, 2, 4] {
