@@ -17,7 +17,9 @@ use flexplore::{
     set_top_box, synthetic_spec, tv_decoder, AllocationOptions, Cost, ExploreOptions, MoeaOptions,
     SchedPolicy, SyntheticConfig, Time,
 };
-use flexplore_bench::{available_parallelism, entry_id, explore_suite, lint_suite, out_path};
+use flexplore_bench::{
+    analyze_suite, available_parallelism, entry_id, explore_suite, lint_suite, out_path,
+};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,6 +34,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e12()?;
     e13()?;
     e14()?;
+    e15()?;
+    Ok(())
+}
+
+/// E15 — static lattice analysis; also writes `BENCH_analyze.json`.
+///
+/// The fact totals are deterministic search statistics, so the
+/// regression gate pins them per model: losing a mandatory unit (or
+/// gaining a bogus one) drifts a counter and fails CI. The explore
+/// suite (E13) pins the downstream effect — `nodes_visited` with the
+/// facts fed back into the branch-and-bound walk.
+fn e15() -> Result<(), Box<dyn std::error::Error>> {
+    println!("## E15 — static lattice analysis (flexanalysis)\n");
+    println!("| model | mandatory | dominated | classes | wall (best of 3) |");
+    println!("|---|---|---|---|---|");
+    let suite = analyze_suite();
+    for report in &suite.reports {
+        println!(
+            "| {} | {} | {} | {} | {:.2} ms |",
+            report.spec,
+            report.counter("analysis_mandatory").unwrap_or(0),
+            report.counter("analysis_dominated").unwrap_or(0),
+            report.counter("analysis_classes").unwrap_or(0),
+            report.wall_ns as f64 / 1e6
+        );
+    }
+    let path = out_path("BENCH_analyze.json")?;
+    std::fs::write(&path, suite.to_json()?)?;
+    println!("\n(Raw run reports written to `{}`.)\n", path.display());
     Ok(())
 }
 

@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 use flexplore::{
-    explore_with_obs, lint_spec_obs, set_top_box, synthetic_spec, tv_decoder, AllocationOptions,
-    ExploreOptions, ObsSink, RunReport, SpecificationGraph, SyntheticConfig,
+    analyze_spec_obs, explore_with_obs, lint_spec_obs, set_top_box, synthetic_spec, tv_decoder,
+    AllocationOptions, ExploreOptions, ObsSink, RunReport, SpecificationGraph, SyntheticConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -39,12 +39,12 @@ pub const REPEATS: usize = 3;
 
 /// One `BENCH_*.json` file: a named set of instrumented run reports.
 ///
-/// `BENCH_explore.json`, `BENCH_lint.json` and the committed
-/// `BENCH_baseline.json` all use this schema; the baseline is simply the
-/// concatenation of the suites it was built from.
+/// `BENCH_explore.json`, `BENCH_lint.json`, `BENCH_analyze.json` and
+/// the committed `BENCH_baseline.json` all use this schema; the baseline
+/// is simply the concatenation of the suites it was built from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchFile {
-    /// What produced the file (`explore`, `lint`, or `baseline`).
+    /// What produced the file (`explore`, `lint`, `analyze`, or `baseline`).
     pub suite: String,
     /// Hardware threads of the measuring machine (context, not compared).
     pub available_parallelism: usize,
@@ -189,6 +189,31 @@ pub fn measured_lint(spec: &SpecificationGraph) -> RunReport {
         .expect("REPEATS > 0")
 }
 
+/// One instrumented lattice analysis (`analyze_spec_obs`) of `spec`,
+/// best of [`REPEATS`] runs.
+///
+/// # Panics
+///
+/// Panics when the model carries error-level findings — every suite
+/// model analyzes (lint-clean models always do).
+#[must_use]
+pub fn measured_analyze(spec: &SpecificationGraph) -> RunReport {
+    (0..REPEATS)
+        .map(|_| {
+            let obs = ObsSink::enabled();
+            let analysis = analyze_spec_obs(spec, &obs);
+            assert!(
+                analysis.analyzed,
+                "{} must analyze (no error-level findings):\n{}",
+                spec.name(),
+                analysis.render_text()
+            );
+            obs.report("analyze", spec.name(), 1)
+        })
+        .min_by_key(|r| r.wall_ns)
+        .expect("REPEATS > 0")
+}
+
 /// The models the explore suite measures. `synthetic-large` spans a
 /// 2^24-subset lattice and `synthetic-wide` a 2^102 one: feasible only
 /// because the default branch-and-bound enumerator prunes them — the flat
@@ -238,6 +263,26 @@ pub fn lint_suite() -> BenchFile {
         suite: "lint".to_owned(),
         available_parallelism: available_parallelism(),
         reports: lint_models().iter().map(measured_lint).collect(),
+    }
+}
+
+/// The models the analyze suite measures — the lint set, whose
+/// `synthetic-wide` member exercises all three fact passes at scale
+/// (94 mandatory units, 3 dominated units on a 102-unit lattice).
+#[must_use]
+pub fn analyze_models() -> Vec<SpecificationGraph> {
+    lint_models()
+}
+
+/// Runs the full static-lattice-analysis measurement suite; the
+/// `analysis_mandatory` / `analysis_dominated` / `analysis_classes`
+/// counters pin the fact totals per model in the regression gate.
+#[must_use]
+pub fn analyze_suite() -> BenchFile {
+    BenchFile {
+        suite: "analyze".to_owned(),
+        available_parallelism: available_parallelism(),
+        reports: analyze_models().iter().map(measured_analyze).collect(),
     }
 }
 

@@ -13,7 +13,8 @@
 //! flexplore info <spec.json>                            size statistics
 //! flexplore demo [--json]                               built-in Set-Top box case study
 //! flexplore faults <spec.json> [--kill R@NS[+NS]]...    fault-injection scenario + resilience
-//! flexplore lint <spec.json> [--format json] [--deny ..] static analysis (codes F001–F012)
+//! flexplore lint <spec.json> [--format json] [--deny ..] static analysis (codes F001–F016)
+//! flexplore analyze <spec.json|MODEL> [--format json]    spec-level lattice facts (F014–F016)
 //! flexplore profile <spec.json|MODEL> [--top K]         instrumented EXPLORE, hottest phases
 //! flexplore fuzz [--seed S] [--iterations N] [--profile FAMILY] differential invariant fuzzing
 //! ```
@@ -28,11 +29,12 @@
 #![warn(missing_docs)]
 
 use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
+use flexplore::lint::{is_known_code, lint_spec_obs_with_capacity};
 use flexplore::models::{spec_from_json, spec_from_json_unvalidated};
 use flexplore::obs::phase;
 use flexplore::{
-    dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs, flexibility_profile,
-    k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
+    analyze_spec_obs, dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs,
+    flexibility_profile, k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
     min_cost_for_flexibility, run_with_faults, set_top_box, synthetic_spec, tv_decoder,
     AllocationOptions, Cost, DegradationPolicy, Enumerator, ExploreOptions, FaultKind, FaultPlan,
     FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection, SpecificationGraph,
@@ -86,7 +88,8 @@ flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 20
 
 USAGE:
     flexplore explore (<spec.json> | <MODEL>) [--csv] [--json] [--threads N]
-                      [--enumerator flat|bnb] [--profile [text|json]]
+                      [--enumerator flat|bnb] [--analysis on|off]
+                      [--profile [text|json]]
     flexplore resilience <spec.json> [--k <K>] [--threads N]
                          [--enumerator flat|bnb] [--profile [text|json]]
     flexplore flexibility <spec.json>
@@ -102,6 +105,8 @@ USAGE:
                      [--profile [text|json]]
     flexplore lint (<spec.json> | --builtin <MODEL>) [--format text|json]
                    [--deny (warnings|<CODE>)]... [--profile [text|json]]
+    flexplore analyze (<spec.json> | <MODEL>) [--format text|json]
+                      [--deny (warnings|<CODE>)]... [--profile [text|json]]
     flexplore profile (<spec.json> | <MODEL>) [--top <K>] [--threads <N>]
                       [--format text|json] [--events <PATH>]
     flexplore fuzz [--seed <S>] [--iterations <N>] [--profile <FAMILY>]
@@ -117,7 +122,10 @@ COMMANDS:
                   across enumerators and thread counts).
                   --enumerator picks the subset engine: bnb (default,
                   branch-and-bound lattice search) or flat (exhaustive
-                  scan oracle); both keep exactly the same candidates
+                  scan oracle); both keep exactly the same candidates.
+                  --analysis off disables the static lattice-fact
+                  pruning of the bnb engine (on by default; candidates
+                  and fronts are byte-identical either way)
     resilience    print the three-objective cost / flexibility /
                   k-resilient-flexibility front (--k bounds the failures,
                   default 1; --threads as for explore)
@@ -139,7 +147,7 @@ COMMANDS:
                   --threads parallelizes the kill-set sweep (same result)
     lint          statically analyze a specification without running any
                   exploration; print diagnostics with stable codes
-                  F001..F012 (the file is loaded unvalidated so structural
+                  F001..F016 (the file is loaded unvalidated so structural
                   defects are reported as findings, not parse errors).
                   --format json emits a machine-readable report;
                   --deny warnings / --deny <CODE> make those findings
@@ -149,6 +157,15 @@ COMMANDS:
                   exit codes: 0 clean (or findings not denied), 1 findings
                   denied by --deny, 2 error-level findings, 3 internal
                   fault (unreadable file, malformed JSON, bad flags)
+    analyze       lint, then prove spec-level lattice facts without
+                  enumerating any subset: mandatory units (F014), dominated
+                  units (F015) and symmetry classes of interchangeable
+                  units (F016), reported as note-level diagnostics plus a
+                  facts section (machine-readable under --format json).
+                  Accepts a file path or a bundled model name. --deny works
+                  as for lint, except --deny warnings denies only
+                  warning-level findings (the facts themselves are notes).
+                  exit codes as for lint
     profile       run an instrumented EXPLORE of a file or bundled model
                   and print the hottest phases (--top K, default 8).
                   --format json dumps the full run report, --events PATH
@@ -157,7 +174,8 @@ COMMANDS:
                   specifications and cross-check the pipeline invariants
                   (lint/explore agreement, enumerator equivalence, MOEA
                   and resilience subset, thread invariance, JSON round
-                  trip). Fully deterministic: equal --seed means a
+                  trip, static lattice facts vs a prune-free flat
+                  enumeration). Fully deterministic: equal --seed means a
                   byte-identical report. --iterations is per profile
                   (default 100); --profile picks the domain family (stb,
                   automotive, baseband, cloud-fpga, wide or all, the
@@ -196,6 +214,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("demo") => cmd_demo(&args.collect::<Vec<_>>()),
         Some("faults") => cmd_faults(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
+        Some("analyze") => cmd_analyze(&args.collect::<Vec<_>>()),
         Some("profile") => cmd_profile(&args.collect::<Vec<_>>()),
         Some("fuzz") => cmd_fuzz(&args.collect::<Vec<_>>()),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
@@ -292,16 +311,28 @@ fn profiled_output(
 /// Pre-flight lint gate run by the expensive commands (`explore`,
 /// `resilience`, `faults`) before any enumeration starts.
 ///
+/// `capacity` is the unit capacity of the enumerator the command actually
+/// selected ([`Enumerator::unit_capacity`]), so the `F013` capacity check
+/// warns against the limit that applies — the branch-and-bound ceiling
+/// would wave through a specification the flat scan cannot index.
+///
 /// Error-level findings abort the run (exit code 2) with the full report
 /// on stderr — a degenerate specification would otherwise only manifest as
-/// a silently empty front. Warning/note findings are surfaced as a banner
-/// line the command prepends to its output; clean specifications get an
-/// empty banner so their output is unchanged.
-fn preflight_lint(spec: &SpecificationGraph, obs: &ObsSink) -> Result<String, CliError> {
+/// a silently empty front. `F013` aborts too, even though it is only a
+/// warning, because its own message is a promise that the run will fail;
+/// rejecting here turns an opaque overflow error into a diagnostic. Other
+/// warning/note findings are surfaced as a banner line the command
+/// prepends to its output; clean specifications get an empty banner so
+/// their output is unchanged.
+fn preflight_lint(
+    spec: &SpecificationGraph,
+    obs: &ObsSink,
+    capacity: usize,
+) -> Result<String, CliError> {
     let timer = obs.start();
-    let report = lint_spec_obs(spec, obs);
+    let report = lint_spec_obs_with_capacity(spec, obs, capacity);
     obs.finish(phase::LINT, timer);
-    if report.has_errors() {
+    if report.has_errors() || report.has_code("F013") {
         return Err(err(format!(
             "specification rejected by pre-flight lint:\n{}",
             report.render_text()
@@ -362,10 +393,20 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
             },
             "--deny" => match it.next().copied() {
                 Some("warnings") => deny_warnings = true,
-                Some(code) if code.starts_with('F') => deny_codes.push(code),
+                // A well-formed but unknown code is a user error (exit 2),
+                // not an internal fault: silently accepting it would make
+                // a typo like `--deny F010` vs `F001` pass every gate.
+                Some(code) if code.starts_with('F') => {
+                    if !is_known_code(code) {
+                        return Err(err(format!(
+                            "unknown lint code {code:?}; known codes are F001..F016"
+                        )));
+                    }
+                    deny_codes.push(code);
+                }
                 other => {
                     return Err(fault(format!(
-                        "--deny needs `warnings` or a diagnostic code (F001..F012), got {other:?}"
+                        "--deny needs `warnings` or a diagnostic code (F001..F016), got {other:?}"
                     )))
                 }
             },
@@ -442,6 +483,115 @@ fn cmd_lint(args: &[&str]) -> Result<String, CliError> {
     profiled_output(profile, &obs, "lint", spec.name(), 1, rendered)
 }
 
+/// `flexplore analyze <target>` — lint, then run the static lattice
+/// analysis (DESIGN.md §15) and print the proven facts: mandatory units
+/// (`F014`), dominated units (`F015`) and symmetry classes (`F016`).
+///
+/// The exit-code scheme mirrors `lint`: 0 clean or findings not denied,
+/// 1 findings denied by `--deny`, 2 error-level findings, 3 internal
+/// fault. Unlike `lint`, `--deny warnings` denies only warning-level
+/// findings — the facts themselves are notes, so a clean specification
+/// with provable facts still passes the gate.
+fn cmd_analyze(args: &[&str]) -> Result<String, CliError> {
+    let fault = |message: String| CliError {
+        message,
+        output: None,
+        code: 3,
+    };
+    let (profile, args) = take_profile(args);
+    let mut target: Option<&str> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut deny_codes: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--format" => match it.next().copied() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => return Err(fault(format!("--format needs text or json, got {other:?}"))),
+            },
+            "--deny" => match it.next().copied() {
+                Some("warnings") => deny_warnings = true,
+                Some(code) if code.starts_with('F') => {
+                    if !is_known_code(code) {
+                        return Err(err(format!(
+                            "unknown lint code {code:?}; known codes are F001..F016"
+                        )));
+                    }
+                    deny_codes.push(code);
+                }
+                other => {
+                    return Err(fault(format!(
+                        "--deny needs `warnings` or a diagnostic code (F001..F016), got {other:?}"
+                    )))
+                }
+            },
+            flag if flag.starts_with('-') => return Err(fault(format!("unknown flag {flag:?}"))),
+            positional if target.is_none() => target = Some(positional),
+            positional => return Err(fault(format!("unexpected argument {positional:?}"))),
+        }
+    }
+    let Some(target) = target else {
+        return Err(fault(format!(
+            "analyze needs a <spec.json> path or a bundled model name\n\n{USAGE}"
+        )));
+    };
+    let obs = profile.sink();
+    let timer = obs.start();
+    // A file if one exists at the path, else a bundled model name — like
+    // `profile`. Files are loaded unvalidated, like `lint`, so structural
+    // defects become findings instead of parse errors.
+    let spec = if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| fault(format!("cannot read {target}: {e}")))?;
+        spec_from_json_unvalidated(&text)
+            .map_err(|e| fault(format!("cannot parse {target}: {e}")))?
+    } else {
+        builtin_spec(target).ok_or_else(|| {
+            fault(format!(
+                "{target:?} is neither a readable file nor a bundled model ({BUILTIN_NAMES})"
+            ))
+        })?
+    };
+    obs.finish(phase::PARSE, timer);
+
+    let analysis = analyze_spec_obs(&spec, &obs);
+    let rendered = if json {
+        analysis.render_json()
+    } else {
+        analysis.render_text()
+    };
+    let report = &analysis.report;
+    if report.has_errors() {
+        return Err(CliError {
+            message: format!(
+                "analyze found {} error(s) in {}",
+                report.errors(),
+                report.spec_name
+            ),
+            output: Some(rendered),
+            code: 2,
+        });
+    }
+    let denied_code = deny_codes.iter().find(|c| report.has_code(c)).copied();
+    if (deny_warnings && report.warnings() > 0) || denied_code.is_some() {
+        let message = match denied_code {
+            Some(code) => format!("analyze: {code} denied by --deny {code}"),
+            None => format!(
+                "analyze: {} warning(s) denied by --deny warnings",
+                report.warnings()
+            ),
+        };
+        return Err(CliError {
+            message,
+            output: Some(rendered),
+            code: 1,
+        });
+    }
+    profiled_output(profile, &obs, "analyze", spec.name(), 1, rendered)
+}
+
 /// `flexplore profile <target>` — run a fully instrumented EXPLORE of a
 /// specification file or bundled model and print where the time went.
 fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
@@ -495,7 +645,7 @@ fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
         })?
     };
     obs.finish(phase::PARSE, timer);
-    preflight_lint(&spec, &obs)?;
+    preflight_lint(&spec, &obs, Enumerator::default().unit_capacity())?;
 
     let options = threaded_options(threads, Enumerator::default());
     explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
@@ -522,11 +672,19 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let mut json = false;
     let mut threads = 1usize;
     let mut enumerator = Enumerator::default();
+    let mut analysis = true;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match *flag {
             "--csv" => csv = true,
             "--json" => json = true,
+            "--analysis" => {
+                analysis = match it.next().copied() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    other => return Err(err(format!("--analysis needs on or off, got {other:?}"))),
+                };
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -556,8 +714,9 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         load_spec(path)?
     };
     obs.finish(phase::PARSE, timer);
-    let banner = preflight_lint(&spec, &obs)?;
-    let options = threaded_options(threads, enumerator);
+    let banner = preflight_lint(&spec, &obs, enumerator.unit_capacity())?;
+    let mut options = threaded_options(threads, enumerator);
+    options.allocation.analysis = analysis;
     let started = Instant::now();
     let result = explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
     let elapsed = started.elapsed();
@@ -671,7 +830,7 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
     let timer = obs.start();
     let spec = load_spec(path)?;
     obs.finish(phase::PARSE, timer);
-    let banner = preflight_lint(&spec, &obs)?;
+    let banner = preflight_lint(&spec, &obs, enumerator.unit_capacity())?;
     let options = threaded_options(threads, enumerator);
     let started = Instant::now();
     let front = explore_resilient_obs(&spec, k, &options, &obs).map_err(|e| err(e.to_string()))?;
@@ -900,7 +1059,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
     let timer = obs.start();
     let spec = load_spec(path)?;
     obs.finish(phase::PARSE, timer);
-    let banner = preflight_lint(&spec, &obs)?;
+    let banner = preflight_lint(&spec, &obs, enumerator.unit_capacity())?;
     let timer = obs.start();
     let point =
         max_flexibility_under_budget(&spec, Cost::new(budget), &threaded_options(1, enumerator))
@@ -1599,6 +1758,111 @@ mod tests {
         assert!(e.message.contains("cannot parse"), "{}", e.message);
         // Every non-lint failure keeps the historical exit code 2.
         assert_eq!(run_strs(&["frobnicate"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn analyze_prints_facts_and_mirrors_lint_exit_codes() {
+        // A bundled model name works without a file; a clean model with no
+        // provable facts still prints the (empty) facts section.
+        let out = run_strs(&["analyze", "set_top_box"]).unwrap();
+        assert!(out.contains("facts:"), "{out}");
+        assert!(out.contains("mandatory units: (none)"), "{out}");
+        assert!(out.contains("0 error(s), 0 warning(s), 0 note(s)"), "{out}");
+
+        // The wide synthetic model proves facts: every dedicated DSP is
+        // mandatory (F014) and the spare processors are dominated (F015).
+        let out = run_strs(&["analyze", "synthetic-wide"]).unwrap();
+        assert!(out.contains("note[F014]"), "{out}");
+        assert!(out.contains("note[F015]"), "{out}");
+        assert!(out.contains("mandatory units (94):"), "{out}");
+
+        // --format json exposes the machine-readable facts section.
+        let out = run_strs(&["analyze", "synthetic-wide", "--format", "json"]).unwrap();
+        assert!(out.contains("\"analyzed\": true"), "{out}");
+        assert!(out.contains("\"mandatory\": [5, 6,"), "{out}");
+        assert!(out.contains("\"code\": \"F014\""), "{out}");
+
+        // Facts are notes: --deny warnings passes, --deny F014 denies.
+        run_strs(&["analyze", "synthetic-wide", "--deny", "warnings"]).unwrap();
+        let e = run_strs(&["analyze", "synthetic-wide", "--deny", "F014"]).unwrap_err();
+        assert_eq!(e.code, 1, "{e:?}");
+        assert!(e.output.unwrap().contains("note[F014]"));
+
+        // Error-level findings exit 2 and skip the fact extraction.
+        let path = write_spec("orphan-analyze.json", &orphan_spec());
+        let e = run_strs(&["analyze", &path]).unwrap_err();
+        assert_eq!(e.code, 2, "{e:?}");
+        assert!(e.message.contains("analyze found 1 error(s)"), "{e:?}");
+        let report = e.output.unwrap();
+        assert!(report.contains("facts: skipped"), "{report}");
+
+        // Internal faults exit 3, exactly like lint.
+        assert_eq!(run_strs(&["analyze"]).unwrap_err().code, 3);
+        assert_eq!(run_strs(&["analyze", "no-such-model"]).unwrap_err().code, 3);
+        assert_eq!(
+            run_strs(&["analyze", "set_top_box", "--wat"])
+                .unwrap_err()
+                .code,
+            3
+        );
+        assert_eq!(
+            run_strs(&["analyze", "set_top_box", "--format", "yaml"])
+                .unwrap_err()
+                .code,
+            3
+        );
+
+        // --profile json replaces the output with the run report.
+        let out = run_strs(&["analyze", "synthetic-wide", "--profile", "json"]).unwrap();
+        let report = RunReport::from_json(&out).unwrap();
+        assert_eq!(report.run, "analyze");
+        assert_eq!(report.counter("analysis_mandatory"), Some(94));
+        assert_eq!(report.counter("analysis_dominated"), Some(3));
+        let names = phase_names(&report);
+        for needle in ["parse", "lint.structural", "analyze", "analyze.mandatory"] {
+            assert!(names.contains(&needle), "missing phase {needle}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn deny_rejects_unknown_codes_with_exit_2() {
+        // A well-formed but unknown code is a user error (2), not an
+        // internal fault (3) — and is rejected before any work happens.
+        for cmd in ["lint", "analyze"] {
+            let args: Vec<&str> = if cmd == "lint" {
+                vec![cmd, "--builtin", "set_top_box", "--deny", "F099"]
+            } else {
+                vec![cmd, "set_top_box", "--deny", "F099"]
+            };
+            let e = run_strs(&args).unwrap_err();
+            assert_eq!(e.code, 2, "{cmd}: {e:?}");
+            assert!(e.message.contains("unknown lint code"), "{cmd}: {e:?}");
+            assert!(e.message.contains("F001..F016"), "{cmd}: {e:?}");
+        }
+        // Known codes (even ones that cannot fire) still parse.
+        run_strs(&["lint", "--builtin", "set_top_box", "--deny", "F016"]).unwrap();
+    }
+
+    #[test]
+    fn preflight_gate_checks_the_selected_enumerator_capacity() {
+        // 102 units fit branch-and-bound's masks but overflow the flat
+        // scan's u64 counter: the gate must reject with the F013 lint
+        // diagnostic (citing the flat limit) instead of letting the
+        // enumerator fail with an opaque overflow error later.
+        let e = run_strs(&["explore", "synthetic-wide", "--enumerator", "flat"]).unwrap_err();
+        assert_eq!(e.code, 2, "{e:?}");
+        assert!(e.message.contains("pre-flight lint"), "{e:?}");
+        assert!(e.message.contains("F013"), "{e:?}");
+        assert!(e.message.contains("63-unit"), "{e:?}");
+    }
+
+    #[test]
+    fn analysis_flag_toggles_pruning_but_never_the_front() {
+        let on = run_strs(&["explore", "synthetic-wide", "--json", "--analysis", "on"]).unwrap();
+        let off = run_strs(&["explore", "synthetic-wide", "--json", "--analysis", "off"]).unwrap();
+        assert_eq!(on, off, "analysis pruning must not change the front");
+        let e = run_strs(&["explore", "synthetic-wide", "--analysis", "maybe"]).unwrap_err();
+        assert!(e.message.contains("on or off"), "{}", e.message);
     }
 
     use flexplore::RunReport;

@@ -20,7 +20,7 @@
 //! | [`bind`] | backtracking binding solver, per-mode timing validation |
 //! | [`explore`] | EXPLORE branch-and-bound, exhaustive and NSGA-II baselines, Pareto fronts (Section 4) |
 //! | [`models`] | the TV decoder (Figs. 1–2), the Set-Top box case study (Fig. 3/5 + Table 1), synthetic generators |
-//! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F013` over specification graphs |
+//! | [`lint`] | flexlint static analysis: stable diagnostics `F001`–`F016`, spec-level lattice facts (mandatory/dominated/symmetry) |
 //! | [`obs`] | observability: span timers, deterministic counters, JSON-lines events, aggregated run reports |
 //! | [`schedule`] | static list scheduling of bound modes — the paper's future-work item |
 //! | [`adaptive`] | run-time mode management with reconfiguration accounting, fault injection, and graceful degradation |
@@ -94,7 +94,10 @@ pub use flexplore_hgraph::{
     ClusterId, HierarchicalGraph, InterfaceId, PortDirection, PortTarget, Scope, Selection,
     VertexId,
 };
-pub use flexplore_lint::{lint_spec, lint_spec_obs, Diagnostic, LintReport, Severity};
+pub use flexplore_lint::{
+    analyze_spec, analyze_spec_obs, lint_spec, lint_spec_obs, AnalysisFacts, AnalysisReport,
+    Diagnostic, LintReport, Severity,
+};
 pub use flexplore_models::{
     automotive_spec, baseband_spec, cloud_fpga_spec, dual_slot_fpga, paper_pareto_table,
     set_top_box, synthetic_spec, tv_decoder, AutomotiveConfig, BasebandConfig, CloudFpgaConfig,

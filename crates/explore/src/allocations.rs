@@ -12,7 +12,8 @@
 
 use crate::error::ExploreError;
 use flexplore_flex::{estimate_with_compiled, FlexibilityEstimate};
-use flexplore_hgraph::{NodeRef, Scope, VertexId};
+use flexplore_hgraph::{NodeRef, VertexId};
+use flexplore_lint::compute_facts_obs;
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
 use serde::{Deserialize, Serialize};
@@ -44,6 +45,21 @@ pub enum Enumerator {
     BranchAndBound,
 }
 
+impl Enumerator {
+    /// Most units this enumerator's subset representation can index: the
+    /// flat scan counts masks in a `u64`, branch-and-bound walks
+    /// [`flexplore_spec::UnitMask`] subsets bounded by
+    /// [`flexplore_spec::MAX_UNITS`]. The pre-flight lint gate checks
+    /// `F013` against this per-enumerator capacity.
+    #[must_use]
+    pub fn unit_capacity(self) -> usize {
+        match self {
+            Enumerator::Flat => MAX_FLAT_UNITS,
+            Enumerator::BranchAndBound => flexplore_spec::MAX_UNITS,
+        }
+    }
+}
+
 /// Options controlling allocation enumeration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AllocationOptions {
@@ -67,6 +83,13 @@ pub struct AllocationOptions {
     pub threads: usize,
     /// The enumeration engine.
     pub enumerator: Enumerator,
+    /// Run the static lattice analysis (mandatory units, dominated units,
+    /// symmetry classes — see `flexplore_lint::analysis`) before
+    /// branch-and-bound and use the proven facts to force, mirror and
+    /// collapse subtrees. The candidate list is byte-identical with the
+    /// analysis on or off; only the visit counters change. Ignored by the
+    /// flat scan, which stays the analysis-free oracle.
+    pub analysis: bool,
 }
 
 impl Default for AllocationOptions {
@@ -77,6 +100,7 @@ impl Default for AllocationOptions {
             prune_unusable: true,
             threads: 1,
             enumerator: Enumerator::default(),
+            analysis: true,
         }
     }
 }
@@ -132,17 +156,19 @@ pub struct AllocationStats {
     /// trackers along the DFS path, tracker initialization included (0 for
     /// the flat scan, which recomputes every estimate from scratch).
     pub estimate_delta_pushes: u64,
+    /// Exclude branches of statically mandatory units skipped outright by
+    /// the analysis certificate (0 without analysis).
+    pub analysis_mandatory_forced: u64,
+    /// Include subtrees of statically dominated units answered by
+    /// mirroring the explored exclude subtree instead of searching them
+    /// (0 without analysis).
+    pub analysis_subtrees_skipped: u64,
+    /// Extra candidates emitted by expanding a symmetry-class orbit from
+    /// its explored canonical representative (0 without analysis).
+    pub symmetry_orbit_expansions: u64,
 }
 
-/// Returns the allocatable units of a specification: top-level architecture
-/// vertices plus all design clusters.
-#[must_use]
-pub fn allocatable_units(spec: &SpecificationGraph) -> Vec<Unit> {
-    let graph = spec.architecture().graph();
-    let mut units: Vec<Unit> = graph.vertices_in(Scope::Top).map(Unit::Vertex).collect();
-    units.extend(graph.cluster_ids().map(Unit::Cluster));
-    units
-}
+pub use flexplore_spec::allocatable_units;
 
 /// Enumerates the possible resource allocations of `spec`, sorted by
 /// increasing cost (ties broken towards higher estimated flexibility, so
@@ -197,10 +223,7 @@ pub fn possible_resource_allocations_obs(
     obs: &ObsSink,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
     let units = allocatable_units(compiled.spec());
-    let limit = match options.enumerator {
-        Enumerator::Flat => MAX_FLAT_UNITS,
-        Enumerator::BranchAndBound => flexplore_spec::MAX_UNITS,
-    };
+    let limit = options.enumerator.unit_capacity();
     if units.len() > limit {
         return Err(ExploreError::UnitOverflow {
             units: units.len(),
@@ -215,7 +238,23 @@ pub fn possible_resource_allocations_obs(
     }
     match options.enumerator {
         Enumerator::Flat => Ok(flat_scan(compiled, &units, options, obs)),
-        Enumerator::BranchAndBound => Ok(crate::lattice::bnb_scan(compiled, units, options, obs)),
+        Enumerator::BranchAndBound => {
+            let facts = if options.analysis {
+                let timer = obs.start();
+                let facts = compute_facts_obs(compiled, &units, obs);
+                obs.finish(phase::ENUMERATE_ANALYZE, timer);
+                Some(facts)
+            } else {
+                None
+            };
+            Ok(crate::lattice::bnb_scan(
+                compiled,
+                units,
+                options,
+                facts.as_ref(),
+                obs,
+            ))
+        }
     }
 }
 
@@ -295,6 +334,9 @@ impl AllocationStats {
         self.subtrees_pruned += other.subtrees_pruned;
         self.estimate_memo_hits += other.estimate_memo_hits;
         self.estimate_delta_pushes += other.estimate_delta_pushes;
+        self.analysis_mandatory_forced += other.analysis_mandatory_forced;
+        self.analysis_subtrees_skipped += other.analysis_subtrees_skipped;
+        self.symmetry_orbit_expansions += other.symmetry_orbit_expansions;
     }
 }
 
@@ -442,6 +484,7 @@ fn bus_neighbors(spec: &SpecificationGraph, units: &[Unit]) -> BTreeMap<VertexId
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flexplore_hgraph::Scope;
     use flexplore_sched::Time;
     use flexplore_spec::{ArchitectureGraph, ProblemGraph};
 

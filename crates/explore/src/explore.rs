@@ -311,6 +311,18 @@ fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
         "estimate_delta_pushes",
         stats.allocations.estimate_delta_pushes,
     );
+    obs.set_count(
+        "analysis_mandatory_forced",
+        stats.allocations.analysis_mandatory_forced,
+    );
+    obs.set_count(
+        "analysis_subtrees_skipped",
+        stats.allocations.analysis_subtrees_skipped,
+    );
+    obs.set_count(
+        "symmetry_orbit_expansions",
+        stats.allocations.symmetry_orbit_expansions,
+    );
     obs.set_count("estimate_skipped", stats.estimate_skipped);
     obs.set_count("implement_attempts", stats.implement_attempts);
     obs.set_count("feasible", stats.feasible);

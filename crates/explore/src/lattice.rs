@@ -52,10 +52,38 @@
 //! threads. The final candidate list is sorted by `(cost, estimate desc,
 //! original unit mask)`, which reproduces the flat scan's stable sort over
 //! mask-ascending insertion byte for byte.
+//!
+//! # Static-analysis pruning
+//!
+//! When the caller hands over an [`AnalysisFacts`] certificate (see
+//! `flexplore_lint::analysis` and DESIGN.md §15), the DFS exploits three
+//! proven fact kinds without changing the candidate list by a byte:
+//!
+//! * **Mandatory units** — every estimate-feasible subset contains them,
+//!   so the exclude branch is attributed to `infeasible` wholesale and
+//!   only the include branch is searched.
+//! * **Dominated twins** — a dominated unit that is not a bus neighbor,
+//!   not unusable and not in a symmetry class has an include subtree
+//!   control-flow-isomorphic to its exclude subtree once a dominator is in
+//!   the decided mask: the exclude subtree is searched once and every
+//!   emission expands into the with/without pair.
+//! * **Symmetry orbits** — interchangeable units are kept adjacent in the
+//!   DFS order; each run of `s` class members branches once per choice
+//!   count `k` (exploring the canonical `k`-prefix) instead of `2^s`
+//!   times, and emissions expand back to all `C(s, k)` member choices.
+//!
+//! The mirrored and collapsed subtrees scale the per-subset prune
+//! counters by a branch multiplier, so the sum invariant
+//! `pruned_structurally + infeasible + kept == subsets` is preserved
+//! exactly (below the 64-unit saturation point). Attribution *between*
+//! the two prune categories may shift relative to the analysis-free walk
+//! — a mirrored subtree is judged at its surviving sibling's depth — but
+//! `kept`, the candidates, and their order never change.
 
 use crate::allocations::{AllocationCandidate, AllocationOptions, AllocationStats};
 use crate::parallel::run_chunk;
 use flexplore_flex::{DeltaEstimator, DeltaIndex, FlexibilityEstimate};
+use flexplore_lint::AnalysisFacts;
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{allocation_from_units, CompiledSpec, Cost, Unit, UnitMask, UnitMasks};
 use std::collections::HashMap;
@@ -78,13 +106,46 @@ fn subset_count(bits: usize) -> u64 {
     }
 }
 
+/// Exact binomial coefficient `C(n, k)`, saturating at `u64::MAX`. The
+/// running value is itself a binomial at every step, so the result is
+/// exact whenever it fits in a `u64`.
+fn binom_sat(n: u64, k: u64) -> u64 {
+    let k = k.min(n - k);
+    let mut r: u64 = 1;
+    for i in 0..k {
+        match r.checked_mul(n - i) {
+            Some(v) => r = v / (i + 1),
+            None => return u64::MAX,
+        }
+    }
+    r
+}
+
+/// One deferred candidate-expansion step on the DFS path: the walk
+/// explored a canonical representative subtree, and every subset emitted
+/// from it stands for a whole family of equivalent subsets that
+/// [`emit`] materializes.
+#[derive(Clone)]
+enum Expansion {
+    /// The symmetry-class run `start..start + len` was entered with its
+    /// `k`-prefix included; expand to every `k`-subset of the run.
+    Orbit { start: usize, len: usize, k: usize },
+    /// A dominated unit whose include subtree mirrors the explored
+    /// exclude subtree; expand into the without/with pair.
+    Twin { unit: usize },
+}
+
 /// Work deferred by the phase-1 prefix walk for the phase-2 fan-out.
 enum Pending {
-    /// A subtree root at [`BNB_PREFIX_DEPTH`], to be expanded by a worker.
+    /// A subtree root at or past [`BNB_PREFIX_DEPTH`] (symmetry-orbit
+    /// jumps can overshoot it), to be expanded by a worker.
     Expand {
         mask: UnitMask,
+        depth: usize,
         cost: Cost,
         feasible: bool,
+        mult: u64,
+        expansions: Vec<Expansion>,
     },
     /// A uniformly-feasible block found above the prefix depth: every
     /// completion of `mask` over the units from `depth` on is a keeper.
@@ -92,7 +153,27 @@ enum Pending {
         mask: UnitMask,
         depth: usize,
         cost: Cost,
+        expansions: Vec<Expansion>,
     },
+}
+
+/// The statically proven lattice facts, remapped into DFS unit order and
+/// filtered down to the shapes the walk can exploit soundly under the
+/// active prune options.
+struct Analysis {
+    /// Units every estimate-feasible subset includes: exclude branches of
+    /// these units are attributed to `infeasible` without a visit.
+    mandatory: UnitMask,
+    /// Length of the symmetry-class run starting at each depth (0 when
+    /// the unit does not start an exploitable run).
+    class_run: Vec<u32>,
+    /// Dominated units whose include subtree may be mirrored from the
+    /// exclude subtree: not a neighbor of any pruned bus, not unusable,
+    /// not a symmetry-class member.
+    twin: UnitMask,
+    /// Per twin unit, its dominators; the mirror triggers only once one
+    /// of them is already in the decided mask.
+    dominators: Vec<UnitMask>,
 }
 
 /// Shared, read-only inputs of the lattice search.
@@ -109,6 +190,8 @@ struct Ctx<'a> {
     comm: UnitMask,
     /// Units subject to the unusable-unit pruning (empty when disabled).
     unusable: UnitMask,
+    /// The static-analysis certificate, when enabled and non-trivial.
+    analysis: Option<Analysis>,
     observe: bool,
 }
 
@@ -122,6 +205,9 @@ struct State<'a> {
     current: DeltaEstimator<'a>,
     /// Delta tracker of `mask | rest` — the monotone infeasibility bound.
     optimistic: DeltaEstimator<'a>,
+    /// Expansion steps active on the DFS path; every emission below them
+    /// materializes the full equivalent-subset family.
+    expansions: Vec<Expansion>,
     estimate_calls: u64,
     estimate_wall: Duration,
 }
@@ -144,6 +230,7 @@ impl<'a> State<'a> {
             memo: HashMap::new(),
             current,
             optimistic,
+            expansions: Vec::new(),
             estimate_calls: 0,
             estimate_wall: Duration::ZERO,
         }
@@ -167,6 +254,9 @@ impl<'a> State<'a> {
         s.subtrees_pruned += o.subtrees_pruned;
         s.estimate_memo_hits += o.estimate_memo_hits;
         s.estimate_delta_pushes += o.estimate_delta_pushes;
+        s.analysis_mandatory_forced += o.analysis_mandatory_forced;
+        s.analysis_subtrees_skipped += o.analysis_subtrees_skipped;
+        s.symmetry_orbit_expansions += o.symmetry_orbit_expansions;
         self.estimate_calls += other.estimate_calls;
         self.estimate_wall += other.estimate_wall;
     }
@@ -198,6 +288,7 @@ pub(crate) fn bnb_scan(
     compiled: &CompiledSpec<'_>,
     units: Vec<Unit>,
     options: &AllocationOptions,
+    facts: Option<&AnalysisFacts>,
     obs: &ObsSink,
 ) -> (Vec<AllocationCandidate>, AllocationStats) {
     let n = units.len();
@@ -207,28 +298,40 @@ pub(crate) fn bnb_scan(
     };
     let costs: Vec<Cost> = units.iter().map(unit_cost).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&k| costs[k]); // stable: ties keep original order
+    // Ascending cost, ties towards original order — except that symmetry-
+    // class members gather behind their class's first member (they share
+    // one cost, so the run stays inside the cost tie it already occupied
+    // and the classless order is unchanged).
+    let anchor = |k: usize| -> usize {
+        facts
+            .and_then(|f| f.class_of.get(k).copied().flatten())
+            .map_or(k, |c| facts.unwrap().classes[c as usize][0] as usize)
+    };
+    order.sort_by_key(|&k| (costs[k], anchor(k), k));
     let dfs_units: Vec<Unit> = order.iter().map(|&k| units[k]).collect();
     let orig_bits: Vec<UnitMask> = order.iter().map(|&k| UnitMask::bit(k)).collect();
     let masks = compiled.unit_masks(&dfs_units);
     let index = DeltaIndex::new(compiled, &masks);
 
+    let comm = if options.prune_useless_buses {
+        masks.comm_mask()
+    } else {
+        UnitMask::empty()
+    };
+    let unusable = if options.prune_unusable {
+        masks.unusable_mask()
+    } else {
+        UnitMask::empty()
+    };
     let ctx = Ctx {
         masks: &masks,
         index: &index,
         dfs_units: &dfs_units,
         orig_bits: &orig_bits,
         n,
-        comm: if options.prune_useless_buses {
-            masks.comm_mask()
-        } else {
-            UnitMask::empty()
-        },
-        unusable: if options.prune_unusable {
-            masks.unusable_mask()
-        } else {
-            UnitMask::empty()
-        },
+        comm,
+        unusable,
+        analysis: facts.and_then(|f| remap_facts(f, &order, &masks, comm, unusable, n)),
         observe: obs.is_enabled(),
     };
 
@@ -246,6 +349,7 @@ pub(crate) fn bnb_scan(
         0,
         Cost::new(0),
         false,
+        1,
     );
     state.seal();
 
@@ -254,28 +358,39 @@ pub(crate) fn bnb_scan(
     let threads = options.threads.max(1);
     let results: Vec<State<'_>> = run_chunk(&pending, threads, |item| {
         let mut st;
-        match *item {
+        match item {
             Pending::Expand {
                 mask,
+                depth,
                 cost,
                 feasible,
+                mult,
+                expansions,
             } => {
-                st = State::at(&ctx, mask, BNB_PREFIX_DEPTH, true);
+                st = State::at(&ctx, *mask, *depth, true);
+                st.expansions = expansions.clone();
                 let mut no_defer = Vec::new();
                 dfs(
                     &ctx,
                     &mut st,
                     &mut no_defer,
                     usize::MAX,
-                    mask,
-                    BNB_PREFIX_DEPTH,
-                    cost,
-                    feasible,
+                    *mask,
+                    *depth,
+                    *cost,
+                    *feasible,
+                    *mult,
                 );
             }
-            Pending::Fill { mask, depth, cost } => {
-                st = State::at(&ctx, mask, depth, false);
-                fill(&ctx, &mut st, mask, depth, cost);
+            Pending::Fill {
+                mask,
+                depth,
+                cost,
+                expansions,
+            } => {
+                st = State::at(&ctx, *mask, *depth, false);
+                st.expansions = expansions.clone();
+                fill(&ctx, &mut st, *mask, *depth, *cost);
             }
         }
         st.seal();
@@ -300,6 +415,78 @@ fn rest_mask(n: usize, depth: usize) -> UnitMask {
     UnitMask::range(depth, n)
 }
 
+/// Remaps an [`AnalysisFacts`] certificate (stated over the original unit
+/// order) into DFS order and keeps only the shapes the walk can exploit
+/// soundly under the active prune masks. Returns `None` when the
+/// certificate proves nothing usable, so the DFS hot path pays nothing.
+fn remap_facts(
+    f: &AnalysisFacts,
+    order: &[usize],
+    masks: &UnitMasks,
+    comm: UnitMask,
+    unusable: UnitMask,
+    n: usize,
+) -> Option<Analysis> {
+    if f.unit_count != n || f.is_trivial() {
+        return None;
+    }
+    let mut pos = vec![0usize; n];
+    for (d, &o) in order.iter().enumerate() {
+        pos[o] = d;
+    }
+    let remap = |m: UnitMask| {
+        let mut out = UnitMask::empty();
+        for o in m.iter_ones() {
+            out |= UnitMask::bit(pos[o]);
+        }
+        out
+    };
+
+    let mandatory = remap(f.mandatory);
+
+    // A twin mirror is only exact when including the unit cannot change a
+    // bus's allocated-neighbor count, so bus neighbors are ineligible
+    // (only of buses the useless-bus pruning actually watches).
+    let mut bus_linked = UnitMask::empty();
+    for b in comm.iter_ones() {
+        bus_linked |= masks.neighbors(b);
+    }
+    let mut twin = UnitMask::empty();
+    let mut dominators = vec![UnitMask::empty(); n];
+    for d in 0..n {
+        let o = order[d];
+        if f.dominated_by[o].is_some()
+            && f.class_of[o].is_none()
+            && !bus_linked.test(d)
+            && !unusable.test(d)
+        {
+            twin |= UnitMask::bit(d);
+            dominators[d] = remap(f.dominators[o]);
+        }
+    }
+
+    // Class members are contiguous by the DFS sort key; runs touching an
+    // unusable unit fall back to plain branching (the unusable prune
+    // handles each member on its own).
+    let mut class_run = vec![0u32; n];
+    for class in &f.classes {
+        let mut ds: Vec<usize> = class.iter().map(|&o| pos[o as usize]).collect();
+        ds.sort_unstable();
+        let contiguous = ds.windows(2).all(|w| w[1] == w[0] + 1);
+        let run = UnitMask::range(ds[0], ds[0] + ds.len());
+        if contiguous && !run.intersects(unusable) {
+            class_run[ds[0]] = ds.len() as u32;
+        }
+    }
+
+    Some(Analysis {
+        mandatory,
+        class_run,
+        twin,
+        dominators,
+    })
+}
+
 /// `true` when some bus of `mask | rest` could end up with fewer than two
 /// allocated neighbors in a completion — branching must continue to sort
 /// those completions out.
@@ -316,7 +503,10 @@ fn bus_hazard(ctx: &Ctx<'_>, mask: UnitMask, rest: UnitMask) -> bool {
 /// passes `limit == BNB_PREFIX_DEPTH` and collects deferred work in
 /// `pending`; phase 2 passes `limit == usize::MAX` and never defers. On
 /// entry and exit, `st.current` tracks `mask` and `st.optimistic` tracks
-/// `mask | rest_mask(n, depth)`.
+/// `mask | rest_mask(n, depth)`. `mult` is the number of equivalent
+/// subtrees this walk stands for (the product of the active expansions'
+/// multiplicities): per-subset counters scale by it, so mirrored and
+/// collapsed siblings stay accounted for exactly.
 #[allow(clippy::too_many_arguments)]
 fn dfs(
     ctx: &Ctx<'_>,
@@ -327,18 +517,22 @@ fn dfs(
     depth: usize,
     cost: Cost,
     feasible_in: bool,
+    mult: u64,
 ) {
-    if depth == limit && depth < ctx.n {
+    if depth >= limit && depth < ctx.n {
         pending.push(Pending::Expand {
             mask,
+            depth,
             cost,
             feasible: feasible_in,
+            mult,
+            expansions: st.expansions.clone(),
         });
         return;
     }
     st.stats.nodes_visited += 1;
     let rest = rest_mask(ctx.n, depth);
-    let outcomes = subset_count(ctx.n - depth);
+    let outcomes = subset_count(ctx.n - depth).saturating_mul(mult);
 
     // Dead bus: an included bus that cannot reach two included-or-undecided
     // neighbors stays useless in every completion.
@@ -376,29 +570,149 @@ fn dfs(
     // trip a structural prune, so every completion is a keeper.
     if feasible && !rest.intersects(ctx.unusable) && !bus_hazard(ctx, mask, rest) {
         if limit <= ctx.n {
-            pending.push(Pending::Fill { mask, depth, cost });
+            pending.push(Pending::Fill {
+                mask,
+                depth,
+                cost,
+                expansions: st.expansions.clone(),
+            });
         } else {
             fill(ctx, st, mask, depth, cost);
         }
         return;
     }
 
+    let half = subset_count(ctx.n - depth - 1).saturating_mul(mult);
+    let class_run = ctx
+        .analysis
+        .as_ref()
+        .map_or(0, |a| a.class_run[depth] as usize);
+
     // Branch on the cheapest undecided unit.
     if ctx.unusable.test(depth) {
         // Including an unusable unit only adds cost: the include half is
         // structurally dominated wholesale.
-        st.stats.pruned_structurally = st
-            .stats
-            .pruned_structurally
-            .saturating_add(subset_count(ctx.n - depth - 1));
+        st.stats.pruned_structurally = st.stats.pruned_structurally.saturating_add(half);
         st.stats.subtrees_pruned += 1;
         st.optimistic.pop_unit(depth);
-        dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+        dfs(
+            ctx,
+            st,
+            pending,
+            limit,
+            mask,
+            depth + 1,
+            cost,
+            feasible,
+            mult,
+        );
+        st.optimistic.push_unit(depth);
+    } else if class_run >= 2 {
+        // Symmetry orbit: the `s` interchangeable units starting here
+        // branch once per choice count `k` — the canonical `k`-prefix
+        // subtree stands for all `C(s, k)` member choices, expanded back
+        // at emission. Every check below this node depends only on how
+        // many class members are included, never on which.
+        let s = class_run;
+        let unit_cost = ctx.masks.cost(depth);
+        for k in depth..depth + s {
+            st.optimistic.pop_unit(k);
+        }
+        let mut branch_cost = cost;
+        for k in 0..=s {
+            if k > 0 {
+                st.current.push_unit(depth + k - 1);
+                st.optimistic.push_unit(depth + k - 1);
+                branch_cost += unit_cost;
+            }
+            let expanded = k > 0 && k < s;
+            if expanded {
+                st.expansions.push(Expansion::Orbit {
+                    start: depth,
+                    len: s,
+                    k,
+                });
+            }
+            dfs(
+                ctx,
+                st,
+                pending,
+                limit,
+                mask | UnitMask::range(depth, depth + k),
+                depth + s,
+                branch_cost,
+                feasible,
+                mult.saturating_mul(binom_sat(s as u64, k as u64)),
+            );
+            if expanded {
+                st.expansions.pop();
+            }
+        }
+        for k in (depth..depth + s).rev() {
+            st.current.pop_unit(k);
+        }
+    } else if ctx
+        .analysis
+        .as_ref()
+        .is_some_and(|a| a.mandatory.test(depth))
+    {
+        // Mandatory unit: every subset without it is estimate-infeasible,
+        // so the exclude half dies without a visit.
+        st.stats.infeasible = st.stats.infeasible.saturating_add(half);
+        st.stats.subtrees_pruned += 1;
+        st.stats.analysis_mandatory_forced += 1;
+        st.current.push_unit(depth);
+        dfs(
+            ctx,
+            st,
+            pending,
+            limit,
+            mask | UnitMask::bit(depth),
+            depth + 1,
+            cost + ctx.masks.cost(depth),
+            feasible,
+            mult,
+        );
+        st.current.pop_unit(depth);
+    } else if ctx
+        .analysis
+        .as_ref()
+        .is_some_and(|a| a.twin.test(depth) && mask.intersects(a.dominators[depth]))
+    {
+        // Dominated twin: a dominator is already included, so the include
+        // subtree is control-flow-isomorphic to the exclude subtree —
+        // walk the exclude side once and expand each emission into the
+        // without/with pair.
+        st.stats.analysis_subtrees_skipped += 1;
+        st.optimistic.pop_unit(depth);
+        st.expansions.push(Expansion::Twin { unit: depth });
+        dfs(
+            ctx,
+            st,
+            pending,
+            limit,
+            mask,
+            depth + 1,
+            cost,
+            feasible,
+            mult.saturating_mul(2),
+        );
+        st.expansions.pop();
         st.optimistic.push_unit(depth);
     } else {
         // Exclude branch: the unit leaves the undecided rest.
         st.optimistic.pop_unit(depth);
-        dfs(ctx, st, pending, limit, mask, depth + 1, cost, feasible);
+        dfs(
+            ctx,
+            st,
+            pending,
+            limit,
+            mask,
+            depth + 1,
+            cost,
+            feasible,
+            mult,
+        );
         st.optimistic.push_unit(depth);
         // Include branch: the unit moves from rest into the decided mask,
         // so the optimistic union is unchanged.
@@ -412,6 +726,7 @@ fn dfs(
             depth + 1,
             cost + ctx.masks.cost(depth),
             feasible,
+            mult,
         );
         st.current.pop_unit(depth);
     }
@@ -450,7 +765,11 @@ fn fill(ctx: &Ctx<'_>, st: &mut State<'_>, mask: UnitMask, depth: usize, cost: C
 }
 
 /// Records one kept allocation, tagged with its original-order unit mask
-/// for the flat-identical final sort.
+/// for the flat-identical final sort. Active expansions fan the subset
+/// out into its whole equivalent family first: every variant shares the
+/// estimate byte for byte (twins add only coverage-subsumed units,
+/// orbit members have identical coverage), exactly as the flat scan
+/// would compute it.
 fn emit(
     ctx: &Ctx<'_>,
     st: &mut State<'_>,
@@ -458,7 +777,70 @@ fn emit(
     cost: Cost,
     estimate: FlexibilityEstimate,
 ) {
-    st.stats.kept += 1;
+    if st.expansions.is_empty() {
+        st.stats.kept += 1;
+        push_candidate(ctx, st, mask, cost, estimate);
+        return;
+    }
+    let expansions = std::mem::take(&mut st.expansions);
+    let mut variants: Vec<(UnitMask, Cost)> = vec![(mask, cost)];
+    let mut twin_variants: u64 = 1;
+    for e in &expansions {
+        match *e {
+            Expansion::Twin { unit } => {
+                let c = ctx.masks.cost(unit);
+                let mut with: Vec<(UnitMask, Cost)> = variants
+                    .iter()
+                    .map(|&(m, base)| (m | UnitMask::bit(unit), base + c))
+                    .collect();
+                variants.append(&mut with);
+                twin_variants = twin_variants.saturating_mul(2);
+            }
+            Expansion::Orbit { start, len, k } => {
+                let run = UnitMask::range(start, start + len);
+                let mut out = Vec::with_capacity(variants.len());
+                for &(m, c) in &variants {
+                    for_each_k_subset(start, len, k, m.andnot(run), &mut |vm| {
+                        out.push((vm, c));
+                    });
+                }
+                variants = out;
+            }
+        }
+    }
+    st.stats.kept += variants.len() as u64;
+    st.stats.symmetry_orbit_expansions += variants.len() as u64 - twin_variants;
+    for (vmask, vcost) in variants {
+        push_candidate(ctx, st, vmask, vcost, estimate.clone());
+    }
+    st.expansions = expansions;
+}
+
+/// Calls `f` with `base` extended by every `k`-subset of the units
+/// `start..start + len`, in ascending mask order.
+fn for_each_k_subset(
+    start: usize,
+    len: usize,
+    k: usize,
+    base: UnitMask,
+    f: &mut impl FnMut(UnitMask),
+) {
+    if k == 0 {
+        f(base);
+        return;
+    }
+    for i in (k - 1)..len {
+        for_each_k_subset(start, i, k - 1, base | UnitMask::bit(start + i), f);
+    }
+}
+
+fn push_candidate(
+    ctx: &Ctx<'_>,
+    st: &mut State<'_>,
+    mask: UnitMask,
+    cost: Cost,
+    estimate: FlexibilityEstimate,
+) {
     let allocation = allocation_from_units(ctx.dfs_units, mask);
     let mut orig = UnitMask::empty();
     for k in mask.iter_ones() {

@@ -206,6 +206,14 @@ impl<'a> DeltaIndex<'a> {
     pub fn compiled(&self) -> &'a CompiledSpec<'a> {
         self.compiled
     }
+
+    /// The problem vertices unit `k` covers, as dense `VertexId::index()`
+    /// values — the inverted coverage table the static lattice analysis
+    /// reuses to reason about sole coverage and coverage containment.
+    #[must_use]
+    pub fn unit_covers(&self, k: usize) -> &[u32] {
+        &self.unit_covers[k]
+    }
 }
 
 /// Mutable estimate state tracking one allocation mask under single-unit

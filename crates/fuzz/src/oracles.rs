@@ -13,6 +13,7 @@
 //! | `thread-invariance` | fronts and deterministic obs counters are identical for 1 and 4 threads |
 //! | `resilience-subset` | fault-degraded points are weakly dominated by the healthy front, and `resilience ≤ flexibility` |
 //! | `round-trip` | serialize → deserialize → compile → explore reproduces the front byte-identically |
+//! | `analysis-facts` | every static lattice fact (mandatory / dominated / symmetry, DESIGN.md §15) holds on the prune-free flat enumeration of small specs |
 //!
 //! Each oracle body runs under [`capture`](crate::capture::capture), so a
 //! panic anywhere in hgraph/spec/bind/explore surfaces as a violation with
@@ -21,12 +22,15 @@
 use crate::capture::capture;
 use flexplore_bind::ImplementOptions;
 use flexplore_explore::{
-    explore, explore_resilient, explore_with_obs, moea_explore, Enumerator, ExploreError,
-    ExploreOptions, ExploreResult, MoeaOptions,
+    explore, explore_resilient, explore_with_obs, moea_explore, possible_resource_allocations,
+    AllocationCandidate, AllocationOptions, Enumerator, ExploreError, ExploreOptions,
+    ExploreResult, MoeaOptions, Unit,
 };
-use flexplore_lint::lint_spec;
+use flexplore_flex::Flexibility;
+use flexplore_lint::{compute_facts, lint_spec};
 use flexplore_obs::ObsSink;
-use flexplore_spec::{CompiledSpec, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, Cost, SpecificationGraph};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -45,12 +49,14 @@ pub enum OracleKind {
     ResilienceSubset,
     /// JSON round-trip reproduces the front.
     RoundTrip,
+    /// Static lattice facts vs the prune-free flat enumeration.
+    AnalysisFacts,
 }
 
 impl OracleKind {
     /// All oracles, in canonical order.
     #[must_use]
-    pub fn all() -> [OracleKind; 6] {
+    pub fn all() -> [OracleKind; 7] {
         [
             OracleKind::LintExplore,
             OracleKind::EnumeratorEquivalence,
@@ -58,6 +64,7 @@ impl OracleKind {
             OracleKind::ThreadInvariance,
             OracleKind::ResilienceSubset,
             OracleKind::RoundTrip,
+            OracleKind::AnalysisFacts,
         ]
     }
 
@@ -71,6 +78,7 @@ impl OracleKind {
             OracleKind::ThreadInvariance => "thread-invariance",
             OracleKind::ResilienceSubset => "resilience-subset",
             OracleKind::RoundTrip => "round-trip",
+            OracleKind::AnalysisFacts => "analysis-facts",
         }
     }
 }
@@ -129,6 +137,7 @@ pub fn check_oracle(
         OracleKind::ThreadInvariance => capture(move || thread_invariance(&s)),
         OracleKind::ResilienceSubset => capture(move || resilience_subset(&s)),
         OracleKind::RoundTrip => capture(move || round_trip(&s)),
+        OracleKind::AnalysisFacts => capture(move || analysis_facts(&s)),
     };
     match outcome {
         Err(panic) => Some(Violation {
@@ -290,6 +299,158 @@ fn round_trip(spec: &SpecificationGraph) -> Option<String> {
     let a = render_outcome(explore(spec, &ExploreOptions::paper()));
     let b = render_outcome(explore(&reparsed, &ExploreOptions::paper()));
     (a != b).then(|| format!("front changed across JSON round-trip: {a} != {b}"))
+}
+
+/// Largest unit count the analysis-facts oracle judges exhaustively
+/// (`2^16` subsets with every pruning disabled — still milliseconds).
+const ANALYSIS_ORACLE_MAX_UNITS: usize = 16;
+
+/// Cross-checks the static lattice facts (`F014`/`F015`/`F016`) against
+/// ground truth: a flat enumeration with *every* structural pruning
+/// disabled, which keeps exactly the estimate-feasible subsets — the
+/// lattice the facts are stated against. (The bus/unusable prunings are
+/// sound for front construction but punch holes in the feasible set: a
+/// dominance swap target may leave a bus with a single neighbor.)
+fn analysis_facts(spec: &SpecificationGraph) -> Option<String> {
+    if lint_spec(spec).has_errors() {
+        return None;
+    }
+    let units = flexplore_explore::allocatable_units(spec);
+    let n = units.len();
+    if n == 0 || n > ANALYSIS_ORACLE_MAX_UNITS {
+        return None;
+    }
+    let Ok(compiled) = CompiledSpec::try_new(spec) else {
+        return None;
+    };
+    let facts = compute_facts(&compiled, &units);
+
+    let options = AllocationOptions {
+        prune_useless_buses: false,
+        prune_unusable: false,
+        enumerator: Enumerator::Flat,
+        ..AllocationOptions::default()
+    };
+    let Ok((candidates, _)) = possible_resource_allocations(spec, &options) else {
+        return None;
+    };
+
+    // Re-derive each candidate's subset mask as a u64 over unit indices.
+    let mask_of = |c: &AllocationCandidate| -> u64 {
+        units.iter().enumerate().fold(0u64, |m, (k, unit)| {
+            let present = match unit {
+                Unit::Vertex(v) => c.allocation.vertices.contains(v),
+                Unit::Cluster(cl) => c.allocation.clusters.contains(cl),
+            };
+            m | (u64::from(present) << k)
+        })
+    };
+    let kept: BTreeMap<u64, (Cost, Flexibility)> = candidates
+        .iter()
+        .map(|c| (mask_of(c), (c.cost, c.estimate.value)))
+        .collect();
+
+    // Sanity: the fact families are provably disjoint — a mandatory unit
+    // in a symmetry class (or with a dominator) would let a feasible
+    // subset drop it, contradicting mandatoriness.
+    for k in facts.mandatory.iter_ones() {
+        if facts.dominated_by[k].is_some() {
+            return Some(format!("unit {k} is both mandatory and dominated"));
+        }
+        if facts.class_of[k].is_some() {
+            return Some(format!(
+                "unit {k} is both mandatory and in a symmetry class"
+            ));
+        }
+    }
+
+    // F014 soundness: every feasible subset contains every mandatory unit.
+    // F014 completeness: when the full allocation is feasible, dropping
+    // any unit *not* flagged mandatory must leave it feasible.
+    let mandatory: u64 = facts.mandatory.iter_ones().fold(0, |m, k| m | (1 << k));
+    for &m in kept.keys() {
+        if m & mandatory != mandatory {
+            return Some(format!(
+                "feasible subset {m:#x} misses mandatory units {mandatory:#x}"
+            ));
+        }
+    }
+    let universe: u64 = (1 << n) - 1;
+    if kept.contains_key(&universe) {
+        for k in 0..n {
+            if mandatory & (1 << k) == 0 && !kept.contains_key(&(universe & !(1 << k))) {
+                return Some(format!(
+                    "unit {k} is not flagged mandatory, yet the full allocation minus it \
+                     is infeasible"
+                ));
+            }
+        }
+    }
+
+    // F015: replacing a dominated unit with its witness keeps feasibility
+    // and is weakly better on both objectives.
+    for (u, by) in facts.dominated_by.iter().enumerate() {
+        let Some(w) = *by else { continue };
+        let w = w as usize;
+        for (&m, &(cost, value)) in &kept {
+            if m & (1 << u) == 0 {
+                continue;
+            }
+            let swapped = (m & !(1 << u)) | (1 << w);
+            match kept.get(&swapped) {
+                None => {
+                    return Some(format!(
+                        "dominated unit {u}: swapping in witness {w} turned feasible \
+                         {m:#x} into infeasible {swapped:#x}"
+                    ))
+                }
+                Some(&(sc, sv)) => {
+                    if sc > cost || sv < value {
+                        return Some(format!(
+                            "dominated unit {u}: swapping in witness {w} worsened \
+                             ({cost}, {value:?}) to ({sc}, {sv:?})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // F016: symmetry-class members are interchangeable — a single swap
+    // preserves feasibility, cost and the estimate exactly.
+    for class in &facts.classes {
+        for &a in class {
+            for &b in class {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (a as usize, b as usize);
+                for (&m, &(cost, value)) in &kept {
+                    if m & (1 << a) == 0 || m & (1 << b) != 0 {
+                        continue;
+                    }
+                    let swapped = (m & !(1 << a)) | (1 << b);
+                    match kept.get(&swapped) {
+                        None => {
+                            return Some(format!(
+                                "symmetry: swapping unit {a} for {b} in {m:#x} lost \
+                                 feasibility"
+                            ))
+                        }
+                        Some(&(sc, sv)) => {
+                            if sc != cost || sv != value {
+                                return Some(format!(
+                                    "symmetry: swapping unit {a} for {b} changed \
+                                     ({cost}, {value:?}) to ({sc}, {sv:?})"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

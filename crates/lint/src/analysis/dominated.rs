@@ -1,0 +1,97 @@
+//! Dominated-unit analysis: units that can never improve the front.
+//!
+//! Unit `u` is *statically dominated* by unit `w` when `u`'s covered
+//! vertex set and bus membership are subsets of `w`'s and `u` costs at
+//! least as much — with at least one of the three strictly worse (the
+//! all-equal case is a symmetry class, reported as `F016` instead, so the
+//! relation stays antisymmetric). For any kept allocation `M ∋ u`, the
+//! swap `M \ {u} ∪ {w}` is estimate-feasible with an estimate at least as
+//! high and a cost no higher, so `u` can never be the reason an allocation
+//! reaches the Pareto front. Communication units and units covering
+//! nothing are exempt: bus interchange interacts with the dead-bus prune,
+//! and coverage-free units are already handled by the unusable-unit prune.
+//!
+//! Because domination is decided purely on coverage, bus membership and
+//! cost, the dominator sets are automatically closed under symmetry: if
+//! `w` dominates `u`, so does every member of `w`'s symmetry class.
+
+use flexplore_flex::DeltaIndex;
+use flexplore_spec::{UnitMask, UnitMasks};
+
+/// `true` when sorted slice `a` is a subset of sorted slice `b`.
+fn is_subset_sorted(a: &[u32], b: &[u32]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Per unit: the witness dominator (lowest index), and the full dominator
+/// mask the enumerator tests against the decided prefix at runtime.
+pub(crate) fn dominated_units(
+    index: &DeltaIndex<'_>,
+    masks: &UnitMasks,
+    busmem: &[UnitMask],
+    n: usize,
+) -> (Vec<Option<u32>>, Vec<UnitMask>) {
+    let comm = masks.comm_mask();
+    let mut dominated_by = vec![None; n];
+    let mut dominators = vec![UnitMask::empty(); n];
+    for u in 0..n {
+        if comm.test(u) {
+            continue;
+        }
+        let cov_u = index.unit_covers(u);
+        if cov_u.is_empty() {
+            continue;
+        }
+        for w in 0..n {
+            if w == u || comm.test(w) {
+                continue;
+            }
+            let cov_w = index.unit_covers(w);
+            if masks.cost(u) < masks.cost(w)
+                || busmem[u] | busmem[w] != busmem[w]
+                || !is_subset_sorted(cov_u, cov_w)
+            {
+                continue;
+            }
+            // All-equal would be a symmetry, not a domination.
+            if cov_u.len() == cov_w.len()
+                && busmem[u] == busmem[w]
+                && masks.cost(u) == masks.cost(w)
+            {
+                continue;
+            }
+            dominators[u] |= UnitMask::bit(w);
+            if dominated_by[u].is_none() {
+                dominated_by[u] = Some(w as u32);
+            }
+        }
+    }
+    (dominated_by, dominators)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_subset_sorted;
+
+    #[test]
+    fn subset_check_on_sorted_slices() {
+        assert!(is_subset_sorted(&[], &[]));
+        assert!(is_subset_sorted(&[], &[1, 2]));
+        assert!(is_subset_sorted(&[2], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[0], &[1, 2]));
+        assert!(!is_subset_sorted(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1], &[]));
+    }
+}

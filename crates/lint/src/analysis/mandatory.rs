@@ -1,0 +1,37 @@
+//! Mandatory-unit analysis: units every possible resource allocation must
+//! include.
+//!
+//! The flexibility estimate is monotone over the subset lattice (adding
+//! units never makes a feasible estimate infeasible), so a unit `u` is
+//! *statically mandatory* exactly when the full unit universe is
+//! estimate-feasible but the universe without `u` is not: by monotonicity
+//! every subset missing `u` is then infeasible, and every possible
+//! allocation contains `u`. Each probe is a single `O(1)` pop/feasible/push
+//! round trip on a [`DeltaEstimator`] positioned at the full universe, so
+//! the whole pass is `O(units)` after the tracker initialization.
+//!
+//! When the full universe itself is infeasible, no feasible allocation
+//! exists and the analysis reports no mandatory units (every claim about
+//! "all feasible allocations" would be vacuous, and forcing units in the
+//! enumerator would be meaningless).
+
+use flexplore_flex::{DeltaEstimator, DeltaIndex};
+use flexplore_spec::UnitMask;
+
+/// The statically mandatory units of the `n`-unit universe, as a mask.
+pub(crate) fn mandatory_units(index: &DeltaIndex<'_>, n: usize) -> UnitMask {
+    let mut est = DeltaEstimator::new(index);
+    est.push_mask(UnitMask::range(0, n));
+    let mut mandatory = UnitMask::empty();
+    if !est.feasible() {
+        return mandatory;
+    }
+    for k in 0..n {
+        est.pop_unit(k);
+        if !est.feasible() {
+            mandatory |= UnitMask::bit(k);
+        }
+        est.push_unit(k);
+    }
+    mandatory
+}

@@ -1,0 +1,43 @@
+//! Symmetry-class analysis: interchangeable units.
+//!
+//! Two non-communication units are *interchangeable* when they cover the
+//! same problem vertices, sit on the same buses, and cost the same:
+//! swapping one for the other in any allocation preserves estimate
+//! feasibility, the estimate itself (which depends only on per-vertex
+//! coverage), every structural prune, and the allocation cost. The pass
+//! partitions such units into canonical equivalence classes (members in
+//! ascending unit order, classes ordered by their first member), which the
+//! enumerator uses to explore one representative per orbit and expand the
+//! survivors back afterwards.
+
+use flexplore_flex::DeltaIndex;
+use flexplore_spec::{Cost, UnitMask, UnitMasks};
+use std::collections::BTreeMap;
+
+/// Groups units into symmetry classes of two or more members. Returns the
+/// classes and the inverse `unit -> class index` table.
+pub(crate) fn symmetry_classes(
+    index: &DeltaIndex<'_>,
+    masks: &UnitMasks,
+    busmem: &[UnitMask],
+    n: usize,
+) -> (Vec<Vec<u32>>, Vec<Option<u32>>) {
+    let comm = masks.comm_mask();
+    let mut groups: BTreeMap<(Vec<u32>, UnitMask, Cost), Vec<u32>> = BTreeMap::new();
+    for (k, &members) in busmem.iter().enumerate().take(n) {
+        if comm.test(k) {
+            continue;
+        }
+        let key = (index.unit_covers(k).to_vec(), members, masks.cost(k));
+        groups.entry(key).or_default().push(k as u32);
+    }
+    let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+    classes.sort_by_key(|g| g[0]);
+    let mut class_of = vec![None; n];
+    for (ci, class) in classes.iter().enumerate() {
+        for &k in class {
+            class_of[k as usize] = Some(ci as u32);
+        }
+    }
+    (classes, class_of)
+}

@@ -1,7 +1,7 @@
 //! The diagnostics framework: stable codes, severities, structured
 //! locations, and renderable reports.
 //!
-//! Every defect flexlint can detect has a **stable code** (`F001`–`F012`,
+//! Every defect flexlint can detect has a **stable code** (`F001`–`F016`,
 //! catalogued in DESIGN.md §10) that tools and tests may match on, a
 //! [`Severity`], and a [`Location`] naming the offending element of the
 //! specification graph. A [`LintReport`] collects the diagnostics of one
@@ -111,7 +111,7 @@ impl Location {
 /// human-readable name, and a message explaining the defect.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable diagnostic code (`F001`–`F012`).
+    /// Stable diagnostic code (`F001`–`F016`).
     pub code: &'static str,
     /// Severity class.
     pub severity: Severity,
@@ -263,12 +263,26 @@ impl LintReport {
             "  \"spec\": \"{}\",\n",
             json_escape(&self.spec_name)
         ));
-        out.push_str("  \"diagnostics\": [");
+        out.push_str("  \"diagnostics\": ");
+        out.push_str(&self.diagnostics_json("  "));
+        out.push_str(",\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!("  \"notes\": {}\n", self.notes()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the diagnostics as a JSON array, with items indented one
+    /// level below `indent`. Shared between the lint and analysis reports
+    /// so both emit byte-identical diagnostic objects.
+    pub(crate) fn diagnostics_json(&self, indent: &str) -> String {
+        let mut out = String::from("[");
         for (idx, d) in self.diagnostics.iter().enumerate() {
             if idx > 0 {
                 out.push(',');
             }
-            out.push_str("\n    {");
+            out.push_str(&format!("\n{indent}  {{"));
             out.push_str(&format!("\"code\": \"{}\", ", d.code));
             out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
             out.push_str(&format!("\"location\": \"{}\", ", d.location.kind()));
@@ -278,18 +292,30 @@ impl LintReport {
             out.push('}');
         }
         if !self.diagnostics.is_empty() {
-            out.push_str("\n  ");
+            out.push('\n');
+            out.push_str(indent);
         }
-        out.push_str("],\n");
-        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
-        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
-        out.push_str(&format!("  \"notes\": {}\n", self.notes()));
-        out.push_str("}\n");
+        out.push(']');
         out
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Every diagnostic code the lint passes (`F001`–`F013`) and the static
+/// lattice analysis (`F014`–`F016`) can emit, in order.
+pub const KNOWN_CODES: [&str; 16] = [
+    "F001", "F002", "F003", "F004", "F005", "F006", "F007", "F008", "F009", "F010", "F011", "F012",
+    "F013", "F014", "F015", "F016",
+];
+
+/// `true` when `code` is a diagnostic code some pass can actually emit.
+/// The CLI validates `--deny` arguments against this table so a typo like
+/// `--deny F099` fails loudly instead of silently never matching.
+#[must_use]
+pub fn is_known_code(code: &str) -> bool {
+    KNOWN_CODES.contains(&code)
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -32,6 +32,13 @@
 //!    resource set (`F009`), and specifications with no bindable complete
 //!    activation at all (`F012`).
 //!
+//! On top of the defect passes, the [`analysis`] module proves **facts
+//! about the allocation lattice** itself — statically mandatory units
+//! (`F014`), statically dominated units (`F015`), and symmetry classes of
+//! interchangeable units (`F016`) — reported as note-level diagnostics by
+//! [`analyze_spec`] and consumed by the branch-and-bound enumerator as an
+//! [`AnalysisFacts`] pruning certificate (DESIGN.md §15).
+//!
 //! The full catalog with the paper rule each code enforces lives in
 //! DESIGN.md §10.
 //!
@@ -52,8 +59,12 @@
 //! assert!(report.has_errors()); // top-level orphan escalates to error
 //! ```
 
+pub mod analysis;
 mod diagnostics;
 mod passes;
 
-pub use diagnostics::{Diagnostic, LintReport, Location, Severity};
-pub use passes::{lint_spec, lint_spec_obs};
+pub use analysis::{
+    analyze_spec, analyze_spec_obs, compute_facts, compute_facts_obs, AnalysisFacts, AnalysisReport,
+};
+pub use diagnostics::{is_known_code, Diagnostic, LintReport, Location, Severity, KNOWN_CODES};
+pub use passes::{lint_spec, lint_spec_obs, lint_spec_obs_with_capacity};

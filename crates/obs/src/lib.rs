@@ -81,6 +81,8 @@ pub mod phase {
     pub const TRACE: &str = "trace";
     /// Fault-injection trace replay.
     pub const REPLAY: &str = "replay";
+    /// Static lattice analysis (fact extraction over the compiled spec).
+    pub const ANALYZE: &str = "analyze";
 
     /// Sub-phase: flexibility estimation inside the subset scan
     /// (worker busy time).
@@ -103,6 +105,14 @@ pub mod phase {
     pub const LINT_PERIOD: &str = "lint.period";
     /// Sub-phase: lint semantic-degeneracy pass.
     pub const LINT_SEMANTIC: &str = "lint.semantic";
+    /// Sub-phase: mandatory-unit analysis (sole-coverage probes).
+    pub const ANALYZE_MANDATORY: &str = "analyze.mandatory";
+    /// Sub-phase: dominated-unit analysis (pairwise containment).
+    pub const ANALYZE_DOMINATED: &str = "analyze.dominated";
+    /// Sub-phase: symmetry-class analysis (interchangeable-unit grouping).
+    pub const ANALYZE_SYMMETRY: &str = "analyze.symmetry";
+    /// Sub-phase: static-analysis fact extraction feeding the enumerator.
+    pub const ENUMERATE_ANALYZE: &str = "enumerate.analysis";
 }
 
 /// A started span measurement; feed it back to [`ObsSink::finish`].

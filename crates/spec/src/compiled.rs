@@ -55,6 +55,21 @@ pub enum Unit {
     Cluster(ClusterId),
 }
 
+/// Returns the allocatable units of a specification in their canonical
+/// order: top-level architecture vertices first, then all design clusters.
+/// Every mask-addressed API (the enumerators, the evolutionary genotypes,
+/// the static lattice analysis) indexes this universe.
+#[must_use]
+pub fn allocatable_units(spec: &SpecificationGraph) -> Vec<Unit> {
+    let graph = spec.architecture().graph();
+    let mut units: Vec<Unit> = graph
+        .vertices_in(flexplore_hgraph::Scope::Top)
+        .map(Unit::Vertex)
+        .collect();
+    units.extend(graph.cluster_ids().map(Unit::Cluster));
+    units
+}
+
 /// Expands a unit subset mask over its unit universe into the
 /// [`ResourceAllocation`] it denotes: bit `k` of `mask` allocates
 /// `units[k]`. The shared decode step between the enumerators, the

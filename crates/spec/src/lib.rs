@@ -70,7 +70,9 @@ mod unitmask;
 
 pub use architecture::{ArchitectureGraph, Design, Link};
 pub use attrs::{Cost, ProcessAttrs, ResourceAttrs, ResourceKind};
-pub use compiled::{allocation_from_units, CompiledActivation, CompiledSpec, Unit, UnitMasks};
+pub use compiled::{
+    allocatable_units, allocation_from_units, CompiledActivation, CompiledSpec, Unit, UnitMasks,
+};
 pub use error::{BindingViolation, SpecError};
 pub use feasibility::Binding;
 pub use problem::{AlternativeStage, DataDep, ProblemGraph};
