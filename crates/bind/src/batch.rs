@@ -1,0 +1,93 @@
+//! Batched binding evaluation: sharing ECA-enumeration setup across
+//! sibling candidates.
+//!
+//! The EXPLORE driver implements many allocation candidates per run, and
+//! sibling candidates (neighbouring subsets of one subtree) usually
+//! activate the *same* cluster set — so the elementary cluster-activation
+//! enumeration at the head of every `implement` call keeps re-deriving an
+//! identical ECA list before the per-ECA `bind.solve` work starts.
+//! [`BindingBatch`] memoizes that setup step by activatable-cluster set:
+//! the ECA list is a pure function of the set (the selection product of
+//! the problem hierarchy restricted to activatable clusters), so batch
+//! members share one `Arc`'d list and the solver loop starts immediately.
+//!
+//! Determinism: a batch hit returns the byte-identical ECA list the local
+//! enumeration would have produced, in the same order — implementations,
+//! stats and candidate output never change. Only the *hit count* is
+//! timing-dependent under concurrency (two workers can race to fill the
+//! same key and both miss), which is why it surfaces through the
+//! thread-variant speculation section of the obs report as
+//! `batch_bind_calls`, never through `AllocationStats`.
+
+use flexplore_hgraph::{ClusterId, Selection};
+use flexplore_spec::SpecificationGraph;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared ECA-enumeration cache for one batch of `implement` calls
+/// (typically: all candidates of one EXPLORE run). Cheap to create;
+/// share by reference across worker threads.
+///
+/// `None` values cache the "a top-level interface lost every cluster"
+/// outcome, so infeasible siblings short-circuit without re-walking the
+/// hierarchy either.
+#[derive(Debug, Default)]
+pub struct BindingBatch {
+    ecas: Mutex<BTreeMap<BTreeSet<ClusterId>, CachedEcas>>,
+    hits: AtomicU64,
+}
+
+/// One cached enumeration outcome: the shared ECA list, or `None` for
+/// the infeasible top-level-loss case.
+type CachedEcas = Option<Arc<Vec<Selection>>>;
+
+impl BindingBatch {
+    /// Creates an empty batch cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `implement` calls whose ECA setup was answered from the
+    /// cache. Timing-dependent under concurrency (racing fills both count
+    /// as misses) — report it through the thread-variant obs section.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The ECA list for `activatable`, cached or freshly enumerated.
+    /// Returns `None` when some top-level interface has no activatable
+    /// cluster (the enumeration's error case — cached too).
+    pub(crate) fn ecas_for(
+        &self,
+        spec: &SpecificationGraph,
+        activatable: &BTreeSet<ClusterId>,
+    ) -> Option<Arc<Vec<Selection>>> {
+        if let Some(cached) = self
+            .ecas
+            .lock()
+            .expect("batch cache poisoned")
+            .get(activatable)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        // Enumerate outside the lock so concurrent misses on different
+        // keys don't serialize; the enumeration is pure, so a racing
+        // duplicate fill computes the identical list.
+        let computed = spec
+            .problem()
+            .graph()
+            .enumerate_selections_where(|c| activatable.contains(&c))
+            .ok()
+            .map(Arc::new);
+        self.ecas
+            .lock()
+            .expect("batch cache poisoned")
+            .entry(activatable.clone())
+            .or_insert(computed)
+            .clone()
+    }
+}

@@ -236,6 +236,28 @@ pub fn implement_allocation_obs(
     options: &ImplementOptions,
     obs: &ObsSink,
 ) -> Result<(Option<Implementation>, ImplementStats), BindError> {
+    implement_allocation_batch_obs(compiled, allocation, options, None, obs)
+}
+
+/// [`implement_allocation_obs`] with batched setup: when `batch` is given,
+/// the elementary-cluster-activation enumeration is answered from (and
+/// fills) the batch's shared cache, so sibling candidates activating the
+/// same cluster set skip straight to the per-ECA `bind.solve` work.
+/// Implementations, stats and observability are byte-identical to the
+/// unbatched call — the cache stores a pure function of the activatable
+/// set (see [`BindingBatch`]).
+///
+/// # Errors
+///
+/// Returns [`BindError::TooManyActivations`] if the ECA enumeration exceeds
+/// the configured bound.
+pub fn implement_allocation_batch_obs(
+    compiled: &CompiledSpec<'_>,
+    allocation: &ResourceAllocation,
+    options: &ImplementOptions,
+    batch: Option<&crate::batch::BindingBatch>,
+    obs: &ObsSink,
+) -> Result<(Option<Implementation>, ImplementStats), BindError> {
     let spec = compiled.spec();
     let mut stats = ImplementStats::default();
     let mut available = compiled.available_vertices(allocation);
@@ -249,13 +271,21 @@ pub fn implement_allocation_obs(
         return Ok((None, stats));
     }
     let activatable = &estimate.activatable;
-    let Ok(ecas) = spec
-        .problem()
-        .graph()
-        .enumerate_selections_where(|c| activatable.contains(&c))
-    else {
-        // A top-level interface lost all clusters: no implementation.
-        return Ok((None, stats));
+    // `None` marks the "a top-level interface lost all clusters" error
+    // case of the enumeration: no implementation.
+    let ecas: std::sync::Arc<Vec<flexplore_hgraph::Selection>> = match batch {
+        Some(batch) => match batch.ecas_for(spec, activatable) {
+            Some(ecas) => ecas,
+            None => return Ok((None, stats)),
+        },
+        None => match spec
+            .problem()
+            .graph()
+            .enumerate_selections_where(|c| activatable.contains(&c))
+        {
+            Ok(ecas) => std::sync::Arc::new(ecas),
+            Err(_) => return Ok((None, stats)),
+        },
     };
     if ecas.len() > options.max_activations {
         return Err(BindError::TooManyActivations {
@@ -268,7 +298,7 @@ pub fn implement_allocation_obs(
     obs.finish(phase::BIND_COMM, timer);
     let mut modes = Vec::new();
     let mut covered: BTreeSet<ClusterId> = BTreeSet::new();
-    for eca in &ecas {
+    for eca in ecas.iter() {
         stats.activations += 1;
         let timer = obs.start();
         let (solved, solve_stats) =

@@ -76,16 +76,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod comm;
 mod implement;
 mod solver;
 mod timing;
 
+pub use batch::BindingBatch;
 pub use comm::{full_comm_graph, CommGraph};
 pub use implement::{
-    implement_allocation, implement_allocation_compiled, implement_allocation_obs,
-    implement_default, implement_unit_mask_compiled, BindError, ImplementOptions, ImplementStats,
-    Implementation,
+    implement_allocation, implement_allocation_batch_obs, implement_allocation_compiled,
+    implement_allocation_obs, implement_default, implement_unit_mask_compiled, BindError,
+    ImplementOptions, ImplementStats, Implementation,
 };
 pub use solver::{
     mode_is_feasible, mode_timing_accepts, solve_mode, solve_mode_compiled, BindOptions,

@@ -35,10 +35,10 @@ use flexplore::obs::phase;
 use flexplore::{
     analyze_spec_obs, dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs,
     flexibility_profile, k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
-    min_cost_for_flexibility, run_with_faults, set_top_box, synthetic_spec, tv_decoder,
-    AllocationOptions, Cost, DegradationPolicy, Enumerator, ExploreOptions, FaultKind, FaultPlan,
-    FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection, SpecificationGraph,
-    SyntheticConfig, Time, VertexId,
+    min_cost_for_flexibility, resolve_threads, run_with_faults, set_top_box, synthetic_spec,
+    tv_decoder, AllocationOptions, Cost, DegradationPolicy, Enumerator, ExploreOptions, FaultKind,
+    FaultPlan, FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection,
+    SpecificationGraph, SyntheticConfig, Time, VertexId,
 };
 use flexplore_fuzz::{replay_dir, run_fuzz, DomainProfile, FuzzOptions};
 use std::fmt::Write as _;
@@ -630,6 +630,10 @@ fn cmd_profile(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    // Resolve `--threads 0` once, here: the engines re-resolve
+    // idempotently, and the recorded report then shows the worker count
+    // the scheduler actually ran with instead of the raw `0`.
+    let threads = resolve_threads(threads);
 
     let obs = ObsSink::enabled();
     let timer = obs.start();
@@ -701,6 +705,9 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    // Resolved once so the threads line and the recorded obs report show
+    // the actual worker count in the `--threads 0` case.
+    let threads = resolve_threads(threads);
     let obs = profile.sink();
     let timer = obs.start();
     // A file if one exists at the path, else a bundled model name — so CI
@@ -761,7 +768,7 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "threads: {threads} requested, {} chunks speculated, {} wasted attempts",
+        "threads: {threads} worker(s), {} chunks speculated, {} wasted attempts",
         s.chunks_speculated, s.speculative_waste
     );
     let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
@@ -826,6 +833,7 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    let threads = resolve_threads(threads);
     let obs = profile.sink();
     let timer = obs.start();
     let spec = load_spec(path)?;
@@ -855,7 +863,7 @@ fn cmd_resilience(args: &[&str]) -> Result<String, CliError> {
                 .display_names(spec.architecture())
         );
     }
-    let _ = writeln!(out, "threads: {threads} requested");
+    let _ = writeln!(out, "threads: {threads} worker(s)");
     let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     profiled_output(profile, &obs, "resilience", spec.name(), threads, out)
 }
@@ -1054,6 +1062,7 @@ fn cmd_faults(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    let threads = resolve_threads(threads);
 
     let obs = profile.sink();
     let timer = obs.start();
@@ -1304,6 +1313,7 @@ fn cmd_fuzz(args: &[&str]) -> Result<String, CliError> {
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
+    options.threads = resolve_threads(options.threads);
 
     if let Some(dir) = replay {
         let report = replay_dir(std::path::Path::new(dir)).map_err(|e| CliError {

@@ -74,8 +74,9 @@ pub use flexplore_adaptive::{
     FaultScenario, ReconfigCost,
 };
 pub use flexplore_bind::{
-    implement_allocation, implement_allocation_compiled, implement_allocation_obs,
-    implement_default, BindOptions, ImplementOptions, Implementation,
+    implement_allocation, implement_allocation_batch_obs, implement_allocation_compiled,
+    implement_allocation_obs, implement_default, BindOptions, BindingBatch, ImplementOptions,
+    Implementation,
 };
 pub use flexplore_explore::{
     exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_resilient,
@@ -83,8 +84,9 @@ pub use flexplore_explore::{
     k_resilient_flexibility, k_resilient_flexibility_obs, k_resilient_flexibility_threaded,
     max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
     possible_resource_allocations, possible_resource_allocations_compiled, remaining_flexibility,
-    remaining_flexibility_compiled, AllocationOptions, DesignPoint, Enumerator, ExploreOptions,
-    ExploreResult, ExploreStats, MoeaOptions, ParetoFront, ResilienceReport, ResilientDesignPoint,
+    remaining_flexibility_compiled, resolve_threads, AllocationOptions, DesignPoint, Enumerator,
+    ExploreOptions, ExploreResult, ExploreStats, MoeaOptions, ParetoFront, ResilienceReport,
+    ResilientDesignPoint, ShardedMemo,
 };
 pub use flexplore_flex::{
     estimate_flexibility, estimate_with_compiled, flexibility, flexibility_profile,

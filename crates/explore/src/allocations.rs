@@ -152,6 +152,12 @@ pub struct AllocationStats {
     /// Flexibility-estimate lookups answered by the submask memo instead of
     /// a fresh evaluation (0 for the flat scan).
     pub estimate_memo_hits: u64,
+    /// Estimate keys first missed by one parallel subtree walk that an
+    /// earlier (in sequence order) walk had already materialized — the
+    /// re-estimations the scan-wide sharded memo saves over per-walk
+    /// private memos. Counted at merge time in sequence order, so the
+    /// total is identical at every thread count (0 for the flat scan).
+    pub memo_cross_hits: u64,
     /// Single-unit delta updates applied to the incremental estimate
     /// trackers along the DFS path, tracker initialization included (0 for
     /// the flat scan, which recomputes every estimate from scratch).
@@ -333,6 +339,7 @@ impl AllocationStats {
         self.nodes_visited += other.nodes_visited;
         self.subtrees_pruned += other.subtrees_pruned;
         self.estimate_memo_hits += other.estimate_memo_hits;
+        self.memo_cross_hits += other.memo_cross_hits;
         self.estimate_delta_pushes += other.estimate_delta_pushes;
         self.analysis_mandatory_forced += other.analysis_mandatory_forced;
         self.analysis_subtrees_skipped += other.analysis_subtrees_skipped;

@@ -33,7 +33,7 @@ use crate::allocations::{
 use crate::error::ExploreError;
 use crate::parallel::{resolve_threads, run_chunk_obs, SPECULATION_DEPTH};
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::{implement_allocation_obs, ImplementOptions};
+use flexplore_bind::{implement_allocation_batch_obs, BindingBatch, ImplementOptions};
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{CompiledSpec, SpecificationGraph};
 use serde::{Deserialize, Serialize};
@@ -212,6 +212,10 @@ pub fn explore_compiled_obs(
     let mut front = ParetoFront::new();
     let mut f_cur = 0;
     let threads = resolve_threads(options.threads);
+    // One ECA-setup cache for the whole run: sibling candidates that
+    // activate the same cluster set share one enumeration (and, on the
+    // parallel path, share it across workers).
+    let batch = BindingBatch::new();
     if threads <= 1 {
         for candidate in &candidates {
             if options.flexibility_pruning && candidate.estimate.value <= f_cur {
@@ -220,8 +224,13 @@ pub fn explore_compiled_obs(
             }
             stats.implement_attempts += 1;
             let timer = obs.start();
-            let (implemented, _) =
-                implement_allocation_obs(compiled, &candidate.allocation, &options.implement, obs)?;
+            let (implemented, _) = implement_allocation_batch_obs(
+                compiled,
+                &candidate.allocation,
+                &options.implement,
+                Some(&batch),
+                obs,
+            )?;
             obs.finish(phase::BIND, timer);
             let Some(implementation) = implemented else {
                 continue;
@@ -258,7 +267,13 @@ pub fn explore_compiled_obs(
             stats.chunks_speculated += 1;
             let timer = obs.start();
             let results = run_chunk_obs(&chunk, threads, obs, |candidate| {
-                implement_allocation_obs(compiled, &candidate.allocation, &options.implement, obs)
+                implement_allocation_batch_obs(
+                    compiled,
+                    &candidate.allocation,
+                    &options.implement,
+                    Some(&batch),
+                    obs,
+                )
             });
             obs.finish(phase::BIND, timer);
             // Merge in cost order, re-checking the bound at its exact
@@ -287,6 +302,7 @@ pub fn explore_compiled_obs(
         }
     }
     stats.pareto_points = front.len() as u64;
+    obs.batch_bind(batch.hits());
     publish_stats(obs, &stats);
     Ok(ExploreResult { front, stats })
 }
@@ -307,6 +323,7 @@ fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
     obs.set_count("nodes_visited", stats.allocations.nodes_visited);
     obs.set_count("subtrees_pruned", stats.allocations.subtrees_pruned);
     obs.set_count("estimate_memo_hits", stats.allocations.estimate_memo_hits);
+    obs.set_count("memo_cross_hits", stats.allocations.memo_cross_hits);
     obs.set_count(
         "estimate_delta_pushes",
         stats.allocations.estimate_delta_pushes,

@@ -44,14 +44,27 @@
 //!
 //! The search always runs in two phases regardless of the thread count: a
 //! sequential DFS down to [`BNB_PREFIX_DEPTH`] that collects deferred
-//! subtree roots and fill blocks, then an order-preserving fan-out of
-//! those items over [`run_chunk`]. Every deferred item is processed with a
-//! fresh memo and fresh trackers re-initialized from the item's `(mask,
-//! depth)` alone, so all counters — memo hits and delta pushes included —
-//! depend only on the fixed decomposition, never on how items land on
-//! threads. The final candidate list is sorted by `(cost, estimate desc,
-//! original unit mask)`, which reproduces the flat scan's stable sort over
-//! mask-ascending insertion byte for byte.
+//! subtree roots and fill blocks, then a fan-out of those items over the
+//! work-stealing scheduler ([`run_stealing_obs`]). Each item's sequence
+//! id is its index in the deferral order, and the scheduler returns
+//! results in sequence order however the steals interleaved, so the merge
+//! replays the sequential schedule exactly. Every item runs with fresh
+//! trackers and a fresh *local* memo re-initialized from the item's
+//! `(mask, depth)` alone; local misses additionally probe a [`ShardedMemo`]
+//! shared across workers. A shared hit returns byte-identical data to the
+//! materialization it replaces (estimates are pure in the relevant
+//! submask), and the local memo's contents evolve identically either way,
+//! so the local hit/miss sequence — and with it `estimate_memo_hits` and
+//! `estimate_delta_pushes` — depends only on the fixed decomposition,
+//! never on how items land on threads. Cross-task reuse is counted at
+//! merge time instead: replaying each task's first-miss keys in sequence
+//! order against a global seen-set yields `memo_cross_hits`, a
+//! thread-invariant total that equals the shared memo's actual hit count
+//! on a sequential run. Only *which worker pays* each materialization (and
+//! therefore the `enumerate.estimate` phase timing split) is
+//! timing-dependent. The final candidate list is sorted by `(cost,
+//! estimate desc, original unit mask)`, which reproduces the flat scan's
+//! stable sort over mask-ascending insertion byte for byte.
 //!
 //! # Static-analysis pruning
 //!
@@ -81,12 +94,13 @@
 //! `kept`, the candidates, and their order never change.
 
 use crate::allocations::{AllocationCandidate, AllocationOptions, AllocationStats};
-use crate::parallel::run_chunk;
+use crate::memo::ShardedMemo;
+use crate::parallel::run_stealing_obs;
 use flexplore_flex::{DeltaEstimator, DeltaIndex, FlexibilityEstimate};
 use flexplore_lint::AnalysisFacts;
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{allocation_from_units, CompiledSpec, Cost, Unit, UnitMask, UnitMasks};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Depth of the sequential DFS prefix; subtrees rooted below it are
@@ -192,6 +206,9 @@ struct Ctx<'a> {
     unusable: UnitMask,
     /// The static-analysis certificate, when enabled and non-trivial.
     analysis: Option<Analysis>,
+    /// Estimate memo shared across all walks (and workers) of this scan;
+    /// see the determinism section of the module docs.
+    shared: &'a ShardedMemo<FlexibilityEstimate>,
     observe: bool,
 }
 
@@ -208,6 +225,10 @@ struct State<'a> {
     /// Expansion steps active on the DFS path; every emission below them
     /// materializes the full equivalent-subset family.
     expansions: Vec<Expansion>,
+    /// Relevant-submask keys in first-local-miss order. The merge replays
+    /// these sequences in sequence-id order to count `memo_cross_hits`
+    /// deterministically (see the module docs).
+    miss_keys: Vec<UnitMask>,
     estimate_calls: u64,
     estimate_wall: Duration,
 }
@@ -231,6 +252,7 @@ impl<'a> State<'a> {
             current,
             optimistic,
             expansions: Vec::new(),
+            miss_keys: Vec::new(),
             estimate_calls: 0,
             estimate_wall: Duration::ZERO,
         }
@@ -262,13 +284,20 @@ impl<'a> State<'a> {
     }
 
     /// Memoized full estimate for the subset the `current` tracker is at.
-    /// Materializes from the tracker on a miss — only those
-    /// materializations count into the `enumerate.estimate` phase.
+    /// Local misses probe the scan-wide [`ShardedMemo`] before
+    /// materializing from the tracker — only actual materializations count
+    /// into the `enumerate.estimate` phase. Either way the key joins the
+    /// local memo, so the local hit/miss sequence is schedule-independent.
     fn estimate_here(&mut self, ctx: &Ctx<'_>, mask: UnitMask) -> FlexibilityEstimate {
         let key = mask & ctx.masks.estimate_relevant_mask();
         if let Some(found) = self.memo.get(&key) {
             self.stats.estimate_memo_hits += 1;
             return found.clone();
+        }
+        self.miss_keys.push(key);
+        if let Some(found) = ctx.shared.get(&key) {
+            self.memo.insert(key, found.clone());
+            return found;
         }
         let started = ctx.observe.then(Instant::now);
         let est = self.current.materialize();
@@ -277,6 +306,7 @@ impl<'a> State<'a> {
             self.estimate_wall += started.elapsed();
         }
         self.memo.insert(key, est.clone());
+        ctx.shared.insert_if_absent(key, est.clone());
         est
     }
 }
@@ -323,6 +353,7 @@ pub(crate) fn bnb_scan(
     } else {
         UnitMask::empty()
     };
+    let shared: ShardedMemo<FlexibilityEstimate> = ShardedMemo::new();
     let ctx = Ctx {
         masks: &masks,
         index: &index,
@@ -332,6 +363,7 @@ pub(crate) fn bnb_scan(
         comm,
         unusable,
         analysis: facts.and_then(|f| remap_facts(f, &order, &masks, comm, unusable, n)),
+        shared: &shared,
         observe: obs.is_enabled(),
     };
 
@@ -353,10 +385,16 @@ pub(crate) fn bnb_scan(
     );
     state.seal();
 
-    // Phase 2: deferred subtrees and fill blocks, fanned out in item order
-    // with a fresh memo and fresh trackers per item.
+    // Phase 2: deferred subtrees and fill blocks, fanned out over the
+    // work-stealing scheduler with fresh trackers and a fresh local memo
+    // per item. The weight is a monotone proxy for the subtree size (a
+    // shallower root owns exponentially more of the lattice), used only
+    // for the heaviest-first deal — stealing rebalances the rest.
     let threads = options.threads.max(1);
-    let results: Vec<State<'_>> = run_chunk(&pending, threads, |item| {
+    let weight = |_: usize, item: &Pending| match item {
+        Pending::Expand { depth, .. } | Pending::Fill { depth, .. } => (n - depth + 1) as u64,
+    };
+    let (results, _steal) = run_stealing_obs(&pending, threads, obs, weight, |item| {
         let mut st;
         match item {
             Pending::Expand {
@@ -396,9 +434,22 @@ pub(crate) fn bnb_scan(
         st.seal();
         st
     });
+    // Merge in sequence order. Cross-task memo reuse is counted here, by
+    // replaying each task's first-miss keys against a global seen-set
+    // seeded with the phase-1 walk's misses: a repeated key is one
+    // materialization the shared memo saves a sequential run — the same
+    // total at every thread count.
+    let mut seen: HashSet<UnitMask> = state.miss_keys.iter().copied().collect();
+    let mut cross_hits: u64 = 0;
     for st in results {
+        for key in &st.miss_keys {
+            if !seen.insert(*key) {
+                cross_hits += 1;
+            }
+        }
         state.absorb(st);
     }
+    state.stats.memo_cross_hits = cross_hits;
     obs.add_time(
         phase::ENUMERATE_ESTIMATE,
         state.estimate_calls,
@@ -745,13 +796,23 @@ fn fill(ctx: &Ctx<'_>, st: &mut State<'_>, mask: UnitMask, depth: usize, cost: C
             st.stats.estimate_memo_hits += 1;
             found.clone()
         } else {
+            st.miss_keys.push(key);
+            // The tracker moves even when the shared memo answers: the
+            // pushes are cheap, and keeping them schedule-independent is
+            // what keeps `estimate_delta_pushes` thread-invariant.
             st.current.push_mask(sub);
-            let started = ctx.observe.then(Instant::now);
-            let est = st.current.materialize();
-            if let Some(started) = started {
-                st.estimate_calls += 1;
-                st.estimate_wall += started.elapsed();
-            }
+            let est = if let Some(found) = ctx.shared.get(&key) {
+                found
+            } else {
+                let started = ctx.observe.then(Instant::now);
+                let est = st.current.materialize();
+                if let Some(started) = started {
+                    st.estimate_calls += 1;
+                    st.estimate_wall += started.elapsed();
+                }
+                ctx.shared.insert_if_absent(key, est.clone());
+                est
+            };
             st.current.pop_mask(sub);
             st.memo.insert(key, est.clone());
             est

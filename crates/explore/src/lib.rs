@@ -55,6 +55,7 @@ mod allocations;
 mod error;
 mod explore;
 mod lattice;
+mod memo;
 mod moea;
 mod parallel;
 mod pareto;
@@ -73,7 +74,9 @@ pub use explore::{
     exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_with_obs,
     ExploreOptions, ExploreResult, ExploreStats,
 };
+pub use memo::ShardedMemo;
 pub use moea::{moea_explore, MoeaOptions, MoeaResult};
+pub use parallel::resolve_threads;
 pub use pareto::{exploration_order, DesignPoint, ParetoFront};
 pub use queries::{max_flexibility_under_budget, min_cost_for_flexibility};
 pub use resilience::{

@@ -1,34 +1,49 @@
-//! Deterministic fan-out primitives shared by the exploration engines.
+//! Deterministic work-stealing fan-out shared by the exploration engines.
 //!
-//! The EXPLORE engines evaluate candidates with an expensive, pure
-//! function (the binding construction). Parallelism here is *speculative
-//! chunking*: take the next batch of candidates that survive the pruning
-//! bound known so far, evaluate them concurrently, then merge the results
-//! **in candidate order**, re-checking the pruning bound with its exact
-//! sequential value before consuming each result.
+//! The EXPLORE engines evaluate tasks with an expensive, pure function
+//! (subtree walks of the lattice search, binding constructions of the
+//! candidate scan). Parallelism here is a **work-stealing scheduler with a
+//! deterministic merge**: every task carries its index in the input slice
+//! as a stable *sequence id*, workers pull tasks from per-worker deques
+//! and steal from neighbours when theirs runs dry, and the results are
+//! returned **in sequence order** regardless of which worker executed
+//! what. Callers consume the result vector exactly like a sequential map,
+//! so candidates, fronts, counters and obs reports are byte-identical at
+//! any `--threads` value.
 //!
 //! Determinism argument (the property tests assert this byte-for-byte):
 //!
-//! * The pruning bound `f_cur` is monotone non-decreasing along the
-//!   cost-ordered candidate sequence, and the collection-time bound is a
-//!   snapshot taken *before* the chunk's own results are merged — so it is
-//!   never larger than the exact sequential bound at any candidate of the
-//!   chunk. Collection-time skips are therefore a subset of sequential
-//!   skips: nothing the sequential algorithm would implement is lost.
-//! * At merge time the bound has caught up to its exact sequential value
-//!   for each candidate in turn, so the re-check reproduces the sequential
-//!   skip/attempt decision exactly. Results of re-check-skipped candidates
-//!   (including errors) are discarded unread — the sequential run never
-//!   computed them.
-//! * Merging in candidate order makes the archive insertions, the bound
-//!   updates, and error propagation follow the sequential schedule.
+//! * The task set and each task's *content* are fixed before the fan-out
+//!   starts (a fixed-depth DFS prefix for the lattice search, a
+//!   bound-surviving candidate chunk for the EXPLORE driver). Scheduling
+//!   decides only *where* and *when* a task runs, never *what* it
+//!   computes: tasks share nothing mutable except caches of pure
+//!   functions, whose hit pattern can change timing but not values.
+//! * Results are scattered into a slot vector indexed by sequence id, so
+//!   the caller's in-order merge replays the sequential schedule whatever
+//!   interleaving the steals produced.
+//! * The initial deal is deterministic too (heaviest-first round-robin
+//!   over the caller's weight estimates), so even the *dispatch* order is
+//!   a pure function of the input — only steals are timing-dependent.
 //!
-//! Only the *amount of wasted work* (speculatively evaluated, then
-//! discarded) depends on the thread count; it is reported separately and
-//! excluded from the equality the engines guarantee.
+//! Only the scheduling counters ([`StealStats`]: tasks stolen, empty
+//! steal probes) and per-lane busy times depend on the thread count and
+//! on runtime timing; they are reported through the thread-variant
+//! section of the obs report and excluded from the equality the engines
+//! guarantee.
+//!
+//! # Stress knob
+//!
+//! Setting `FLEXPLORE_TEST_STEAL_JITTER=<seed>` makes every worker sleep
+//! a short, seed-dependent time before its first pull, shuffling the
+//! wake (and therefore steal) order between runs. Output must not change
+//! — the CI scheduler-stress job byte-diffs explore output across thread
+//! counts under several seeds to enforce exactly that.
 
 use flexplore_obs::ObsSink;
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Candidates dispatched per worker thread in one speculative chunk.
 ///
@@ -38,7 +53,13 @@ use std::time::Instant;
 pub(crate) const SPECULATION_DEPTH: usize = 4;
 
 /// Resolves a user-facing thread count: `0` means "all available cores".
-pub(crate) fn resolve_threads(threads: usize) -> usize {
+///
+/// Resolve **once** at the outermost entry point (the CLI does, right
+/// after flag parsing) and pass the resolved value down, so recorded
+/// reports show the worker count the scheduler actually ran with; the
+/// function is idempotent, so engines may re-apply it defensively.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -46,89 +67,212 @@ pub(crate) fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Evaluates `work` over `items` on up to `threads` scoped worker threads
-/// and returns the results **in item order**.
+/// Thread-variant scheduling counters of one [`run_stealing`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StealStats {
+    /// Tasks executed by a worker other than the one the deal assigned
+    /// them to.
+    pub tasks_stolen: u64,
+    /// Steal probes that found the victim's deque empty.
+    pub steal_failures: u64,
+}
+
+impl StealStats {
+    fn add(&mut self, other: StealStats) {
+        self.tasks_stolen += other.tasks_stolen;
+        self.steal_failures += other.steal_failures;
+    }
+}
+
+/// The test-only wake-order jitter (microseconds) for worker `worker`,
+/// from the `FLEXPLORE_TEST_STEAL_JITTER` seed. `None` when the knob is
+/// unset or unparsable — the hot path then never sleeps.
+fn steal_jitter(worker: usize) -> Option<Duration> {
+    let seed: u64 = std::env::var("FLEXPLORE_TEST_STEAL_JITTER")
+        .ok()?
+        .parse()
+        .ok()?;
+    // SplitMix64: decorrelates consecutive worker indices under any seed.
+    let mut x = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(worker as u64 + 1));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    Some(Duration::from_micros(x % 1_500))
+}
+
+/// Deals task indices to `workers` deques: heaviest first (ties toward
+/// the lower sequence id), round-robin. Every worker starts with its
+/// heaviest tasks at the *front* of its deque; steals take the *back*,
+/// i.e. the victim's lightest remaining task — the classic LPT-flavoured
+/// split that keeps skewed subtrees from serializing on one worker.
+fn deal(weights: &[u64], workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (j, &i) in order.iter().enumerate() {
+        deques[j % workers].push_back(i);
+    }
+    deques.into_iter().map(Mutex::new).collect()
+}
+
+/// Evaluates `work` over `items` on up to `threads` work-stealing workers
+/// and returns the results **in item (sequence-id) order** plus the
+/// scheduling counters. `weight(index, item)` is the caller's relative
+/// cost estimate used only for the initial deal — any values produce
+/// correct output.
 ///
-/// The split is deterministic (contiguous slices of `ceil(len/workers)`
-/// items) and the output vector is indexed like `items`, so the caller's
-/// in-order merge sees exactly the sequence a sequential map would
-/// produce. With one worker (or one item) the work runs inline on the
-/// caller's stack.
+/// With one worker (or at most one item) the work runs inline on the
+/// caller's stack in item order and the counters are zero.
+pub(crate) fn run_stealing<T, R, W, F>(
+    items: &[T],
+    threads: usize,
+    weight: W,
+    work: F,
+) -> (Vec<R>, StealStats)
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &T) -> u64,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, stats, _lanes) = run_stealing_lanes(items, threads, weight, false, work);
+    (results, stats)
+}
+
+/// [`run_stealing`] that additionally returns per-worker lanes
+/// `(items, busy)` when `observe` is set (lanes are empty otherwise, so
+/// no clocks are read on unobserved runs).
+fn run_stealing_lanes<T, R, W, F>(
+    items: &[T],
+    threads: usize,
+    weight: W,
+    observe: bool,
+    work: F,
+) -> (Vec<R>, StealStats, Vec<(u64, Duration)>)
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &T) -> u64,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        let started = observe.then(Instant::now);
+        let out: Vec<R> = items.iter().map(&work).collect();
+        let lanes = started.map_or_else(Vec::new, |s| vec![(items.len() as u64, s.elapsed())]);
+        return (out, StealStats::default(), lanes);
+    }
+    let weights: Vec<u64> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| weight(i, item))
+        .collect();
+    let deques = deal(&weights, workers);
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let mut stats = StealStats::default();
+    let mut lanes: Vec<(u64, Duration)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let work = &work;
+                scope.spawn(move || {
+                    if let Some(jitter) = steal_jitter(w) {
+                        std::thread::sleep(jitter);
+                    }
+                    let started = observe.then(Instant::now);
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut local = StealStats::default();
+                    loop {
+                        let mut next = deques[w].lock().expect("deque poisoned").pop_front();
+                        if next.is_none() {
+                            // Own deque dry: probe victims in a fixed scan
+                            // order, taking the lightest remaining task.
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                let got = deques[victim].lock().expect("deque poisoned").pop_back();
+                                if got.is_some() {
+                                    local.tasks_stolen += 1;
+                                    next = got;
+                                    break;
+                                }
+                                local.steal_failures += 1;
+                            }
+                        }
+                        let Some(index) = next else { break };
+                        out.push((index, work(&items[index])));
+                    }
+                    let lane = started.map(|s| (out.len() as u64, s.elapsed()));
+                    (out, local, lane)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (out, local, lane) = handle.join().expect("steal worker");
+            for (index, result) in out {
+                slots[index] = Some(result);
+            }
+            stats.add(local);
+            if let Some(lane) = lane {
+                lanes.push(lane);
+            }
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|r| r.expect("every task index is claimed by exactly one worker"))
+        .collect();
+    (results, stats, lanes)
+}
+
+/// [`run_stealing`] with observability: records one chunk event plus each
+/// worker lane's task count and busy wall-clock, and the steal counters,
+/// into `obs`. With a disabled sink this *is* [`run_stealing`] — no
+/// timing, no extra allocation. Results are identical either way.
+pub(crate) fn run_stealing_obs<T, R, W, F>(
+    items: &[T],
+    threads: usize,
+    obs: &ObsSink,
+    weight: W,
+    work: F,
+) -> (Vec<R>, StealStats)
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &T) -> u64,
+    F: Fn(&T) -> R + Sync,
+{
+    if !obs.is_enabled() {
+        return run_stealing(items, threads, weight, work);
+    }
+    let (results, stats, lanes) = run_stealing_lanes(items, threads, weight, true, work);
+    obs.chunk(&lanes);
+    obs.scheduler(stats.tasks_stolen, stats.steal_failures);
+    (results, stats)
+}
+
+/// Uniform-weight convenience over [`run_stealing`]: evaluates `work`
+/// over `items` and returns the results in item order. The unit weights
+/// make the deal a plain round-robin; stealing still rebalances uneven
+/// task durations at runtime.
 pub(crate) fn run_chunk<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = threads.clamp(1, items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(work).collect();
-    }
-    let per = items.len().div_ceil(workers);
-    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slots, part) in results.chunks_mut(per).zip(items.chunks(per)) {
-            let work = &work;
-            scope.spawn(move || {
-                for (slot, item) in slots.iter_mut().zip(part) {
-                    *slot = Some(work(item));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot of a chunk is filled by its worker"))
-        .collect()
+    run_stealing(items, threads, |_, _| 1, work).0
 }
 
-/// [`run_chunk`] with per-worker-lane observability: records one chunk
-/// event plus each lane's item count and busy wall-clock into `obs`.
-/// With a disabled sink this *is* [`run_chunk`] — no timing, no extra
-/// allocation. Results are identical either way.
+/// [`run_chunk`] with per-worker-lane observability (see
+/// [`run_stealing_obs`]). Results are identical to [`run_chunk`].
 pub(crate) fn run_chunk_obs<T, R, F>(items: &[T], threads: usize, obs: &ObsSink, work: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if !obs.is_enabled() {
-        return run_chunk(items, threads, work);
-    }
-    let workers = threads.clamp(1, items.len().max(1));
-    if workers <= 1 {
-        let started = Instant::now();
-        let out: Vec<R> = items.iter().map(&work).collect();
-        obs.chunk(&[(items.len() as u64, started.elapsed())]);
-        return out;
-    }
-    let per = items.len().div_ceil(workers);
-    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    let lanes: Vec<(u64, std::time::Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = results
-            .chunks_mut(per)
-            .zip(items.chunks(per))
-            .map(|(slots, part)| {
-                let work = &work;
-                scope.spawn(move || {
-                    let started = Instant::now();
-                    for (slot, item) in slots.iter_mut().zip(part) {
-                        *slot = Some(work(item));
-                    }
-                    (part.len() as u64, started.elapsed())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("chunk worker"))
-            .collect()
-    });
-    obs.chunk(&lanes);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot of a chunk is filled by its worker"))
-        .collect()
+    run_stealing_obs(items, threads, obs, |_, _| 1, work).0
 }
 
 #[cfg(test)]
@@ -154,6 +298,64 @@ mod tests {
     fn zero_threads_resolves_to_at_least_one() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+        // Idempotent: resolving a resolved count is a no-op.
+        assert_eq!(resolve_threads(resolve_threads(0)), resolve_threads(0));
+    }
+
+    #[test]
+    fn weighted_deal_keeps_sequence_order_in_the_output() {
+        // Strongly skewed weights: the heaviest task has the highest
+        // index, so the deal order differs maximally from the sequence
+        // order — the output must still be sequence-ordered.
+        let items: Vec<u64> = (0..23).collect();
+        for threads in [2, 5, 23, 40] {
+            let (out, _) = run_stealing(&items, threads, |_, &v| v, |&v| v + 100);
+            assert_eq!(out, (0..23).map(|v| v + 100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_stealing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let items: Vec<usize> = (0..101).collect();
+        let calls = AtomicU64::new(0);
+        let (out, stats) = run_stealing(
+            &items,
+            7,
+            |_, _| 1,
+            |&i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 101);
+        assert_eq!(out, items);
+        // Steal accounting never exceeds the task count.
+        assert!(stats.tasks_stolen <= 101);
+    }
+
+    #[test]
+    fn deal_is_heaviest_first_round_robin() {
+        let weights = [5u64, 1, 9, 9, 2];
+        let deques = deal(&weights, 2);
+        let d0: Vec<usize> = deques[0].lock().unwrap().iter().copied().collect();
+        let d1: Vec<usize> = deques[1].lock().unwrap().iter().copied().collect();
+        // Sorted by (desc weight, asc index): 2, 3, 0, 4, 1.
+        assert_eq!(d0, vec![2, 0, 1]);
+        assert_eq!(d1, vec![3, 4]);
+    }
+
+    #[test]
+    fn jitter_seed_changes_delay_but_never_results() {
+        // The jitter helper is a pure function of (env seed, worker).
+        assert_eq!(steal_jitter(0).is_some(), steal_jitter(1).is_some());
+        let items: Vec<usize> = (0..29).collect();
+        let baseline = run_chunk(&items, 4, |&i| i * 3);
+        // Even racing env readers only ever see timing change, not output.
+        std::env::set_var("FLEXPLORE_TEST_STEAL_JITTER", "42");
+        let jittered = run_chunk(&items, 4, |&i| i * 3);
+        std::env::remove_var("FLEXPLORE_TEST_STEAL_JITTER");
+        assert_eq!(baseline, jittered);
     }
 
     #[test]

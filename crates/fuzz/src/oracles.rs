@@ -231,30 +231,42 @@ fn moea_subset(spec: &SpecificationGraph) -> Option<String> {
 }
 
 fn thread_invariance(spec: &SpecificationGraph) -> Option<String> {
+    // Sequential reference, then every worker count the work-stealing
+    // scheduler must reproduce byte for byte — including an
+    // oversubscribed one (8) so steal-heavy schedules are exercised.
     let obs_one = ObsSink::enabled();
-    let obs_four = ObsSink::enabled();
     let a = render_outcome(explore_with_obs(
         spec,
         &ExploreOptions::paper().with_threads(1),
         &obs_one,
     ));
-    let b = render_outcome(explore_with_obs(
-        spec,
-        &ExploreOptions::paper().with_threads(4),
-        &obs_four,
-    ));
-    if a != b {
-        return Some(format!("threads 1 front {a} != threads 4 front {b}"));
-    }
     let ca = obs_one
         .report("fuzz", spec.name(), 1)
         .counters_json()
         .expect("counters serialize");
-    let cb = obs_four
-        .report("fuzz", spec.name(), 4)
-        .counters_json()
-        .expect("counters serialize");
-    (ca != cb).then(|| format!("threads 1 counters {ca} != threads 4 counters {cb}"))
+    for threads in [4usize, 8] {
+        let obs_n = ObsSink::enabled();
+        let b = render_outcome(explore_with_obs(
+            spec,
+            &ExploreOptions::paper().with_threads(threads),
+            &obs_n,
+        ));
+        if a != b {
+            return Some(format!(
+                "threads 1 front {a} != threads {threads} front {b}"
+            ));
+        }
+        let cb = obs_n
+            .report("fuzz", spec.name(), threads)
+            .counters_json()
+            .expect("counters serialize");
+        if ca != cb {
+            return Some(format!(
+                "threads 1 counters {ca} != threads {threads} counters {cb}"
+            ));
+        }
+    }
+    None
 }
 
 fn resilience_subset(spec: &SpecificationGraph) -> Option<String> {

@@ -155,6 +155,9 @@ struct State {
     chunks_dispatched: u64,
     chunks_speculated: u64,
     speculative_waste: u64,
+    tasks_stolen: u64,
+    steal_failures: u64,
+    batch_bind_calls: u64,
     workers: BTreeMap<usize, WorkerAgg>,
 }
 
@@ -262,6 +265,35 @@ impl ObsSink {
         state.speculative_waste += speculative_waste;
     }
 
+    /// Records thread-variant work-stealing scheduler totals (additive):
+    /// how many tasks ran on a worker other than the one they were dealt
+    /// to, and how many steal probes found an empty victim deque. Both
+    /// depend on runtime timing, so they live next to the speculation
+    /// stats, outside the deterministic counter section.
+    pub fn scheduler(&self, tasks_stolen: u64, steal_failures: u64) {
+        let Some(inner) = &self.inner else { return };
+        if tasks_stolen == 0 && steal_failures == 0 {
+            return;
+        }
+        let mut state = inner.state.lock().expect("obs state poisoned");
+        state.tasks_stolen += tasks_stolen;
+        state.steal_failures += steal_failures;
+    }
+
+    /// Records thread-variant batch-binding totals (additive): emit-point
+    /// `bind.solve` setups answered by the shared activation cache instead
+    /// of a fresh ECA enumeration. Which worker populates the cache first
+    /// depends on scheduling, so the count stays out of the deterministic
+    /// counter section.
+    pub fn batch_bind(&self, calls: u64) {
+        let Some(inner) = &self.inner else { return };
+        if calls == 0 {
+            return;
+        }
+        let mut state = inner.state.lock().expect("obs state poisoned");
+        state.batch_bind_calls += calls;
+    }
+
     /// Records one dispatched speculative chunk: an event plus per-worker
     /// item/busy aggregation. `lanes[i]` is worker `i`'s (items, busy).
     pub fn chunk(&self, lanes: &[(u64, Duration)]) {
@@ -327,6 +359,9 @@ impl ObsSink {
             speculation: Speculation {
                 chunks_speculated: state.chunks_speculated,
                 speculative_waste: state.speculative_waste,
+                tasks_stolen: state.tasks_stolen,
+                steal_failures: state.steal_failures,
+                batch_bind_calls: state.batch_bind_calls,
                 workers: state
                     .workers
                     .iter()
@@ -449,6 +484,14 @@ pub struct Speculation {
     /// Candidates evaluated speculatively and then discarded by the exact
     /// merge-time pruning re-check.
     pub speculative_waste: u64,
+    /// Tasks executed by a worker other than the one their deterministic
+    /// deal assigned them to (0 on sequential runs).
+    pub tasks_stolen: u64,
+    /// Steal probes that found the victim's deque empty.
+    pub steal_failures: u64,
+    /// Implement-stage setups answered by the shared batch-binding
+    /// activation cache instead of a fresh ECA enumeration.
+    pub batch_bind_calls: u64,
     /// Per-worker-lane dispatch/busy aggregates.
     pub workers: Vec<WorkerLane>,
 }
@@ -607,6 +650,13 @@ impl RunReport {
                 s.speculative_waste,
                 if lanes.is_empty() { "" } else { "; " },
                 lanes.join(", ")
+            );
+        }
+        if s.tasks_stolen > 0 || s.steal_failures > 0 || s.batch_bind_calls > 0 {
+            let _ = writeln!(
+                out,
+                "  scheduler: {} task(s) stolen, {} empty probe(s), {} batched bind setup(s)",
+                s.tasks_stolen, s.steal_failures, s.batch_bind_calls
             );
         }
         out

@@ -174,7 +174,7 @@ fn bnb_front_counters_and_obs_are_thread_invariant() {
     models.push(("synthetic-wide", synthetic_spec(&SyntheticConfig::wide(13))));
     for (name, spec) in models {
         let mut baseline: Option<(String, String)> = None;
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let options = ExploreOptions {
                 allocation: AllocationOptions {
                     threads,
