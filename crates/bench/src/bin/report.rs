@@ -19,6 +19,7 @@ use flexplore::{
 };
 use flexplore_bench::{
     analyze_suite, available_parallelism, entry_id, explore_suite, lint_suite, out_path,
+    warmstart_suite, WARM_SPEEDUP_FLOOR,
 };
 use std::time::Instant;
 
@@ -35,6 +36,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e13()?;
     e14()?;
     e15()?;
+    e16()?;
+    Ok(())
+}
+
+/// E16 — warm-start re-exploration; also writes `BENCH_warmstart.json`.
+///
+/// The pair measures the watch-mode edit loop: one latency of
+/// `synthetic-wide` changes, and the warm run replays the cached
+/// enumeration and bind verdicts instead of recomputing them.
+/// [`warmstart_suite`] asserts the two contracts — byte-identical
+/// counters and the speedup floor — so a run that prints this section
+/// has already enforced them.
+fn e16() -> Result<(), Box<dyn std::error::Error>> {
+    println!("## E16 — warm-start re-exploration (one-latency edit)\n");
+    let suite = warmstart_suite();
+    println!("| entry | wall (best of 10) | candidates | solver calls |");
+    println!("|---|---|---|---|");
+    for report in &suite.reports {
+        println!(
+            "| {} | {:.3} ms | {} | {} |",
+            entry_id(report),
+            report.wall_ns as f64 / 1e6,
+            report.counter("possible_allocations").unwrap_or(0),
+            report.counter("implement_attempts").unwrap_or(0),
+        );
+    }
+    let cold = suite.reports[0].wall_ns as f64;
+    let warm = suite.reports[1].wall_ns as f64;
+    println!(
+        "\nSpeedup: {:.1}x (contract: at least {WARM_SPEEDUP_FLOOR}x).\n",
+        cold / warm
+    );
+    let path = out_path("BENCH_warmstart.json")?;
+    std::fs::write(&path, suite.to_json()?)?;
+    println!("(Raw run reports written to `{}`.)\n", path.display());
     Ok(())
 }
 

@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use flexplore::models::{spec_from_json, spec_to_json};
 use flexplore::{
-    analyze_spec_obs, explore_with_obs, lint_spec_obs, set_top_box, synthetic_spec, tv_decoder,
-    AllocationOptions, ExploreOptions, ObsSink, RunReport, SpecificationGraph, SyntheticConfig,
+    analyze_spec_obs, explore_compiled_warm, explore_with_obs, lint_spec_obs, set_top_box,
+    synthetic_spec, tv_decoder, AllocationOptions, CompiledSpec, ExploreOptions, ObsSink,
+    RunReport, SpecificationGraph, SyntheticConfig, WarmMode,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -283,6 +285,142 @@ pub fn analyze_suite() -> BenchFile {
         suite: "analyze".to_owned(),
         available_parallelism: available_parallelism(),
         reports: analyze_models().iter().map(measured_analyze).collect(),
+    }
+}
+
+/// Minimum warm-vs-cold speedup the warm-start suite enforces on the
+/// bind-replay path (one latency edit outside every attempted bind mask
+/// of `synthetic-wide`). Measured ~6x on the reference machine; 3x is
+/// the contract.
+pub const WARM_SPEEDUP_FLOOR: u64 = 3;
+
+/// Repeats for the warm-start timing pair. Higher than [`REPEATS`]:
+/// the warm run is sub-millisecond, so the best-of filter needs more
+/// samples to shed scheduler noise before the ratio assertion.
+pub const WARM_REPEATS: usize = 10;
+
+/// Bumps the `site`-th `"latency"` value in `json` by one. `None` when
+/// the spec has fewer latency fields.
+fn bump_latency(json: &str, site: usize) -> Option<String> {
+    let needle = "\"latency\"";
+    let mut at = 0;
+    for _ in 0..=site {
+        at += json[at..].find(needle)? + needle.len();
+    }
+    let digits_at = at + json[at..].find(|c: char| c.is_ascii_digit())?;
+    let digits_end = digits_at
+        + json[digits_at..]
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(json.len() - digits_at);
+    let value: u64 = json[digits_at..digits_end].parse().ok()?;
+    Some(format!(
+        "{}{}{}",
+        &json[..digits_at],
+        value + 1,
+        &json[digits_end..]
+    ))
+}
+
+/// Deterministically picks a one-latency edit of `spec` that invalidates
+/// no cached bind outcome: the warm re-exploration replays the
+/// enumeration *and* every solver verdict without calling the solver.
+/// That is the watch-mode common case the speedup gate is stated for —
+/// most units sit outside the few masks the solver ever saw.
+///
+/// # Panics
+///
+/// Panics when no latency site of `spec` misses every bind mask —
+/// a structural property of the suite model, not of the machine.
+#[must_use]
+pub fn warm_miss_edit(spec: &SpecificationGraph) -> SpecificationGraph {
+    let obs = ObsSink::disabled();
+    let options = threaded_options(1);
+    let compiled = CompiledSpec::with_activation_cache(spec);
+    let baseline =
+        explore_compiled_warm(&compiled, &options, None, &obs).expect("suite model explores");
+    // A full replay hands back every kept candidate and every bind
+    // verdict from the cache.
+    let full_hits =
+        baseline.result.stats.allocations.kept + baseline.result.stats.implement_attempts;
+    let json = spec_to_json(spec).expect("suite model serializes");
+    let mut site = 0;
+    while let Some(edited_json) = bump_latency(&json, site) {
+        site += 1;
+        let Ok(edited) = spec_from_json(&edited_json) else {
+            continue;
+        };
+        let edited_compiled = CompiledSpec::with_activation_cache(&edited);
+        let warm = explore_compiled_warm(&edited_compiled, &options, Some(&baseline.entry), &obs)
+            .expect("edited suite model explores");
+        if warm.summary.mode == WarmMode::Replay && warm.summary.warm_hits == full_hits {
+            return edited;
+        }
+    }
+    panic!("no latency edit of {} misses every bind mask", spec.name());
+}
+
+/// Runs the warm-start measurement pair: a cold exploration of the
+/// edited `synthetic-wide` model next to a warm one replaying the cache
+/// entry of the unedited model, both best of [`WARM_REPEATS`].
+///
+/// Two invariants are asserted here, so both the report run and the CI
+/// bench job enforce them:
+///
+/// * the deterministic counter sections of the two reports are
+///   byte-identical — warmth must not change results;
+/// * the warm run is at least [`WARM_SPEEDUP_FLOOR`]x faster.
+///
+/// # Panics
+///
+/// Panics when either invariant fails.
+#[must_use]
+pub fn warmstart_suite() -> BenchFile {
+    let base = synthetic_spec(&SyntheticConfig::wide(13));
+    let edited = warm_miss_edit(&base);
+    let options = threaded_options(1);
+    let prior = {
+        let obs = ObsSink::disabled();
+        let compiled = CompiledSpec::with_activation_cache(&base);
+        explore_compiled_warm(&compiled, &options, None, &obs)
+            .expect("suite model explores")
+            .entry
+    };
+    let edited_compiled = CompiledSpec::with_activation_cache(&edited);
+    let cold = (0..WARM_REPEATS)
+        .map(|_| {
+            let obs = ObsSink::enabled();
+            explore_compiled_warm(&edited_compiled, &options, None, &obs)
+                .expect("edited suite model explores");
+            obs.report("explore-cold", "synthetic-wide-edited", 1)
+        })
+        .min_by_key(|r| r.wall_ns)
+        .expect("WARM_REPEATS > 0");
+    let warm = (0..WARM_REPEATS)
+        .map(|_| {
+            let obs = ObsSink::enabled();
+            let outcome = explore_compiled_warm(&edited_compiled, &options, Some(&prior), &obs)
+                .expect("edited suite model explores");
+            assert_eq!(outcome.summary.mode, WarmMode::Replay, "expected a replay");
+            obs.report("explore-warm", "synthetic-wide-edited", 1)
+        })
+        .min_by_key(|r| r.wall_ns)
+        .expect("WARM_REPEATS > 0");
+    assert_eq!(
+        warm.counters_json().unwrap_or_default(),
+        cold.counters_json().unwrap_or_default(),
+        "warm counters drifted from cold"
+    );
+    assert!(
+        warm.wall_ns.saturating_mul(WARM_SPEEDUP_FLOOR) <= cold.wall_ns,
+        "warm re-explore must be at least {WARM_SPEEDUP_FLOOR}x faster than cold: \
+         warm {:.3} ms vs cold {:.3} ms",
+        warm.wall_ns as f64 / 1e6,
+        cold.wall_ns as f64 / 1e6
+    );
+    BenchFile {
+        suite: "warmstart".to_owned(),
+        available_parallelism: available_parallelism(),
+        reports: vec![cold, warm],
     }
 }
 

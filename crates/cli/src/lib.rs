@@ -30,17 +30,19 @@
 
 use flexplore::adaptive::{generate_trace, FaultTimelineEvent, TraceConfig};
 use flexplore::lint::{is_known_code, lint_spec_obs_with_capacity};
-use flexplore::models::{spec_from_json, spec_from_json_unvalidated};
+use flexplore::models::{spec_from_json, spec_from_json_unvalidated, spec_to_json};
 use flexplore::obs::phase;
 use flexplore::{
     analyze_spec_obs, dual_slot_fpga, explore, explore_resilient_obs, explore_with_obs,
-    flexibility_profile, k_resilient_flexibility_obs, lint_spec_obs, max_flexibility_under_budget,
-    min_cost_for_flexibility, resolve_threads, run_with_faults, set_top_box, synthetic_spec,
-    tv_decoder, AllocationOptions, Cost, DegradationPolicy, Enumerator, ExploreOptions, FaultKind,
-    FaultPlan, FaultScenario, ImplementOptions, ObsSink, ReconfigCost, Selection,
-    SpecificationGraph, SyntheticConfig, Time, VertexId,
+    fingerprint, flexibility_profile, k_resilient_flexibility_obs, lint_spec_obs,
+    max_flexibility_under_budget, min_cost_for_flexibility, resolve_threads, run_with_faults,
+    set_top_box, synthetic_spec, tv_decoder, AllocationOptions, CompiledSpec, Cost,
+    DegradationPolicy, Enumerator, ExploreCache, ExploreOptions, FaultKind, FaultPlan,
+    FaultScenario, ImplementOptions, ObsSink, ParetoFront, ReconfigCost, Selection,
+    SpecificationGraph, SyntheticConfig, Time, VertexId, WarmSummary,
 };
 use flexplore_fuzz::{replay_dir, run_fuzz, DomainProfile, FuzzOptions};
+use serde::Serialize;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -89,7 +91,10 @@ flexplore — flexibility/cost design-space exploration (Haubelt et al., DATE 20
 USAGE:
     flexplore explore (<spec.json> | <MODEL>) [--csv] [--json] [--threads N]
                       [--enumerator flat|bnb] [--analysis on|off]
-                      [--profile [text|json]]
+                      [--cache-dir <DIR>] [--profile [text|json]]
+    flexplore watch <spec.json> [--cache-dir <DIR>] [--threads N]
+                    [--poll-ms <MS>] [--max-polls <N>]
+    flexplore export <MODEL>
     flexplore resilience <spec.json> [--k <K>] [--threads N]
                          [--enumerator flat|bnb] [--profile [text|json]]
     flexplore flexibility <spec.json>
@@ -125,7 +130,24 @@ COMMANDS:
                   scan oracle); both keep exactly the same candidates.
                   --analysis off disables the static lattice-fact
                   pruning of the bnb engine (on by default; candidates
-                  and fronts are byte-identical either way)
+                  and fronts are byte-identical either way).
+                  --cache-dir persists the run's front, estimate memo and
+                  bind outcomes keyed by a content hash of the spec; a
+                  later run warm-starts from them, re-exploring only the
+                  sublattice an edit touched. Fronts and counters stay
+                  byte-identical to a cold run; corrupt or
+                  version-mismatched cache files degrade to a cold run
+                  with a warning. --json emits {fingerprint, front}
+    watch         poll a specification file (default every 500 ms) and
+                  re-explore it through the warm-start cache whenever its
+                  mtime changes, printing the front delta, the warm level
+                  (exact/replay/seeded/cold) and the wall-clock next to
+                  the last cold time. --max-polls bounds the loop (0 =
+                  forever); --cache-dir defaults to .flexplore-cache next
+                  to the watched file
+    export        print a bundled model as specification JSON (the same
+                  format explore/watch read), for seeding edit-replay
+                  workflows and CI fixtures
     resilience    print the three-objective cost / flexibility /
                   k-resilient-flexibility front (--k bounds the failures,
                   default 1; --threads as for explore)
@@ -206,6 +228,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut args = args.iter().map(String::as_str);
     match args.next() {
         Some("explore") => cmd_explore(&args.collect::<Vec<_>>()),
+        Some("watch") => cmd_watch(&args.collect::<Vec<_>>()),
+        Some("export") => cmd_export(&args.collect::<Vec<_>>()),
         Some("resilience") => cmd_resilience(&args.collect::<Vec<_>>()),
         Some("flexibility") => cmd_flexibility(&args.collect::<Vec<_>>()),
         Some("query") => cmd_query(&args.collect::<Vec<_>>()),
@@ -677,11 +701,19 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let mut threads = 1usize;
     let mut enumerator = Enumerator::default();
     let mut analysis = true;
+    let mut cache_dir: Option<String> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match *flag {
             "--csv" => csv = true,
             "--json" => json = true,
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .map(|v| (*v).to_owned())
+                        .ok_or_else(|| err("--cache-dir needs a directory path"))?,
+                );
+            }
             "--analysis" => {
                 analysis = match it.next().copied() {
                     Some("on") => true,
@@ -725,13 +757,31 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
     let mut options = threaded_options(threads, enumerator);
     options.allocation.analysis = analysis;
     let started = Instant::now();
-    let result = explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?;
+    let (result, warm) = match &cache_dir {
+        Some(dir) => {
+            let outcome = ExploreCache::new(dir)
+                .explore(&spec, &options, &obs)
+                .map_err(|e| err(e.to_string()))?;
+            (outcome.result, Some(outcome.summary))
+        }
+        None => (
+            explore_with_obs(&spec, &options, &obs).map_err(|e| err(e.to_string()))?,
+            None,
+        ),
+    };
     let elapsed = started.elapsed();
     if json && profile != ProfileMode::Json {
-        // The front alone: enumerator- and thread-independent, so two runs
-        // with different engines can be diffed byte-for-byte.
-        let mut out = serde_json::to_string_pretty(&result.front)
-            .map_err(|e| err(format!("cannot render front: {e}")))?;
+        // The fingerprint plus the front: enumerator-, thread- and
+        // warm-level-independent, so a warm run diffs byte-for-byte
+        // against a cold one.
+        let fp = warm
+            .as_ref()
+            .map_or_else(|| fingerprint(&CompiledSpec::new(&spec)), |s| s.fingerprint);
+        let mut out = serde_json::to_string_pretty(&ExploreJson {
+            fingerprint: fp.to_string(),
+            front: result.front.clone(),
+        })
+        .map_err(|e| err(format!("cannot render front: {e}")))?;
         out.push('\n');
         return Ok(out);
     }
@@ -772,7 +822,208 @@ fn cmd_explore(args: &[&str]) -> Result<String, CliError> {
         s.chunks_speculated, s.speculative_waste
     );
     let _ = writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    if let Some(summary) = &warm {
+        let _ = writeln!(
+            out,
+            "warm-start: {} (fingerprint {}) — {} replayed, {} invalidated, {} changed unit(s)",
+            summary.mode,
+            summary.fingerprint,
+            summary.warm_hits,
+            summary.warm_invalidated,
+            summary.delta_units
+        );
+        for warning in &summary.warnings {
+            let _ = writeln!(out, "warning: {warning}");
+        }
+    }
     profiled_output(profile, &obs, "explore", spec.name(), threads, out)
+}
+
+/// The `explore --json` payload: the spec's content fingerprint plus its
+/// Pareto front. Byte-identical across enumerators, thread counts and
+/// warm-start levels.
+#[derive(Serialize)]
+struct ExploreJson {
+    fingerprint: String,
+    front: ParetoFront,
+}
+
+/// `flexplore export <MODEL>` — print a bundled model as specification
+/// JSON, so warm-start workflows can seed an editable file from a known
+/// model.
+fn cmd_export(args: &[&str]) -> Result<String, CliError> {
+    let [name] = args else {
+        return Err(err(format!(
+            "export needs exactly one bundled model name ({BUILTIN_NAMES})\n\n{USAGE}"
+        )));
+    };
+    let spec = builtin_spec(name).ok_or_else(|| {
+        err(format!(
+            "unknown model {name:?} (expected one of {BUILTIN_NAMES})"
+        ))
+    })?;
+    let mut out = spec_to_json(&spec).map_err(|e| err(format!("cannot render model: {e}")))?;
+    out.push('\n');
+    Ok(out)
+}
+
+/// `flexplore watch <spec.json>` — poll-based re-exploration through the
+/// warm-start cache. Lines stream to stdout as they happen; the returned
+/// string is empty.
+fn cmd_watch(args: &[&str]) -> Result<String, CliError> {
+    use std::io::Write as _;
+    watch_loop(args, &mut |line| {
+        println!("{line}");
+        let _ = std::io::stdout().flush();
+    })?;
+    Ok(String::new())
+}
+
+/// The watch engine behind [`cmd_watch`], emitting each output line through
+/// `emit` so tests can capture the stream.
+fn watch_loop(args: &[&str], emit: &mut dyn FnMut(&str)) -> Result<(), CliError> {
+    let (path, rest) = split_path(args)?;
+    let mut cache_dir: Option<String> = None;
+    let mut threads = 1usize;
+    let mut poll_ms = 500u64;
+    let mut max_polls = 0u64; // 0 = forever
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match *flag {
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .map(|v| (*v).to_owned())
+                        .ok_or_else(|| err("--cache-dir needs a directory path"))?,
+                );
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--threads needs a positive integer"))?;
+            }
+            "--poll-ms" => {
+                poll_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|ms| *ms > 0)
+                    .ok_or_else(|| err("--poll-ms needs a positive integer"))?;
+            }
+            "--max-polls" => {
+                max_polls = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("--max-polls needs an integer"))?;
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+    let file = std::path::Path::new(path);
+    if !file.is_file() {
+        return Err(err(format!(
+            "watch needs a specification file, {path} is not one"
+        )));
+    }
+    let cache_dir = cache_dir.unwrap_or_else(|| {
+        file.parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(".flexplore-cache")
+            .display()
+            .to_string()
+    });
+    let cache = ExploreCache::new(&cache_dir);
+    let options = threaded_options(resolve_threads(threads), Enumerator::default());
+    emit(&format!(
+        "watching {path} (cache {cache_dir}, poll {poll_ms} ms)"
+    ));
+
+    let mut last_front: Option<Vec<(Cost, u64)>> = None;
+    let mut last_cold_ms: Option<f64> = None;
+    let mut last_mtime = None;
+    let mut polls = 0u64;
+    loop {
+        let mtime = std::fs::metadata(file).and_then(|m| m.modified()).ok();
+        let changed = mtime.is_some() && mtime != last_mtime;
+        if changed {
+            last_mtime = mtime;
+            match std::fs::read_to_string(file)
+                .map_err(|e| e.to_string())
+                .and_then(|json| spec_from_json(&json).map_err(|e| e.to_string()))
+            {
+                Err(e) => emit(&format!("warning: cannot load {path}: {e} (will retry)")),
+                Ok(spec) => {
+                    let started = Instant::now();
+                    match cache.explore(&spec, &options, &ObsSink::disabled()) {
+                        Err(e) => emit(&format!("warning: exploration failed: {e}")),
+                        Ok(outcome) => {
+                            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                            for warning in &outcome.summary.warnings {
+                                emit(&format!("warning: {warning}"));
+                            }
+                            let front: Vec<(Cost, u64)> = outcome.result.front.objectives();
+                            emit(&render_watch_cycle(
+                                &outcome.summary,
+                                &front,
+                                last_front.as_deref(),
+                                wall_ms,
+                                last_cold_ms,
+                            ));
+                            if outcome.summary.mode == flexplore::WarmMode::Cold {
+                                last_cold_ms = Some(wall_ms);
+                            }
+                            last_front = Some(front);
+                        }
+                    }
+                }
+            }
+        }
+        polls += 1;
+        if max_polls != 0 && polls >= max_polls {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
+/// One watch-cycle report: warm level, wall clock (against the last cold
+/// run), and the front delta against the previous cycle.
+fn render_watch_cycle(
+    summary: &WarmSummary,
+    front: &[(Cost, u64)],
+    previous: Option<&[(Cost, u64)]>,
+    wall_ms: f64,
+    last_cold_ms: Option<f64>,
+) -> String {
+    let mut line = format!(
+        "re-explored: {} in {:.3} ms ({} points",
+        summary.mode,
+        wall_ms,
+        front.len()
+    );
+    match previous {
+        None => line.push(')'),
+        Some(prev) => {
+            let added = front.iter().filter(|p| !prev.contains(p)).count();
+            let removed = prev.iter().filter(|p| !front.contains(p)).count();
+            if added == 0 && removed == 0 {
+                line.push_str(", unchanged)");
+            } else {
+                let _ = write!(line, ", +{added}/-{removed})");
+            }
+        }
+    }
+    if summary.mode != flexplore::WarmMode::Cold {
+        let _ = write!(
+            line,
+            " — {} replayed, {} invalidated, {} changed unit(s)",
+            summary.warm_hits, summary.warm_invalidated, summary.delta_units
+        );
+        if let Some(cold_ms) = last_cold_ms {
+            let _ = write!(line, "; cold was {cold_ms:.3} ms");
+        }
+    }
+    line
 }
 
 /// Explore options with the requested thread count applied to both the
@@ -2067,5 +2318,128 @@ mod tests {
         );
         let e = run_strs(&["profile", "set_top_box", "--wat"]).unwrap_err();
         assert!(e.message.contains("unknown flag"));
+    }
+
+    /// Bumps the first `"latency"` value in `json` by one nanosecond —
+    /// the minimal watch-mode edit.
+    fn bump_first_latency(json: &str) -> String {
+        let at = json.find("\"latency\"").expect("model has latencies") + "\"latency\"".len();
+        let digits_at = at
+            + json[at..]
+                .find(|c: char| c.is_ascii_digit())
+                .expect("latency has a value");
+        let digits_end = digits_at
+            + json[digits_at..]
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(json.len() - digits_at);
+        let value: u64 = json[digits_at..digits_end].parse().unwrap();
+        format!("{}{}{}", &json[..digits_at], value + 1, &json[digits_end..])
+    }
+
+    fn scratch_dir(label: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexplore-cli-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn export_prints_a_reloadable_model() {
+        let out = run_strs(&["export", "set_top_box"]).unwrap();
+        let spec = flexplore::models::spec_from_json(out.trim()).unwrap();
+        assert_eq!(spec.name(), "set-top-box");
+
+        let e = run_strs(&["export"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = run_strs(&["export", "no-such-model"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown model"), "{}", e.message);
+    }
+
+    #[test]
+    fn explore_cache_dir_warms_and_keeps_output_identical() {
+        let dir = scratch_dir("cache");
+        let dir_str = dir.to_str().unwrap();
+
+        let plain = run_strs(&["explore", "set_top_box"]).unwrap();
+        let cold = run_strs(&["explore", "set_top_box", "--cache-dir", dir_str]).unwrap();
+        assert!(cold.contains("warm-start: cold"), "{cold}");
+        let warm = run_strs(&["explore", "set_top_box", "--cache-dir", dir_str]).unwrap();
+        assert!(warm.contains("warm-start: exact"), "{warm}");
+        // The front table is byte-identical with and without the cache;
+        // only the warm-start trailer differs.
+        let table = |out: &str| {
+            strip_runtime_lines(out)
+                .lines()
+                .filter(|l| !l.starts_with("warm-start:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&plain), table(&cold));
+        assert_eq!(table(&plain), table(&warm));
+
+        // --json carries the fingerprint either way, byte-identically.
+        let plain_json = run_strs(&["explore", "set_top_box", "--json"]).unwrap();
+        let warm_json =
+            run_strs(&["explore", "set_top_box", "--json", "--cache-dir", dir_str]).unwrap();
+        assert_eq!(plain_json, warm_json);
+        assert!(plain_json.contains("\"fingerprint\""), "{plain_json}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_streams_cold_then_warm_cycles() {
+        let dir = scratch_dir("watch");
+        let spec_path = dir.join("model.json");
+        let cache_dir = dir.join("cache");
+        let json = run_strs(&["export", "set_top_box"]).unwrap();
+        std::fs::write(&spec_path, &json).unwrap();
+
+        let args = |p: &str, c: &str| -> Vec<String> {
+            ["--cache-dir", c, "--poll-ms", "1", "--max-polls", "1"]
+                .iter()
+                .fold(vec![p.to_owned()], |mut v, s| {
+                    v.push((*s).to_owned());
+                    v
+                })
+        };
+        let run_watch = |spec_path: &std::path::Path, cache_dir: &std::path::Path| {
+            let owned = args(spec_path.to_str().unwrap(), cache_dir.to_str().unwrap());
+            let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
+            let mut lines = Vec::new();
+            watch_loop(&refs, &mut |line| lines.push(line.to_owned())).unwrap();
+            lines
+        };
+
+        let first = run_watch(&spec_path, &cache_dir);
+        assert!(first[0].starts_with("watching "), "{first:?}");
+        assert!(
+            first.iter().any(|l| l.starts_with("re-explored: cold")),
+            "{first:?}"
+        );
+
+        // A one-latency edit between watch invocations replays the cache.
+        std::fs::write(&spec_path, bump_first_latency(&json)).unwrap();
+        let second = run_watch(&spec_path, &cache_dir);
+        assert!(
+            second.iter().any(|l| l.starts_with("re-explored: replay")),
+            "{second:?}"
+        );
+
+        // A broken edit degrades to a warning and the loop keeps polling.
+        std::fs::write(&spec_path, "{ not json").unwrap();
+        let third = run_watch(&spec_path, &cache_dir);
+        assert!(
+            third.iter().any(|l| l.starts_with("warning: cannot load")),
+            "{third:?}"
+        );
+
+        let e = watch_loop(&["/no/such/file.json"], &mut |_| {}).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("not one"), "{}", e.message);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -79,14 +79,15 @@ pub use flexplore_bind::{
     Implementation,
 };
 pub use flexplore_explore::{
-    exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_resilient,
-    explore_resilient_obs, explore_upgrades, explore_weighted, explore_with_obs,
+    exhaustive_explore, explore, explore_compiled, explore_compiled_obs, explore_compiled_warm,
+    explore_resilient, explore_resilient_obs, explore_upgrades, explore_weighted, explore_with_obs,
     k_resilient_flexibility, k_resilient_flexibility_obs, k_resilient_flexibility_threaded,
-    max_flexibility_under_budget, min_cost_for_flexibility, moea_explore,
+    max_flexibility_under_budget, min_cost_for_flexibility, moea_explore, options_hash,
     possible_resource_allocations, possible_resource_allocations_compiled, remaining_flexibility,
-    remaining_flexibility_compiled, resolve_threads, AllocationOptions, DesignPoint, Enumerator,
-    ExploreOptions, ExploreResult, ExploreStats, MoeaOptions, ParetoFront, ResilienceReport,
-    ResilientDesignPoint, ShardedMemo,
+    remaining_flexibility_compiled, resolve_threads, spec_delta, AllocationOptions, CacheEntry,
+    CachedCandidate, DesignPoint, Enumerator, ExploreCache, ExploreOptions, ExploreResult,
+    ExploreStats, MoeaOptions, ParetoFront, ResilienceReport, ResilientDesignPoint, ShardedMemo,
+    SpecDelta, WarmMode, WarmOutcome, WarmSummary, CACHE_FORMAT,
 };
 pub use flexplore_flex::{
     estimate_flexibility, estimate_with_compiled, flexibility, flexibility_profile,
@@ -109,6 +110,6 @@ pub use flexplore_obs::{ObsSink, RunReport};
 pub use flexplore_sched::{SchedPolicy, Task, TaskSet, Time};
 pub use flexplore_schedule::{schedule_mode, CommDelay, StaticSchedule};
 pub use flexplore_spec::{
-    ArchitectureGraph, Binding, CompiledSpec, Cost, Mode, ProblemGraph, ProcessAttrs,
-    ResourceAllocation, SpecificationGraph, UnitMask,
+    fingerprint, ArchitectureGraph, Binding, CompiledSpec, Cost, Fingerprint, Mode, ProblemGraph,
+    ProcessAttrs, ResourceAllocation, SpecSignature, SpecificationGraph, UnitMask,
 };

@@ -13,9 +13,11 @@
 use crate::error::ExploreError;
 use flexplore_flex::{estimate_with_compiled, FlexibilityEstimate};
 use flexplore_hgraph::{NodeRef, VertexId};
-use flexplore_lint::compute_facts_obs;
+use flexplore_lint::{compute_facts_obs, AnalysisFacts};
 use flexplore_obs::{phase, ObsSink};
-use flexplore_spec::{CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph};
+use flexplore_spec::{
+    CompiledSpec, Cost, ResourceAllocation, ResourceKind, SpecificationGraph, UnitMask,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
@@ -172,6 +174,19 @@ pub struct AllocationStats {
     /// Extra candidates emitted by expanding a symmetry-class orbit from
     /// its explored canonical representative (0 without analysis).
     pub symmetry_orbit_expansions: u64,
+    /// Warm-start artifacts replayed from an exploration cache instead of
+    /// recomputed: seeded memo entries actually hit, cached bind outcomes
+    /// reused, candidates replayed wholesale. Deterministic at any thread
+    /// count (hits are tallied at sequence-order merge time); 0 on cold
+    /// runs. Published through the obs `warmstart` section, *not* the
+    /// deterministic counter section — see `flexplore_obs::Warmstart`.
+    pub warm_hits: u64,
+    /// Cached warm-start entries discarded because the spec delta touched
+    /// their submask (0 on cold runs).
+    pub warm_invalidated: u64,
+    /// Units whose content signature changed relative to the cached spec
+    /// (0 on cold runs).
+    pub delta_units: u64,
 }
 
 pub use flexplore_spec::allocatable_units;
@@ -228,6 +243,52 @@ pub fn possible_resource_allocations_obs(
     options: &AllocationOptions,
     obs: &ObsSink,
 ) -> Result<(Vec<AllocationCandidate>, AllocationStats), ExploreError> {
+    let out = enumerate_obs(compiled, options, obs, None, false)?;
+    Ok((out.candidates, out.stats))
+}
+
+/// Estimate-memo entries to pre-seed a warm enumeration with, keyed in
+/// **original unit order** (the cache's coordinate system; the lattice
+/// search translates them into its cost-sorted DFS order on entry).
+#[derive(Debug, Default)]
+pub(crate) struct WarmSeed {
+    /// `(relevant submask, estimate)` pairs surviving delta invalidation.
+    pub memo: Vec<(UnitMask, FlexibilityEstimate)>,
+}
+
+/// Everything one enumeration produced, in the shape the warm-start layer
+/// consumes: the candidate list plus each candidate's unit mask (original
+/// unit order), and — when capture was requested — the estimate memo
+/// translated back into original unit order.
+#[derive(Debug)]
+pub(crate) struct EnumerationOutput {
+    /// Cost-sorted possible resource allocations (as the public API).
+    pub candidates: Vec<AllocationCandidate>,
+    /// Per-candidate unit mask, parallel to `candidates`.
+    pub masks: Vec<UnitMask>,
+    /// Enumeration counters.
+    pub stats: AllocationStats,
+    /// Captured estimate memo (empty unless capture was requested).
+    pub memo: Vec<(UnitMask, FlexibilityEstimate)>,
+    /// The analysis facts the walk used (present only when capture was
+    /// requested and the analysis ran).
+    pub facts: Option<AnalysisFacts>,
+}
+
+/// [`possible_resource_allocations_obs`] extended with the warm-start
+/// hooks: an optional pre-seeded estimate memo and capture of the
+/// artifacts the exploration cache persists.
+///
+/// # Errors
+///
+/// See [`possible_resource_allocations_obs`].
+pub(crate) fn enumerate_obs(
+    compiled: &CompiledSpec<'_>,
+    options: &AllocationOptions,
+    obs: &ObsSink,
+    seed: Option<&WarmSeed>,
+    capture: bool,
+) -> Result<EnumerationOutput, ExploreError> {
     let units = allocatable_units(compiled.spec());
     let limit = options.enumerator.unit_capacity();
     if units.len() > limit {
@@ -243,7 +304,20 @@ pub fn possible_resource_allocations_obs(
         });
     }
     match options.enumerator {
-        Enumerator::Flat => Ok(flat_scan(compiled, &units, options, obs)),
+        Enumerator::Flat => {
+            // The flat oracle keeps no memo: seeds are meaningless and the
+            // capture yields an empty memo (a warm run over a flat cache
+            // entry can still replay candidates and bind outcomes).
+            let (kept, stats) = flat_scan(compiled, &units, options, obs);
+            let (masks, candidates) = kept.into_iter().unzip();
+            Ok(EnumerationOutput {
+                candidates,
+                masks,
+                stats,
+                memo: Vec::new(),
+                facts: None,
+            })
+        }
         Enumerator::BranchAndBound => {
             let facts = if options.analysis {
                 let timer = obs.start();
@@ -253,13 +327,19 @@ pub fn possible_resource_allocations_obs(
             } else {
                 None
             };
-            Ok(crate::lattice::bnb_scan(
+            let mut out = crate::lattice::bnb_scan(
                 compiled,
                 units,
                 options,
                 facts.as_ref(),
                 obs,
-            ))
+                seed,
+                capture,
+            );
+            if capture {
+                out.facts = facts;
+            }
+            Ok(out)
         }
     }
 }
@@ -270,7 +350,7 @@ fn flat_scan(
     units: &[Unit],
     options: &AllocationOptions,
     obs: &ObsSink,
-) -> (Vec<AllocationCandidate>, AllocationStats) {
+) -> (Vec<(UnitMask, AllocationCandidate)>, AllocationStats) {
     let spec = compiled.spec();
     let mut stats = AllocationStats {
         units: units.len(),
@@ -305,7 +385,7 @@ fn flat_scan(
         stats.merge(partial);
     } else {
         let chunk = total.div_ceil(threads as u64);
-        let results: Vec<(Vec<AllocationCandidate>, AllocationStats)> =
+        let results: Vec<(Vec<(UnitMask, AllocationCandidate)>, AllocationStats)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads as u64)
                     .map(|t| {
@@ -326,7 +406,7 @@ fn flat_scan(
             stats.merge(partial);
         }
     }
-    kept.sort_by_key(|c| (c.cost, std::cmp::Reverse(c.estimate.value)));
+    kept.sort_by_key(|(_, c)| (c.cost, std::cmp::Reverse(c.estimate.value)));
     (kept, stats)
 }
 
@@ -344,6 +424,9 @@ impl AllocationStats {
         self.analysis_mandatory_forced += other.analysis_mandatory_forced;
         self.analysis_subtrees_skipped += other.analysis_subtrees_skipped;
         self.symmetry_orbit_expansions += other.symmetry_orbit_expansions;
+        self.warm_hits += other.warm_hits;
+        self.warm_invalidated += other.warm_invalidated;
+        self.delta_units += other.delta_units;
     }
 }
 
@@ -362,7 +445,7 @@ fn scan_range(
     context: &ScanContext<'_>,
     range: std::ops::Range<u64>,
     obs: &ObsSink,
-) -> (Vec<AllocationCandidate>, AllocationStats) {
+) -> (Vec<(UnitMask, AllocationCandidate)>, AllocationStats) {
     let arch = context.compiled.spec().architecture();
     let options = context.options;
     let observe = obs.is_enabled();
@@ -437,11 +520,14 @@ fn scan_range(
         }
         let cost = context.compiled.allocation_cost(&allocation);
         stats.kept += 1;
-        kept.push(AllocationCandidate {
-            allocation,
-            cost,
-            estimate,
-        });
+        kept.push((
+            UnitMask::from_words([mask, 0, 0, 0]),
+            AllocationCandidate {
+                allocation,
+                cost,
+                estimate,
+            },
+        ));
     }
     obs.add_time(phase::ENUMERATE_ESTIMATE, estimate_calls, estimate_wall);
     (kept, stats)

@@ -28,15 +28,20 @@
 //! [`ExploreStats::speculative_waste`] depend on the thread count.
 
 use crate::allocations::{
-    possible_resource_allocations_obs, AllocationCandidate, AllocationOptions, AllocationStats,
+    enumerate_obs, AllocationCandidate, AllocationOptions, AllocationStats, EnumerationOutput,
+    WarmSeed,
 };
 use crate::error::ExploreError;
 use crate::parallel::{resolve_threads, run_chunk_obs, SPECULATION_DEPTH};
 use crate::pareto::{DesignPoint, ParetoFront};
-use flexplore_bind::{implement_allocation_batch_obs, BindingBatch, ImplementOptions};
+use flexplore_bind::{
+    implement_allocation_batch_obs, BindingBatch, ImplementOptions, ImplementStats, Implementation,
+};
+use flexplore_flex::FlexibilityEstimate;
 use flexplore_obs::{phase, ObsSink};
-use flexplore_spec::{CompiledSpec, SpecificationGraph};
+use flexplore_spec::{CompiledSpec, SpecificationGraph, UnitMask};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Options for [`explore`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,15 +205,118 @@ pub fn explore_compiled_obs(
     options: &ExploreOptions,
     obs: &ObsSink,
 ) -> Result<ExploreResult, ExploreError> {
+    explore_inner(compiled, options, obs, WarmInput::default(), false).map(|(result, _)| result)
+}
+
+/// Warm-start inputs threaded into one exploration run. The default value
+/// is a cold run; the `warmstart` module constructs the warmer variants
+/// from a cache entry and the spec delta.
+#[derive(Debug, Default)]
+pub(crate) struct WarmInput {
+    /// Estimate-memo seed for the enumerator (the *seeded* level).
+    pub seed: Option<WarmSeed>,
+    /// Full enumeration replay (the *replay* level skips the lattice walk
+    /// entirely; sound only when no unit's enumeration signature changed).
+    pub replay: Option<ReplayEnumeration>,
+    /// Cached per-candidate bind outcomes, keyed by candidate unit mask in
+    /// original unit order. `None` records "attempted, infeasible".
+    pub binds: HashMap<UnitMask, Option<Implementation>>,
+}
+
+/// A cached enumeration replayed wholesale: candidates (cost-sorted, as
+/// the enumerator emits them), their unit masks, and the cold run's
+/// enumeration counters.
+///
+/// Replayed candidates carry an *empty* allocation: materializing a
+/// [`flexplore_spec::ResourceAllocation`] per candidate costs more than the
+/// whole pruning scan, and the estimate bound skips almost all of them
+/// before the allocation is ever needed. The unit table travels alongside
+/// so [`explore_inner`] can rebuild an allocation from its mask at the few
+/// solver call sites that survive.
+#[derive(Debug)]
+pub(crate) struct ReplayEnumeration {
+    /// Cost-sorted candidate list (allocations empty; see above).
+    pub candidates: Vec<AllocationCandidate>,
+    /// Per-candidate unit mask, parallel to `candidates`.
+    pub masks: Vec<UnitMask>,
+    /// The unit universe the masks index, for lazy allocation rebuilds.
+    pub units: Vec<flexplore_spec::Unit>,
+    /// The cold enumeration counters (replayed verbatim — the enumeration
+    /// is deterministic, so these are what a fresh walk would produce).
+    pub stats: AllocationStats,
+}
+
+/// The artifacts one exploration run hands the cache for persisting.
+#[derive(Debug)]
+pub(crate) struct ExploreCapture {
+    /// Per-candidate `(mask, cost, estimate)` rows in enumeration (cost)
+    /// order — enough to replay the enumeration without re-walking the
+    /// lattice (the allocation itself is rebuilt from the mask).
+    pub candidates: Vec<(UnitMask, flexplore_spec::Cost, FlexibilityEstimate)>,
+    /// Estimate memo in original unit order (empty for flat enumeration
+    /// and replayed runs).
+    pub memo: Vec<(UnitMask, FlexibilityEstimate)>,
+    /// The analysis facts the enumeration used, if any.
+    pub facts: Option<flexplore_lint::AnalysisFacts>,
+    /// Bind outcome per implement attempt, in attempt order.
+    pub binds: Vec<(UnitMask, Option<Implementation>)>,
+}
+
+/// [`explore_compiled_obs`] extended with the warm-start hooks: replayed
+/// or memo-seeded enumeration, a cached bind-outcome table consulted
+/// before the binding solver, and capture of the artifacts the
+/// exploration cache persists. With a default [`WarmInput`] and capture
+/// off this *is* the cold path — same work, same counters.
+///
+/// Determinism: cached bind outcomes are a pure function of the candidate
+/// mask, so replaying them changes which attempts pay solver time, never
+/// the outcome; warm-hit accounting happens in merge order. All
+/// deterministic counters are byte-identical to the cold run at any
+/// thread count.
+pub(crate) fn explore_inner(
+    compiled: &CompiledSpec<'_>,
+    options: &ExploreOptions,
+    obs: &ObsSink,
+    warm: WarmInput,
+    capture: bool,
+) -> Result<(ExploreResult, Option<ExploreCapture>), ExploreError> {
     let timer = obs.start();
-    let (candidates, alloc_stats) =
-        possible_resource_allocations_obs(compiled, &options.allocation, obs)?;
+    let mut lazy_units: Option<Vec<flexplore_spec::Unit>> = None;
+    let enumeration = match warm.replay {
+        Some(replay) => {
+            lazy_units = Some(replay.units);
+            EnumerationOutput {
+                candidates: replay.candidates,
+                masks: replay.masks,
+                stats: replay.stats,
+                memo: Vec::new(),
+                facts: None,
+            }
+        }
+        None => enumerate_obs(
+            compiled,
+            &options.allocation,
+            obs,
+            warm.seed.as_ref(),
+            capture,
+        )?,
+    };
     obs.finish(phase::ENUMERATE, timer);
+    let EnumerationOutput {
+        candidates,
+        masks,
+        stats: alloc_stats,
+        memo,
+        facts,
+    } = enumeration;
     let mut stats = ExploreStats {
         vertex_set_size: compiled.spec().vertex_set_size(),
         allocations: alloc_stats,
         ..ExploreStats::default()
     };
+    let warm_binds = &warm.binds;
+    let mut bind_hits: u64 = 0;
+    let mut bind_out: Vec<(UnitMask, Option<Implementation>)> = Vec::new();
     let mut front = ParetoFront::new();
     let mut f_cur = 0;
     let threads = resolve_threads(options.threads);
@@ -217,21 +325,36 @@ pub fn explore_compiled_obs(
     // parallel path, share it across workers).
     let batch = BindingBatch::new();
     if threads <= 1 {
-        for candidate in &candidates {
+        for (mask, candidate) in masks.iter().zip(&candidates) {
             if options.flexibility_pruning && candidate.estimate.value <= f_cur {
                 stats.estimate_skipped += 1;
                 continue;
             }
             stats.implement_attempts += 1;
-            let timer = obs.start();
-            let (implemented, _) = implement_allocation_batch_obs(
-                compiled,
-                &candidate.allocation,
-                &options.implement,
-                Some(&batch),
-                obs,
-            )?;
-            obs.finish(phase::BIND, timer);
+            let implemented = match warm_binds.get(mask) {
+                Some(cached) => {
+                    bind_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    let timer = obs.start();
+                    let rebuilt = lazy_units
+                        .as_deref()
+                        .map(|units| flexplore_spec::allocation_from_units(units, *mask));
+                    let (implemented, _) = implement_allocation_batch_obs(
+                        compiled,
+                        rebuilt.as_ref().unwrap_or(&candidate.allocation),
+                        &options.implement,
+                        Some(&batch),
+                        obs,
+                    )?;
+                    obs.finish(phase::BIND, timer);
+                    implemented
+                }
+            };
+            if capture {
+                bind_out.push((*mask, implemented.clone()));
+            }
             let Some(implementation) = implemented else {
                 continue;
             };
@@ -251,25 +374,33 @@ pub fn explore_compiled_obs(
             // Collect the next chunk of candidates surviving the bound as
             // known *now*; the bound only grows, so these skips are a
             // subset of the sequential skips.
-            let mut chunk: Vec<&AllocationCandidate> = Vec::with_capacity(chunk_target);
+            let mut chunk: Vec<(&UnitMask, &AllocationCandidate)> =
+                Vec::with_capacity(chunk_target);
             while index < candidates.len() && chunk.len() < chunk_target {
                 let candidate = &candidates[index];
+                let mask = &masks[index];
                 index += 1;
                 if options.flexibility_pruning && candidate.estimate.value <= f_cur {
                     stats.estimate_skipped += 1;
                     continue;
                 }
-                chunk.push(candidate);
+                chunk.push((mask, candidate));
             }
             if chunk.is_empty() {
                 continue;
             }
             stats.chunks_speculated += 1;
             let timer = obs.start();
-            let results = run_chunk_obs(&chunk, threads, obs, |candidate| {
+            let results = run_chunk_obs(&chunk, threads, obs, |&(mask, candidate)| {
+                if let Some(cached) = warm_binds.get(mask) {
+                    return Ok((cached.clone(), ImplementStats::default()));
+                }
+                let rebuilt = lazy_units
+                    .as_deref()
+                    .map(|units| flexplore_spec::allocation_from_units(units, *mask));
                 implement_allocation_batch_obs(
                     compiled,
-                    &candidate.allocation,
+                    rebuilt.as_ref().unwrap_or(&candidate.allocation),
                     &options.implement,
                     Some(&batch),
                     obs,
@@ -278,15 +409,23 @@ pub fn explore_compiled_obs(
             obs.finish(phase::BIND, timer);
             // Merge in cost order, re-checking the bound at its exact
             // sequential value; discarded results (including errors) are
-            // ones the sequential run never computed.
-            for (candidate, outcome) in chunk.iter().zip(results) {
+            // ones the sequential run never computed. Warm-hit accounting
+            // also happens here, over exactly the attempts the sequential
+            // run would make, so it is thread-invariant.
+            for ((mask, candidate), outcome) in chunk.iter().zip(results) {
                 if options.flexibility_pruning && candidate.estimate.value <= f_cur {
                     stats.estimate_skipped += 1;
                     stats.speculative_waste += 1;
                     continue;
                 }
                 stats.implement_attempts += 1;
+                if warm_binds.contains_key(mask) {
+                    bind_hits += 1;
+                }
                 let (implemented, _) = outcome?;
+                if capture {
+                    bind_out.push((**mask, implemented.clone()));
+                }
                 let Some(implementation) = implemented else {
                     continue;
                 };
@@ -302,15 +441,30 @@ pub fn explore_compiled_obs(
         }
     }
     stats.pareto_points = front.len() as u64;
+    stats.allocations.warm_hits += bind_hits;
     obs.batch_bind(batch.hits());
     publish_stats(obs, &stats);
-    Ok(ExploreResult { front, stats })
+    let captured = capture.then(|| ExploreCapture {
+        candidates: masks
+            .iter()
+            .zip(&candidates)
+            .map(|(mask, candidate)| (*mask, candidate.cost, candidate.estimate.clone()))
+            .collect(),
+        memo,
+        facts,
+        binds: bind_out,
+    });
+    Ok((ExploreResult { front, stats }, captured))
 }
 
 /// Publishes the run's [`ExploreStats`] into `obs`: the thread-invariant
 /// numbers as deterministic counters, the speculation numbers into the
-/// thread-variant speculation section.
-fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
+/// thread-variant speculation section. The warm-start fields of
+/// [`AllocationStats`] are deliberately *not* published as counters —
+/// warm runs must reproduce the cold counter bytes — and go through
+/// [`ObsSink::warmstart`] instead (the cache layer calls it with the
+/// replay mode).
+pub(crate) fn publish_stats(obs: &ObsSink, stats: &ExploreStats) {
     if !obs.is_enabled() {
         return;
     }

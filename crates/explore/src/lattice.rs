@@ -93,7 +93,9 @@
 //! — a mirrored subtree is judged at its surviving sibling's depth — but
 //! `kept`, the candidates, and their order never change.
 
-use crate::allocations::{AllocationCandidate, AllocationOptions, AllocationStats};
+use crate::allocations::{
+    AllocationCandidate, AllocationOptions, AllocationStats, EnumerationOutput, WarmSeed,
+};
 use crate::memo::ShardedMemo;
 use crate::parallel::run_stealing_obs;
 use flexplore_flex::{DeltaEstimator, DeltaIndex, FlexibilityEstimate};
@@ -320,7 +322,9 @@ pub(crate) fn bnb_scan(
     options: &AllocationOptions,
     facts: Option<&AnalysisFacts>,
     obs: &ObsSink,
-) -> (Vec<AllocationCandidate>, AllocationStats) {
+    seed: Option<&WarmSeed>,
+    capture: bool,
+) -> EnumerationOutput {
     let n = units.len();
     let unit_cost = |u: &Unit| match *u {
         Unit::Vertex(v) => compiled.spec().architecture().cost(v),
@@ -354,6 +358,33 @@ pub(crate) fn bnb_scan(
         UnitMask::empty()
     };
     let shared: ShardedMemo<FlexibilityEstimate> = ShardedMemo::new();
+    // Pre-seed the shared memo from a warm-start cache. Seed keys arrive
+    // in original unit order (the cache's coordinate system) and are
+    // translated into this run's DFS order, then re-restricted to the
+    // current estimate-relevance mask. Seeding only changes *which*
+    // estimates are materialized fresh — the values a pure function of the
+    // key — so every deterministic counter matches the unseeded run; only
+    // the obs-side `enumerate.estimate` busy time shrinks.
+    let mut pos = vec![0usize; n];
+    for (d, &o) in order.iter().enumerate() {
+        pos[o] = d;
+    }
+    let mut seeded: HashSet<UnitMask> = HashSet::new();
+    if let Some(seed) = seed {
+        let relevant = masks.estimate_relevant_mask();
+        for (orig_key, est) in &seed.memo {
+            if orig_key.iter_ones().any(|o| o >= n) {
+                continue;
+            }
+            let mut key = UnitMask::empty();
+            for o in orig_key.iter_ones() {
+                key |= UnitMask::bit(pos[o]);
+            }
+            let key = key & relevant;
+            shared.insert_if_absent(key, est.clone());
+            seeded.insert(key);
+        }
+    }
     let ctx = Ctx {
         masks: &masks,
         index: &index,
@@ -450,6 +481,12 @@ pub(crate) fn bnb_scan(
         state.absorb(st);
     }
     state.stats.memo_cross_hits = cross_hits;
+    // Warm hits: distinct first-miss keys the seeded memo answered. The
+    // distinct-miss set is a property of the (deterministic) walk, so the
+    // count is identical at every thread count.
+    if !seeded.is_empty() {
+        state.stats.warm_hits = seen.iter().filter(|k| seeded.contains(*k)).count() as u64;
+    }
     obs.add_time(
         phase::ENUMERATE_ESTIMATE,
         state.estimate_calls,
@@ -458,7 +495,34 @@ pub(crate) fn bnb_scan(
 
     let mut kept = state.kept;
     kept.sort_by_key(|(orig, c)| (c.cost, std::cmp::Reverse(c.estimate.value), *orig));
-    (kept.into_iter().map(|(_, c)| c).collect(), state.stats)
+    let memo = if capture {
+        // Export the memo for persisting: translate DFS-order keys back
+        // into original unit order and sort for a deterministic file.
+        let mut entries: Vec<(UnitMask, FlexibilityEstimate)> = shared
+            .snapshot()
+            .into_iter()
+            .map(|(key, est)| {
+                let mut orig = UnitMask::empty();
+                for d in key.iter_ones() {
+                    orig |= UnitMask::bit(order[d]);
+                }
+                (orig, est)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(key, _)| key.into_words());
+        entries
+    } else {
+        Vec::new()
+    };
+    let (masks_out, candidates): (Vec<UnitMask>, Vec<AllocationCandidate>) =
+        kept.into_iter().unzip();
+    EnumerationOutput {
+        candidates,
+        masks: masks_out,
+        stats: state.stats,
+        memo,
+        facts: None,
+    }
 }
 
 /// The undecided-unit mask at `depth` (bits `depth..n`).

@@ -62,6 +62,7 @@ mod pareto;
 mod queries;
 mod resilience;
 mod upgrade;
+mod warmstart;
 mod weighted;
 
 pub use allocations::{
@@ -85,4 +86,8 @@ pub use resilience::{
     ResilienceReport, ResilientDesignPoint,
 };
 pub use upgrade::explore_upgrades;
+pub use warmstart::{
+    explore_compiled_warm, options_hash, spec_delta, CacheEntry, CachedCandidate, ExploreCache,
+    SpecDelta, WarmMode, WarmOutcome, WarmSummary, CACHE_FORMAT,
+};
 pub use weighted::{explore_weighted, WeightedExploreResult, WeightedPoint};

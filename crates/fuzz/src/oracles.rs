@@ -14,6 +14,7 @@
 //! | `resilience-subset` | fault-degraded points are weakly dominated by the healthy front, and `resilience ≤ flexibility` |
 //! | `round-trip` | serialize → deserialize → compile → explore reproduces the front byte-identically |
 //! | `analysis-facts` | every static lattice fact (mandatory / dominated / symmetry, DESIGN.md §15) holds on the prune-free flat enumeration of small specs |
+//! | `warm-start-equivalence` | re-exploring from a warm-start cache entry — unchanged, after a latency edit, after a cost edit — reproduces the cold front and counters byte-identically |
 //!
 //! Each oracle body runs under [`capture`](crate::capture::capture), so a
 //! panic anywhere in hgraph/spec/bind/explore surfaces as a violation with
@@ -22,9 +23,9 @@
 use crate::capture::capture;
 use flexplore_bind::ImplementOptions;
 use flexplore_explore::{
-    explore, explore_resilient, explore_with_obs, moea_explore, possible_resource_allocations,
-    AllocationCandidate, AllocationOptions, Enumerator, ExploreError, ExploreOptions,
-    ExploreResult, MoeaOptions, Unit,
+    explore, explore_compiled_warm, explore_resilient, explore_with_obs, moea_explore,
+    possible_resource_allocations, AllocationCandidate, AllocationOptions, Enumerator,
+    ExploreError, ExploreOptions, ExploreResult, MoeaOptions, Unit, WarmMode,
 };
 use flexplore_flex::Flexibility;
 use flexplore_lint::{compute_facts, lint_spec};
@@ -51,12 +52,14 @@ pub enum OracleKind {
     RoundTrip,
     /// Static lattice facts vs the prune-free flat enumeration.
     AnalysisFacts,
+    /// Warm-started re-exploration reproduces the cold run byte-identically.
+    WarmStartEquivalence,
 }
 
 impl OracleKind {
     /// All oracles, in canonical order.
     #[must_use]
-    pub fn all() -> [OracleKind; 7] {
+    pub fn all() -> [OracleKind; 8] {
         [
             OracleKind::LintExplore,
             OracleKind::EnumeratorEquivalence,
@@ -65,6 +68,7 @@ impl OracleKind {
             OracleKind::ResilienceSubset,
             OracleKind::RoundTrip,
             OracleKind::AnalysisFacts,
+            OracleKind::WarmStartEquivalence,
         ]
     }
 
@@ -79,6 +83,7 @@ impl OracleKind {
             OracleKind::ResilienceSubset => "resilience-subset",
             OracleKind::RoundTrip => "round-trip",
             OracleKind::AnalysisFacts => "analysis-facts",
+            OracleKind::WarmStartEquivalence => "warm-start-equivalence",
         }
     }
 }
@@ -138,6 +143,7 @@ pub fn check_oracle(
         OracleKind::ResilienceSubset => capture(move || resilience_subset(&s)),
         OracleKind::RoundTrip => capture(move || round_trip(&s)),
         OracleKind::AnalysisFacts => capture(move || analysis_facts(&s)),
+        OracleKind::WarmStartEquivalence => capture(move || warm_start_equivalence(&s)),
     };
     match outcome {
         Err(panic) => Some(Violation {
@@ -459,6 +465,114 @@ fn analysis_facts(spec: &SpecificationGraph) -> Option<String> {
                         }
                     }
                 }
+            }
+        }
+    }
+    None
+}
+
+/// Bumps the first `"field"` numeric value in `json` by one — the
+/// smallest spec edit a watch-mode user produces between cycles. `None`
+/// when the spec has no such field.
+fn bump_numeric_field(json: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\"");
+    let at = json.find(&needle)? + needle.len();
+    let digits_at = at + json[at..].find(|c: char| c.is_ascii_digit())?;
+    let digits_end = digits_at
+        + json[digits_at..]
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(json.len() - digits_at);
+    let value: u64 = json[digits_at..digits_end].parse().ok()?;
+    Some(format!(
+        "{}{}{}",
+        &json[..digits_at],
+        value + 1,
+        &json[digits_end..]
+    ))
+}
+
+/// Warm-started re-exploration must be byte-equivalent to a cold run on
+/// the same spec: exact replay on an unchanged spec, enumeration replay
+/// after a binding-layer (latency) edit, lattice reseed after an
+/// enumeration-layer (cost) edit. Only wall-clock and the warm
+/// bookkeeping fields may differ.
+fn warm_start_equivalence(spec: &SpecificationGraph) -> Option<String> {
+    let options = ExploreOptions::paper();
+    let obs = ObsSink::disabled();
+    let Ok(compiled) = CompiledSpec::try_new(spec) else {
+        return None;
+    };
+    let Ok(baseline) = explore_compiled_warm(&compiled, &options, None, &obs) else {
+        return None; // cold failures belong to the lint-explore oracle
+    };
+    let front_bytes =
+        |result: &ExploreResult| serde_json::to_string(&result.front).expect("front serializes");
+    let cold_counters = |result: &ExploreResult| {
+        let mut stats = result.stats;
+        stats.allocations.warm_hits = 0;
+        stats.allocations.warm_invalidated = 0;
+        stats.allocations.delta_units = 0;
+        stats
+    };
+
+    // Unchanged spec: an exact replay with the identical front.
+    match explore_compiled_warm(&compiled, &options, Some(&baseline.entry), &obs) {
+        Err(e) => return Some(format!("warm re-explore of the unchanged spec failed: {e}")),
+        Ok(replayed) => {
+            if replayed.summary.mode != WarmMode::Exact {
+                return Some(format!(
+                    "unchanged spec re-explored at warmth `{}`, expected `exact`",
+                    replayed.summary.mode
+                ));
+            }
+            if front_bytes(&replayed.result) != front_bytes(&baseline.result) {
+                return Some(format!(
+                    "exact replay changed the front: {} != {}",
+                    front_bytes(&replayed.result),
+                    front_bytes(&baseline.result)
+                ));
+            }
+        }
+    }
+
+    // One-field edits: whatever warmth the delta admits, results must
+    // match a cold run on the edited spec byte for byte.
+    let json = flexplore_models::spec_to_json(spec).expect("spec serializes");
+    for field in ["latency", "cost"] {
+        let Some(edited_json) = bump_numeric_field(&json, field) else {
+            continue;
+        };
+        let Ok(edited) = flexplore_models::spec_from_json(&edited_json) else {
+            continue; // the bump violated a validation rule; not our contract
+        };
+        let Ok(edited_compiled) = CompiledSpec::try_new(&edited) else {
+            continue;
+        };
+        let cold = explore_compiled_warm(&edited_compiled, &options, None, &obs);
+        let warm = explore_compiled_warm(&edited_compiled, &options, Some(&baseline.entry), &obs);
+        match (cold, warm) {
+            (Ok(cold), Ok(warm)) => {
+                if front_bytes(&warm.result) != front_bytes(&cold.result) {
+                    return Some(format!(
+                        "{field} edit: warm ({}) front {} != cold front {}",
+                        warm.summary.mode,
+                        front_bytes(&warm.result),
+                        front_bytes(&cold.result)
+                    ));
+                }
+                if cold_counters(&warm.result) != cold_counters(&cold.result) {
+                    return Some(format!(
+                        "{field} edit: warm ({}) counters diverged from cold",
+                        warm.summary.mode
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {} // equivalently impossible either way
+            (Ok(_), Err(e)) => {
+                return Some(format!("{field} edit: cold succeeded but warm failed: {e}"))
+            }
+            (Err(e), Ok(_)) => {
+                return Some(format!("{field} edit: warm succeeded but cold failed: {e}"))
             }
         }
     }

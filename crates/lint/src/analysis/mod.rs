@@ -33,10 +33,13 @@ use crate::passes::{lint_spec_obs, publish_lint_counters};
 use flexplore_flex::DeltaIndex;
 use flexplore_obs::{phase, ObsSink};
 use flexplore_spec::{allocatable_units, CompiledSpec, SpecificationGraph, Unit, UnitMask};
+use serde::{Deserialize, Serialize};
 
 /// The provable lattice facts over one unit universe, in the unit order
-/// of [`allocatable_units`] (index `k` is `units[k]`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// of [`allocatable_units`] (index `k` is `units[k]`). Serializable so
+/// the warm-start exploration cache can persist the facts beside the
+/// memo they justified.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AnalysisFacts {
     /// Number of units the fact tables are indexed by.
     pub unit_count: usize,

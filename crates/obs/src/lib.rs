@@ -159,6 +159,7 @@ struct State {
     steal_failures: u64,
     batch_bind_calls: u64,
     workers: BTreeMap<usize, WorkerAgg>,
+    warmstart: Warmstart,
 }
 
 #[derive(Debug)]
@@ -294,6 +295,23 @@ impl ObsSink {
         state.batch_bind_calls += calls;
     }
 
+    /// Records the warm-start summary of a cache-assisted run: the replay
+    /// mode and the replayed/invalidated artifact counts. The numbers are
+    /// deterministic at any thread count but differ between warm and cold
+    /// runs by construction, so they live in their own report section —
+    /// outside [`RunReport::counters`], whose bytes warm runs must
+    /// reproduce exactly.
+    pub fn warmstart(&self, mode: &str, warm_hits: u64, warm_invalidated: u64, delta_units: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock().expect("obs state poisoned");
+        state.warmstart = Warmstart {
+            mode: mode.to_owned(),
+            warm_hits,
+            warm_invalidated,
+            delta_units,
+        };
+    }
+
     /// Records one dispatched speculative chunk: an event plus per-worker
     /// item/busy aggregation. `lanes[i]` is worker `i`'s (items, busy).
     pub fn chunk(&self, lanes: &[(u64, Duration)]) {
@@ -330,6 +348,7 @@ impl ObsSink {
                 phases: Vec::new(),
                 counters: Vec::new(),
                 speculation: Speculation::default(),
+                warmstart: Warmstart::default(),
             };
         };
         let wall_ns = inner.started.elapsed().as_nanos() as u64;
@@ -372,6 +391,7 @@ impl ObsSink {
                     })
                     .collect(),
             },
+            warmstart: state.warmstart.clone(),
         }
     }
 
@@ -496,6 +516,25 @@ pub struct Speculation {
     pub workers: Vec<WorkerLane>,
 }
 
+/// Warm-start replay statistics of a cache-assisted run. Deterministic at
+/// any thread count (the hit accounting happens at sequence-order merge
+/// time), but necessarily different between warm and cold runs — so they
+/// are excluded from [`RunReport::counters`], which warm runs must
+/// reproduce byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warmstart {
+    /// Replay level: `cold`, `seeded`, `replay` or `exact`. Empty when the
+    /// run used no cache.
+    pub mode: String,
+    /// Cached artifacts replayed instead of recomputed (candidates, memo
+    /// entries, bind outcomes).
+    pub warm_hits: u64,
+    /// Cached entries discarded because the spec delta touched them.
+    pub warm_invalidated: u64,
+    /// Units whose content signature changed relative to the cached spec.
+    pub delta_units: u64,
+}
+
 /// The aggregated evidence of one observed run.
 ///
 /// Serde field order is the declaration order below and never changes, so
@@ -518,6 +557,8 @@ pub struct RunReport {
     pub counters: Vec<CounterTotal>,
     /// Thread-variant speculation statistics.
     pub speculation: Speculation,
+    /// Warm-start replay statistics (all-default when no cache was used).
+    pub warmstart: Warmstart,
 }
 
 impl RunReport {
@@ -657,6 +698,14 @@ impl RunReport {
                 out,
                 "  scheduler: {} task(s) stolen, {} empty probe(s), {} batched bind setup(s)",
                 s.tasks_stolen, s.steal_failures, s.batch_bind_calls
+            );
+        }
+        let w = &self.warmstart;
+        if !w.mode.is_empty() {
+            let _ = writeln!(
+                out,
+                "  warm-start: {} — {} replayed, {} invalidated, {} changed unit(s)",
+                w.mode, w.warm_hits, w.warm_invalidated, w.delta_units
             );
         }
         out

@@ -64,6 +64,7 @@ mod compiled;
 mod dot;
 mod error;
 mod feasibility;
+mod fingerprint;
 mod problem;
 mod spec;
 mod unitmask;
@@ -75,6 +76,7 @@ pub use compiled::{
 };
 pub use error::{BindingViolation, SpecError};
 pub use feasibility::Binding;
+pub use fingerprint::{fingerprint, Fingerprint, SpecSignature, UnitSig};
 pub use problem::{AlternativeStage, DataDep, ProblemGraph};
 pub use spec::{Mapping, MappingId, Mode, ResourceAllocation, SpecStatistics, SpecificationGraph};
 pub use unitmask::{UnitMask, MAX_UNITS, UNIT_MASK_WORDS};

@@ -58,7 +58,7 @@ fn fuzz_smoke_every_profile_is_clean() {
     });
     assert!(report.is_clean(), "{}", report.render_text());
     assert_eq!(report.specs, 20);
-    assert_eq!(report.oracle_checks, 140);
+    assert_eq!(report.oracle_checks, 160);
 }
 
 #[test]
